@@ -1,0 +1,211 @@
+package marp
+
+// Benchmarks regenerating every figure in the paper's evaluation (§4) plus
+// the ablations in DESIGN.md. Each benchmark runs the corresponding harness
+// experiment at reduced scale (the full-scale sweeps are produced by
+// cmd/marpbench) and reports the headline quantity as a custom metric, so
+// `go test -bench=. -benchmem` prints the series the paper plots:
+//
+//	BenchmarkFigure2_ALT         — avg lock-acquisition time (ms)
+//	BenchmarkFigure3_ATT         — avg total update time (ms)
+//	BenchmarkFigure4_PRK         — % of locks obtained with 3 visits
+//	BenchmarkCompareProtocols    — MARP vs message passing, WAN ATT ratio
+//	BenchmarkMigrationBounds     — Theorem 3 mean winner visits
+//	BenchmarkAblationInfoSharing — A1
+//	BenchmarkAblationRouting     — A2
+//	BenchmarkAblationBatching    — A3
+//	BenchmarkFailureInjection    — A4
+import (
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func quickOpts(seed int64) harness.FigureOptions {
+	return harness.FigureOptions{Quick: true, Seed: seed, RequestsPerServer: 15}
+}
+
+func BenchmarkFigure2_ALT(b *testing.B) {
+	var lastHigh, lastLow float64
+	for i := 0; i < b.N; i++ {
+		_, results, err := harness.Figure2(quickOpts(int64(i + 1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastHigh = float64(results[0].Summary.MeanALT) / 1e6             // fastest arrivals, 3 servers
+		lastLow = float64(results[len(results)-1].Summary.MeanALT) / 1e6 // slowest arrivals, 5 servers
+	}
+	b.ReportMetric(lastHigh, "alt-highrate-ms")
+	b.ReportMetric(lastLow, "alt-lowrate-ms")
+}
+
+func BenchmarkFigure3_ATT(b *testing.B) {
+	var lastHigh, lastLow float64
+	for i := 0; i < b.N; i++ {
+		_, results, err := harness.Figure3(quickOpts(int64(i + 1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastHigh = float64(results[0].Summary.MeanATT) / 1e6
+		lastLow = float64(results[len(results)-1].Summary.MeanATT) / 1e6
+	}
+	b.ReportMetric(lastHigh, "att-highrate-ms")
+	b.ReportMetric(lastLow, "att-lowrate-ms")
+}
+
+func BenchmarkFigure4_PRK(b *testing.B) {
+	var prk3Fast, prk3Slow, prk5Fast float64
+	for i := 0; i < b.N; i++ {
+		_, results, err := harness.Figure4(quickOpts(int64(i + 1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, last := results[0], results[len(results)-1]
+		prk3Fast = first.Summary.PRK(3)
+		prk5Fast = first.Summary.PRK(5)
+		prk3Slow = last.Summary.PRK(3)
+	}
+	b.ReportMetric(prk5Fast, "prk5-highrate-%")
+	b.ReportMetric(prk3Fast, "prk3-highrate-%")
+	b.ReportMetric(prk3Slow, "prk3-lowrate-%")
+}
+
+func BenchmarkCompareProtocols(b *testing.B) {
+	var marpWAN, mcvWAN, ratio float64
+	for i := 0; i < b.N; i++ {
+		opts := quickOpts(int64(i + 1))
+		opts.RequestsPerServer = 8
+		opts.Means = []time.Duration{60 * time.Millisecond}
+		opts.Servers = []int{5}
+		_, results, err := harness.CompareProtocols(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Results are ordered preset-major, protocol-minor:
+		// lan{marp,mcv,ac,primary}, wan{marp,mcv,ac,primary}.
+		marpWAN = float64(results[4].Summary.MeanATT) / 1e6
+		mcvWAN = float64(results[5].Summary.MeanATT) / 1e6
+		if marpWAN > 0 {
+			ratio = mcvWAN / marpWAN
+		}
+	}
+	b.ReportMetric(marpWAN, "marp-wan-att-ms")
+	b.ReportMetric(mcvWAN, "mcv-wan-att-ms")
+	b.ReportMetric(ratio, "mcv/marp-att")
+}
+
+func BenchmarkMigrationBounds(b *testing.B) {
+	var mean5 float64
+	for i := 0; i < b.N; i++ {
+		opts := quickOpts(int64(i + 1))
+		opts.RequestsPerServer = 10
+		_, results, err := harness.MigrationBounds(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean5 = results[1].Summary.MeanVisits() // N=5 row
+	}
+	b.ReportMetric(mean5, "winner-visits-n5")
+}
+
+func BenchmarkAblationInfoSharing(b *testing.B) {
+	var on, off float64
+	for i := 0; i < b.N; i++ {
+		_, results, err := harness.AblationInfoSharing(quickOpts(int64(i + 1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		on = float64(results[0].Summary.MeanALT) / 1e6
+		off = float64(results[1].Summary.MeanALT) / 1e6
+	}
+	b.ReportMetric(on, "alt-sharing-on-ms")
+	b.ReportMetric(off, "alt-sharing-off-ms")
+}
+
+func BenchmarkAblationRouting(b *testing.B) {
+	var ordered, random float64
+	for i := 0; i < b.N; i++ {
+		opts := quickOpts(int64(i + 1))
+		opts.RequestsPerServer = 8
+		_, results, err := harness.AblationRouting(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ordered = float64(results[0].Summary.MeanATT) / 1e6
+		random = float64(results[1].Summary.MeanATT) / 1e6
+	}
+	b.ReportMetric(ordered, "att-cost-ordered-ms")
+	b.ReportMetric(random, "att-random-ms")
+}
+
+func BenchmarkAblationBatching(b *testing.B) {
+	var batch1, batch8 float64
+	for i := 0; i < b.N; i++ {
+		_, results, err := harness.AblationBatching(quickOpts(int64(i + 1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		batch1 = float64(results[0].Summary.MeanATT) / 1e6
+		batch8 = float64(results[len(results)-1].Summary.MeanATT) / 1e6
+	}
+	b.ReportMetric(batch1, "att-batch1-ms")
+	b.ReportMetric(batch8, "att-batch8-ms")
+}
+
+func BenchmarkFailureInjection(b *testing.B) {
+	var committedFrac float64
+	for i := 0; i < b.N; i++ {
+		opts := quickOpts(int64(i + 1))
+		opts.RequestsPerServer = 8
+		_, results, err := harness.FailureInjection(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst := results[len(results)-1].Summary
+		if worst.Count > 0 {
+			committedFrac = 100 * float64(worst.Count-worst.Failures) / float64(worst.Count)
+		}
+	}
+	b.ReportMetric(committedFrac, "committed-2crashes-%")
+}
+
+// BenchmarkProtocolThroughput measures raw simulator throughput: committed
+// updates per wall-clock second across a contended 5-server cluster. This is
+// the engineering metric (how fast the reproduction runs), not a paper
+// figure.
+func BenchmarkProtocolThroughput(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, err := NewCluster(Options{Servers: 5, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 50; j++ {
+			j := j
+			c.After(time.Duration(j)*2*time.Millisecond, func() {
+				_ = c.Submit(NodeID(j%5+1), Set("hot", "v"))
+			})
+		}
+		c.RunFor(110 * time.Millisecond)
+		if err := c.Run(5 * time.Minute); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadRatio(b *testing.B) {
+	var opLatencyReadHeavy float64
+	for i := 0; i < b.N; i++ {
+		opts := quickOpts(int64(i + 1))
+		_, results, err := harness.ReadRatio(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		heavy := results[2] // 90% reads (the 99% row often has <1 update at quick scale)
+		updates := heavy.Summary.Count - heavy.Summary.Failures
+		totalOps := heavy.Config.RequestsPerServer * heavy.Config.N
+		opLatencyReadHeavy = float64(heavy.Summary.MeanATT) / 1e6 * float64(updates) / float64(totalOps)
+	}
+	b.ReportMetric(opLatencyReadHeavy, "oplat-90%reads-ms")
+}

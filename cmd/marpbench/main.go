@@ -1,0 +1,116 @@
+// Command marpbench regenerates the paper's evaluation: every figure of
+// "Achieving Replication Consistency Using Cooperating Mobile Agents"
+// (Cao, Chan, Wu — ICPP 2001) plus the comparisons and ablations indexed in
+// DESIGN.md. Output is one aligned table per experiment, with the same rows
+// and series the paper plots.
+//
+// Usage:
+//
+//	marpbench                  # run everything at full scale
+//	marpbench -exp f2,f4       # only Figures 2 and 4
+//	marpbench -quick           # reduced scale (seconds instead of minutes)
+//	marpbench -seed 7          # different random seed
+//	marpbench -latency wan     # latency preset for the figure sweeps
+//	marpbench -requests 100    # requests per server per run
+//
+// Experiments: f2 f3 f4 c1 t3 a1 a2 a3 a4 a5 (see DESIGN.md §4).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/metrics"
+)
+
+var experiments = []string{"f2", "f3", "f4", "c1", "t3", "a1", "a2", "a3", "a4", "a5"}
+
+func main() {
+	var (
+		expFlag  = flag.String("exp", "all", "comma-separated experiments to run ("+strings.Join(experiments, ",")+" or all)")
+		quick    = flag.Bool("quick", false, "reduced scale for a fast pass")
+		seed     = flag.Int64("seed", 1, "random seed")
+		latency  = flag.String("latency", "lan", "latency preset for figure sweeps: lan, prototype, wan")
+		requests = flag.Int("requests", 0, "requests per server per run (0 = experiment default)")
+		seeds    = flag.Int("seeds", 1, "replications per sweep point for Figures 2-3 (mean±sd)")
+	)
+	flag.Parse()
+
+	opts := harness.FigureOptions{
+		Seed:              *seed,
+		Seeds:             *seeds,
+		Quick:             *quick,
+		RequestsPerServer: *requests,
+		Latency:           harness.LatencyPreset(*latency),
+	}
+
+	want := map[string]bool{}
+	if *expFlag == "all" {
+		for _, e := range experiments {
+			want[e] = true
+		}
+	} else {
+		for _, e := range strings.Split(*expFlag, ",") {
+			e = strings.TrimSpace(strings.ToLower(e))
+			if e == "" {
+				continue
+			}
+			want[e] = true
+		}
+	}
+
+	type experiment struct {
+		id   string
+		name string
+		run  func(harness.FigureOptions) (*metrics.Table, error)
+	}
+	table := func(f func(harness.FigureOptions) (*metrics.Table, []harness.RunResult, error)) func(harness.FigureOptions) (*metrics.Table, error) {
+		return func(o harness.FigureOptions) (*metrics.Table, error) {
+			t, _, err := f(o)
+			return t, err
+		}
+	}
+	all := []experiment{
+		{"f2", "Figure 2 (ALT)", table(harness.Figure2)},
+		{"f3", "Figure 3 (ATT)", table(harness.Figure3)},
+		{"f4", "Figure 4 (PRK)", table(harness.Figure4)},
+		{"c1", "Comparison vs message passing", table(harness.CompareProtocols)},
+		{"t3", "Theorem 3 migration bounds", table(harness.MigrationBounds)},
+		{"a1", "Ablation: information sharing", table(harness.AblationInfoSharing)},
+		{"a2", "Ablation: itinerary routing", table(harness.AblationRouting)},
+		{"a3", "Ablation: request batching", table(harness.AblationBatching)},
+		{"a4", "Ablation: failure injection", func(o harness.FigureOptions) (*metrics.Table, error) {
+			t, _, err := harness.FailureInjection(o)
+			return t, err
+		}},
+		{"a5", "Ablation: read-to-update ratio", table(harness.ReadRatio)},
+	}
+
+	ran := 0
+	for _, e := range all {
+		if !want[e.id] {
+			continue
+		}
+		ran++
+		start := time.Now()
+		tbl, err := e.run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marpbench: %s failed: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		if err := tbl.Fprint(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "marpbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  [%s completed in %.1fs wall clock]\n\n", e.id, time.Since(start).Seconds())
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "marpbench: no experiments matched %q (want %s or all)\n",
+			*expFlag, strings.Join(experiments, ","))
+		os.Exit(2)
+	}
+}

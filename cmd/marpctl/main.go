@@ -1,0 +1,115 @@
+// Command marpctl is the client for a marpd service.
+//
+// Usage:
+//
+//	marpctl [-addr host:port] submit <home> <key> <value>
+//	marpctl [-addr host:port] append <home> <key> <value>
+//	marpctl [-addr host:port] read <node> <key>
+//	marpctl [-addr host:port] crash <node>
+//	marpctl [-addr host:port] recover <node>
+//	marpctl [-addr host:port] stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/transport"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: marpctl [-addr host:port] <command> [args]
+commands:
+  submit <home> <key> <value>   update key via a mobile agent from server <home>
+  append <home> <key> <value>   read-modify-write append
+  read <node> <key>             read the local copy at server <node>
+  crash <node>                  fail-stop a server
+  recover <node>                restart a crashed server
+  stats                         service counters`)
+	os.Exit(2)
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7707", "marpd address")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	cli, err := transport.Dial(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer cli.Close()
+
+	node := func(s string) int {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			fatal(fmt.Errorf("bad server id %q", s))
+		}
+		return n
+	}
+
+	switch args[0] {
+	case "submit", "append":
+		if len(args) != 4 {
+			usage()
+		}
+		if err := cli.Submit(node(args[1]), args[2], args[3], args[0] == "append"); err != nil {
+			fatal(err)
+		}
+		fmt.Println("ok: agent dispatched")
+	case "read":
+		if len(args) != 3 {
+			usage()
+		}
+		value, seq, found, err := cli.Read(node(args[1]), args[2])
+		if err != nil {
+			fatal(err)
+		}
+		if !found {
+			fmt.Println("(not found)")
+			return
+		}
+		fmt.Printf("%s (update #%d)\n", value, seq)
+	case "crash":
+		if len(args) != 2 {
+			usage()
+		}
+		if err := cli.Crash(node(args[1])); err != nil {
+			fatal(err)
+		}
+		fmt.Println("ok: server crashed")
+	case "recover":
+		if len(args) != 2 {
+			usage()
+		}
+		if err := cli.Recover(node(args[1])); err != nil {
+			fatal(err)
+		}
+		fmt.Println("ok: server recovering")
+	case "stats":
+		st, err := cli.Stats()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("servers      %d\n", st.Servers)
+		fmt.Printf("committed    %d\n", st.Committed)
+		fmt.Printf("failed       %d\n", st.Failed)
+		fmt.Printf("outstanding  %d\n", st.Outstanding)
+		fmt.Printf("messages     %d (%d bytes)\n", st.Messages, st.Bytes)
+		fmt.Printf("migrations   %d\n", st.Migrations)
+		fmt.Printf("virtual time %dms\n", st.VirtualMs)
+	default:
+		usage()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "marpctl: %v\n", err)
+	os.Exit(1)
+}

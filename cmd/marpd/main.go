@@ -1,0 +1,58 @@
+// Command marpd runs a live MARP replicated data service: a cluster of
+// mobile-agent-enabled replicated servers, paced in real time, reachable
+// over TCP with a line-delimited JSON protocol (see internal/transport).
+//
+// Usage:
+//
+//	marpd -addr :7707 -servers 5 -latency lan -speed 1
+//
+// Then drive it with marpctl:
+//
+//	marpctl -addr :7707 submit 1 mykey myvalue
+//	marpctl -addr :7707 read 3 mykey
+//	marpctl -addr :7707 stats
+//	marpctl -addr :7707 crash 4
+//	marpctl -addr :7707 recover 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	marp "repro"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7707", "TCP listen address")
+		servers = flag.Int("servers", 5, "number of replicated servers")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		latency = flag.String("latency", "lan", "replica network latency: lan, prototype, wan")
+		speed   = flag.Float64("speed", 1, "virtual seconds per wall-clock second")
+		batch   = flag.Int("batch", 1, "requests per mobile agent")
+	)
+	flag.Parse()
+
+	srv, err := transport.Serve(*addr, marp.Options{
+		Servers:   *servers,
+		Seed:      *seed,
+		Latency:   marp.Latency(*latency),
+		BatchSize: *batch,
+	}, *speed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "marpd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("marpd: %d replicated servers, %s latency, %gx time, listening on %s\n",
+		*servers, *latency, *speed, srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("\nmarpd: shutting down")
+	srv.Close()
+}

@@ -1,0 +1,62 @@
+// Wide-area replication: the scenario the paper's introduction motivates.
+// Replicas of a data store are spread across the Internet; update requests
+// arrive at every site. The example runs the same workload twice — once
+// under MARP (cooperating mobile agents) and once under a conventional
+// message-passing majority-consensus protocol — and prints the latency and
+// traffic comparison that is the paper's headline claim.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/metrics"
+)
+
+func main() {
+	fmt.Println("== Wide-area replication: MARP vs message-passing majority consensus ==")
+	fmt.Println()
+	fmt.Println("Workload: 7 replicas across a simulated WAN (40ms+ one-way latency),")
+	fmt.Println("exponential request arrivals at every site, single contended object.")
+	fmt.Println()
+
+	run := func(p harness.Protocol) harness.RunResult {
+		res, err := harness.Run(harness.RunConfig{
+			Protocol:          p,
+			N:                 7,
+			Seed:              42,
+			Mean:              400 * time.Millisecond,
+			RequestsPerServer: 25,
+			Latency:           harness.WAN,
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", p, err)
+		}
+		return res
+	}
+
+	tbl := &metrics.Table{
+		Title:   "MARP vs message passing on a WAN (7 replicas, 175 updates)",
+		Columns: []string{"protocol", "mean ATT (ms)", "p95 ATT (ms)", "msgs/update", "KB/update"},
+	}
+	for _, p := range []harness.Protocol{harness.MARP, harness.MCV, harness.PrimaryCopy} {
+		res := run(p)
+		tbl.AddRow(string(p),
+			metrics.Ms(res.Summary.MeanATT),
+			metrics.Ms(res.Summary.P95ATT),
+			fmt.Sprintf("%.1f", res.MsgsPerUpdate()),
+			fmt.Sprintf("%.1f", res.BytesPerUpdate()/1024),
+		)
+	}
+	if err := tbl.Fprint(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println("The mobile-agent protocol wins on the WAN because the agent converses")
+	fmt.Println("with each replica locally after one migration, while the stationary")
+	fmt.Println("coordinator pays a wide-area round trip for every lock/vote exchange —")
+	fmt.Println("exactly the argument of the paper's Section 1.")
+}

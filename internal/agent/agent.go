@@ -1,0 +1,500 @@
+// Package agent emulates a mobile-agent platform (the role IBM Aglets plays
+// in the paper's prototype) on top of the simulated network.
+//
+// Go has no code mobility, so "migration" here is state mobility: an agent
+// is a Go value implementing Behavior; migrating it serializes nothing in
+// the simulator (the value moves between places directly, with a modelled
+// wire size for traffic accounting) and uses encoding/gob in the real TCP
+// transport. This preserves everything the protocol layer observes: an agent
+// executes at one place at a time, interacts with the co-located server at
+// memory speed, pays network latency to move, and can fail to migrate when
+// the destination is down.
+//
+// The platform also provides the failure-notification service the paper
+// assumes ("when a process fails, all other processes are informed of the
+// failure in a finite time"): when a host crashes, agents resident there die
+// with it, and every surviving node receives an agent-death notice after a
+// configurable detection delay.
+package agent
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+)
+
+// ID identifies a mobile agent. The paper forms agent identifiers from the
+// creating host's name plus the local creation time; ID mirrors that with
+// the home server's node ID and the virtual creation time, plus a sequence
+// number to disambiguate agents born in the same instant.
+type ID struct {
+	Home simnet.NodeID
+	Born int64 // virtual creation time, nanoseconds
+	Seq  uint64
+}
+
+// IsZero reports whether the ID is unset.
+func (id ID) IsZero() bool { return id == ID{} }
+
+// Less defines the total order used for tie-breaking (paper §3.3: ties are
+// resolved "by using the mobile agents' identifiers"). Earlier-born agents
+// order first; the home node and sequence number break exact ties.
+func (id ID) Less(o ID) bool {
+	if id.Born != o.Born {
+		return id.Born < o.Born
+	}
+	if id.Home != o.Home {
+		return id.Home < o.Home
+	}
+	return id.Seq < o.Seq
+}
+
+// String renders the ID compactly, e.g. "A3.17".
+func (id ID) String() string { return fmt.Sprintf("A%d.%d", id.Home, id.Seq) }
+
+// Behavior is the agent's program. All hooks run on the simulator's event
+// loop; they may freely call Context methods, including MigrateTo and
+// Dispose, from inside any hook.
+type Behavior interface {
+	// OnArrive runs when the agent is activated at a place: once at
+	// creation on its home node, then after every successful migration.
+	OnArrive(ctx *Context)
+	// OnMigrateFailed runs at the origin place when a migration to dest
+	// could not complete within the platform's migration timeout. The
+	// agent is active again at its origin.
+	OnMigrateFailed(ctx *Context, dest simnet.NodeID)
+	// OnMessage delivers a network message addressed to this agent.
+	OnMessage(ctx *Context, from simnet.NodeID, payload any)
+	// OnLocalEvent delivers a zero-latency notification from the
+	// co-located server (e.g. "locking list changed").
+	OnLocalEvent(ctx *Context, ev any)
+}
+
+// WireSizer lets a behavior report its modelled serialized size in bytes;
+// migrations of agents without it are accounted at DefaultAgentSize.
+type WireSizer interface{ WireSize() int }
+
+// DefaultAgentSize is the modelled wire size of an agent whose behavior does
+// not implement WireSizer.
+const DefaultAgentSize = 512
+
+// DeathListener is notified when an agent is known to have died (its host
+// crashed, or it was lost in transit to a crashing host). Servers register
+// one to evict dead agents' lock entries.
+type DeathListener interface {
+	OnAgentDeath(id ID)
+}
+
+// Stats aggregates platform counters.
+type Stats struct {
+	AgentsCreated       int
+	AgentsDisposed      int
+	AgentsKilled        int // died with a crashed host or in transit to one
+	MigrationsStarted   int
+	MigrationsCompleted int
+	MigrationsFailed    int // timed out, agent re-activated at origin
+	MigrationsRefused   int // envelope arrived after the origin timed out
+	AgentMsgsDelivered  int
+	AgentMsgsDropped    int
+}
+
+// Config carries platform tuning knobs.
+type Config struct {
+	// MigrationTimeout is how long the origin waits for a migration to
+	// land before re-activating the agent locally (paper §2: "if a mobile
+	// agent cannot migrate to a replicated server host after certain
+	// amount of time, the protocol assumes that the replica process at
+	// the host has temporarily failed").
+	MigrationTimeout time.Duration
+	// DeathNoticeDelay is how long after an agent's death the other nodes
+	// learn about it.
+	DeathNoticeDelay time.Duration
+	// Trace, if non-nil, receives platform events.
+	Trace *trace.Log
+}
+
+func (c *Config) fill() {
+	if c.MigrationTimeout <= 0 {
+		c.MigrationTimeout = 250 * time.Millisecond
+	}
+	if c.DeathNoticeDelay <= 0 {
+		c.DeathNoticeDelay = 100 * time.Millisecond
+	}
+}
+
+// Platform hosts mobile agents across the nodes of a simulated network.
+type Platform struct {
+	net    *simnet.Network
+	sim    *des.Simulator
+	cfg    Config
+	places map[simnet.NodeID]*Place
+	// pending tracks in-flight migrations by agent ID; the destination
+	// place removes the entry when the envelope lands, the timeout fires
+	// only if it is still present.
+	pending map[ID]*pendingMigration
+	seq     uint64
+	stats   Stats
+}
+
+type pendingMigration struct {
+	ctx   *Context
+	dest  simnet.NodeID
+	timer *des.Event
+}
+
+// wire payloads
+type envelope struct {
+	id       ID
+	behavior Behavior
+}
+
+func (envelope) Kind() string { return "agent-migrate" }
+
+type agentMsg struct {
+	target  ID
+	payload any
+}
+
+func (agentMsg) Kind() string { return "agent-msg" }
+
+// NewPlatform creates a platform over net.
+func NewPlatform(net *simnet.Network, cfg Config) *Platform {
+	cfg.fill()
+	return &Platform{
+		net:     net,
+		sim:     net.Sim(),
+		cfg:     cfg,
+		places:  make(map[simnet.NodeID]*Place),
+		pending: make(map[ID]*pendingMigration),
+	}
+}
+
+// Stats returns a copy of the platform counters.
+func (p *Platform) Stats() Stats { return p.stats }
+
+// Host creates the agent place at node and attaches a demultiplexing handler
+// to the network: agent-platform payloads are consumed by the place, all
+// other messages flow to server (which may be nil for agent-only nodes).
+func (p *Platform) Host(node simnet.NodeID, server simnet.Handler) *Place {
+	if _, dup := p.places[node]; dup {
+		panic(fmt.Sprintf("agent: node %d already hosted", node))
+	}
+	pl := &Place{platform: p, node: node, agents: make(map[ID]*Context)}
+	p.places[node] = pl
+	p.net.Attach(node, simnet.HandlerFunc(func(msg simnet.Message) {
+		switch payload := msg.Payload.(type) {
+		case *envelope:
+			pl.receive(payload)
+		case *agentMsg:
+			pl.deliverToAgent(msg.From, payload)
+		default:
+			if server != nil {
+				server.Deliver(msg)
+			}
+		}
+	}))
+	return pl
+}
+
+// Place returns the place at node, or nil if the node is not hosted.
+func (p *Platform) Place(node simnet.NodeID) *Place { return p.places[node] }
+
+// Spawn creates and activates an agent at its home node, invoking OnArrive.
+func (p *Platform) Spawn(home simnet.NodeID, b Behavior) *Context {
+	pl := p.places[home]
+	if pl == nil {
+		panic(fmt.Sprintf("agent: spawning on unhosted node %d", home))
+	}
+	p.seq++
+	ctx := &Context{
+		platform: p,
+		behavior: b,
+		id:       ID{Home: home, Born: int64(p.sim.Now()), Seq: p.seq},
+		node:     home,
+	}
+	pl.agents[ctx.id] = ctx
+	p.stats.AgentsCreated++
+	p.cfg.Trace.Addf(int64(p.sim.Now()), int(home), ctx.id.String(), trace.AgentCreated, "")
+	b.OnArrive(ctx)
+	return ctx
+}
+
+// KillResidents disposes every agent currently at node (because the node
+// crashed) and schedules death notices to all hosted nodes. It returns the
+// IDs of the killed agents.
+func (p *Platform) KillResidents(node simnet.NodeID) []ID {
+	pl := p.places[node]
+	if pl == nil {
+		return nil
+	}
+	var killed []ID
+	for id, ctx := range pl.agents {
+		ctx.state = stateDead
+		delete(pl.agents, id)
+		killed = append(killed, id)
+		p.stats.AgentsKilled++
+		p.cfg.Trace.Addf(int64(p.sim.Now()), int(node), id.String(), trace.AgentDied, "host crashed")
+	}
+	// Agents in flight toward the crashing node will be handled by their
+	// origin's migration timeout; agents in flight *from* it already left.
+	p.announceDeaths(killed)
+	return killed
+}
+
+// announceDeaths schedules OnAgentDeath at every hosted node's registered
+// listener after the detection delay.
+func (p *Platform) announceDeaths(ids []ID) {
+	if len(ids) == 0 {
+		return
+	}
+	for _, pl := range p.places {
+		pl := pl
+		p.sim.After(p.cfg.DeathNoticeDelay, func() {
+			if pl.deaths == nil {
+				return
+			}
+			for _, id := range ids {
+				pl.deaths.OnAgentDeath(id)
+			}
+		})
+	}
+}
+
+// Place is the agent habitat on one node.
+type Place struct {
+	platform *Platform
+	node     simnet.NodeID
+	agents   map[ID]*Context
+	deaths   DeathListener
+}
+
+// Node returns the place's node ID.
+func (pl *Place) Node() simnet.NodeID { return pl.node }
+
+// SetDeathListener registers the co-located server's agent-death handler.
+func (pl *Place) SetDeathListener(l DeathListener) { pl.deaths = l }
+
+// Residents returns the IDs of the agents currently at the place.
+func (pl *Place) Residents() []ID {
+	out := make([]ID, 0, len(pl.agents))
+	for id := range pl.agents {
+		out = append(out, id)
+	}
+	return out
+}
+
+// NotifyResidents invokes OnLocalEvent(ev) on every agent currently at the
+// place. The resident set is snapshotted first, so handlers may migrate or
+// dispose agents freely.
+func (pl *Place) NotifyResidents(ev any) {
+	snapshot := make([]*Context, 0, len(pl.agents))
+	for _, ctx := range pl.agents {
+		snapshot = append(snapshot, ctx)
+	}
+	// Deterministic order: by agent ID.
+	for i := 1; i < len(snapshot); i++ {
+		for j := i; j > 0 && snapshot[j].id.Less(snapshot[j-1].id); j-- {
+			snapshot[j], snapshot[j-1] = snapshot[j-1], snapshot[j]
+		}
+	}
+	for _, ctx := range snapshot {
+		if ctx.state == stateActive && pl.agents[ctx.id] == ctx {
+			ctx.behavior.OnLocalEvent(ctx, ev)
+		}
+	}
+}
+
+// receive lands a migrating agent.
+func (pl *Place) receive(env *envelope) {
+	p := pl.platform
+	pm, ok := p.pending[env.id]
+	if !ok {
+		// The origin already timed out and re-activated the agent (or
+		// declared it dead); refuse the late arrival.
+		p.stats.MigrationsRefused++
+		return
+	}
+	delete(p.pending, env.id)
+	pm.timer.Cancel()
+	ctx := pm.ctx
+	ctx.node = pl.node
+	ctx.state = stateActive
+	pl.agents[ctx.id] = ctx
+	p.stats.MigrationsCompleted++
+	p.cfg.Trace.Addf(int64(p.sim.Now()), int(pl.node), ctx.id.String(), trace.AgentArrived, "")
+	ctx.behavior.OnArrive(ctx)
+}
+
+// deliverToAgent routes a network message to a resident agent.
+func (pl *Place) deliverToAgent(from simnet.NodeID, m *agentMsg) {
+	ctx, ok := pl.agents[m.target]
+	if !ok || ctx.state != stateActive {
+		pl.platform.stats.AgentMsgsDropped++
+		return
+	}
+	pl.platform.stats.AgentMsgsDelivered++
+	ctx.behavior.OnMessage(ctx, from, m.payload)
+}
+
+type agentState int
+
+const (
+	stateActive agentState = iota
+	stateInTransit
+	stateDisposed
+	stateDead
+)
+
+// Context is an agent's handle onto the platform. One Context accompanies
+// the agent for its whole life; Node reports its current location.
+type Context struct {
+	platform *Platform
+	behavior Behavior
+	id       ID
+	node     simnet.NodeID
+	state    agentState
+}
+
+// ID returns the agent's identifier.
+func (c *Context) ID() ID { return c.id }
+
+// Node returns the agent's current location.
+func (c *Context) Node() simnet.NodeID { return c.node }
+
+// Now returns the current virtual time.
+func (c *Context) Now() des.Time { return c.platform.sim.Now() }
+
+// Rand returns the simulation's seeded random source.
+func (c *Context) Rand() *rand.Rand { return c.platform.sim.Rand() }
+
+// After schedules fn on the simulator; the agent's own timer facility.
+// fn is not invoked if the agent has been disposed or died in the meantime.
+func (c *Context) After(d time.Duration, fn func()) *des.Event {
+	return c.platform.sim.After(d, func() {
+		if c.state == stateDisposed || c.state == stateDead {
+			return
+		}
+		fn()
+	})
+}
+
+// Cost returns the topology cost of travelling from the agent's current
+// node to another node — the routing-table information the local server
+// provides to visiting agents (paper §3.2).
+func (c *Context) Cost(to simnet.NodeID) float64 {
+	return c.platform.net.Cost(c.node, to)
+}
+
+// Alive reports whether the agent is active or migrating (not disposed).
+func (c *Context) Alive() bool { return c.state == stateActive || c.state == stateInTransit }
+
+func (c *Context) wireSize() int {
+	if s, ok := c.behavior.(WireSizer); ok {
+		return s.WireSize()
+	}
+	return DefaultAgentSize
+}
+
+// MigrateTo detaches the agent from its current place and ships it to dest.
+// On success OnArrive fires at dest after the network latency; if the
+// envelope is lost (destination down or partitioned), OnMigrateFailed fires
+// at the origin after the platform's migration timeout and the agent is
+// active at the origin again.
+func (c *Context) MigrateTo(dest simnet.NodeID) {
+	if c.state != stateActive {
+		panic(fmt.Sprintf("agent %v: MigrateTo while not active (state %d)", c.id, c.state))
+	}
+	if dest == c.node {
+		panic(fmt.Sprintf("agent %v: MigrateTo current node %d", c.id, dest))
+	}
+	p := c.platform
+	origin := c.node
+	pl := p.places[origin]
+	delete(pl.agents, c.id)
+	c.state = stateInTransit
+	p.stats.MigrationsStarted++
+	p.cfg.Trace.Addf(int64(p.sim.Now()), int(origin), c.id.String(), trace.AgentMigrate, "-> S%d", dest)
+
+	timer := p.sim.After(p.cfg.MigrationTimeout, func() {
+		pm, ok := p.pending[c.id]
+		if !ok {
+			return // landed in time
+		}
+		delete(p.pending, c.id)
+		// Re-activate at the origin. If the origin itself crashed while
+		// the agent was in transit, the agent dies instead.
+		if p.net.Down(origin) {
+			c.state = stateDead
+			p.stats.AgentsKilled++
+			p.cfg.Trace.Addf(int64(p.sim.Now()), int(origin), c.id.String(), trace.AgentDied, "origin crashed during failed migration")
+			p.announceDeaths([]ID{c.id})
+			return
+		}
+		c.node = origin
+		c.state = stateActive
+		p.places[origin].agents[c.id] = c
+		p.stats.MigrationsFailed++
+		p.cfg.Trace.Addf(int64(p.sim.Now()), int(origin), c.id.String(), trace.AgentBlocked, "dest S%d unreachable", pm.dest)
+		c.behavior.OnMigrateFailed(c, pm.dest)
+	})
+	p.pending[c.id] = &pendingMigration{ctx: c, dest: dest, timer: timer}
+	p.net.Send(simnet.Message{
+		From:    origin,
+		To:      dest,
+		Payload: &envelope{id: c.id, behavior: c.behavior},
+		Size:    c.wireSize(),
+	})
+}
+
+// Send transmits a payload to the server process at node to (paying network
+// latency). size is the modelled wire size.
+func (c *Context) Send(to simnet.NodeID, payload any, size int) {
+	if c.state != stateActive {
+		return
+	}
+	c.platform.net.Send(simnet.Message{From: c.node, To: to, Payload: payload, Size: size})
+}
+
+// SendToAgent transmits a payload to another agent believed to be at node to.
+func (c *Context) SendToAgent(to simnet.NodeID, target ID, payload any, size int) {
+	if c.state != stateActive {
+		return
+	}
+	c.platform.net.Send(simnet.Message{
+		From: c.node, To: to,
+		Payload: &agentMsg{target: target, payload: payload},
+		Size:    size,
+	})
+}
+
+// Dispose terminates the agent (paper Algorithm 1's final "dispose").
+func (c *Context) Dispose() {
+	if c.state != stateActive {
+		return
+	}
+	p := c.platform
+	delete(p.places[c.node].agents, c.id)
+	c.state = stateDisposed
+	p.stats.AgentsDisposed++
+	p.cfg.Trace.Addf(int64(p.sim.Now()), int(c.node), c.id.String(), trace.AgentDisposed, "")
+}
+
+// SendToServer lets non-agent code (a server) message another node's server
+// through the same accounting path. It exists so servers do not need their
+// own network facade.
+func (p *Platform) SendToServer(from, to simnet.NodeID, payload any, size int) {
+	p.net.Send(simnet.Message{From: from, To: to, Payload: payload, Size: size})
+}
+
+// SendToAgent lets a server reply to an agent at a (node, ID) address.
+func (p *Platform) SendToAgent(from, to simnet.NodeID, target ID, payload any, size int) {
+	p.net.Send(simnet.Message{
+		From: from, To: to,
+		Payload: &agentMsg{target: target, payload: payload},
+		Size:    size,
+	})
+}

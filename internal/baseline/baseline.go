@@ -1,0 +1,239 @@
+// Package baseline implements the conventional message-passing replication
+// protocols the paper positions MARP against (§1, §3.1):
+//
+//   - MCV: Majority Consensus Voting by message passing, after Thomas [11]
+//     and Gifford [5] — a stationary coordinator reads the data horizon
+//     from a quorum, proposes a timestamped update, collects a majority of
+//     votes (each replica votes for at most one proposal per sequence
+//     slot), then commits. Conflicting proposals are rejected and retried,
+//     exactly the optimistic behaviour of Thomas's algorithm.
+//   - AvailableCopy: the write-all/read-one protocol of Bernstein et al.
+//     [2] — an update must be accepted by every available replica.
+//   - PrimaryCopy: all updates funnel through a designated primary, which
+//     serializes them locally and propagates to the backups.
+//
+// All three run over the same simulated network and data store as MARP, so
+// latency and traffic comparisons between the approaches measure protocol
+// structure, not substrate differences. The coordinators are stationary
+// processes: every round (read, vote, commit) pays wide-area round-trip
+// latency, which is exactly the cost the paper argues mobile agents avoid.
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/simnet"
+	"repro/internal/store"
+	"repro/internal/trace"
+)
+
+// Kind selects the baseline protocol.
+type Kind int
+
+// The implemented baseline protocols.
+const (
+	MCV Kind = iota
+	AvailableCopy
+	PrimaryCopy
+)
+
+// String returns the protocol name.
+func (k Kind) String() string {
+	switch k {
+	case MCV:
+		return "mcv-mp"
+	case AvailableCopy:
+		return "available-copy"
+	case PrimaryCopy:
+		return "primary-copy"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// TxnID identifies one update transaction. The (Born, Home, Seq) order is a
+// global timestamp, used to bias conflict resolution toward older
+// transactions.
+type TxnID struct {
+	Born int64
+	Home simnet.NodeID
+	Seq  uint64
+}
+
+// IsZero reports whether the ID is unset.
+func (t TxnID) IsZero() bool { return t == TxnID{} }
+
+// Less orders transactions by age, then home, then sequence.
+func (t TxnID) Less(o TxnID) bool {
+	if t.Born != o.Born {
+		return t.Born < o.Born
+	}
+	if t.Home != o.Home {
+		return t.Home < o.Home
+	}
+	return t.Seq < o.Seq
+}
+
+// String renders the ID compactly.
+func (t TxnID) String() string { return fmt.Sprintf("T%d.%d", t.Home, t.Seq) }
+
+// Result records one completed update, mirroring core.Outcome's timing
+// fields so the harness can compare protocols uniformly.
+type Result struct {
+	Txn        TxnID
+	Home       simnet.NodeID
+	Dispatched des.Time
+	LockAt     des.Time // vote quorum achieved (the serialization point)
+	DoneAt     des.Time // commit broadcast sent
+	Retries    int
+	Failed     bool
+}
+
+// LockLatency returns the time to win the vote quorum.
+func (r Result) LockLatency() des.Time { return r.LockAt - r.Dispatched }
+
+// TotalLatency returns the time to fully process the update.
+func (r Result) TotalLatency() des.Time { return r.DoneAt - r.Dispatched }
+
+// Config assembles a baseline deployment.
+type Config struct {
+	Kind     Kind
+	N        int
+	Seed     int64
+	Topology *simnet.Topology
+	Latency  simnet.LatencyModel
+	// Primary designates the primary replica for PrimaryCopy (default 1).
+	Primary simnet.NodeID
+	// LockTimeout aborts a read or vote round that stalls (lost replies
+	// under failures) and retries after a randomized backoff. Default 5s.
+	LockTimeout time.Duration
+	// RetryBackoff is the mean randomized retry delay after a conflict.
+	// Default 50ms.
+	RetryBackoff time.Duration
+	// Trace, if non-nil, receives protocol events.
+	Trace *trace.Log
+}
+
+func (c *Config) fill() error {
+	if c.N < 1 {
+		return fmt.Errorf("baseline: config needs N >= 1, got %d", c.N)
+	}
+	if c.Topology == nil {
+		c.Topology = simnet.FullMesh(c.N)
+	}
+	if c.Topology.Len() < c.N {
+		return fmt.Errorf("baseline: topology has %d nodes, need %d", c.Topology.Len(), c.N)
+	}
+	if c.Latency == nil {
+		c.Latency = simnet.LAN()
+	}
+	if c.Primary == simnet.None {
+		c.Primary = 1
+	}
+	if int(c.Primary) > c.N {
+		return fmt.Errorf("baseline: primary %d out of range 1..%d", c.Primary, c.N)
+	}
+	if c.LockTimeout <= 0 {
+		c.LockTimeout = 5 * time.Second
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 50 * time.Millisecond
+	}
+	return nil
+}
+
+// Wire messages. Sizes model a compact binary encoding.
+
+// readReq asks a replica for its data horizon (round 1 of MCV/AC).
+type readReq struct {
+	Txn   TxnID
+	Round int
+	From  simnet.NodeID
+	Key   string
+}
+
+func (readReq) Kind() string  { return "read-req" }
+func (readReq) WireSize() int { return 64 }
+
+// readRep carries the replica's last sequence number and current value.
+type readRep struct {
+	Txn     TxnID
+	Round   int
+	From    simnet.NodeID
+	LastSeq uint64
+	Value   store.Value
+}
+
+func (readRep) Kind() string  { return "read-rep" }
+func (readRep) WireSize() int { return 96 }
+
+// voteReq proposes a concrete update for the next sequence slot (round 2).
+type voteReq struct {
+	Txn    TxnID
+	Round  int
+	From   simnet.NodeID
+	Update store.Update
+}
+
+func (voteReq) Kind() string  { return "vote-req" }
+func (voteReq) WireSize() int { return 160 }
+
+// voteRep accepts or rejects the proposal. A replica votes for at most one
+// proposal per sequence slot, so any two majorities intersect in a replica
+// that voted for only one of them.
+type voteRep struct {
+	Txn    TxnID
+	Round  int
+	From   simnet.NodeID
+	OK     bool
+	Reason string
+}
+
+func (voteRep) Kind() string  { return "vote-rep" }
+func (voteRep) WireSize() int { return 48 }
+
+// abortReq withdraws a proposal, freeing the replica's vote slot. Round is
+// the highest round being abandoned: the replica refuses any straggling
+// voteReq of that round or earlier, so a vote request that lands after its
+// coordinator gave up cannot reserve the slot for a sleeping coordinator.
+type abortReq struct {
+	Txn   TxnID
+	Round int
+	From  simnet.NodeID
+}
+
+func (abortReq) Kind() string  { return "abort" }
+func (abortReq) WireSize() int { return 48 }
+
+// commitReq finalizes a voted update at every replica.
+type commitReq struct {
+	Txn    TxnID
+	From   simnet.NodeID
+	Update store.Update
+}
+
+func (commitReq) Kind() string  { return "commit" }
+func (commitReq) WireSize() int { return 160 }
+
+// forward ships a request to the primary (PrimaryCopy only).
+type forward struct {
+	Txn  TxnID
+	From simnet.NodeID
+	Key  string
+	Val  string
+}
+
+func (forward) Kind() string  { return "forward" }
+func (forward) WireSize() int { return 96 }
+
+// done notifies the origin that the primary finished its request.
+type done struct {
+	Txn    TxnID
+	From   simnet.NodeID
+	LockAt des.Time
+}
+
+func (done) Kind() string  { return "done" }
+func (done) WireSize() int { return 48 }

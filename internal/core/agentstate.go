@@ -1,0 +1,130 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"repro/internal/agent"
+	"repro/internal/des"
+	"repro/internal/replica"
+	"repro/internal/simnet"
+)
+
+// WireState is the serializable form of an UpdateAgent's protocol state —
+// what actually crosses the wire when the agent migrates between hosts in a
+// multi-process deployment. It substantiates the repository's central
+// substitution argument (DESIGN.md): Go has no code mobility, but the MARP
+// agent never needs any — everything Algorithm 1 requires is plain data
+// (the Request List, the Un-visited Servers List, the Locking Table, the
+// Updated Agents List, counters), and all of it survives an encoding round
+// trip. Only the behaviour code stays put, identical at every host, exactly
+// as the Aglets class files were pre-installed on every Tahiti server of
+// the paper's prototype.
+type WireState struct {
+	Requests    []Request
+	USL         []simnet.NodeID
+	Unavailable []simnet.NodeID
+	Visits      int
+	Retries     int
+	Attempt     int
+	Dispatched  int64
+
+	Snapshots []replica.QueueSnapshot
+	Gone      []agent.ID
+	Visited   []VisitMark
+	Floors    []replica.QueueSnapshot
+}
+
+// VisitMark records where (and at which snapshot position) the agent
+// enqueued itself by visiting.
+type VisitMark struct {
+	Server  simnet.NodeID
+	Epoch   uint64
+	Version uint64
+}
+
+// Freeze captures the agent's migratable protocol state. The agent must be
+// quiescent (travelling or parked): claim-phase bookkeeping is deliberately
+// not serialized, matching the protocol, in which an agent never migrates
+// mid-claim.
+func (a *UpdateAgent) Freeze() WireState {
+	st := WireState{
+		Requests:   append([]Request(nil), a.reqs...),
+		USL:        append([]simnet.NodeID(nil), a.usl...),
+		Visits:     a.visits,
+		Retries:    a.retries,
+		Attempt:    a.attempt,
+		Dispatched: int64(a.dispatched),
+	}
+	for id := range a.unavailable {
+		st.Unavailable = append(st.Unavailable, id)
+	}
+	sort.Slice(st.Unavailable, func(i, j int) bool { return st.Unavailable[i] < st.Unavailable[j] })
+	for _, snap := range a.lt.snaps {
+		st.Snapshots = append(st.Snapshots, snap.Clone())
+	}
+	sort.Slice(st.Snapshots, func(i, j int) bool { return st.Snapshots[i].Server < st.Snapshots[j].Server })
+	st.Gone = a.lt.GoneList()
+	for server, mark := range a.lt.visitMark {
+		st.Visited = append(st.Visited, VisitMark{Server: server, Epoch: mark.epoch, Version: mark.version})
+	}
+	sort.Slice(st.Visited, func(i, j int) bool { return st.Visited[i].Server < st.Visited[j].Server })
+	for _, f := range a.lt.floor {
+		st.Floors = append(st.Floors, f)
+	}
+	sort.Slice(st.Floors, func(i, j int) bool { return st.Floors[i].Server < st.Floors[j].Server })
+	return st
+}
+
+// Thaw reconstructs an UpdateAgent from a frozen state at a (possibly
+// different) cluster instance — the receiving end of a cross-process
+// migration. The agent resumes in the travelling phase; its next OnArrive
+// continues Algorithm 1 where the frozen agent left off.
+func Thaw(c *Cluster, st WireState) *UpdateAgent {
+	a := &UpdateAgent{
+		c:           c,
+		reqs:        append([]Request(nil), st.Requests...),
+		lt:          NewWeightedLockTable(c.cfg.N, c.votes),
+		usl:         append([]simnet.NodeID(nil), st.USL...),
+		unavailable: make(map[simnet.NodeID]bool, len(st.Unavailable)),
+		attempts:    make(map[simnet.NodeID]int),
+		visits:      st.Visits,
+		retries:     st.Retries,
+		attempt:     st.Attempt,
+		dispatched:  des.Time(st.Dispatched),
+	}
+	for _, id := range st.Unavailable {
+		a.unavailable[id] = true
+	}
+	for _, f := range st.Floors {
+		a.lt.floor[f.Server] = f
+	}
+	for _, snap := range st.Snapshots {
+		a.lt.MergeSnapshot(snap)
+	}
+	a.lt.MarkGone(st.Gone...)
+	for _, m := range st.Visited {
+		a.lt.visitMark[m.Server] = visitMark{epoch: m.Epoch, version: m.Version}
+	}
+	return a
+}
+
+// Encode serializes the state with encoding/gob, returning the wire bytes.
+func (st WireState) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("core: encoding agent state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeWireState deserializes wire bytes produced by Encode.
+func DecodeWireState(data []byte) (WireState, error) {
+	var st WireState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return WireState{}, fmt.Errorf("core: decoding agent state: %w", err)
+	}
+	return st, nil
+}

@@ -1,0 +1,412 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/des"
+	"repro/internal/quorum"
+	"repro/internal/replica"
+	"repro/internal/simnet"
+	"repro/internal/store"
+	"repro/internal/trace"
+)
+
+// Config assembles a simulated MARP deployment.
+type Config struct {
+	// N is the number of replicated servers (IDs 1..N).
+	N int
+	// Seed drives every random choice in the simulation.
+	Seed int64
+	// Votes assigns per-server vote weights (Gifford's weighted voting).
+	// Nil gives every server one vote — the paper's majority scheme. The
+	// update permission then requires heading servers holding more than
+	// half the total votes, and UPDATE acknowledgements are weighted the
+	// same way.
+	Votes map[simnet.NodeID]int
+	// Topology supplies inter-server travel costs; defaults to a full
+	// mesh with uniform costs (the paper's LAN prototype).
+	Topology *simnet.Topology
+	// Latency is the network delay model; defaults to simnet.LAN().
+	Latency simnet.LatencyModel
+
+	// BatchMaxRequests dispatches an agent once this many requests are
+	// pending at a server (paper §3.2: "after a pre-defined number of
+	// requests have been received or periodically"). Default 1.
+	BatchMaxRequests int
+	// BatchMaxDelay dispatches a partial batch after this delay. Zero
+	// dispatches every Submit call immediately.
+	BatchMaxDelay time.Duration
+
+	// MigrationTimeout bounds how long an agent migration may take before
+	// the origin declares it failed. Must exceed the worst-case one-way
+	// latency. Default 300ms.
+	MigrationTimeout time.Duration
+	// DeathNoticeDelay is the failure-detection latency for dead agents.
+	// Default 100ms.
+	DeathNoticeDelay time.Duration
+	// ClaimTimeout bounds how long a claim waits for acknowledgements.
+	// Default 1s.
+	ClaimTimeout time.Duration
+	// RetryInterval is a parked agent's re-probe period (the paper's
+	// "next round"). Default 250ms.
+	RetryInterval time.Duration
+	// RetryBackoff is the randomized delay before re-evaluating after an
+	// aborted claim. Default 50ms.
+	RetryBackoff time.Duration
+	// MaxMigrateAttempts is how many failed migrations to one server an
+	// agent tolerates before declaring it unavailable. Default 3.
+	MaxMigrateAttempts int
+
+	// DisableInfoSharing turns off server-mediated locking-information
+	// exchange (ablation A1).
+	DisableInfoSharing bool
+	// RandomItinerary makes agents visit servers in random order instead
+	// of cheapest-first (ablation A2).
+	RandomItinerary bool
+
+	// Trace, if non-nil, records the full protocol timeline.
+	Trace *trace.Log
+}
+
+func (c *Config) fill() error {
+	if c.N < 1 {
+		return fmt.Errorf("core: config needs N >= 1, got %d", c.N)
+	}
+	if c.Topology == nil {
+		c.Topology = simnet.FullMesh(c.N)
+	}
+	if c.Topology.Len() < c.N {
+		return fmt.Errorf("core: topology has %d nodes, need %d", c.Topology.Len(), c.N)
+	}
+	if c.Latency == nil {
+		c.Latency = simnet.LAN()
+	}
+	if c.BatchMaxRequests <= 0 {
+		c.BatchMaxRequests = 1
+	}
+	if c.MigrationTimeout <= 0 {
+		c.MigrationTimeout = 300 * time.Millisecond
+	}
+	if c.DeathNoticeDelay <= 0 {
+		c.DeathNoticeDelay = 100 * time.Millisecond
+	}
+	if c.ClaimTimeout <= 0 {
+		c.ClaimTimeout = time.Second
+	}
+	if c.RetryInterval <= 0 {
+		c.RetryInterval = 250 * time.Millisecond
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 50 * time.Millisecond
+	}
+	if c.MaxMigrateAttempts <= 0 {
+		c.MaxMigrateAttempts = 3
+	}
+	return nil
+}
+
+// Cluster is a fully assembled MARP system: N mobile-agent-enabled
+// replicated servers over a simulated network, with client entry points and
+// correctness oracles. It is the package's public face; examples, tests and
+// the benchmark harness all drive one of these.
+type Cluster struct {
+	cfg      Config
+	sim      *des.Simulator
+	net      *simnet.Network
+	platform *agent.Platform
+	servers  map[simnet.NodeID]*replica.Server
+	nodes    []simnet.NodeID
+	referee  *Referee
+
+	votes       quorum.Assignment
+	batches     map[simnet.NodeID]*batch
+	active      map[agent.ID]*UpdateAgent
+	outcomes    []Outcome
+	outstanding int
+}
+
+type batch struct {
+	reqs  []Request
+	timer *des.Event
+}
+
+// NewCluster builds and wires a cluster per cfg.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	sim := des.New(cfg.Seed)
+	net := simnet.New(sim, cfg.Topology, cfg.Latency)
+	platform := agent.NewPlatform(net, agent.Config{
+		MigrationTimeout: cfg.MigrationTimeout,
+		DeathNoticeDelay: cfg.DeathNoticeDelay,
+		Trace:            cfg.Trace,
+	})
+	c := &Cluster{
+		cfg:      cfg,
+		sim:      sim,
+		net:      net,
+		platform: platform,
+		servers:  make(map[simnet.NodeID]*replica.Server),
+		batches:  make(map[simnet.NodeID]*batch),
+		active:   make(map[agent.ID]*UpdateAgent),
+	}
+	for i := 1; i <= cfg.N; i++ {
+		c.nodes = append(c.nodes, simnet.NodeID(i))
+	}
+	if cfg.Votes == nil {
+		c.votes = quorum.Equal(c.nodes)
+	} else {
+		for id := range cfg.Votes {
+			if int(id) < 1 || int(id) > cfg.N {
+				return nil, fmt.Errorf("core: vote assignment names unknown server %d", id)
+			}
+		}
+		for _, id := range c.nodes {
+			if cfg.Votes[id] <= 0 {
+				return nil, fmt.Errorf("core: server %d needs a positive vote count", id)
+			}
+		}
+		c.votes = quorum.Weighted(cfg.Votes)
+	}
+	c.referee = NewWeightedReferee(c.votes, sim.Now)
+	for _, id := range c.nodes {
+		c.servers[id] = replica.New(id, c.nodes, net, platform, store.New(), replica.Config{
+			DisableInfoSharing: cfg.DisableInfoSharing,
+			GrantObserver:      c.referee.OnGrant,
+			Trace:              cfg.Trace,
+		})
+	}
+	return c, nil
+}
+
+// Sim returns the cluster's simulator.
+func (c *Cluster) Sim() *des.Simulator { return c.sim }
+
+// Network returns the simulated network.
+func (c *Cluster) Network() *simnet.Network { return c.net }
+
+// Platform returns the agent platform.
+func (c *Cluster) Platform() *agent.Platform { return c.platform }
+
+// Server returns the replica at node id.
+func (c *Cluster) Server(id simnet.NodeID) *replica.Server { return c.servers[id] }
+
+// Nodes returns the replica IDs 1..N.
+func (c *Cluster) Nodes() []simnet.NodeID {
+	out := make([]simnet.NodeID, len(c.nodes))
+	copy(out, c.nodes)
+	return out
+}
+
+// Referee returns the Theorem 2 oracle.
+func (c *Cluster) Referee() *Referee { return c.referee }
+
+// Outcomes returns the outcomes of all finished agents so far.
+func (c *Cluster) Outcomes() []Outcome {
+	out := make([]Outcome, len(c.outcomes))
+	copy(out, c.outcomes)
+	return out
+}
+
+// Outstanding reports how many dispatched agents have not finished.
+func (c *Cluster) Outstanding() int { return c.outstanding }
+
+// Submit queues update requests at the given home server, dispatching a
+// mobile agent per the batch policy.
+func (c *Cluster) Submit(home simnet.NodeID, reqs ...Request) error {
+	if c.servers[home] == nil {
+		return fmt.Errorf("core: unknown home server %d", home)
+	}
+	if len(reqs) == 0 {
+		return fmt.Errorf("core: empty submission")
+	}
+	for _, r := range reqs {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+	}
+	c.cfg.Trace.Addf(int64(c.sim.Now()), int(home), "", trace.RequestArrived, "%d request(s)", len(reqs))
+	b := c.batches[home]
+	if b == nil {
+		b = &batch{}
+		c.batches[home] = b
+	}
+	b.reqs = append(b.reqs, reqs...)
+	switch {
+	case len(b.reqs) >= c.cfg.BatchMaxRequests || c.cfg.BatchMaxDelay == 0:
+		c.dispatch(home)
+	case b.timer == nil:
+		b.timer = c.sim.After(c.cfg.BatchMaxDelay, func() { c.dispatch(home) })
+	}
+	return nil
+}
+
+// dispatch ships the pending batch at home as one mobile agent.
+func (c *Cluster) dispatch(home simnet.NodeID) {
+	b := c.batches[home]
+	if b == nil || len(b.reqs) == 0 {
+		return
+	}
+	if b.timer != nil {
+		b.timer.Cancel()
+		b.timer = nil
+	}
+	reqs := b.reqs
+	b.reqs = nil
+	if c.net.Down(home) {
+		// The home server crashed before the batch left: the requests
+		// are lost with it, like the paper's fail-stop clients-at-server.
+		return
+	}
+	ua := newUpdateAgent(c, home, reqs)
+	c.outstanding++
+	ctx := c.platform.Spawn(home, ua)
+	if ua.phase != phaseDone {
+		c.active[ctx.ID()] = ua
+	}
+}
+
+// finish records a completed agent.
+func (c *Cluster) finish(o Outcome) {
+	c.outcomes = append(c.outcomes, o)
+	c.outstanding--
+	delete(c.active, o.Agent)
+	c.cfg.Trace.Addf(int64(c.sim.Now()), int(o.Home), o.Agent.String(), trace.RequestDone,
+		"alt=%v att=%v visits=%d", o.LockLatency().Duration(), o.TotalLatency().Duration(), o.Visits)
+}
+
+// Crash fail-stops the server at id: the network drops its traffic, its
+// volatile locking state is lost, and every agent resident there dies (death
+// notices reach the survivors after the detection delay).
+func (c *Cluster) Crash(id simnet.NodeID) {
+	if c.net.Down(id) {
+		return
+	}
+	c.net.SetDown(id, true)
+	c.servers[id].Crash()
+	for _, killed := range c.platform.KillResidents(id) {
+		if ua, ok := c.active[killed]; ok {
+			ua.phase = phaseDone
+			c.outcomes = append(c.outcomes, Outcome{
+				Agent:      killed,
+				Home:       killed.Home,
+				Requests:   len(ua.reqs),
+				Dispatched: ua.dispatched,
+				Visits:     ua.visits,
+				Retries:    ua.retries,
+				Failed:     true,
+			})
+			c.outstanding--
+			delete(c.active, killed)
+		}
+	}
+}
+
+// Recover restarts a crashed server; it rejoins the network and pulls the
+// updates it missed from its peers.
+func (c *Cluster) Recover(id simnet.NodeID) {
+	if !c.net.Down(id) {
+		return
+	}
+	c.net.SetDown(id, false)
+	c.servers[id].Recover()
+}
+
+// Read serves a read from node's local copy — the paper's fast read path.
+func (c *Cluster) Read(node simnet.NodeID, key string) (store.Value, bool) {
+	s := c.servers[node]
+	if s == nil || s.Down() {
+		return store.Value{}, false
+	}
+	return s.LocalRead(key)
+}
+
+// ReadQuorumAsync starts a consistent read coordinated by home (read quorum
+// = majority; the one-copy-serializable extension) and invokes done when a
+// majority has answered. The callback runs on the simulation loop.
+func (c *Cluster) ReadQuorumAsync(home simnet.NodeID, key string, done func(store.Value, bool)) error {
+	s := c.servers[home]
+	if s == nil {
+		return fmt.Errorf("core: unknown home server %d", home)
+	}
+	if s.Down() {
+		return fmt.Errorf("core: home server %d is down", home)
+	}
+	s.QuorumRead(key, done)
+	return nil
+}
+
+// ReadQuorum issues a consistent read and advances the simulation until it
+// resolves (or maxVirtual of virtual time passes — e.g. when a majority of
+// replicas is unreachable).
+func (c *Cluster) ReadQuorum(home simnet.NodeID, key string, maxVirtual time.Duration) (store.Value, bool, error) {
+	var (
+		val      store.Value
+		found    bool
+		resolved bool
+	)
+	if err := c.ReadQuorumAsync(home, key, func(v store.Value, ok bool) {
+		val, found, resolved = v, ok, true
+	}); err != nil {
+		return store.Value{}, false, err
+	}
+	deadline := c.sim.Now().Add(maxVirtual)
+	for !resolved {
+		if c.sim.Now() > deadline {
+			return store.Value{}, false, fmt.Errorf("core: quorum read timed out after %v", maxVirtual)
+		}
+		if !c.sim.Step() {
+			return store.Value{}, false, fmt.Errorf("core: quorum read starved (no events, majority unreachable?)")
+		}
+	}
+	return val, found, nil
+}
+
+// RunUntilDone advances the simulation until every dispatched agent has
+// finished, failing if that takes more than maxVirtual of simulated time or
+// if the event queue drains first (a protocol deadlock).
+func (c *Cluster) RunUntilDone(maxVirtual time.Duration) error {
+	deadline := c.sim.Now().Add(maxVirtual)
+	for c.outstanding > 0 {
+		if c.sim.Now() > deadline {
+			return fmt.Errorf("core: %d agents still outstanding after %v of virtual time", c.outstanding, maxVirtual)
+		}
+		if !c.sim.Step() {
+			return fmt.Errorf("core: event queue drained with %d agents outstanding (deadlock)", c.outstanding)
+		}
+	}
+	return nil
+}
+
+// Settle runs the simulation d further so in-flight commits and syncs land.
+func (c *Cluster) Settle(d time.Duration) { c.sim.RunFor(d) }
+
+// CheckConvergence verifies DESIGN.md invariants 2 and 6: every live
+// replica holds the identical committed update log (hence identical state).
+func (c *Cluster) CheckConvergence() error {
+	var ref []store.Update
+	var refNode simnet.NodeID
+	for _, id := range c.nodes {
+		s := c.servers[id]
+		if s.Down() {
+			continue
+		}
+		log := s.Store().Log()
+		if ref == nil {
+			ref, refNode = log, id
+			continue
+		}
+		if len(log) != len(ref) {
+			return fmt.Errorf("core: server %d has %d updates, server %d has %d", id, len(log), refNode, len(ref))
+		}
+		for i := range log {
+			if log[i] != ref[i] {
+				return fmt.Errorf("core: server %d log[%d] = %+v, server %d has %+v", id, i, log[i], refNode, ref[i])
+			}
+		}
+	}
+	return nil
+}

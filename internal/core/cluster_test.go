@@ -1,0 +1,392 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+func newTestCluster(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// finishRun drives the cluster to completion and checks the standing
+// invariants: no referee violations and fully converged replicas.
+func finishRun(t *testing.T, c *Cluster) {
+	t.Helper()
+	if err := c.RunUntilDone(5 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(2 * time.Second)
+	if err := c.Referee().Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckConvergence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleUpdateCommitsEverywhere(t *testing.T) {
+	c := newTestCluster(t, Config{N: 5})
+	if err := c.Submit(1, Set("x", "hello")); err != nil {
+		t.Fatal(err)
+	}
+	finishRun(t, c)
+	for _, id := range c.Nodes() {
+		v, ok := c.Read(id, "x")
+		if !ok || v.Data != "hello" {
+			t.Fatalf("server %d: read = %+v, %v", id, v, ok)
+		}
+		if v.Version.Seq != 1 {
+			t.Fatalf("server %d: seq = %d", id, v.Version.Seq)
+		}
+	}
+	outs := c.Outcomes()
+	if len(outs) != 1 || outs[0].Failed {
+		t.Fatalf("outcomes = %+v", outs)
+	}
+	if outs[0].Visits < 1 {
+		t.Fatalf("visits = %d", outs[0].Visits)
+	}
+}
+
+func TestUncontendedWinnerVisitsMajority(t *testing.T) {
+	for _, n := range []int{3, 5, 7} {
+		c := newTestCluster(t, Config{N: n})
+		if err := c.Submit(1, Set("k", "v")); err != nil {
+			t.Fatal(err)
+		}
+		finishRun(t, c)
+		o := c.Outcomes()[0]
+		majority := n/2 + 1
+		if o.Visits != majority {
+			t.Errorf("N=%d: uncontended winner visited %d servers, want exactly the majority %d", n, o.Visits, majority)
+		}
+	}
+}
+
+func TestConcurrentUpdatesSerialize(t *testing.T) {
+	const n = 5
+	c := newTestCluster(t, Config{N: n})
+	for i := 1; i <= n; i++ {
+		id := simnet.NodeID(i)
+		if err := c.Submit(id, Set("x", fmt.Sprintf("from-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	finishRun(t, c)
+	outs := c.Outcomes()
+	if len(outs) != n {
+		t.Fatalf("outcomes = %d, want %d", len(outs), n)
+	}
+	for _, o := range outs {
+		if o.Failed {
+			t.Fatalf("agent %v failed", o.Agent)
+		}
+	}
+	// All replicas saw the same 5 updates in the same order (order
+	// preservation), with gapless sequence numbers.
+	log := c.Server(1).Store().Log()
+	if len(log) != n {
+		t.Fatalf("log has %d updates, want %d", len(log), n)
+	}
+	for i, u := range log {
+		if u.Seq != uint64(i+1) {
+			t.Fatalf("log[%d].Seq = %d", i, u.Seq)
+		}
+	}
+	if c.Referee().Wins() != n {
+		t.Fatalf("referee wins = %d, want %d", c.Referee().Wins(), n)
+	}
+}
+
+func TestTheorem3VisitBounds(t *testing.T) {
+	// Under contention, with no failures, every winner obtains the lock
+	// after visiting at least (N+1)/2 and at most N servers.
+	for _, n := range []int{3, 5, 7, 9} {
+		c := newTestCluster(t, Config{N: n, Seed: int64(n)})
+		for i := 1; i <= n; i++ {
+			if err := c.Submit(simnet.NodeID(i), Set("k", fmt.Sprintf("v%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		finishRun(t, c)
+		majority := n/2 + 1
+		for _, o := range c.Outcomes() {
+			if o.ByTie {
+				continue // the bound in Theorem 3 is argued for rank-majority wins
+			}
+			if o.Visits < majority || o.Visits > n {
+				t.Errorf("N=%d: winner %v visited %d servers, want in [%d, %d]",
+					n, o.Agent, o.Visits, majority, n)
+			}
+		}
+	}
+}
+
+func TestAppendUsesMostRecentCopy(t *testing.T) {
+	const n = 5
+	c := newTestCluster(t, Config{N: n, Seed: 7})
+	for i := 1; i <= n; i++ {
+		if err := c.Submit(simnet.NodeID(i), Append("log", fmt.Sprintf("[%d]", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	finishRun(t, c)
+	v, ok := c.Read(1, "log")
+	if !ok {
+		t.Fatal("key missing")
+	}
+	// Every fragment must appear exactly once: each writer read the most
+	// recent copy, so nothing was lost or duplicated.
+	for i := 1; i <= n; i++ {
+		frag := fmt.Sprintf("[%d]", i)
+		if count := countOccurrences(v.Data, frag); count != 1 {
+			t.Fatalf("fragment %q appears %d times in %q", frag, count, v.Data)
+		}
+	}
+	if len(v.Data) != n*3 {
+		t.Fatalf("final value %q has wrong length", v.Data)
+	}
+}
+
+func countOccurrences(s, sub string) int {
+	count := 0
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			count++
+		}
+	}
+	return count
+}
+
+func TestBatchingCarriesMultipleRequests(t *testing.T) {
+	c := newTestCluster(t, Config{N: 3, BatchMaxRequests: 3, BatchMaxDelay: 50 * time.Millisecond})
+	if err := c.Submit(1, Set("a", "1"), Set("b", "2"), Set("c", "3")); err != nil {
+		t.Fatal(err)
+	}
+	finishRun(t, c)
+	outs := c.Outcomes()
+	if len(outs) != 1 {
+		t.Fatalf("outcomes = %d, want 1 (one agent for the whole batch)", len(outs))
+	}
+	if outs[0].Requests != 3 {
+		t.Fatalf("requests = %d", outs[0].Requests)
+	}
+	for _, key := range []string{"a", "b", "c"} {
+		if v, ok := c.Read(2, key); !ok || len(v.Data) != 1 {
+			t.Fatalf("read %s = %+v %v", key, v, ok)
+		}
+	}
+	if got := c.Server(1).Store().LastSeq(); got != 3 {
+		t.Fatalf("LastSeq = %d, want 3", got)
+	}
+}
+
+func TestBatchTimerFlushesPartialBatch(t *testing.T) {
+	c := newTestCluster(t, Config{N: 3, BatchMaxRequests: 10, BatchMaxDelay: 30 * time.Millisecond})
+	if err := c.Submit(1, Set("x", "v")); err != nil {
+		t.Fatal(err)
+	}
+	if c.Outstanding() != 0 {
+		t.Fatal("partial batch dispatched before timer")
+	}
+	finishRun(t, c)
+	if len(c.Outcomes()) != 1 {
+		t.Fatal("batch never flushed")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() []Outcome {
+		c := newTestCluster(t, Config{N: 5, Seed: 99})
+		for i := 1; i <= 5; i++ {
+			if err := c.Submit(simnet.NodeID(i), Set("k", fmt.Sprintf("v%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := c.RunUntilDone(time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		return c.Outcomes()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("different outcome counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("outcome %d differs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestLocalReadsAreLocal(t *testing.T) {
+	c := newTestCluster(t, Config{N: 3})
+	if _, ok := c.Read(2, "nope"); ok {
+		t.Fatal("read of missing key succeeded")
+	}
+	if err := c.Submit(1, Set("x", "v")); err != nil {
+		t.Fatal(err)
+	}
+	finishRun(t, c)
+	if v, ok := c.Read(3, "x"); !ok || v.Data != "v" {
+		t.Fatalf("read = %+v %v", v, ok)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	c := newTestCluster(t, Config{N: 3})
+	if err := c.Submit(9, Set("x", "v")); err == nil {
+		t.Fatal("unknown home accepted")
+	}
+	if err := c.Submit(1); err == nil {
+		t.Fatal("empty submission accepted")
+	}
+	if err := c.Submit(1, Request{Key: "", Op: OpSet}); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	if err := c.Submit(1, Request{Key: "x", Op: Op(99)}); err == nil {
+		t.Fatal("bad op accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewCluster(Config{N: 0}); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+	if _, err := NewCluster(Config{N: 5, Topology: simnet.FullMesh(3)}); err == nil {
+		t.Fatal("undersized topology accepted")
+	}
+}
+
+func TestHighContentionManyAgentsPerServer(t *testing.T) {
+	const n, perServer = 5, 4
+	c := newTestCluster(t, Config{N: n, Seed: 5})
+	for round := 0; round < perServer; round++ {
+		for i := 1; i <= n; i++ {
+			if err := c.Submit(simnet.NodeID(i), Set("hot", fmt.Sprintf("r%d-s%d", round, i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	finishRun(t, c)
+	if len(c.Outcomes()) != n*perServer {
+		t.Fatalf("outcomes = %d", len(c.Outcomes()))
+	}
+	if got := c.Server(3).Store().LastSeq(); got != n*perServer {
+		t.Fatalf("LastSeq = %d, want %d", got, n*perServer)
+	}
+}
+
+func TestStaggeredSubmissions(t *testing.T) {
+	c := newTestCluster(t, Config{N: 5, Seed: 13})
+	for i := 0; i < 20; i++ {
+		i := i
+		home := simnet.NodeID(i%5 + 1)
+		c.Sim().After(time.Duration(i)*7*time.Millisecond, func() {
+			_ = c.Submit(home, Set("k", fmt.Sprintf("v%d", i)))
+		})
+	}
+	c.Sim().RunFor(200 * time.Millisecond)
+	finishRun(t, c)
+	if len(c.Outcomes()) != 20 {
+		t.Fatalf("outcomes = %d", len(c.Outcomes()))
+	}
+}
+
+func TestLargeClusterStress(t *testing.T) {
+	// Scale check: 15 replicas, 60 contending agents on one key. The
+	// protocol must stay safe and live well beyond the paper's 3-5
+	// server prototype.
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	const n, perServer = 15, 4
+	c := newTestCluster(t, Config{N: n, Seed: 81})
+	for r := 0; r < perServer; r++ {
+		for i := 1; i <= n; i++ {
+			home := simnet.NodeID(i)
+			val := fmt.Sprintf("r%d-s%d", r, i)
+			delay := time.Duration(r*n+i) * 3 * time.Millisecond
+			c.Sim().After(delay, func() { _ = c.Submit(home, Set("hot", val)) })
+		}
+	}
+	c.Sim().RunFor(time.Duration(perServer*n+1) * 3 * time.Millisecond)
+	finishRun(t, c)
+	if got := int(c.Server(8).Store().LastSeq()); got != n*perServer {
+		t.Fatalf("LastSeq = %d, want %d", got, n*perServer)
+	}
+	majority := n/2 + 1
+	for _, o := range c.Outcomes() {
+		if !o.ByTie && (o.Visits < majority || o.Visits > n) {
+			t.Fatalf("visits %d outside [%d,%d]", o.Visits, majority, n)
+		}
+	}
+}
+
+func TestManyKeysInterleaved(t *testing.T) {
+	// Distinct keys still serialize through the single global lock order
+	// (the paper's LL covers the replicated data as a whole), and every
+	// key ends with its last-committed writer's value on every replica.
+	c := newTestCluster(t, Config{N: 5, Seed: 83})
+	const writers = 30
+	for i := 0; i < writers; i++ {
+		i := i
+		home := simnet.NodeID(i%5 + 1)
+		key := fmt.Sprintf("key-%d", i%6)
+		c.Sim().After(time.Duration(i)*4*time.Millisecond, func() {
+			_ = c.Submit(home, Set(key, fmt.Sprintf("w%d", i)))
+		})
+	}
+	c.Sim().RunFor(150 * time.Millisecond)
+	finishRun(t, c)
+	log := c.Server(1).Store().Log()
+	if len(log) != writers {
+		t.Fatalf("log = %d", len(log))
+	}
+	// Per-key final value identical across replicas (already implied by
+	// CheckConvergence, asserted explicitly per key here).
+	for k := 0; k < 6; k++ {
+		key := fmt.Sprintf("key-%d", k)
+		ref, ok := c.Read(1, key)
+		if !ok {
+			t.Fatalf("key %s missing", key)
+		}
+		for _, id := range c.Nodes() {
+			if v, _ := c.Read(id, key); v != ref {
+				t.Fatalf("replica %d disagrees on %s", id, key)
+			}
+		}
+	}
+}
+
+func TestSingleServerDegenerateCluster(t *testing.T) {
+	// N=1: the agent is born at the only replica, is instantly a majority
+	// of one, and commits without any network traffic.
+	c := newTestCluster(t, Config{N: 1})
+	if err := c.Submit(1, Set("x", "solo")); err != nil {
+		t.Fatal(err)
+	}
+	finishRun(t, c)
+	if v, ok := c.Read(1, "x"); !ok || v.Data != "solo" {
+		t.Fatalf("read = %+v %v", v, ok)
+	}
+	o := c.Outcomes()[0]
+	if o.Visits != 1 || o.LockLatency() != 0 {
+		t.Fatalf("outcome = %+v", o)
+	}
+	if c.Network().Stats().MessagesSent != 0 {
+		t.Fatalf("N=1 sent %d messages", c.Network().Stats().MessagesSent)
+	}
+}

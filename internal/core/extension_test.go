@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/simnet"
+)
+
+// Tests for the extensions beyond the paper's base protocol: consistent
+// quorum reads, the k-winner lookahead ranking, and behaviour under network
+// partitions (the environment the paper's §2 describes but never tests).
+
+func TestQuorumReadSeesLatestCommit(t *testing.T) {
+	c := newTestCluster(t, Config{N: 5})
+	if err := c.Submit(1, Set("x", "v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunUntilDone(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	// Do NOT settle: some replicas may not have received the commit yet,
+	// so a local read can be stale — but a quorum read cannot miss it.
+	v, found, err := c.ReadQuorum(3, "x", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found || v.Data != "v1" || v.Version.Seq != 1 {
+		t.Fatalf("quorum read = %+v %v", v, found)
+	}
+}
+
+func TestQuorumReadMissingKey(t *testing.T) {
+	c := newTestCluster(t, Config{N: 3})
+	_, found, err := c.ReadQuorum(1, "nope", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found {
+		t.Fatal("missing key found")
+	}
+}
+
+func TestQuorumReadSurvivesMinorityCrash(t *testing.T) {
+	c := newTestCluster(t, Config{N: 5})
+	if err := c.Submit(1, Set("x", "v")); err != nil {
+		t.Fatal(err)
+	}
+	finishRun(t, c)
+	c.Crash(4)
+	c.Crash(5)
+	v, found, err := c.ReadQuorum(1, "x", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found || v.Data != "v" {
+		t.Fatalf("quorum read with 2 down = %+v %v", v, found)
+	}
+}
+
+func TestQuorumReadFailsWithoutMajority(t *testing.T) {
+	c := newTestCluster(t, Config{N: 5})
+	c.Crash(3)
+	c.Crash(4)
+	c.Crash(5)
+	if _, _, err := c.ReadQuorum(1, "x", 5*time.Second); err == nil {
+		t.Fatal("quorum read succeeded with majority down")
+	}
+}
+
+func TestQuorumReadFromDownHomeFails(t *testing.T) {
+	c := newTestCluster(t, Config{N: 3})
+	c.Crash(2)
+	if _, _, err := c.ReadQuorum(2, "x", time.Second); err == nil {
+		t.Fatal("quorum read from crashed home succeeded")
+	}
+	if _, _, err := c.ReadQuorum(99, "x", time.Second); err == nil {
+		t.Fatal("quorum read from unknown home succeeded")
+	}
+}
+
+func TestQuorumReadStrongerThanLocalRead(t *testing.T) {
+	// Demonstrate the staleness gap the paper accepts: right after a
+	// commit completes, a replica outside the acknowledging majority may
+	// still serve the old value locally, while a quorum read returns the
+	// new one.
+	c := newTestCluster(t, Config{N: 5, Seed: 31})
+	if err := c.Submit(1, Set("x", "old")); err != nil {
+		t.Fatal(err)
+	}
+	finishRun(t, c)
+	if err := c.Submit(1, Set("x", "new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunUntilDone(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	stale := 0
+	for _, id := range c.Nodes() {
+		if v, _ := c.Read(id, "x"); v.Data == "old" {
+			stale++
+		}
+	}
+	v, _, err := c.ReadQuorum(5, "x", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Data != "new" {
+		t.Fatalf("quorum read returned stale %q (local stale count was %d)", v.Data, stale)
+	}
+}
+
+func TestRankingLookahead(t *testing.T) {
+	lt := NewLockTable(5)
+	a, b, c := agentID(1), agentID(2), agentID(3)
+	// Heads: a,a,a,b,b with b second everywhere and c third: a wins now;
+	// after a completes, b heads everything; then c.
+	lt.MergeSnapshot(snap(1, 1, a, b, c))
+	lt.MergeSnapshot(snap(2, 1, a, b, c))
+	lt.MergeSnapshot(snap(3, 1, a, b, c))
+	lt.MergeSnapshot(snap(4, 1, b, c, a))
+	lt.MergeSnapshot(snap(5, 1, b, a, c))
+	got := lt.Ranking(a, 3)
+	want := []agent.ID{a, b, c}
+	if len(got) != 3 {
+		t.Fatalf("ranking = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranking = %v, want %v", got, want)
+		}
+	}
+	// Ranking must not disturb the table.
+	if lt.IsGone(a) || lt.IsGone(b) {
+		t.Fatal("Ranking left gone marks behind")
+	}
+	if d := lt.Decide(a); !d.Found || d.Winner != a {
+		t.Fatalf("Decide after Ranking = %+v", d)
+	}
+}
+
+func TestRankingStopsWhenInconclusive(t *testing.T) {
+	lt := NewLockTable(5)
+	a := agentID(1)
+	lt.MergeSnapshot(snap(1, 1, a))
+	lt.MergeSnapshot(snap(2, 1, a))
+	lt.MergeSnapshot(snap(3, 1, a))
+	// a wins, but after a there is nobody left and two servers are unknown.
+	got := lt.Ranking(a, 5)
+	if len(got) != 1 || got[0] != a {
+		t.Fatalf("ranking = %v", got)
+	}
+}
+
+func TestPartitionMinorityCannotCommit(t *testing.T) {
+	c := newTestCluster(t, Config{N: 5, Seed: 33, MigrationTimeout: 20 * time.Millisecond,
+		RetryInterval: 60 * time.Millisecond, ClaimTimeout: 50 * time.Millisecond})
+	c.Network().Partition([]simnet.NodeID{1, 2}, []simnet.NodeID{3, 4, 5})
+
+	// Minority-side update: must NOT commit while partitioned.
+	if err := c.Submit(1, Set("x", "minority")); err != nil {
+		t.Fatal(err)
+	}
+	// Majority-side update: commits despite the partition.
+	if err := c.Submit(4, Set("y", "majority")); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(3 * time.Second)
+	if v, ok := c.Read(3, "y"); !ok || v.Data != "majority" {
+		t.Fatalf("majority side did not commit: %+v %v", v, ok)
+	}
+	for _, id := range c.Nodes() {
+		if v, ok := c.Read(id, "x"); ok && v.Data == "minority" {
+			t.Fatalf("minority-side update committed at %d during partition", id)
+		}
+	}
+	if err := c.Referee().Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Heal: the stranded agent eventually completes and everyone converges.
+	c.Network().Heal()
+	if err := c.RunUntilDone(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(3 * time.Second)
+	if err := c.CheckConvergence(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := c.Read(5, "x"); !ok || v.Data != "minority" {
+		t.Fatalf("minority update lost after heal: %+v %v", v, ok)
+	}
+}
+
+func TestPartitionBothSidesNoSplitBrain(t *testing.T) {
+	// Symmetric 2/3 split with writers on both sides and a shared key:
+	// only the majority side may commit while partitioned.
+	c := newTestCluster(t, Config{N: 5, Seed: 35, MigrationTimeout: 20 * time.Millisecond,
+		RetryInterval: 60 * time.Millisecond, ClaimTimeout: 50 * time.Millisecond})
+	c.Network().Partition([]simnet.NodeID{1, 2}, []simnet.NodeID{3, 4, 5})
+	for i := 0; i < 4; i++ {
+		home := simnet.NodeID(i%2 + 1) // minority side
+		_ = c.Submit(home, Set("k", fmt.Sprintf("min-%d", i)))
+		home = simnet.NodeID(i%3 + 3) // majority side
+		_ = c.Submit(home, Set("k", fmt.Sprintf("maj-%d", i)))
+	}
+	c.Settle(5 * time.Second)
+	if err := c.Referee().Err(); err != nil {
+		t.Fatal(err)
+	}
+	// The two sides must not have diverging committed logs: the minority
+	// side has committed nothing.
+	if got := c.Server(1).Store().LastSeq(); got != 0 {
+		t.Fatalf("minority server committed %d updates during partition", got)
+	}
+	if got := c.Server(3).Store().LastSeq(); got != 4 {
+		t.Fatalf("majority side committed %d of its 4 updates", got)
+	}
+	c.Network().Heal()
+	if err := c.RunUntilDone(5 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(5 * time.Second)
+	if err := c.CheckConvergence(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Server(1).Store().LastSeq(); got != 8 {
+		t.Fatalf("after heal LastSeq = %d, want 8", got)
+	}
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+func TestUpdateSucceedsWithMinorityDown(t *testing.T) {
+	c := newTestCluster(t, Config{N: 5})
+	// Two servers down: 3 of 5 remain, exactly a majority.
+	c.Crash(4)
+	c.Crash(5)
+	if err := c.Submit(1, Set("x", "v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunUntilDone(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(time.Second)
+	if err := c.Referee().Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []simnet.NodeID{1, 2, 3} {
+		if v, ok := c.Read(id, "x"); !ok || v.Data != "v" {
+			t.Fatalf("server %d: %+v %v", id, v, ok)
+		}
+	}
+	o := c.Outcomes()[0]
+	if o.Failed {
+		t.Fatal("agent failed")
+	}
+	if o.Visits > 3 {
+		t.Fatalf("visited %d servers with only 3 up", o.Visits)
+	}
+}
+
+func TestRecoveredServerCatchesUp(t *testing.T) {
+	c := newTestCluster(t, Config{N: 5})
+	c.Crash(5)
+	for i := 0; i < 3; i++ {
+		if err := c.Submit(1, Set(fmt.Sprintf("k%d", i), "v")); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.RunUntilDone(time.Minute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Recover(5)
+	c.Settle(2 * time.Second)
+	if got := c.Server(5).Store().LastSeq(); got != 3 {
+		t.Fatalf("recovered server LastSeq = %d, want 3", got)
+	}
+	if err := c.CheckConvergence(); err != nil {
+		t.Fatal(err)
+	}
+	// The recovered replica serves reads again.
+	if v, ok := c.Read(5, "k0"); !ok || v.Data != "v" {
+		t.Fatalf("read from recovered = %+v %v", v, ok)
+	}
+}
+
+func TestCommitDuringDowntimeBackfilledOnRecovery(t *testing.T) {
+	c := newTestCluster(t, Config{N: 3})
+	if err := c.Submit(1, Set("a", "1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunUntilDone(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	c.Crash(3)
+	if err := c.Submit(1, Set("b", "2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunUntilDone(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	c.Recover(3)
+	c.Settle(2 * time.Second)
+	if err := c.CheckConvergence(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := c.Read(3, "b"); !ok || v.Data != "2" {
+		t.Fatalf("read = %+v %v", v, ok)
+	}
+}
+
+func TestAgentDiesWithCrashedHost(t *testing.T) {
+	c := newTestCluster(t, Config{N: 5, Seed: 3})
+	if err := c.Submit(1, Set("x", "doomed")); err != nil {
+		t.Fatal(err)
+	}
+	// Let the agent start travelling, then crash whichever server hosts
+	// it (stepping past in-transit moments where it is nowhere).
+	var host simnet.NodeID
+	for i := 0; i < 10000 && host == simnet.None; i++ {
+		if !c.Sim().Step() {
+			break
+		}
+		for _, id := range c.Nodes() {
+			if len(c.Platform().Place(id).Residents()) > 0 {
+				host = id
+				break
+			}
+		}
+	}
+	if host == simnet.None {
+		t.Fatal("agent not found anywhere")
+	}
+	c.Crash(host)
+	c.Settle(5 * time.Second)
+	outs := c.Outcomes()
+	if len(outs) != 1 || !outs[0].Failed {
+		t.Fatalf("outcomes = %+v", outs)
+	}
+	if c.Outstanding() != 0 {
+		t.Fatal("dead agent still outstanding")
+	}
+	// The dead agent's lock entries must have been evicted everywhere.
+	for _, id := range c.Nodes() {
+		if id == host {
+			continue
+		}
+		for _, e := range c.Server(id).Queue() {
+			if e == outs[0].Agent {
+				t.Fatalf("dead agent still queued at server %d", id)
+			}
+		}
+	}
+}
+
+func TestDeadAgentDoesNotBlockOthers(t *testing.T) {
+	c := newTestCluster(t, Config{N: 5, Seed: 8})
+	if err := c.Submit(2, Set("x", "victim")); err != nil {
+		t.Fatal(err)
+	}
+	c.Sim().RunFor(500 * time.Microsecond)
+	c.Crash(2) // kill the home with its agent (likely still resident or nearby)
+	// A competing agent must still make progress.
+	if err := c.Submit(1, Set("x", "survivor")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunUntilDone(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(time.Second)
+	if err := c.Referee().Err(); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := c.Read(1, "x")
+	if !ok || v.Data != "survivor" {
+		// The victim may have won first if it escaped before the crash;
+		// accept either, but the survivor must have committed.
+		found := false
+		for _, u := range c.Server(1).Store().Log() {
+			if u.Data == "survivor" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("survivor never committed; read=%+v log=%+v", v, c.Server(1).Store().Log())
+		}
+	}
+}
+
+func TestAgentSkipsUnavailableServerAndRetriesNextRound(t *testing.T) {
+	c := newTestCluster(t, Config{N: 5, Seed: 4, MigrationTimeout: 20 * time.Millisecond,
+		RetryInterval: 100 * time.Millisecond})
+	c.Crash(3)
+	if err := c.Submit(1, Set("x", "v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunUntilDone(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	o := c.Outcomes()[0]
+	if o.Failed {
+		t.Fatal("agent failed despite available majority")
+	}
+	c.Recover(3)
+	c.Settle(2 * time.Second)
+	if err := c.CheckConvergence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContentionSurvivesCrashRecoverCycle(t *testing.T) {
+	c := newTestCluster(t, Config{N: 5, Seed: 6, MigrationTimeout: 30 * time.Millisecond})
+	for i := 1; i <= 5; i++ {
+		if err := c.Submit(simnet.NodeID(i), Set("k", fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Sim().After(2*time.Millisecond, func() { c.Crash(4) })
+	c.Sim().After(300*time.Millisecond, func() { c.Recover(4) })
+	if err := c.RunUntilDone(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(3 * time.Second)
+	if err := c.Referee().Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckConvergence(); err != nil {
+		t.Fatal(err)
+	}
+	// Count committed vs failed: every agent either committed or died on
+	// the crashed host.
+	committed := 0
+	for _, o := range c.Outcomes() {
+		if !o.Failed {
+			committed++
+		}
+	}
+	if got := int(c.Server(1).Store().LastSeq()); got != committed {
+		t.Fatalf("LastSeq = %d but %d agents committed", got, committed)
+	}
+}
+
+func TestCrashAndRecoverIdempotent(t *testing.T) {
+	c := newTestCluster(t, Config{N: 3})
+	c.Crash(2)
+	c.Crash(2) // no-op
+	c.Recover(2)
+	c.Recover(2) // no-op
+	if c.Network().Down(2) {
+		t.Fatal("server still down")
+	}
+}
+
+func TestReadFromDownServerFails(t *testing.T) {
+	c := newTestCluster(t, Config{N: 3})
+	if err := c.Submit(1, Set("x", "v")); err != nil {
+		t.Fatal(err)
+	}
+	finishRun(t, c)
+	c.Crash(2)
+	if _, ok := c.Read(2, "x"); ok {
+		t.Fatal("read served by a crashed replica")
+	}
+}

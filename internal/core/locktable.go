@@ -1,0 +1,331 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/agent"
+	"repro/internal/quorum"
+	"repro/internal/replica"
+	"repro/internal/simnet"
+)
+
+// LockTable is the mobile agent's view of the global locking state: the LT
+// of the paper (§3.2), fused with the UAL (agents known to have finished or
+// died, whose stale queue entries must be ignored) and the bookkeeping
+// needed to notice that a visited server lost the agent's entry in a crash.
+//
+// Queue snapshots about a server change only in constrained ways — entries
+// are appended at the tail and removed when their agent finishes or dies —
+// so the head computed from a stale snapshot, after filtering agents known
+// to be gone, equals the server's true current head whenever the snapshot
+// still contains at least one live entry (see DESIGN.md §6, invariant 5).
+type LockTable struct {
+	n     int
+	votes quorum.Assignment
+	snaps map[simnet.NodeID]replica.QueueSnapshot
+	gone  map[agent.ID]bool
+	// visitMark records the snapshot position (epoch, version) at which
+	// this agent last observed itself enqueued at a server by visiting it.
+	visitMark map[simnet.NodeID]visitMark
+	// floor holds distrust tombstones left by Forget: snapshots for the
+	// server are ignored unless strictly newer, so stale information from
+	// server caches cannot resurrect a view the agent already rejected.
+	floor map[simnet.NodeID]replica.QueueSnapshot
+	// rev counts effective mutations; a stable rev across retry rounds
+	// tells the agent the system is genuinely stuck, not just slow.
+	rev uint64
+}
+
+type visitMark struct {
+	epoch   uint64
+	version uint64
+}
+
+// NewLockTable returns an empty table for a system of n replicas with one
+// vote each (the paper's plain majority scheme).
+func NewLockTable(n int) *LockTable {
+	nodes := make([]simnet.NodeID, n)
+	for i := range nodes {
+		nodes[i] = simnet.NodeID(i + 1)
+	}
+	return NewWeightedLockTable(n, quorum.Equal(nodes))
+}
+
+// NewWeightedLockTable returns a table using an explicit vote assignment —
+// Gifford's weighted-voting generalization [5] of the paper's majority
+// scheme: an agent wins when the servers whose locking lists it heads hold
+// more than half the votes.
+func NewWeightedLockTable(n int, votes quorum.Assignment) *LockTable {
+	return &LockTable{
+		n:         n,
+		votes:     votes,
+		snaps:     make(map[simnet.NodeID]replica.QueueSnapshot),
+		gone:      make(map[agent.ID]bool),
+		visitMark: make(map[simnet.NodeID]visitMark),
+		floor:     make(map[simnet.NodeID]replica.QueueSnapshot),
+	}
+}
+
+// N returns the number of replicas in the system.
+func (lt *LockTable) N() int { return lt.n }
+
+// Rev returns the table's mutation revision.
+func (lt *LockTable) Rev() uint64 { return lt.rev }
+
+// MarkGone records agents known to have finished or died.
+func (lt *LockTable) MarkGone(ids ...agent.ID) {
+	for _, id := range ids {
+		if !lt.gone[id] {
+			lt.gone[id] = true
+			lt.rev++
+		}
+	}
+}
+
+// IsGone reports whether the agent is known to have finished or died.
+func (lt *LockTable) IsGone(id agent.ID) bool { return lt.gone[id] }
+
+// GoneList returns the known-gone agents in a deterministic order.
+func (lt *LockTable) GoneList() []agent.ID {
+	out := make([]agent.ID, 0, len(lt.gone))
+	for id := range lt.gone {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// MergeSnapshot absorbs a queue snapshot, keeping the freshest per server
+// and respecting any distrust tombstone left by Forget.
+func (lt *LockTable) MergeSnapshot(s replica.QueueSnapshot) {
+	if f, ok := lt.floor[s.Server]; ok && !s.Newer(f) {
+		return
+	}
+	cur, ok := lt.snaps[s.Server]
+	if !ok || s.Newer(cur) {
+		lt.snaps[s.Server] = s.Clone()
+		lt.rev++
+	}
+}
+
+// Forget drops all knowledge about a server and refuses to re-learn
+// anything not strictly newer. Agents forget servers that do not answer a
+// claim: whatever snapshot led to the claim is evidently useless, an
+// unknown head is handled more gracefully than a stale one, and without the
+// tombstone the same stale snapshot would flow right back out of a peer
+// server's information-sharing cache.
+func (lt *LockTable) Forget(server simnet.NodeID) {
+	if s, ok := lt.snaps[server]; ok {
+		lt.floor[server] = replica.QueueSnapshot{Server: server, Epoch: s.Epoch, Version: s.Version}
+		delete(lt.snaps, server)
+		lt.rev++
+	}
+}
+
+// MergeInfo absorbs everything a server handed out. If visited is true the
+// local snapshot came from this agent's own visit (it just enqueued there),
+// and the table records the visit mark used by NeedRevisit.
+func (lt *LockTable) MergeInfo(info replica.LockInfo, visited bool) {
+	lt.MergeSnapshot(info.Local)
+	lt.MarkGone(info.Gone...)
+	for _, snap := range info.Remote {
+		lt.MergeSnapshot(snap)
+	}
+	if visited {
+		lt.visitMark[info.Local.Server] = visitMark{epoch: info.Local.Epoch, version: info.Local.Version}
+	}
+}
+
+// Visited reports whether the agent has visited (enqueued at) the server.
+func (lt *LockTable) Visited(server simnet.NodeID) bool {
+	_, ok := lt.visitMark[server]
+	return ok
+}
+
+// Snapshot returns the freshest known snapshot for a server.
+func (lt *LockTable) Snapshot(server simnet.NodeID) (replica.QueueSnapshot, bool) {
+	s, ok := lt.snaps[server]
+	return s, ok
+}
+
+// Head returns the server's head of queue after filtering gone agents.
+// ok is false when the table has no information for the server or the
+// filtered queue is empty.
+func (lt *LockTable) Head(server simnet.NodeID) (agent.ID, bool) {
+	s, ok := lt.snaps[server]
+	if !ok {
+		return agent.ID{}, false
+	}
+	for _, id := range s.Queue {
+		if !lt.gone[id] {
+			return id, true
+		}
+	}
+	return agent.ID{}, false
+}
+
+// Rank returns self's 1-based position in the server's filtered queue
+// (0 if absent or unknown) — diagnostic/metrics helper.
+func (lt *LockTable) Rank(server simnet.NodeID, self agent.ID) int {
+	s, ok := lt.snaps[server]
+	if !ok {
+		return 0
+	}
+	rank := 0
+	for _, id := range s.Queue {
+		if lt.gone[id] {
+			continue
+		}
+		rank++
+		if id == self {
+			return rank
+		}
+	}
+	return 0
+}
+
+// Export returns the table's snapshots for leaving behind at a server (the
+// paper's information sharing). The server merges by version, so sharing is
+// always safe.
+func (lt *LockTable) Export() map[simnet.NodeID]replica.QueueSnapshot {
+	out := make(map[simnet.NodeID]replica.QueueSnapshot, len(lt.snaps))
+	for n, s := range lt.snaps {
+		out[n] = s.Clone()
+	}
+	return out
+}
+
+// Evidence returns the head-version claimed for every known server; servers
+// validate tie-break claims against it.
+func (lt *LockTable) Evidence() map[simnet.NodeID]uint64 {
+	out := make(map[simnet.NodeID]uint64, len(lt.snaps))
+	for n, s := range lt.snaps {
+		out[n] = s.HeadVersion
+	}
+	return out
+}
+
+// NeedRevisit returns visited servers that, according to information at
+// least as fresh as the visit, no longer hold self's queue entry — which
+// happens when the server crashed (losing its volatile LL) and recovered.
+// The agent must travel there again to re-enqueue.
+func (lt *LockTable) NeedRevisit(self agent.ID) []simnet.NodeID {
+	var out []simnet.NodeID
+	for server, mark := range lt.visitMark {
+		s, ok := lt.snaps[server]
+		if !ok {
+			continue
+		}
+		fresher := s.Epoch > mark.epoch || (s.Epoch == mark.epoch && s.Version >= mark.version)
+		if !fresher {
+			continue
+		}
+		present := false
+		for _, id := range s.Queue {
+			if id == self {
+				present = true
+				break
+			}
+		}
+		if !present {
+			out = append(out, server)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Ranking computes the next k winners the priority rule would elect in
+// sequence, simulating each winner's completion — the extension the paper
+// sketches in §3.3 ("it can be extended so that mobile agents can determine
+// not only the first mobile agent who will obtain the lock next, but also
+// the second agent, the third agent, etc."). The ranking is exact when the
+// table covers all servers and best-effort otherwise; it stops early when
+// the rule becomes inconclusive.
+func (lt *LockTable) Ranking(self agent.ID, k int) []agent.ID {
+	var out []agent.ID
+	var simulated []agent.ID
+	for len(out) < k {
+		d := lt.Decide(self)
+		if !d.Found {
+			break
+		}
+		out = append(out, d.Winner)
+		simulated = append(simulated, d.Winner)
+		lt.gone[d.Winner] = true // tentative: undone below
+	}
+	for _, id := range simulated {
+		delete(lt.gone, id)
+	}
+	return out
+}
+
+// Decision is the result of the fully distributed priority calculation.
+type Decision struct {
+	Found    bool
+	Winner   agent.ID
+	ByTie    bool
+	SelfTops int // servers where self heads the queue, per current knowledge
+	TopCount int // the winner's top count
+}
+
+// Decide runs the paper's priority rule (§3.3) over the table's knowledge:
+//
+//   - an agent heading the locking lists of a majority of the N servers has
+//     the highest priority;
+//   - otherwise, if even claiming every server whose head is unknown cannot
+//     lift any agent to a majority — the paper's S + (N − M·S) < N/2
+//     condition, generalized to partial knowledge — the tie is resolved in
+//     favor of the smallest agent identifier among the current leaders.
+//
+// A Decision with Found == false means the agent must gather more
+// information (keep travelling, or wait for locking lists to change).
+func (lt *LockTable) Decide(self agent.ID) Decision {
+	majority := lt.votes.Majority()
+	counts := make(map[agent.ID]int) // vote-weighted top counts
+	known := 0                       // votes of servers with a known head
+	for server := 1; server <= lt.n; server++ {
+		id := simnet.NodeID(server)
+		head, ok := lt.Head(id)
+		if !ok {
+			continue
+		}
+		counts[head] += lt.votes.Votes(id)
+		known += lt.votes.Votes(id)
+	}
+	d := Decision{SelfTops: counts[self]}
+	best := 0
+	for _, c := range counts {
+		if c > best {
+			best = c
+		}
+	}
+	for id, c := range counts {
+		if c >= majority {
+			d.Found = true
+			d.Winner = id
+			d.TopCount = c
+			return d
+		}
+	}
+	unclaimed := lt.votes.Total() - known
+	if best == 0 || best+unclaimed >= majority {
+		return d // someone could still reach a majority: no decision yet
+	}
+	// Tie: resolve by smallest identifier among the agents with the most
+	// top ranks.
+	var winner agent.ID
+	for id, c := range counts {
+		if c != best {
+			continue
+		}
+		if winner.IsZero() || id.Less(winner) {
+			winner = id
+		}
+	}
+	d.Found = true
+	d.Winner = winner
+	d.ByTie = true
+	d.TopCount = best
+	return d
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// TestPropertyRandomWorkloadInvariants runs randomized workloads (random
+// cluster size, submission times, homes and keys) and checks the standing
+// invariants after every run: no mutual-exclusion violation, identical
+// committed logs at every replica, gapless sequence numbers, and Theorem 3's
+// visit bounds for rank-majority winners.
+func TestPropertyRandomWorkloadInvariants(t *testing.T) {
+	f := func(seed int64, nRaw, opsRaw uint8) bool {
+		n := int(nRaw%4)*2 + 3 // 3,5,7,9
+		ops := int(opsRaw%12) + 1
+		c, err := NewCluster(Config{N: n, Seed: seed})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		rng := c.Sim().Rand()
+		keys := []string{"a", "b", "c"}
+		for i := 0; i < ops; i++ {
+			i := i
+			home := simnet.NodeID(rng.Intn(n) + 1)
+			key := keys[rng.Intn(len(keys))]
+			delay := time.Duration(rng.Intn(50)) * time.Millisecond
+			c.Sim().After(delay, func() {
+				_ = c.Submit(home, Set(key, fmt.Sprintf("v%d", i)))
+			})
+		}
+		c.Sim().RunFor(60 * time.Millisecond)
+		if err := c.RunUntilDone(5 * time.Minute); err != nil {
+			t.Log(err)
+			return false
+		}
+		c.Settle(2 * time.Second)
+		if err := c.Referee().Err(); err != nil {
+			t.Log(err)
+			return false
+		}
+		if err := c.CheckConvergence(); err != nil {
+			t.Log(err)
+			return false
+		}
+		log := c.Server(1).Store().Log()
+		if len(log) != ops {
+			t.Logf("committed %d of %d updates", len(log), ops)
+			return false
+		}
+		for i, u := range log {
+			if u.Seq != uint64(i+1) {
+				t.Logf("gap at %d: %+v", i, u)
+				return false
+			}
+		}
+		majority := n/2 + 1
+		for _, o := range c.Outcomes() {
+			if o.Failed {
+				t.Logf("agent %v failed without any crash", o.Agent)
+				return false
+			}
+			if !o.ByTie && (o.Visits < majority || o.Visits > n) {
+				t.Logf("visits %d outside [%d,%d]", o.Visits, majority, n)
+				return false
+			}
+			if o.LockAt < o.Dispatched || o.DoneAt < o.LockAt {
+				t.Logf("time travel in outcome %+v", o)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if testing.Short() {
+		cfg.MaxCount = 10
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyCrashRecoveryConvergence injects a random crash/recover cycle
+// into a random workload and checks that the system still serializes all
+// surviving updates and converges.
+func TestPropertyCrashRecoveryConvergence(t *testing.T) {
+	f := func(seed int64, victimRaw uint8) bool {
+		const n = 5
+		c, err := NewCluster(Config{N: n, Seed: seed, MigrationTimeout: 30 * time.Millisecond})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		rng := c.Sim().Rand()
+		victim := simnet.NodeID(int(victimRaw%n) + 1)
+		for i := 0; i < 6; i++ {
+			i := i
+			home := simnet.NodeID(rng.Intn(n) + 1)
+			delay := time.Duration(rng.Intn(40)) * time.Millisecond
+			c.Sim().After(delay, func() {
+				_ = c.Submit(home, Set("k", fmt.Sprintf("v%d", i)))
+			})
+		}
+		crashAt := time.Duration(rng.Intn(30)) * time.Millisecond
+		c.Sim().After(crashAt, func() { c.Crash(victim) })
+		c.Sim().After(crashAt+400*time.Millisecond, func() { c.Recover(victim) })
+		c.Sim().RunFor(500 * time.Millisecond)
+		if err := c.RunUntilDone(5 * time.Minute); err != nil {
+			t.Log(err)
+			return false
+		}
+		c.Settle(3 * time.Second)
+		if err := c.Referee().Err(); err != nil {
+			t.Log(err)
+			return false
+		}
+		if err := c.CheckConvergence(); err != nil {
+			t.Log(err)
+			return false
+		}
+		committed := 0
+		for _, o := range c.Outcomes() {
+			if !o.Failed {
+				committed++
+			}
+		}
+		return int(c.Server(1).Store().LastSeq()) == committed
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if testing.Short() {
+		cfg.MaxCount = 8
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/agent"
+	"repro/internal/des"
+	"repro/internal/quorum"
+	"repro/internal/simnet"
+)
+
+// Referee is a simulation-only oracle that checks the protocol's central
+// safety property — Theorem 2 of the paper, "there is only one highest
+// priority mobile agent in the system at any time". It observes every
+// server's exclusive grant (via replica.Config.GrantObserver) and flags a
+// violation the instant two different transactions simultaneously hold
+// grants at a majority of servers, since a validated majority of grants is
+// what constitutes the update permission in this implementation.
+//
+// The referee is pure observation: it never influences the protocol, so a
+// run with a referee behaves identically to one without.
+type Referee struct {
+	votes      quorum.Assignment
+	majority   int
+	clock      func() des.Time
+	grants     map[simnet.NodeID]agent.ID
+	counts     map[agent.ID]int
+	holder     agent.ID // txn currently at or above majority
+	wins       int
+	violations []string
+}
+
+// NewReferee returns a referee for a system of n equally-weighted replicas.
+// clock supplies the current virtual time for violation reports.
+func NewReferee(n int, clock func() des.Time) *Referee {
+	nodes := make([]simnet.NodeID, n)
+	for i := range nodes {
+		nodes[i] = simnet.NodeID(i + 1)
+	}
+	return NewWeightedReferee(quorum.Equal(nodes), clock)
+}
+
+// NewWeightedReferee returns a referee for an explicit vote assignment:
+// the exclusion invariant becomes "no two transactions simultaneously hold
+// grants worth a majority of the votes".
+func NewWeightedReferee(votes quorum.Assignment, clock func() des.Time) *Referee {
+	return &Referee{
+		votes:    votes,
+		majority: votes.Majority(),
+		clock:    clock,
+		grants:   make(map[simnet.NodeID]agent.ID),
+		counts:   make(map[agent.ID]int),
+	}
+}
+
+// OnGrant implements the grant observation hook: server's grant changed to
+// txn (zero = released).
+func (r *Referee) OnGrant(server simnet.NodeID, txn agent.ID) {
+	if prev, ok := r.grants[server]; ok && !prev.IsZero() {
+		if !txn.IsZero() && txn != prev {
+			r.violations = append(r.violations, fmt.Sprintf(
+				"grant exclusivity violated at %v: server %d reassigned %v -> %v without release",
+				r.clock(), server, prev, txn))
+		}
+		r.counts[prev] -= r.votes.Votes(server)
+		if r.counts[prev] <= 0 {
+			delete(r.counts, prev)
+		}
+	}
+	r.grants[server] = txn
+	if !txn.IsZero() {
+		r.counts[txn] += r.votes.Votes(server)
+	}
+	r.check()
+}
+
+func (r *Referee) check() {
+	var atMajority []agent.ID
+	for txn, c := range r.counts {
+		if c >= r.majority {
+			atMajority = append(atMajority, txn)
+		}
+	}
+	switch {
+	case len(atMajority) > 1:
+		r.violations = append(r.violations, fmt.Sprintf(
+			"mutual exclusion violated at %v: %d agents hold grant majorities: %v",
+			r.clock(), len(atMajority), atMajority))
+	case len(atMajority) == 1:
+		if r.holder != atMajority[0] {
+			r.holder = atMajority[0]
+			r.wins++
+		}
+	default:
+		r.holder = agent.ID{}
+	}
+}
+
+// Holder returns the transaction currently holding a grant majority (zero
+// if none).
+func (r *Referee) Holder() agent.ID { return r.holder }
+
+// Wins reports how many distinct times some transaction reached a grant
+// majority.
+func (r *Referee) Wins() int { return r.wins }
+
+// Violations returns the recorded safety violations (empty on a correct run).
+func (r *Referee) Violations() []string {
+	out := make([]string, len(r.violations))
+	copy(out, r.violations)
+	return out
+}
+
+// Err returns an error summarizing violations, or nil if none occurred.
+func (r *Referee) Err() error {
+	if len(r.violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("referee: %d violation(s), first: %s", len(r.violations), r.violations[0])
+}

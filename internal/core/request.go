@@ -1,0 +1,97 @@
+// Package core implements the paper's primary contribution: the MARP
+// (Mobile Agent enabled Replication Protocol) consistent replication
+// control protocol, written — as the paper puts it — "from the point of
+// view of the navigating mobile agents".
+//
+// The pieces map onto the paper as follows:
+//
+//   - LockTable     — the agent's LT, UAL and USL bookkeeping (§3.2)
+//   - UpdateAgent   — Algorithm 1, the mobile agent's program (§3.3)
+//   - replica.Server— Algorithm 2, the replicated server's program (§3.3)
+//   - Cluster       — assembly of N agent-enabled replicated servers over
+//     the simulated network, plus client-facing Submit/Read
+//   - Referee       — a simulation-only oracle checking Theorem 2 (mutual
+//     exclusion of the update permission) on every run
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/agent"
+	"repro/internal/des"
+	"repro/internal/simnet"
+)
+
+// Op is the kind of update a request performs.
+type Op int
+
+// Supported update operations. OpAppend exists to exercise the paper's
+// "uses the most recent copy" step: the winner must read the latest
+// committed value from its quorum before producing the new one.
+const (
+	OpSet Op = iota
+	OpAppend
+)
+
+// String returns the operation mnemonic.
+func (o Op) String() string {
+	switch o {
+	case OpSet:
+		return "set"
+	case OpAppend:
+		return "append"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Request is a single client update request, as stored in an agent's
+// Request List (RL).
+type Request struct {
+	Key string
+	Op  Op
+	Arg string
+}
+
+// Validate reports whether the request is well-formed.
+func (r Request) Validate() error {
+	if r.Key == "" {
+		return fmt.Errorf("core: request with empty key")
+	}
+	if r.Op != OpSet && r.Op != OpAppend {
+		return fmt.Errorf("core: unknown op %d", int(r.Op))
+	}
+	return nil
+}
+
+// Set returns a request that overwrites key with val.
+func Set(key, val string) Request { return Request{Key: key, Op: OpSet, Arg: val} }
+
+// Append returns a request that appends val to the latest committed value
+// of key (a read-modify-write).
+func Append(key, val string) Request { return Request{Key: key, Op: OpAppend, Arg: val} }
+
+// Outcome records what happened to one dispatched agent (one request
+// batch). The benchmark harness derives the paper's metrics from it:
+//
+//	ALT = LockAt - Dispatched     (Figure 2)
+//	ATT = DoneAt - Dispatched     (Figure 3)
+//	PRK = distribution of Visits  (Figure 4)
+type Outcome struct {
+	Agent      agent.ID
+	Home       simnet.NodeID
+	Requests   int
+	Dispatched des.Time
+	LockAt     des.Time // when the winning priority was established
+	DoneAt     des.Time // when the COMMIT broadcast was sent
+	Visits     int      // servers visited before the lock was obtained
+	ByTie      bool     // won via the identifier tie-break rule
+	Retries    int      // claims aborted before the successful one
+	Failed     bool     // the agent died (host crash) before committing
+}
+
+// LockLatency returns ALT for this outcome.
+func (o Outcome) LockLatency() des.Time { return o.LockAt - o.Dispatched }
+
+// TotalLatency returns ATT for this outcome.
+func (o Outcome) TotalLatency() des.Time { return o.DoneAt - o.Dispatched }

@@ -1,0 +1,491 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/des"
+	"repro/internal/replica"
+	"repro/internal/simnet"
+	"repro/internal/store"
+	"repro/internal/trace"
+)
+
+// agentPhase tracks where an UpdateAgent is in Algorithm 1.
+type agentPhase int
+
+const (
+	phaseTravelling agentPhase = iota // visiting servers off the USL
+	phaseParked                       // waiting for locking lists to change
+	phaseClaiming                     // UPDATE broadcast out, collecting ACKs
+	phaseDone                         // committed (or failed) and disposed
+)
+
+// UpdateAgent is the mobile agent of the paper's Algorithm 1. It carries a
+// Request List from its home server, travels the replicas enqueuing itself
+// in their Locking Lists, accumulates a LockTable, and — once the
+// fully-distributed priority calculation elects it — claims the update
+// permission, applies the most recent copy, and commits everywhere.
+type UpdateAgent struct {
+	c    *Cluster
+	reqs []Request
+	lt   *LockTable
+
+	usl         []simnet.NodeID        // unvisited servers
+	unavailable map[simnet.NodeID]bool // declared unavailable this round
+	attempts    map[simnet.NodeID]int  // consecutive failed migrations per server
+
+	phase      agentPhase
+	visits     int
+	retries    int
+	dispatched des.Time
+	claimStart des.Time
+	lockVisits int // visits at the moment the winning claim started
+
+	attempt  int // current claim attempt number
+	byTie    bool
+	acksOK   map[simnet.NodeID]*replica.AckMsg
+	acksNo   map[simnet.NodeID]bool
+	claimTmr *des.Event
+
+	retryArmed  bool   // a parked-retry timer is pending
+	parkedTicks int    // consecutive fruitless retry rounds while parked
+	lastRev     uint64 // lock-table revision at the previous retry round
+}
+
+// newUpdateAgent builds an agent for a batch of requests originating at
+// home. The USL initially contains every replica except home (which the
+// agent visits implicitly on spawn).
+func newUpdateAgent(c *Cluster, home simnet.NodeID, reqs []Request) *UpdateAgent {
+	a := &UpdateAgent{
+		c:           c,
+		reqs:        reqs,
+		lt:          NewWeightedLockTable(c.cfg.N, c.votes),
+		unavailable: make(map[simnet.NodeID]bool),
+		attempts:    make(map[simnet.NodeID]int),
+		dispatched:  c.sim.Now(),
+	}
+	for _, id := range c.nodes {
+		if id != home {
+			a.usl = append(a.usl, id)
+		}
+	}
+	return a
+}
+
+// WireSize models the agent's serialized size: it grows with the request
+// list it carries and the locking information it has accumulated — the cost
+// the paper trades against message rounds.
+func (a *UpdateAgent) WireSize() int {
+	n := 256 + 64*len(a.reqs) + 24*len(a.lt.gone)
+	for _, s := range a.lt.snaps {
+		n += 48 + 24*len(s.Queue)
+	}
+	return n
+}
+
+// OnArrive implements Algorithm 1's per-site block: request the lock, update
+// the data structures with server-provided information, and recalculate the
+// priority.
+func (a *UpdateAgent) OnArrive(ctx *agent.Context) {
+	if a.phase == phaseDone {
+		return
+	}
+	node := ctx.Node()
+	a.visits++
+	a.parkedTicks = 0
+	a.removeFromUSL(node)
+	a.attempts[node] = 0
+	srv := a.c.Server(node)
+	var shared map[simnet.NodeID]replica.QueueSnapshot
+	if !a.c.cfg.DisableInfoSharing {
+		shared = a.lt.Export()
+	}
+	info := srv.VisitAndLock(ctx.ID(), shared, a.lt.GoneList())
+	a.lt.MergeInfo(info, true)
+	a.phase = phaseTravelling
+	a.evaluate(ctx)
+}
+
+// OnMigrateFailed counts the unsuccessful attempt; after the configured
+// number of attempts the replica is declared unavailable and skipped until
+// the next retry round (paper §2).
+func (a *UpdateAgent) OnMigrateFailed(ctx *agent.Context, dest simnet.NodeID) {
+	if a.phase == phaseDone {
+		return
+	}
+	a.attempts[dest]++
+	if a.attempts[dest] >= a.c.cfg.MaxMigrateAttempts {
+		a.unavailable[dest] = true
+		a.removeFromUSL(dest)
+		a.c.cfg.Trace.Addf(int64(ctx.Now()), int(dest), ctx.ID().String(), trace.AgentBlocked,
+			"declared unavailable after %d attempts", a.attempts[dest])
+	}
+	a.phase = phaseTravelling
+	a.evaluate(ctx)
+}
+
+// OnMessage handles ACK/NACK replies to the agent's UPDATE broadcast.
+func (a *UpdateAgent) OnMessage(ctx *agent.Context, from simnet.NodeID, payload any) {
+	ack, ok := payload.(*replica.AckMsg)
+	if !ok || ack.Txn != ctx.ID() {
+		return
+	}
+	if a.phase != phaseClaiming || ack.Attempt != a.attempt {
+		// A stray OK from an already-abandoned claim leaves a grant
+		// dangling at the sender; release it. The abort is scoped to the
+		// stale attempt so it cannot touch a grant this agent has since
+		// re-acquired with a newer claim.
+		if ack.OK && a.phase != phaseDone {
+			m := &replica.AbortMsg{Txn: ctx.ID(), Attempt: ack.Attempt}
+			ctx.Send(ack.From, m, m.WireSize())
+		}
+		return
+	}
+	a.handleAck(ctx, ack)
+}
+
+// OnLocalEvent reacts to the co-located server's locking-list change
+// notifications while the agent is parked.
+func (a *UpdateAgent) OnLocalEvent(ctx *agent.Context, ev any) {
+	if _, ok := ev.(replica.LLChanged); !ok {
+		return
+	}
+	if a.phase != phaseParked {
+		return
+	}
+	a.refreshLocal(ctx)
+	a.evaluate(ctx)
+}
+
+// refreshLocal re-reads the co-located server's lock information.
+func (a *UpdateAgent) refreshLocal(ctx *agent.Context) {
+	srv := a.c.Server(ctx.Node())
+	a.lt.MergeInfo(srv.RefreshInfo(), false)
+}
+
+func (a *UpdateAgent) removeFromUSL(node simnet.NodeID) {
+	for i, id := range a.usl {
+		if id == node {
+			a.usl = append(a.usl[:i], a.usl[i+1:]...)
+			return
+		}
+	}
+}
+
+// evaluate is the heart of Algorithm 1's loop: calculate the priority from
+// the LockTable; claim if this agent wins; otherwise keep travelling while
+// the USL is non-empty, or park and wait for the locking lists to change.
+func (a *UpdateAgent) evaluate(ctx *agent.Context) {
+	if a.phase == phaseClaiming || a.phase == phaseDone {
+		return
+	}
+	d := a.lt.Decide(ctx.ID())
+	if d.Found && d.Winner == ctx.ID() {
+		a.startClaim(ctx, d)
+		return
+	}
+	// Re-enqueue at servers that lost our entry in a crash.
+	for _, node := range a.lt.NeedRevisit(ctx.ID()) {
+		if node != ctx.Node() && !a.inUSL(node) && !a.unavailable[node] {
+			a.usl = append(a.usl, node)
+		}
+	}
+	if next, ok := a.nextStop(ctx); ok {
+		a.phase = phaseTravelling
+		ctx.MigrateTo(next)
+		return
+	}
+	a.park(ctx)
+}
+
+func (a *UpdateAgent) inUSL(node simnet.NodeID) bool {
+	for _, id := range a.usl {
+		if id == node {
+			return true
+		}
+	}
+	return false
+}
+
+// nextStop picks the next server to visit: the cheapest-to-reach unvisited
+// server per the routing information (paper §3.2), or a uniformly random one
+// under the RandomItinerary ablation.
+func (a *UpdateAgent) nextStop(ctx *agent.Context) (simnet.NodeID, bool) {
+	var candidates []simnet.NodeID
+	for _, id := range a.usl {
+		if !a.unavailable[id] && id != ctx.Node() {
+			candidates = append(candidates, id)
+		}
+	}
+	if len(candidates) == 0 {
+		return simnet.None, false
+	}
+	if a.c.cfg.RandomItinerary {
+		return candidates[ctx.Rand().Intn(len(candidates))], true
+	}
+	best := candidates[0]
+	bestCost := ctx.Cost(best)
+	for _, id := range candidates[1:] {
+		if c := ctx.Cost(id); c < bestCost || (c == bestCost && id < best) {
+			best, bestCost = id, c
+		}
+	}
+	return best, true
+}
+
+// park waits at the current server for locking-list changes, with a
+// periodic retry that re-probes unavailable servers (the paper's "next
+// round of request").
+func (a *UpdateAgent) park(ctx *agent.Context) {
+	a.phase = phaseParked
+	a.c.cfg.Trace.Addf(int64(ctx.Now()), int(ctx.Node()), ctx.ID().String(), trace.AgentParked,
+		"tops=%d", a.lt.Decide(ctx.ID()).SelfTops)
+	a.armRetry(ctx)
+}
+
+// armRetry schedules (at most one) parked-retry round.
+func (a *UpdateAgent) armRetry(ctx *agent.Context) {
+	if a.retryArmed {
+		return
+	}
+	a.retryArmed = true
+	ctx.After(a.c.cfg.RetryInterval, func() {
+		a.retryArmed = false
+		if a.phase != phaseParked {
+			return
+		}
+		// Only rounds in which nothing changed anywhere count as
+		// fruitless: any lock-table mutation resets the clock.
+		a.refreshLocal(ctx)
+		if a.lt.Rev() != a.lastRev {
+			a.lastRev = a.lt.Rev()
+			a.parkedTicks = 0
+		} else {
+			a.parkedTicks++
+		}
+		// Desperation: with unreachable replicas or divergent views the
+		// paper's priority rule can stay inconclusive forever (no agent
+		// can prove a majority and the tie condition never triggers).
+		// After two genuinely stagnant rounds the agent claims anyway;
+		// the servers' grant exclusivity arbitrates safely (DESIGN.md,
+		// fortification).
+		if a.parkedTicks >= 2 {
+			a.parkedTicks = 0
+			a.startClaim(ctx, Decision{Found: true, Winner: ctx.ID(), ByTie: true})
+			return
+		}
+		// New round: forgive unavailable servers and revisit anything
+		// we are not enqueued at.
+		for id := range a.unavailable {
+			delete(a.unavailable, id)
+			a.attempts[id] = 0
+			if !a.lt.Visited(id) && !a.inUSL(id) && id != ctx.Node() {
+				a.usl = append(a.usl, id)
+			}
+		}
+		a.evaluate(ctx)
+		if a.phase == phaseParked {
+			a.armRetry(ctx)
+		}
+	})
+}
+
+// startClaim broadcasts the UPDATE message to all replicas (paper §3.1:
+// "it then broadcasts a message to all the replicas to request the update of
+// the replica") and begins collecting acknowledgements.
+func (a *UpdateAgent) startClaim(ctx *agent.Context, d Decision) {
+	a.phase = phaseClaiming
+	a.parkedTicks = 0
+	a.attempt++
+	a.byTie = d.ByTie
+	a.claimStart = ctx.Now()
+	a.lockVisits = a.visits
+	a.acksOK = make(map[simnet.NodeID]*replica.AckMsg)
+	a.acksNo = make(map[simnet.NodeID]bool)
+	if d.ByTie {
+		a.c.cfg.Trace.Addf(int64(ctx.Now()), int(ctx.Node()), ctx.ID().String(), trace.TieBreak,
+			"won tie with %d tops", d.TopCount)
+	}
+	a.c.cfg.Trace.Addf(int64(ctx.Now()), int(ctx.Node()), ctx.ID().String(), trace.ClaimStarted,
+		"attempt %d, tie=%v", a.attempt, d.ByTie)
+
+	keys := a.keys()
+	m := &replica.UpdateMsg{
+		Txn:     ctx.ID(),
+		Attempt: a.attempt,
+		Origin:  ctx.Node(),
+		Keys:    keys,
+		ByTie:   d.ByTie,
+	}
+	if d.ByTie {
+		m.Evidence = a.lt.Evidence()
+	}
+	for _, id := range a.c.nodes {
+		if id == ctx.Node() {
+			continue
+		}
+		ctx.Send(id, m, m.WireSize())
+	}
+	a.c.cfg.Trace.Addf(int64(ctx.Now()), int(ctx.Node()), ctx.ID().String(), trace.UpdateSent,
+		"%d keys", len(keys))
+	// The co-located server answers at memory speed.
+	local := a.c.Server(ctx.Node()).HandleUpdateLocal(m)
+	a.handleAck(ctx, local)
+	if a.phase != phaseClaiming {
+		return
+	}
+	a.claimTmr = ctx.After(a.c.cfg.ClaimTimeout, func() {
+		if a.phase != phaseClaiming {
+			return
+		}
+		// Servers that never answered are suspected down: whatever this
+		// agent believed about their locking lists is what led to the
+		// futile claim, so forget it and re-learn.
+		for _, id := range a.c.nodes {
+			if _, ok := a.acksOK[id]; ok {
+				continue
+			}
+			if a.acksNo[id] {
+				continue
+			}
+			a.lt.Forget(id)
+		}
+		a.abortClaim(ctx, "timeout")
+	})
+}
+
+// keys returns the distinct keys of the request list, in first-seen order.
+func (a *UpdateAgent) keys() []string {
+	seen := make(map[string]bool, len(a.reqs))
+	var out []string
+	for _, r := range a.reqs {
+		if !seen[r.Key] {
+			seen[r.Key] = true
+			out = append(out, r.Key)
+		}
+	}
+	return out
+}
+
+// handleAck folds one acknowledgement into the claim. A majority of OKs
+// wins; once a majority has become arithmetically impossible the claim is
+// withdrawn.
+func (a *UpdateAgent) handleAck(ctx *agent.Context, ack *replica.AckMsg) {
+	if ack.OK {
+		a.acksOK[ack.From] = ack
+	} else {
+		a.acksNo[ack.From] = true
+		if ack.Info != nil {
+			a.lt.MergeInfo(*ack.Info, false)
+		}
+	}
+	majority := a.c.votes.Majority()
+	okVotes, noVotes := 0, 0
+	for id := range a.acksOK {
+		okVotes += a.c.votes.Votes(id)
+	}
+	for id := range a.acksNo {
+		noVotes += a.c.votes.Votes(id)
+	}
+	if okVotes >= majority {
+		a.finishWin(ctx)
+		return
+	}
+	unanswered := a.c.votes.Total() - okVotes - noVotes
+	if okVotes+unanswered < majority {
+		a.abortClaim(ctx, "majority impossible")
+	}
+}
+
+// finishWin applies the paper's commit step: determine the most recent copy
+// from the quorum's replies, produce the updates in request order, multicast
+// COMMIT to all replicas, release the lock, and dispose.
+func (a *UpdateAgent) finishWin(ctx *agent.Context) {
+	if a.claimTmr != nil {
+		a.claimTmr.Cancel()
+	}
+	// Most recent copy per key across the acknowledging quorum.
+	latest := make(map[string]store.Value)
+	var baseSeq uint64
+	for _, ack := range a.acksOK {
+		if ack.LastSeq > baseSeq {
+			baseSeq = ack.LastSeq
+		}
+		for k, v := range ack.Values {
+			if cur, ok := latest[k]; !ok || cur.Version.Less(v.Version) {
+				latest[k] = v
+			}
+		}
+	}
+	now := int64(ctx.Now())
+	updates := make([]store.Update, 0, len(a.reqs))
+	for i, r := range a.reqs {
+		data := r.Arg
+		if r.Op == OpAppend {
+			data = latest[r.Key].Data + r.Arg
+		}
+		u := store.Update{
+			TxnID: ctx.ID().String(),
+			Key:   r.Key,
+			Data:  data,
+			Seq:   baseSeq + 1 + uint64(i),
+			Stamp: now,
+		}
+		latest[r.Key] = store.Value{Data: data, Version: store.Version{Seq: u.Seq, Stamp: now, Writer: u.TxnID}}
+		updates = append(updates, u)
+	}
+	commit := &replica.CommitMsg{Txn: ctx.ID(), Origin: ctx.Node(), Updates: updates}
+	for _, id := range a.c.nodes {
+		if id == ctx.Node() {
+			continue
+		}
+		ctx.Send(id, commit, commit.WireSize())
+	}
+	a.c.Server(ctx.Node()).HandleCommitLocal(commit)
+	a.c.cfg.Trace.Addf(int64(ctx.Now()), int(ctx.Node()), ctx.ID().String(), trace.CommitSent,
+		"seq %d..%d", baseSeq+1, baseSeq+uint64(len(updates)))
+
+	a.phase = phaseDone
+	a.c.finish(Outcome{
+		Agent:      ctx.ID(),
+		Home:       ctx.ID().Home,
+		Requests:   len(a.reqs),
+		Dispatched: a.dispatched,
+		LockAt:     a.claimStart,
+		DoneAt:     ctx.Now(),
+		Visits:     a.lockVisits,
+		ByTie:      a.byTie,
+		Retries:    a.retries,
+	})
+	ctx.Dispose()
+}
+
+// abortClaim withdraws the UPDATE claim, releasing any grants, and retries
+// after a randomized backoff (fresh NACK information usually changes the
+// next decision).
+func (a *UpdateAgent) abortClaim(ctx *agent.Context, reason string) {
+	if a.claimTmr != nil {
+		a.claimTmr.Cancel()
+	}
+	a.retries++
+	m := &replica.AbortMsg{Txn: ctx.ID(), Attempt: a.attempt}
+	for _, id := range a.c.nodes {
+		if id == ctx.Node() {
+			continue
+		}
+		ctx.Send(id, m, m.WireSize())
+	}
+	a.c.Server(ctx.Node()).HandleAbortLocal(m)
+	a.c.cfg.Trace.Addf(int64(ctx.Now()), int(ctx.Node()), ctx.ID().String(), trace.ClaimAborted,
+		"%s (attempt %d)", reason, a.attempt)
+	a.phase = phaseParked
+	backoff := a.c.cfg.RetryBackoff/2 + time.Duration(ctx.Rand().Int63n(int64(a.c.cfg.RetryBackoff)))
+	ctx.After(backoff, func() {
+		if a.phase != phaseParked {
+			return
+		}
+		a.refreshLocal(ctx)
+		a.evaluate(ctx)
+	})
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/replica"
+	"repro/internal/simnet"
+)
+
+func TestOpString(t *testing.T) {
+	if OpSet.String() != "set" || OpAppend.String() != "append" {
+		t.Fatal("op names wrong")
+	}
+	if !strings.Contains(Op(9).String(), "9") {
+		t.Fatalf("unknown op string: %q", Op(9).String())
+	}
+}
+
+func TestOutcomeLatencyHelpers(t *testing.T) {
+	o := Outcome{Dispatched: 100, LockAt: 300, DoneAt: 700}
+	if o.LockLatency() != 200 || o.TotalLatency() != 600 {
+		t.Fatalf("latencies: %v %v", o.LockLatency(), o.TotalLatency())
+	}
+}
+
+func TestAgentWireSizeGrowsWithState(t *testing.T) {
+	c := newTestCluster(t, Config{N: 5})
+	small := newUpdateAgent(c, 1, []Request{Set("k", "v")})
+	base := small.WireSize()
+	big := newUpdateAgent(c, 1, []Request{Set("a", "1"), Set("b", "2"), Set("c", "3")})
+	if big.WireSize() <= base {
+		t.Fatal("request list does not grow the agent")
+	}
+	// Accumulated locking information grows the agent too (the cost the
+	// paper trades against message rounds).
+	small.lt.MergeSnapshot(replica.QueueSnapshot{Server: 1, Version: 1,
+		Queue: []agent.ID{agentID(1), agentID(2), agentID(3)}})
+	small.lt.MarkGone(agentID(9))
+	if small.WireSize() <= base {
+		t.Fatal("locking table does not grow the agent")
+	}
+}
+
+func TestAgentIgnoresForeignMessages(t *testing.T) {
+	// An agent must ignore messages that are not acks for its own claim.
+	c := newTestCluster(t, Config{N: 3})
+	ua := newUpdateAgent(c, 1, []Request{Set("k", "v")})
+	c.outstanding++
+	ctx := c.platform.Spawn(1, ua)
+	if ua.phase != phaseDone {
+		c.active[ctx.ID()] = ua
+	}
+	// Deliver a bogus payload and a foreign ack; neither may disturb it.
+	ua.OnMessage(ctx, 2, "garbage")
+	ua.OnMessage(ctx, 2, &replica.AckMsg{Txn: agentID(99), OK: true})
+	if err := c.RunUntilDone(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Referee().Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrayGrantReleasedByLateAck(t *testing.T) {
+	// An OK ack arriving for an abandoned claim attempt must trigger an
+	// abort to the granting server so the grant cannot dangle.
+	c := newTestCluster(t, Config{N: 5, Seed: 41})
+	ua := newUpdateAgent(c, 1, []Request{Set("k", "v")})
+	c.outstanding++
+	ctx := c.platform.Spawn(1, ua)
+	c.active[ctx.ID()] = ua
+	// Simulate: the agent is parked mid-protocol and receives a stale OK
+	// ack from attempt 0 while its current attempt is different.
+	c.Server(2).VisitAndLock(ctx.ID(), nil, nil)
+	ack := c.Server(2).HandleUpdateLocal(&replica.UpdateMsg{
+		Txn: ctx.ID(), Attempt: 99, Origin: 2, Keys: []string{"k"}, ByTie: true,
+	})
+	if !ack.OK {
+		t.Fatalf("setup claim failed: %+v", ack)
+	}
+	if c.Server(2).Granted() != ctx.ID() {
+		t.Fatal("grant not installed")
+	}
+	ua.OnMessage(ctx, 2, ack) // stale attempt -> agent must send AbortMsg
+	c.Sim().RunFor(time.Second)
+	if got := c.Server(2).Granted(); got == ctx.ID() {
+		t.Fatal("stale grant never released")
+	}
+	// Let the agent finish normally so the run stays clean.
+	if err := c.RunUntilDone(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomItineraryStillCorrect(t *testing.T) {
+	c := newTestCluster(t, Config{N: 5, Seed: 43, RandomItinerary: true})
+	for i := 1; i <= 5; i++ {
+		if err := c.Submit(simnet.NodeID(i), Set("k", fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	finishRun(t, c)
+	if len(c.Outcomes()) != 5 {
+		t.Fatalf("outcomes = %d", len(c.Outcomes()))
+	}
+}
+
+func TestInfoSharingDisabledStillCorrect(t *testing.T) {
+	c := newTestCluster(t, Config{N: 5, Seed: 45, DisableInfoSharing: true})
+	for i := 1; i <= 5; i++ {
+		if err := c.Submit(simnet.NodeID(i), Set("k", fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	finishRun(t, c)
+}
+
+func TestCostOrderedItineraryIsDeterministicNearestFirst(t *testing.T) {
+	// On a ring topology the cheapest-first itinerary from node 1 visits
+	// neighbours before the far side.
+	c, err := NewCluster(Config{N: 5, Seed: 47, Topology: simnet.Ring(5),
+		Latency: simnet.Constant(time.Millisecond)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(1, Set("k", "v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunUntilDone(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	o := c.Outcomes()[0]
+	// Uncontended majority win on N=5: home + the two ring neighbours
+	// (cost 1), never the far nodes (cost 2).
+	if o.Visits != 3 {
+		t.Fatalf("visits = %d", o.Visits)
+	}
+	for _, far := range []simnet.NodeID{3, 4} {
+		for _, e := range c.Server(far).Queue() {
+			if e == o.Agent {
+				t.Fatalf("agent visited far node %d despite nearer options", far)
+			}
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/des"
+	"repro/internal/quorum"
+	"repro/internal/simnet"
+)
+
+// Weighted voting (Gifford [5]) generalizes the paper's majority scheme:
+// the update permission requires heading servers that hold more than half
+// the votes, not more than half the servers.
+
+func TestWeightedClusterValidation(t *testing.T) {
+	if _, err := NewCluster(Config{N: 3, Votes: map[simnet.NodeID]int{9: 1}}); err == nil {
+		t.Fatal("unknown server in vote map accepted")
+	}
+	if _, err := NewCluster(Config{N: 3, Votes: map[simnet.NodeID]int{1: 1, 2: 1}}); err == nil {
+		t.Fatal("server without votes accepted")
+	}
+	if _, err := NewCluster(Config{N: 3, Votes: map[simnet.NodeID]int{1: 1, 2: 1, 3: 0}}); err == nil {
+		t.Fatal("zero-vote server accepted")
+	}
+}
+
+func TestWeightedWorkloadSerializes(t *testing.T) {
+	// Server 1 holds 3 of 7 votes: heading servers {1, any-other} is a
+	// quorum (4 votes), heading {2,3,4,5} without 1 is also a quorum.
+	votes := map[simnet.NodeID]int{1: 3, 2: 1, 3: 1, 4: 1, 5: 1}
+	c := newTestCluster(t, Config{N: 5, Seed: 51, Votes: votes})
+	for i := 1; i <= 5; i++ {
+		if err := c.Submit(simnet.NodeID(i), Set("k", fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	finishRun(t, c)
+	if got := int(c.Server(1).Store().LastSeq()); got != 5 {
+		t.Fatalf("LastSeq = %d", got)
+	}
+}
+
+func TestWeightedDecideUsesVotes(t *testing.T) {
+	votes := quorum.Weighted(map[simnet.NodeID]int{1: 3, 2: 1, 3: 1})
+	lt := NewWeightedLockTable(3, votes)
+	me := agentID(1)
+	// Heading only the heavyweight server: 3 of 5 votes = majority.
+	lt.MergeSnapshot(snap(1, 1, me))
+	d := lt.Decide(me)
+	if !d.Found || d.Winner != me || d.TopCount != 3 {
+		t.Fatalf("decision = %+v", d)
+	}
+	// Heading both lightweights (2 votes of 5) is NOT a majority, and the
+	// heavyweight head is unknown — no decision yet.
+	lt2 := NewWeightedLockTable(3, votes)
+	lt2.MergeSnapshot(snap(2, 1, me))
+	lt2.MergeSnapshot(snap(3, 1, me))
+	if d := lt2.Decide(me); d.Found {
+		t.Fatalf("2/5 votes decided: %+v", d)
+	}
+	// With the heavyweight known to be headed by another agent, the tie
+	// rule applies on vote weights: other has 3, me has 2 -> other wins.
+	other := agentID(2)
+	lt2.MergeSnapshot(snap(1, 1, other))
+	d = lt2.Decide(me)
+	if !d.Found || d.Winner != other {
+		t.Fatalf("decision = %+v", d)
+	}
+}
+
+func TestWeightedHeavyweightWinsWithTwoVisits(t *testing.T) {
+	// An uncontended agent born at the heavyweight can win after visiting
+	// only the servers worth a majority of votes.
+	votes := map[simnet.NodeID]int{1: 3, 2: 1, 3: 1, 4: 1, 5: 1}
+	c := newTestCluster(t, Config{N: 5, Seed: 53, Votes: votes})
+	if err := c.Submit(1, Set("x", "v")); err != nil {
+		t.Fatal(err)
+	}
+	finishRun(t, c)
+	o := c.Outcomes()[0]
+	// Home (3 votes) + one more server (1 vote) = 4 of 7 votes.
+	if o.Visits != 2 {
+		t.Fatalf("visits = %d, want 2 (weighted quorum)", o.Visits)
+	}
+}
+
+func TestWeightedRefereeMajority(t *testing.T) {
+	votes := quorum.Weighted(map[simnet.NodeID]int{1: 3, 2: 1, 3: 1})
+	r := NewWeightedReferee(votes, func() des.Time { return 0 })
+	a := agentID(1)
+	// The heavyweight server alone is a vote majority (3 of 5).
+	r.OnGrant(1, a)
+	if r.Holder() != a {
+		t.Fatalf("holder = %v", r.Holder())
+	}
+	r.OnGrant(1, agent.ID{})
+	// Both lightweights together are not.
+	b := agentID(2)
+	r.OnGrant(2, b)
+	r.OnGrant(3, b)
+	if r.Holder() == b {
+		t.Fatal("2 of 5 votes treated as a majority")
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

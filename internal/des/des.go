@@ -1,0 +1,237 @@
+// Package des implements a deterministic discrete-event simulator.
+//
+// The simulator maintains a virtual clock and a priority queue of timed
+// events. Events scheduled for the same virtual instant fire in the order
+// they were scheduled (FIFO within a timestamp), which makes every run with
+// the same seed and the same schedule byte-for-byte reproducible. All of the
+// simulated substrates in this repository — the network, the agent platform,
+// the replicated servers — are driven by a single Simulator, so an entire
+// distributed execution is a deterministic, single-threaded function of its
+// inputs.
+//
+// Virtual time is expressed as a Time (nanoseconds since the start of the
+// simulation). Durations use the standard time.Duration so call sites read
+// naturally (sim.After(3*time.Millisecond, fn)). No wall-clock time is ever
+// consulted.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a virtual timestamp: nanoseconds since the simulation epoch.
+type Time int64
+
+// Duration converts a virtual timestamp to the duration since the epoch.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Add returns the timestamp d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between two timestamps.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// String formats the timestamp as a duration since the epoch.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Event is a scheduled callback. Events are created through Simulator.At and
+// Simulator.After and may be cancelled before they fire.
+type Event struct {
+	when     Time
+	seq      uint64 // tie-break: FIFO among equal timestamps
+	fn       func()
+	index    int // heap index, -1 once removed
+	canceled bool
+}
+
+// When reports the virtual time at which the event fires (or would have
+// fired, if cancelled).
+func (e *Event) When() Time { return e.when }
+
+// Cancel prevents the event from firing. Cancelling an event that already
+// fired or was already cancelled is a no-op. Cancel reports whether the
+// event was still pending.
+func (e *Event) Cancel() bool {
+	if e == nil || e.canceled || e.index < 0 {
+		return false
+	}
+	e.canceled = true
+	return true
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator is a deterministic discrete-event engine. It is not safe for
+// concurrent use: all event handlers run on the caller's goroutine, one at a
+// time, which is precisely what makes runs reproducible.
+type Simulator struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	steps   uint64
+	maxStep uint64 // safety valve; 0 = unlimited
+	stopped bool
+}
+
+// New returns a simulator whose random source is seeded with seed. Two
+// simulators created with the same seed and fed the same schedule produce
+// identical executions.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Rand returns the simulator's seeded random source. All randomness in a
+// simulation must come from this source to preserve determinism.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Steps reports how many events have fired so far.
+func (s *Simulator) Steps() uint64 { return s.steps }
+
+// SetMaxSteps installs a safety limit on the number of events a Run may
+// process; 0 removes the limit. Exceeding the limit panics, which turns an
+// accidental livelock in protocol code into a loud test failure instead of a
+// hung test binary.
+func (s *Simulator) SetMaxSteps(n uint64) { s.maxStep = n }
+
+// At schedules fn to run at virtual time t. Scheduling in the past (t before
+// Now) panics: a simulated component can never affect its own past.
+func (s *Simulator) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("des: scheduling event at %v before now %v", t, s.now))
+	}
+	if fn == nil {
+		panic("des: nil event function")
+	}
+	e := &Event{when: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, e)
+	return e
+}
+
+// After schedules fn to run d after the current virtual time. Negative
+// durations are clamped to zero.
+func (s *Simulator) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Pending reports the number of events waiting in the queue, including
+// cancelled events that have not been reaped yet.
+func (s *Simulator) Pending() int { return len(s.events) }
+
+// Step fires the next pending event, advancing virtual time to its
+// timestamp. It reports false when no events remain.
+func (s *Simulator) Step() bool {
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(*Event)
+		if e.canceled {
+			continue
+		}
+		if e.when < s.now {
+			panic("des: event queue yielded an event from the past")
+		}
+		s.now = e.when
+		s.steps++
+		if s.maxStep != 0 && s.steps > s.maxStep {
+			panic(fmt.Sprintf("des: exceeded max steps %d at t=%v (livelock?)", s.maxStep, s.now))
+		}
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains or Stop is called.
+func (s *Simulator) Run() {
+	s.stopped = false
+	for !s.stopped && s.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps not after t, then sets the clock to
+// t (if it is ahead of the last event). It stops early if Stop is called.
+func (s *Simulator) RunUntil(t Time) {
+	s.stopped = false
+	for !s.stopped {
+		if len(s.events) == 0 {
+			break
+		}
+		next := s.peek()
+		if next == nil {
+			break
+		}
+		if next.when > t {
+			break
+		}
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// RunFor advances the simulation by d of virtual time.
+func (s *Simulator) RunFor(d time.Duration) { s.RunUntil(s.now.Add(d)) }
+
+// Stop makes the innermost Run/RunUntil return after the current event
+// handler completes. It may be called from inside an event handler.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// NextEvent returns the timestamp of the next pending (non-cancelled)
+// event, if any — used by real-time drivers to sleep precisely.
+func (s *Simulator) NextEvent() (Time, bool) {
+	e := s.peek()
+	if e == nil {
+		return 0, false
+	}
+	return e.when, true
+}
+
+// peek returns the next non-cancelled event without firing it, reaping
+// cancelled events along the way.
+func (s *Simulator) peek() *Event {
+	for len(s.events) > 0 {
+		e := s.events[0]
+		if !e.canceled {
+			return e
+		}
+		heap.Pop(&s.events)
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+// Package failure builds and applies fault-injection schedules: fail-stop
+// crashes and recoveries of replicated servers, per the paper's system model
+// (§2: processes "fail according to the fail-stop model" and recover; the
+// Internet exhibits "frequent short transient failures but rare long
+// transient failures").
+//
+// A Schedule is plain data — a list of (time, node, kind) events — so it can
+// be inspected, stored, and replayed deterministically. Builders construct
+// common patterns: a single blip, rolling restarts, and random churn that
+// provably never takes down a majority (so the protocol's liveness
+// assumptions hold and every injected run must still drain).
+package failure
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// Kind is the type of one fault event.
+type Kind int
+
+// The fault event kinds.
+const (
+	Crash Kind = iota
+	Recover
+)
+
+// String returns the event-kind name.
+func (k Kind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Recover:
+		return "recover"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	At   time.Duration
+	Node simnet.NodeID
+	Kind Kind
+}
+
+// Schedule is an ordered fault plan.
+type Schedule []Event
+
+// Target is anything whose nodes can fail-stop and recover; core.Cluster
+// satisfies it.
+type Target interface {
+	Crash(simnet.NodeID)
+	Recover(simnet.NodeID)
+}
+
+// Scheduler defers a function to a virtual-time offset; des-based systems
+// pass their simulator's After (adapted to discard the returned event).
+type Scheduler func(d time.Duration, fn func())
+
+// Validate checks that the schedule is well-formed for a system of n nodes:
+// times non-negative, nodes in 1..n, crashes and recoveries alternating per
+// node, and never more than maxDown nodes down at once (pass maxDown =
+// (n-1)/2 to preserve the protocol's majority-liveness assumption; pass n to
+// disable the check).
+func (s Schedule) Validate(n, maxDown int) error {
+	sorted := s.Sorted()
+	down := make(map[simnet.NodeID]bool)
+	for i, e := range sorted {
+		if e.At < 0 {
+			return fmt.Errorf("failure: event %d at negative time %v", i, e.At)
+		}
+		if int(e.Node) < 1 || int(e.Node) > n {
+			return fmt.Errorf("failure: event %d names unknown node %d", i, e.Node)
+		}
+		switch e.Kind {
+		case Crash:
+			if down[e.Node] {
+				return fmt.Errorf("failure: node %d crashed twice without recovery", e.Node)
+			}
+			down[e.Node] = true
+			if len(down) > maxDown {
+				return fmt.Errorf("failure: %d nodes down at %v exceeds limit %d", len(down), e.At, maxDown)
+			}
+		case Recover:
+			if !down[e.Node] {
+				return fmt.Errorf("failure: node %d recovered while up", e.Node)
+			}
+			delete(down, e.Node)
+		default:
+			return fmt.Errorf("failure: event %d has unknown kind %d", i, int(e.Kind))
+		}
+	}
+	return nil
+}
+
+// Sorted returns a copy ordered by time (stable for equal times).
+func (s Schedule) Sorted() Schedule {
+	out := make(Schedule, len(s))
+	copy(out, s)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Span returns the time of the last event.
+func (s Schedule) Span() time.Duration {
+	var max time.Duration
+	for _, e := range s {
+		if e.At > max {
+			max = e.At
+		}
+	}
+	return max
+}
+
+// Apply schedules every event against the target.
+func (s Schedule) Apply(sched Scheduler, target Target) {
+	for _, e := range s.Sorted() {
+		e := e
+		sched(e.At, func() {
+			switch e.Kind {
+			case Crash:
+				target.Crash(e.Node)
+			case Recover:
+				target.Recover(e.Node)
+			}
+		})
+	}
+}
+
+// Blip crashes one node at `at` and recovers it downFor later — the paper's
+// "frequent short transient failure".
+func Blip(node simnet.NodeID, at, downFor time.Duration) Schedule {
+	return Schedule{
+		{At: at, Node: node, Kind: Crash},
+		{At: at + downFor, Node: node, Kind: Recover},
+	}
+}
+
+// RollingRestarts takes each of the n nodes down in turn: node i crashes at
+// start + (i-1)*interval and recovers downFor later. With interval >
+// downFor at most one node is ever down.
+func RollingRestarts(n int, start, interval, downFor time.Duration) Schedule {
+	var s Schedule
+	for i := 1; i <= n; i++ {
+		at := start + time.Duration(i-1)*interval
+		s = append(s, Blip(simnet.NodeID(i), at, downFor)...)
+	}
+	return s.Sorted()
+}
+
+// RandomChurn generates random crash/recovery cycles over [0, duration):
+// crash inter-arrivals are exponential with mean mtbf, outages exponential
+// with mean mttr, victims uniform among the currently-up nodes — but never
+// more than maxDown nodes are down at once, so a majority of an n-node
+// system stays available throughout (use maxDown = (n-1)/2).
+func RandomChurn(rng *rand.Rand, n int, duration, mtbf, mttr time.Duration, maxDown int) Schedule {
+	if maxDown < 1 || n < 1 || mtbf <= 0 || mttr <= 0 {
+		return nil
+	}
+	var s Schedule
+	upAt := make([]time.Duration, n+1) // node -> time it is next up
+	downCount := func(t time.Duration) (int, []simnet.NodeID) {
+		count := 0
+		var up []simnet.NodeID
+		for i := 1; i <= n; i++ {
+			if upAt[i] > t {
+				count++
+			} else {
+				up = append(up, simnet.NodeID(i))
+			}
+		}
+		return count, up
+	}
+	t := time.Duration(rng.ExpFloat64() * float64(mtbf))
+	for t < duration {
+		count, up := downCount(t)
+		if count < maxDown && len(up) > 0 {
+			victim := up[rng.Intn(len(up))]
+			outage := time.Duration(rng.ExpFloat64() * float64(mttr))
+			if outage <= 0 {
+				outage = time.Millisecond
+			}
+			s = append(s,
+				Event{At: t, Node: victim, Kind: Crash},
+				Event{At: t + outage, Node: victim, Kind: Recover},
+			)
+			upAt[victim] = t + outage
+		}
+		t += time.Duration(rng.ExpFloat64() * float64(mtbf))
+	}
+	return s.Sorted()
+}

@@ -1,0 +1,168 @@
+package failure
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/simnet"
+)
+
+func TestKindString(t *testing.T) {
+	if Crash.String() != "crash" || Recover.String() != "recover" {
+		t.Fatal("kind names")
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind empty")
+	}
+}
+
+func TestBlip(t *testing.T) {
+	s := Blip(3, 10*time.Millisecond, 5*time.Millisecond)
+	if err := s.Validate(5, 2); err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 2 || s[0].Kind != Crash || s[1].Kind != Recover {
+		t.Fatalf("schedule = %+v", s)
+	}
+	if s.Span() != 15*time.Millisecond {
+		t.Fatalf("span = %v", s.Span())
+	}
+}
+
+func TestRollingRestarts(t *testing.T) {
+	s := RollingRestarts(5, 0, 100*time.Millisecond, 50*time.Millisecond)
+	if err := s.Validate(5, 1); err != nil {
+		t.Fatalf("rolling restarts overlap: %v", err)
+	}
+	if len(s) != 10 {
+		t.Fatalf("events = %d", len(s))
+	}
+}
+
+func TestValidateRejectsBadSchedules(t *testing.T) {
+	cases := []Schedule{
+		{{At: -1, Node: 1, Kind: Crash}},
+		{{At: 0, Node: 9, Kind: Crash}},
+		{{At: 0, Node: 1, Kind: Recover}},
+		{{At: 0, Node: 1, Kind: Crash}, {At: 1, Node: 1, Kind: Crash}},
+		{{At: 0, Node: 1, Kind: Kind(7)}},
+		{{At: 0, Node: 1, Kind: Crash}, {At: 0, Node: 2, Kind: Crash}}, // maxDown 1
+	}
+	for i, s := range cases {
+		if err := s.Validate(5, 1); err == nil {
+			t.Fatalf("case %d validated: %+v", i, s)
+		}
+	}
+}
+
+func TestPropertyRandomChurnRespectsMaxDown(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%7) + 3 // 3..9
+		maxDown := (n - 1) / 2
+		rng := rand.New(rand.NewSource(seed))
+		s := RandomChurn(rng, n, 2*time.Second, 50*time.Millisecond, 80*time.Millisecond, maxDown)
+		return s.Validate(n, maxDown) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomChurnDegenerateInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if s := RandomChurn(rng, 5, time.Second, 50*time.Millisecond, 50*time.Millisecond, 0); s != nil {
+		t.Fatal("maxDown 0 produced events")
+	}
+	if s := RandomChurn(rng, 0, time.Second, 50*time.Millisecond, 50*time.Millisecond, 1); s != nil {
+		t.Fatal("n 0 produced events")
+	}
+}
+
+type fakeTarget struct {
+	log []string
+}
+
+func (f *fakeTarget) Crash(n simnet.NodeID)   { f.log = append(f.log, fmt.Sprintf("crash %d", n)) }
+func (f *fakeTarget) Recover(n simnet.NodeID) { f.log = append(f.log, fmt.Sprintf("recover %d", n)) }
+
+func TestApplyOrdersEvents(t *testing.T) {
+	s := Schedule{
+		{At: 20 * time.Millisecond, Node: 2, Kind: Recover},
+		{At: 10 * time.Millisecond, Node: 2, Kind: Crash},
+	}
+	var fired []func()
+	var times []time.Duration
+	sched := func(d time.Duration, fn func()) {
+		times = append(times, d)
+		fired = append(fired, fn)
+	}
+	target := &fakeTarget{}
+	s.Apply(sched, target)
+	if times[0] != 10*time.Millisecond || times[1] != 20*time.Millisecond {
+		t.Fatalf("times = %v", times)
+	}
+	for _, fn := range fired {
+		fn()
+	}
+	if target.log[0] != "crash 2" || target.log[1] != "recover 2" {
+		t.Fatalf("log = %v", target.log)
+	}
+}
+
+// Integration: a cluster survives sustained random churn — every surviving
+// update commits, mutual exclusion holds, and all replicas reconverge.
+func TestChurnAgainstCluster(t *testing.T) {
+	const n = 5
+	c, err := core.NewCluster(core.Config{N: n, Seed: 61,
+		MigrationTimeout: 25 * time.Millisecond, RetryInterval: 80 * time.Millisecond,
+		ClaimTimeout: 60 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(61))
+	churn := RandomChurn(rng, n, 1500*time.Millisecond, 150*time.Millisecond, 120*time.Millisecond, (n-1)/2)
+	if err := churn.Validate(n, (n-1)/2); err != nil {
+		t.Fatal(err)
+	}
+	churn.Apply(func(d time.Duration, fn func()) { c.Sim().After(d, fn) }, c)
+
+	for i := 0; i < 25; i++ {
+		i := i
+		home := simnet.NodeID(i%n + 1)
+		c.Sim().After(time.Duration(i)*60*time.Millisecond, func() {
+			_ = c.Submit(home, core.Set("k", fmt.Sprintf("v%d", i)))
+		})
+	}
+	c.Sim().RunFor(churn.Span() + 1600*time.Millisecond)
+	// Everything still down recovers by the end of the churn schedule by
+	// construction? Not necessarily: recover any stragglers.
+	for i := 1; i <= n; i++ {
+		c.Recover(simnet.NodeID(i))
+	}
+	if err := c.RunUntilDone(10 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(10 * time.Second)
+	if err := c.Referee().Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckConvergence(); err != nil {
+		t.Fatal(err)
+	}
+	committed := 0
+	for _, o := range c.Outcomes() {
+		if !o.Failed {
+			committed++
+		}
+	}
+	if int(c.Server(1).Store().LastSeq()) != committed {
+		t.Fatalf("LastSeq %d != committed %d", c.Server(1).Store().LastSeq(), committed)
+	}
+	if committed == 0 {
+		t.Fatal("nothing committed under churn")
+	}
+}

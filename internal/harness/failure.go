@@ -1,0 +1,118 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/metrics"
+	"repro/internal/simnet"
+	"repro/internal/workload"
+)
+
+// newRand returns a seeded random source for harness-level choices (kept
+// separate from the simulation's own source so sweeps stay reproducible).
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// FailureResult extends RunResult with failure-experiment bookkeeping.
+type FailureResult struct {
+	RunResult
+	Crashes       int
+	AgentsKilled  int
+	ConvergedOK   bool
+	CommittedSeqs uint64
+}
+
+// FailureInjection runs the A4 experiment: a workload with periodic server
+// crash/recovery cycles (the paper's transient-failure environment, §2).
+// It reports completion and convergence under churn.
+func FailureInjection(o FigureOptions) (*metrics.Table, []FailureResult, error) {
+	o.fill()
+	tbl := &metrics.Table{
+		Title:   "Ablation A4: transient server failures during the workload",
+		Note:    "one crash/recovery cycle per listed server; agents on a crashing host die",
+		Columns: []string{"crashed servers", "committed", "failed", "mean ATT (ms)", "converged"},
+	}
+	var all []FailureResult
+	for _, crashes := range []int{0, 1, 2} {
+		res, err := runWithFailures(o, crashes)
+		if err != nil {
+			return nil, nil, err
+		}
+		all = append(all, res)
+		tbl.AddRow(fmt.Sprintf("%d", crashes),
+			fmt.Sprintf("%d", res.Summary.Count-res.Summary.Failures),
+			fmt.Sprintf("%d", res.Summary.Failures),
+			metrics.Ms(res.Summary.MeanATT),
+			fmt.Sprintf("%v", res.ConvergedOK))
+	}
+	return tbl, all, nil
+}
+
+func runWithFailures(o FigureOptions, crashes int) (FailureResult, error) {
+	const n = 5
+	cl, err := core.NewCluster(core.Config{
+		N: n, Seed: o.Seed,
+		MigrationTimeout: 30 * time.Millisecond,
+	})
+	if err != nil {
+		return FailureResult{}, err
+	}
+	events, err := workload.Generate(workload.Spec{
+		Servers:           n,
+		RequestsPerServer: o.RequestsPerServer,
+		MeanInterarrival:  30 * time.Millisecond,
+		Seed:              o.Seed + 1000,
+	})
+	if err != nil {
+		return FailureResult{}, err
+	}
+	for _, ev := range events {
+		ev := ev
+		cl.Sim().After(ev.At, func() { _ = cl.Submit(ev.Home, core.Set(ev.Key, ev.Value)) })
+	}
+	span := workload.Span(events)
+	var sched failure.Schedule
+	for i := 0; i < crashes; i++ {
+		victim := simnet.NodeID(i + 2) // never crash server 1, varies per i
+		at := span * time.Duration(i+1) / time.Duration(crashes+1)
+		sched = append(sched, failure.Blip(victim, at, span/4+200*time.Millisecond)...)
+	}
+	if err := sched.Validate(n, (n-1)/2); err != nil {
+		return FailureResult{}, err
+	}
+	sched.Apply(func(d time.Duration, fn func()) { cl.Sim().After(d, fn) }, cl)
+	cl.Sim().RunFor(span + time.Millisecond)
+	if err := cl.RunUntilDone(30 * time.Minute); err != nil {
+		return FailureResult{}, err
+	}
+	cl.Settle(10 * time.Second)
+	if err := cl.Referee().Err(); err != nil {
+		return FailureResult{}, err
+	}
+	converged := cl.CheckConvergence() == nil
+	var samples []metrics.Sample
+	for _, out := range cl.Outcomes() {
+		samples = append(samples, metrics.Sample{
+			ALT:    out.LockLatency().Duration(),
+			ATT:    out.TotalLatency().Duration(),
+			Visits: out.Visits,
+			ByTie:  out.ByTie,
+			Failed: out.Failed,
+		})
+	}
+	return FailureResult{
+		RunResult: RunResult{
+			Config:  RunConfig{Protocol: MARP, N: n, Seed: o.Seed},
+			Summary: metrics.Summarize(samples),
+			Net:     cl.Network().Stats(),
+			Agents:  cl.Platform().Stats(),
+		},
+		Crashes:       crashes,
+		AgentsKilled:  cl.Platform().Stats().AgentsKilled,
+		ConvergedOK:   converged,
+		CommittedSeqs: cl.Server(1).Store().LastSeq(),
+	}, nil
+}

@@ -1,0 +1,150 @@
+// Package metrics aggregates per-request measurements into the statistics
+// the paper reports: ALT (average time to obtain the lock), ATT (average
+// total time to process an update), and PRK (the fraction of requests whose
+// lock was obtained after visiting K servers) — plus percentiles and
+// traffic counters the paper's prose discusses qualitatively.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Sample is one completed update request, protocol-agnostic: MARP outcomes
+// and baseline results both convert into it.
+type Sample struct {
+	ALT     time.Duration // time to obtain the lock / serialization point
+	ATT     time.Duration // total processing time
+	Visits  int           // servers visited to obtain the lock (0 for baselines)
+	ByTie   bool
+	Retries int
+	Failed  bool
+}
+
+// Summary aggregates samples.
+type Summary struct {
+	Count    int
+	Failures int
+
+	MeanALT time.Duration
+	P50ALT  time.Duration
+	P95ALT  time.Duration
+	MaxALT  time.Duration
+
+	MeanATT time.Duration
+	P50ATT  time.Duration
+	P95ATT  time.Duration
+	MaxATT  time.Duration
+
+	// VisitDist[k] is the number of successful requests whose lock was
+	// obtained after visiting exactly k servers.
+	VisitDist map[int]int
+	TieCount  int
+	Retries   int
+}
+
+// Summarize computes a Summary over the samples. Failed samples count in
+// Count/Failures but contribute no latency or visit statistics.
+func Summarize(samples []Sample) Summary {
+	s := Summary{VisitDist: make(map[int]int)}
+	var alts, atts []time.Duration
+	for _, x := range samples {
+		s.Count++
+		if x.Failed {
+			s.Failures++
+			continue
+		}
+		alts = append(alts, x.ALT)
+		atts = append(atts, x.ATT)
+		s.VisitDist[x.Visits]++
+		if x.ByTie {
+			s.TieCount++
+		}
+		s.Retries += x.Retries
+	}
+	s.MeanALT = mean(alts)
+	s.MeanATT = mean(atts)
+	s.P50ALT = Percentile(alts, 50)
+	s.P95ALT = Percentile(alts, 95)
+	s.MaxALT = maxOf(alts)
+	s.P50ATT = Percentile(atts, 50)
+	s.P95ATT = Percentile(atts, 95)
+	s.MaxATT = maxOf(atts)
+	return s
+}
+
+// PRK returns the percentage of successful requests whose lock was obtained
+// by visiting exactly k servers — the paper's Figure 4 metric.
+func (s Summary) PRK(k int) float64 {
+	ok := s.Count - s.Failures
+	if ok == 0 {
+		return 0
+	}
+	return 100 * float64(s.VisitDist[k]) / float64(ok)
+}
+
+// MeanVisits returns the average number of servers visited per successful
+// request.
+func (s Summary) MeanVisits() float64 {
+	total, n := 0, 0
+	for k, c := range s.VisitDist {
+		total += k * c
+		n += c
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(total) / float64(n)
+}
+
+func mean(xs []time.Duration) time.Duration {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / time.Duration(len(xs))
+}
+
+func maxOf(xs []time.Duration) time.Duration {
+	var m time.Duration
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (nearest-rank) of xs.
+func Percentile(xs []time.Duration, p float64) time.Duration {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(xs))
+	copy(sorted, xs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// Ms formats a duration as milliseconds with two decimals, the unit of the
+// paper's figures.
+func Ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d)/float64(time.Millisecond))
+}

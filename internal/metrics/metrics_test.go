@@ -1,0 +1,154 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestSummarizeBasics(t *testing.T) {
+	samples := []Sample{
+		{ALT: ms(10), ATT: ms(20), Visits: 3},
+		{ALT: ms(20), ATT: ms(40), Visits: 3, ByTie: true},
+		{ALT: ms(30), ATT: ms(60), Visits: 5, Retries: 2},
+	}
+	s := Summarize(samples)
+	if s.Count != 3 || s.Failures != 0 {
+		t.Fatalf("count=%d fail=%d", s.Count, s.Failures)
+	}
+	if s.MeanALT != ms(20) || s.MeanATT != ms(40) {
+		t.Fatalf("means: %v %v", s.MeanALT, s.MeanATT)
+	}
+	if s.MaxALT != ms(30) || s.MaxATT != ms(60) {
+		t.Fatalf("max: %v %v", s.MaxALT, s.MaxATT)
+	}
+	if s.VisitDist[3] != 2 || s.VisitDist[5] != 1 {
+		t.Fatalf("visits: %v", s.VisitDist)
+	}
+	if s.TieCount != 1 || s.Retries != 2 {
+		t.Fatalf("ties=%d retries=%d", s.TieCount, s.Retries)
+	}
+}
+
+func TestSummarizeSkipsFailed(t *testing.T) {
+	samples := []Sample{
+		{ALT: ms(10), ATT: ms(20), Visits: 3},
+		{Failed: true},
+	}
+	s := Summarize(samples)
+	if s.Count != 2 || s.Failures != 1 {
+		t.Fatalf("count=%d fail=%d", s.Count, s.Failures)
+	}
+	if s.MeanALT != ms(10) {
+		t.Fatalf("failed sample polluted mean: %v", s.MeanALT)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 || s.MeanALT != 0 || s.PRK(3) != 0 || s.MeanVisits() != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+}
+
+func TestPRK(t *testing.T) {
+	samples := []Sample{
+		{Visits: 3}, {Visits: 3}, {Visits: 4}, {Visits: 5},
+	}
+	s := Summarize(samples)
+	if got := s.PRK(3); got != 50 {
+		t.Fatalf("PRK(3) = %v", got)
+	}
+	if got := s.PRK(4); got != 25 {
+		t.Fatalf("PRK(4) = %v", got)
+	}
+	if got := s.PRK(9); got != 0 {
+		t.Fatalf("PRK(9) = %v", got)
+	}
+	if mv := s.MeanVisits(); mv != 3.75 {
+		t.Fatalf("MeanVisits = %v", mv)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []time.Duration{ms(1), ms(2), ms(3), ms(4), ms(5), ms(6), ms(7), ms(8), ms(9), ms(10)}
+	if p := Percentile(xs, 50); p != ms(5) {
+		t.Fatalf("P50 = %v", p)
+	}
+	if p := Percentile(xs, 95); p != ms(9) && p != ms(10) {
+		t.Fatalf("P95 = %v", p)
+	}
+	if p := Percentile(xs, 0); p != ms(1) {
+		t.Fatalf("P0 = %v", p)
+	}
+	if p := Percentile(xs, 100); p != ms(10) {
+		t.Fatalf("P100 = %v", p)
+	}
+	if p := Percentile(nil, 50); p != 0 {
+		t.Fatalf("P50(nil) = %v", p)
+	}
+	// Percentile must not mutate its input.
+	unsorted := []time.Duration{ms(3), ms(1), ms(2)}
+	Percentile(unsorted, 50)
+	if unsorted[0] != ms(3) {
+		t.Fatal("Percentile sorted its input in place")
+	}
+}
+
+func TestMsFormat(t *testing.T) {
+	if got := Ms(1500 * time.Microsecond); got != "1.50" {
+		t.Fatalf("Ms = %q", got)
+	}
+	if got := Ms(0); got != "0.00" {
+		t.Fatalf("Ms(0) = %q", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		Title:   "Figure 2: ALT",
+		Note:    "milliseconds",
+		Columns: []string{"mean-arrival", "3 servers", "5 servers"},
+	}
+	tbl.AddRow("10ms", "1.23", "4.56")
+	tbl.AddRow("100ms", "0.98", "2.10")
+	out := tbl.String()
+	for _, want := range []string{"Figure 2: ALT", "milliseconds", "mean-arrival", "3 servers", "4.56", "100ms"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, note, header, separator, two rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+}
+
+// Property: mean lies between min and max for any sample set.
+func TestPropertyMeanBounded(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var samples []Sample
+		min, max := time.Duration(1<<62), time.Duration(0)
+		for _, r := range raw {
+			d := time.Duration(r) * time.Microsecond
+			samples = append(samples, Sample{ALT: d, ATT: d})
+			if d < min {
+				min = d
+			}
+			if d > max {
+				max = d
+			}
+		}
+		s := Summarize(samples)
+		return s.MeanALT >= min && s.MeanALT <= max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

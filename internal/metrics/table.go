@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"unicode/utf8"
+)
+
+// Table is a simple aligned-column table for benchmark output. The harness
+// renders one per figure, with the same rows/series the paper plots.
+type Table struct {
+	Title   string
+	Note    string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Fprint writes the table to w with aligned columns.
+func (t *Table) Fprint(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = utf8.RuneCountInString(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if w := utf8.RuneCountInString(cell); i < len(widths) && w > widths[i] {
+				widths[i] = w
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "  (%s)\n", t.Note)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - utf8.RuneCountInString(cell)
+			}
+			// Right-align numeric-looking cells, left-align the first column.
+			if i == 0 {
+				b.WriteString(cell)
+				b.WriteString(strings.Repeat(" ", pad))
+			} else {
+				b.WriteString(strings.Repeat(" ", pad))
+				b.WriteString(cell)
+			}
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Fprint(&b)
+	return b.String()
+}

@@ -1,0 +1,145 @@
+// Package quorum implements vote assignments and read/write quorum
+// arithmetic for replicated data, after Thomas's Majority Consensus Voting
+// (MCV) and Gifford's weighted voting — the two schemes the paper builds on
+// (§3.1). The MARP protocol of internal/core and the message-passing
+// baselines of internal/baseline both consult this package, so they are
+// guaranteed to agree on what constitutes a quorum.
+package quorum
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/simnet"
+)
+
+// Assignment maps each replica to its vote count.
+type Assignment struct {
+	votes map[simnet.NodeID]int
+	total int
+}
+
+// Equal assigns one vote to every node — plain majority consensus, the
+// scheme used by the paper's protocol ("a quorum of replicas of an object is
+// simply any majority of its copies").
+func Equal(nodes []simnet.NodeID) Assignment {
+	v := make(map[simnet.NodeID]int, len(nodes))
+	for _, n := range nodes {
+		v[n] = 1
+	}
+	return Assignment{votes: v, total: len(nodes)}
+}
+
+// Weighted assigns explicit vote counts (Gifford's weighted voting).
+// Non-positive vote counts panic: a replica with zero votes is simply not
+// part of the assignment.
+func Weighted(votes map[simnet.NodeID]int) Assignment {
+	v := make(map[simnet.NodeID]int, len(votes))
+	total := 0
+	for n, k := range votes {
+		if k <= 0 {
+			panic(fmt.Sprintf("quorum: non-positive votes %d for node %d", k, n))
+		}
+		v[n] = k
+		total += k
+	}
+	return Assignment{votes: v, total: total}
+}
+
+// Votes returns node's vote count (0 if not in the assignment).
+func (a Assignment) Votes(n simnet.NodeID) int { return a.votes[n] }
+
+// Total returns the total number of votes.
+func (a Assignment) Total() int { return a.total }
+
+// Nodes returns the participating nodes in ascending order.
+func (a Assignment) Nodes() []simnet.NodeID {
+	out := make([]simnet.NodeID, 0, len(a.votes))
+	for n := range a.votes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Majority returns the smallest vote count that exceeds half the total:
+// floor(total/2) + 1.
+func (a Assignment) Majority() int { return a.total/2 + 1 }
+
+// Count sums the votes of the given nodes (duplicates counted once).
+func (a Assignment) Count(nodes []simnet.NodeID) int {
+	seen := make(map[simnet.NodeID]bool, len(nodes))
+	sum := 0
+	for _, n := range nodes {
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		sum += a.votes[n]
+	}
+	return sum
+}
+
+// IsMajority reports whether the given nodes hold more than half the votes.
+func (a Assignment) IsMajority(nodes []simnet.NodeID) bool {
+	return a.Count(nodes) >= a.Majority()
+}
+
+// Spec is a full quorum specification: a vote assignment plus read and write
+// thresholds.
+type Spec struct {
+	Assignment Assignment
+	R          int // votes required for a read quorum
+	W          int // votes required for a write quorum
+}
+
+// MajoritySpec returns the paper's configuration: write quorum = majority,
+// read quorum = 1 (read-one/write-majority; "a read operation may be
+// executed on an arbitrary copy", §3.1).
+func MajoritySpec(nodes []simnet.NodeID) Spec {
+	a := Equal(nodes)
+	return Spec{Assignment: a, R: 1, W: a.Majority()}
+}
+
+// StrictSpec returns a read-write intersecting configuration with both
+// quorums at majority — the consistent-read extension.
+func StrictSpec(nodes []simnet.NodeID) Spec {
+	a := Equal(nodes)
+	return Spec{Assignment: a, R: a.Majority(), W: a.Majority()}
+}
+
+// Validate checks Gifford's safety conditions: W+W > total (no two
+// concurrent write quorums) and, when reads must observe the latest write,
+// R+W > total. MajoritySpec intentionally violates the second condition —
+// that is the paper's explicit trade-off ("it is acceptable that queries
+// executed on a replica are not guaranteed to give an up-to-date answer") —
+// so Validate distinguishes the two.
+func (s Spec) Validate() error {
+	t := s.Assignment.Total()
+	if t == 0 {
+		return fmt.Errorf("quorum: empty assignment")
+	}
+	if s.W < 1 || s.W > t || s.R < 1 || s.R > t {
+		return fmt.Errorf("quorum: thresholds R=%d W=%d out of range 1..%d", s.R, s.W, t)
+	}
+	if 2*s.W <= t {
+		return fmt.Errorf("quorum: 2W=%d <= total=%d permits concurrent writes", 2*s.W, t)
+	}
+	return nil
+}
+
+// OneCopySerializable reports whether the spec also guarantees reads observe
+// the most recent write (R+W > total).
+func (s Spec) OneCopySerializable() bool {
+	return s.R+s.W > s.Assignment.Total()
+}
+
+// HasWriteQuorum reports whether nodes hold a write quorum.
+func (s Spec) HasWriteQuorum(nodes []simnet.NodeID) bool {
+	return s.Assignment.Count(nodes) >= s.W
+}
+
+// HasReadQuorum reports whether nodes hold a read quorum.
+func (s Spec) HasReadQuorum(nodes []simnet.NodeID) bool {
+	return s.Assignment.Count(nodes) >= s.R
+}

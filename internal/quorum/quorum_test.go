@@ -1,0 +1,175 @@
+package quorum
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simnet"
+)
+
+func ids(ns ...int) []simnet.NodeID {
+	out := make([]simnet.NodeID, len(ns))
+	for i, n := range ns {
+		out[i] = simnet.NodeID(n)
+	}
+	return out
+}
+
+func TestEqualAssignment(t *testing.T) {
+	a := Equal(ids(1, 2, 3, 4, 5))
+	if a.Total() != 5 || a.Majority() != 3 {
+		t.Fatalf("total=%d majority=%d", a.Total(), a.Majority())
+	}
+	if a.Votes(3) != 1 || a.Votes(9) != 0 {
+		t.Fatal("votes wrong")
+	}
+}
+
+func TestMajorityEvenCount(t *testing.T) {
+	a := Equal(ids(1, 2, 3, 4))
+	if a.Majority() != 3 {
+		t.Fatalf("majority of 4 = %d, want 3", a.Majority())
+	}
+}
+
+func TestWeighted(t *testing.T) {
+	a := Weighted(map[simnet.NodeID]int{1: 3, 2: 1, 3: 1})
+	if a.Total() != 5 || a.Majority() != 3 {
+		t.Fatalf("total=%d majority=%d", a.Total(), a.Majority())
+	}
+	if !a.IsMajority(ids(1)) {
+		t.Fatal("node with 3/5 votes should be a majority alone")
+	}
+	if a.IsMajority(ids(2, 3)) {
+		t.Fatal("2/5 votes is not a majority")
+	}
+}
+
+func TestWeightedRejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Weighted(map[simnet.NodeID]int{1: 0})
+}
+
+func TestCountDeduplicates(t *testing.T) {
+	a := Equal(ids(1, 2, 3))
+	if a.Count(ids(1, 1, 1)) != 1 {
+		t.Fatal("duplicates double counted")
+	}
+}
+
+func TestNodesSorted(t *testing.T) {
+	a := Equal(ids(5, 2, 9, 1))
+	got := a.Nodes()
+	want := ids(1, 2, 5, 9)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Nodes = %v", got)
+		}
+	}
+}
+
+func TestMajoritySpec(t *testing.T) {
+	s := MajoritySpec(ids(1, 2, 3, 4, 5))
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.R != 1 || s.W != 3 {
+		t.Fatalf("R=%d W=%d", s.R, s.W)
+	}
+	if s.OneCopySerializable() {
+		t.Fatal("read-one/write-majority must not claim one-copy serializable reads")
+	}
+	if !s.HasWriteQuorum(ids(1, 3, 5)) || s.HasWriteQuorum(ids(1, 2)) {
+		t.Fatal("write quorum check wrong")
+	}
+	if !s.HasReadQuorum(ids(2)) {
+		t.Fatal("read quorum of one should pass")
+	}
+}
+
+func TestStrictSpec(t *testing.T) {
+	s := StrictSpec(ids(1, 2, 3, 4, 5))
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.OneCopySerializable() {
+		t.Fatal("strict spec should be one-copy serializable")
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	a := Equal(ids(1, 2, 3, 4))
+	cases := []Spec{
+		{Assignment: a, R: 1, W: 2},            // 2W <= total
+		{Assignment: a, R: 0, W: 3},            // R out of range
+		{Assignment: a, R: 1, W: 5},            // W out of range
+		{Assignment: Assignment{}, R: 1, W: 1}, // empty
+		{Assignment: a, R: 5, W: 3},            // R out of range high
+	}
+	for i, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("case %d validated unexpectedly: %+v", i, s)
+		}
+	}
+}
+
+// Property: any two write quorums of a valid spec intersect, and if the spec
+// is one-copy serializable, any read quorum intersects any write quorum.
+func TestPropertyQuorumIntersection(t *testing.T) {
+	f := func(n uint8, pickA, pickB uint64) bool {
+		size := int(n%7) + 1 // 1..7 replicas
+		nodes := make([]simnet.NodeID, size)
+		for i := range nodes {
+			nodes[i] = simnet.NodeID(i + 1)
+		}
+		s := MajoritySpec(nodes)
+		subset := func(bits uint64) []simnet.NodeID {
+			var out []simnet.NodeID
+			for i, id := range nodes {
+				if bits&(1<<uint(i)) != 0 {
+					out = append(out, id)
+				}
+			}
+			return out
+		}
+		a, b := subset(pickA), subset(pickB)
+		if !s.HasWriteQuorum(a) || !s.HasWriteQuorum(b) {
+			return true // vacuous
+		}
+		inA := make(map[simnet.NodeID]bool)
+		for _, id := range a {
+			inA[id] = true
+		}
+		for _, id := range b {
+			if inA[id] {
+				return true
+			}
+		}
+		return false // two disjoint write quorums: safety violation
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: majority is the minimal count that guarantees intersection.
+func TestPropertyMajorityMinimal(t *testing.T) {
+	f := func(n uint8) bool {
+		size := int(n%9) + 1
+		nodes := make([]simnet.NodeID, size)
+		for i := range nodes {
+			nodes[i] = simnet.NodeID(i + 1)
+		}
+		a := Equal(nodes)
+		m := a.Majority()
+		// m votes exceed half; m-1 votes do not.
+		return 2*m > size && 2*(m-1) <= size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,154 @@
+// Package realtime paces a deterministic discrete-event simulation against
+// the wall clock, turning the simulated MARP cluster into a live service:
+// events fire when their virtual timestamps come due, and other goroutines
+// (TCP connection handlers, signal handlers) inject work onto the simulation
+// loop without breaking its single-threaded discipline.
+//
+// The Driver owns the simulator: after Start, all access to the simulator
+// and everything scheduled on it must go through Inject/Do.
+package realtime
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/des"
+)
+
+// ErrStopped is returned by Do after the driver has shut down.
+var ErrStopped = errors.New("realtime: driver stopped")
+
+// Driver runs a des.Simulator in real time. Speed scales the mapping
+// between wall time and virtual time: with Speed == 10, ten virtual seconds
+// elapse per wall-clock second. Speed <= 0 defaults to 1.
+type Driver struct {
+	sim   *des.Simulator
+	speed float64
+
+	mu     sync.Mutex
+	inbox  []func()
+	wake   chan struct{}
+	done   chan struct{}
+	stop   chan struct{}
+	closed bool
+}
+
+// NewDriver wraps sim. The caller must not touch sim directly once Start
+// has been called.
+func NewDriver(sim *des.Simulator, speed float64) *Driver {
+	if speed <= 0 {
+		speed = 1
+	}
+	return &Driver{
+		sim:   sim,
+		speed: speed,
+		wake:  make(chan struct{}, 1),
+		done:  make(chan struct{}),
+		stop:  make(chan struct{}),
+	}
+}
+
+// Start launches the pacing loop on its own goroutine.
+func (d *Driver) Start() {
+	go d.run()
+}
+
+// Stop shuts the loop down and waits for it to exit. Safe to call more than
+// once.
+func (d *Driver) Stop() {
+	d.mu.Lock()
+	if !d.closed {
+		d.closed = true
+		close(d.stop)
+	}
+	d.mu.Unlock()
+	<-d.done
+}
+
+// Inject schedules fn to run on the simulation loop at the current virtual
+// time. It never blocks. Injections after Stop are discarded.
+func (d *Driver) Inject(fn func()) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.inbox = append(d.inbox, fn)
+	d.mu.Unlock()
+	select {
+	case d.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Do runs fn on the simulation loop and waits for it to finish — the
+// synchronous variant of Inject, used by request/response handlers.
+func (d *Driver) Do(fn func()) error {
+	ch := make(chan struct{})
+	d.Inject(func() {
+		fn()
+		close(ch)
+	})
+	select {
+	case <-ch:
+		return nil
+	case <-d.done:
+		// The loop exited; the injection may never run.
+		select {
+		case <-ch:
+			return nil
+		default:
+			return ErrStopped
+		}
+	}
+}
+
+// run is the pacing loop: it advances virtual time in step with the wall
+// clock, fires due events, and executes injected work.
+func (d *Driver) run() {
+	defer close(d.done)
+	start := time.Now()
+	base := d.sim.Now()
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		// Execute pending injections first: they represent "now".
+		d.mu.Lock()
+		inbox := d.inbox
+		d.inbox = nil
+		d.mu.Unlock()
+		for _, fn := range inbox {
+			fn()
+		}
+
+		// Fire every event due at the current wall-clock instant.
+		elapsed := time.Since(start)
+		target := base.Add(time.Duration(float64(elapsed) * d.speed))
+		d.sim.RunUntil(target)
+
+		// Sleep until the next event is due or an injection arrives.
+		var wait time.Duration
+		if next, ok := d.sim.NextEvent(); ok {
+			wait = time.Duration(float64(next.Sub(target)) / d.speed)
+			if wait < 50*time.Microsecond {
+				wait = 50 * time.Microsecond
+			}
+		} else {
+			wait = 10 * time.Millisecond // idle; injections wake us sooner
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(wait)
+		select {
+		case <-d.stop:
+			return
+		case <-d.wake:
+		case <-timer.C:
+		}
+	}
+}

@@ -1,0 +1,545 @@
+package replica
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/agent"
+	"repro/internal/simnet"
+	"repro/internal/store"
+	"repro/internal/trace"
+)
+
+// Config carries per-server options.
+type Config struct {
+	// DisableInfoSharing turns off the paper's locking-information
+	// exchange: servers neither cache nor hand out remote LL snapshots
+	// (ablation A1 in DESIGN.md).
+	DisableInfoSharing bool
+	// GrantObserver, if non-nil, is invoked whenever the server's grant
+	// changes (installed, released, aborted, or evicted). The core
+	// package's Referee uses it to check Theorem 2 on every run; a zero
+	// txn means the grant was released.
+	GrantObserver func(server simnet.NodeID, txn agent.ID)
+	// Trace, if non-nil, receives server events.
+	Trace *trace.Log
+}
+
+// Server is one replicated server: data copy, Locking List, Updated List,
+// routing table, and the message handlers of the paper's Algorithm 2.
+//
+// A Server is driven entirely from the simulator's event loop (network
+// deliveries, local calls from co-located agents), so it needs no locking.
+type Server struct {
+	id       simnet.NodeID
+	peers    []simnet.NodeID // all other replicas
+	net      *simnet.Network
+	platform *agent.Platform
+	place    *agent.Place
+	st       *store.Store
+	cfg      Config
+
+	// Volatile locking state. Version counters deliberately survive
+	// crashes (see Crash): monotone versions make stale-evidence checks
+	// sound across recoveries without a persisted epoch.
+	epoch        uint64
+	llVersion    uint64
+	headVersion  uint64
+	ll           []agent.ID
+	gone         map[agent.ID]bool
+	goneList     []agent.ID
+	cache        map[simnet.NodeID]QueueSnapshot
+	grant        agent.ID
+	grantAttempt int
+	backlog      map[uint64]store.Update
+	down         bool
+
+	// Pending quorum reads coordinated by this server.
+	readSeq uint64
+	reads   map[uint64]*quorumRead
+}
+
+// quorumRead tracks one in-flight consistent read.
+type quorumRead struct {
+	key     string
+	replies map[simnet.NodeID]ReadRep
+	needed  int
+	done    func(store.Value, bool)
+}
+
+// New creates a server for node id over the given substrates, hosts an
+// agent place on its node, and registers itself for network delivery and
+// agent-death notices. peers must list every replica ID including id.
+func New(id simnet.NodeID, peers []simnet.NodeID, net *simnet.Network, platform *agent.Platform, st *store.Store, cfg Config) *Server {
+	if st == nil {
+		st = store.New()
+	}
+	others := make([]simnet.NodeID, 0, len(peers))
+	for _, p := range peers {
+		if p != id {
+			others = append(others, p)
+		}
+	}
+	s := &Server{
+		id:       id,
+		peers:    others,
+		net:      net,
+		platform: platform,
+		st:       st,
+		cfg:      cfg,
+		gone:     make(map[agent.ID]bool),
+		cache:    make(map[simnet.NodeID]QueueSnapshot),
+		backlog:  make(map[uint64]store.Update),
+		reads:    make(map[uint64]*quorumRead),
+	}
+	s.place = platform.Host(id, s)
+	s.place.SetDeathListener(s)
+	return s
+}
+
+// ID returns the server's node ID.
+func (s *Server) ID() simnet.NodeID { return s.id }
+
+// Store returns the server's data store.
+func (s *Server) Store() *store.Store { return s.st }
+
+// Place returns the agent place co-located with the server.
+func (s *Server) Place() *agent.Place { return s.place }
+
+// Queue returns a copy of the current Locking List (head first).
+func (s *Server) Queue() []agent.ID {
+	out := make([]agent.ID, len(s.ll))
+	copy(out, s.ll)
+	return out
+}
+
+// Granted returns the transaction currently holding this server's grant
+// (zero ID if none).
+func (s *Server) Granted() agent.ID { return s.grant }
+
+// Down reports whether the server is crashed.
+func (s *Server) Down() bool { return s.down }
+
+// LocalRead serves a read from the local copy — the paper's fast read path
+// ("a read operation may be executed on an arbitrary copy").
+func (s *Server) LocalRead(key string) (store.Value, bool) {
+	return s.st.Get(key)
+}
+
+// snapshot captures the current LL for handing to agents.
+func (s *Server) snapshot() QueueSnapshot {
+	q := make([]agent.ID, len(s.ll))
+	copy(q, s.ll)
+	return QueueSnapshot{
+		Server:      s.id,
+		Epoch:       s.epoch,
+		Version:     s.llVersion,
+		HeadVersion: s.headVersion,
+		Queue:       q,
+	}
+}
+
+// bump records an LL mutation; headChanged marks mutations that altered the
+// head (the only ones that can change any agent's priority decision).
+func (s *Server) bump(headChanged bool) {
+	s.llVersion++
+	if headChanged {
+		s.headVersion = s.llVersion
+	}
+}
+
+// setGrant changes the exclusive grant and informs the observer.
+func (s *Server) setGrant(txn agent.ID) {
+	if s.grant == txn {
+		return
+	}
+	s.grant = txn
+	if s.cfg.GrantObserver != nil {
+		s.cfg.GrantObserver(s.id, txn)
+	}
+}
+
+// markGone records that an agent finished or died, evicting its LL entry.
+// It reports whether local state changed.
+func (s *Server) markGone(id agent.ID) bool {
+	changed := false
+	if !s.gone[id] {
+		s.gone[id] = true
+		s.goneList = append(s.goneList, id)
+		changed = true
+	}
+	for i, e := range s.ll {
+		if e == id {
+			headChanged := i == 0
+			s.ll = append(s.ll[:i], s.ll[i+1:]...)
+			s.bump(headChanged)
+			changed = true
+			break
+		}
+	}
+	if s.grant == id {
+		s.setGrant(agent.ID{})
+		changed = true
+	}
+	return changed
+}
+
+// notify raises LLChanged to resident agents.
+func (s *Server) notify() {
+	s.place.NotifyResidents(LLChanged{Server: s.id})
+}
+
+// VisitAndLock is the local interaction of a just-arrived agent with its
+// host server (paper Algorithm 2, "upon arrival of a mobile agent"): the
+// server appends the agent to its Locking List, absorbs the locking
+// information the agent carries, and returns everything the agent needs to
+// update its own data structures.
+func (s *Server) VisitAndLock(id agent.ID, shared map[simnet.NodeID]QueueSnapshot, knownGone []agent.ID) LockInfo {
+	// Absorb the agent's knowledge of finished/dead agents first, so a
+	// stale entry never blocks the queue.
+	mutated := false
+	for _, g := range knownGone {
+		if s.markGone(g) {
+			mutated = true
+		}
+	}
+	if !s.cfg.DisableInfoSharing {
+		for node, snap := range shared {
+			if node == s.id {
+				continue
+			}
+			if cur, ok := s.cache[node]; !ok || snap.Newer(cur) {
+				s.cache[node] = snap.Clone()
+			}
+		}
+	}
+	if !s.gone[id] && !s.contains(id) {
+		s.ll = append(s.ll, id)
+		s.bump(len(s.ll) == 1)
+		mutated = len(s.ll) == 1 || mutated
+		s.cfg.Trace.Addf(int64(s.net.Sim().Now()), int(s.id), id.String(), trace.LockRequested, "pos %d", len(s.ll))
+	}
+	if mutated {
+		s.notify()
+	}
+	return s.lockInfo()
+}
+
+func (s *Server) contains(id agent.ID) bool {
+	for _, e := range s.ll {
+		if e == id {
+			return true
+		}
+	}
+	return false
+}
+
+// lockInfo assembles the LockInfo for a visiting or refreshing agent.
+func (s *Server) lockInfo() LockInfo {
+	gone := make([]agent.ID, len(s.goneList))
+	copy(gone, s.goneList)
+	costs := make(map[simnet.NodeID]float64, len(s.peers))
+	for _, p := range s.peers {
+		costs[p] = s.net.Cost(s.id, p)
+	}
+	var remote map[simnet.NodeID]QueueSnapshot
+	if !s.cfg.DisableInfoSharing && len(s.cache) > 0 {
+		remote = make(map[simnet.NodeID]QueueSnapshot, len(s.cache))
+		for n, snap := range s.cache {
+			remote[n] = snap.Clone()
+		}
+	}
+	return LockInfo{
+		Local:   s.snapshot(),
+		Gone:    gone,
+		Remote:  remote,
+		Costs:   costs,
+		LastSeq: s.st.LastSeq(),
+	}
+}
+
+// RefreshInfo returns current LockInfo without enqueueing anybody — used by
+// parked agents recomputing their priority after a notification.
+func (s *Server) RefreshInfo() LockInfo { return s.lockInfo() }
+
+// Deliver implements simnet.Handler for server-bound protocol messages.
+func (s *Server) Deliver(msg simnet.Message) {
+	if s.down {
+		return
+	}
+	switch m := msg.Payload.(type) {
+	case *UpdateMsg:
+		ack := s.handleUpdate(m)
+		s.platform.SendToAgent(s.id, m.Origin, m.Txn, ack, ack.WireSize())
+	case *CommitMsg:
+		s.handleCommit(m)
+	case *AbortMsg:
+		s.handleAbort(m)
+	case *SyncRequest:
+		s.handleSyncRequest(m)
+	case *SyncReply:
+		s.handleSyncReply(m)
+	case *ReadReq:
+		v, ok := s.st.Get(m.Key)
+		rep := &ReadRep{ReqID: m.ReqID, From: s.id, Found: ok, Value: v}
+		s.net.Send(simnet.Message{From: s.id, To: m.From, Payload: rep, Size: rep.WireSize()})
+	case *ReadRep:
+		s.handleReadRep(m)
+	}
+}
+
+// QuorumRead coordinates a consistent read: it collects the committed value
+// of key from a majority of replicas (this one included) and calls done with
+// the most recent version. Because any read majority intersects any write
+// majority's COMMIT set eventually — and the global sequence number makes
+// "most recent" unambiguous — the result is never older than the last update
+// whose commit round completed.
+func (s *Server) QuorumRead(key string, done func(store.Value, bool)) {
+	s.readSeq++
+	majority := (len(s.peers)+1)/2 + 1
+	qr := &quorumRead{
+		key:     key,
+		replies: make(map[simnet.NodeID]ReadRep),
+		needed:  majority,
+		done:    done,
+	}
+	s.reads[s.readSeq] = qr
+	// Local copy counts immediately.
+	v, ok := s.st.Get(key)
+	qr.replies[s.id] = ReadRep{ReqID: s.readSeq, From: s.id, Found: ok, Value: v}
+	if s.maybeFinishRead(s.readSeq) {
+		return
+	}
+	req := &ReadReq{ReqID: s.readSeq, From: s.id, Key: key}
+	for _, p := range s.peers {
+		s.net.Send(simnet.Message{From: s.id, To: p, Payload: req, Size: req.WireSize()})
+	}
+}
+
+func (s *Server) handleReadRep(m *ReadRep) {
+	qr, ok := s.reads[m.ReqID]
+	if !ok {
+		return
+	}
+	qr.replies[m.From] = *m
+	s.maybeFinishRead(m.ReqID)
+}
+
+func (s *Server) maybeFinishRead(id uint64) bool {
+	qr := s.reads[id]
+	if qr == nil || len(qr.replies) < qr.needed {
+		return false
+	}
+	delete(s.reads, id)
+	var best store.Value
+	found := false
+	for _, rep := range qr.replies {
+		if !rep.Found {
+			continue
+		}
+		if !found || best.Version.Less(rep.Value.Version) {
+			best = rep.Value
+		}
+		found = true
+	}
+	qr.done(best, found)
+	return true
+}
+
+// HandleUpdateLocal processes the claim of a co-located agent at memory
+// speed (the mobile-agent advantage: the conversation with the local server
+// pays no network latency).
+func (s *Server) HandleUpdateLocal(m *UpdateMsg) *AckMsg { return s.handleUpdate(m) }
+
+// HandleCommitLocal applies a co-located agent's commit directly.
+func (s *Server) HandleCommitLocal(m *CommitMsg) { s.handleCommit(m) }
+
+// HandleAbortLocal applies a co-located agent's abort directly.
+func (s *Server) HandleAbortLocal(m *AbortMsg) { s.handleAbort(m) }
+
+// handleUpdate validates a permission claim (see DESIGN.md, "protocol
+// fortification"): the server ACKs only if it is not already granted to
+// another claimant AND the claimant either heads the local LL or claims via
+// the tie-break rule while enqueued here. A majority of ACKs implies a
+// unique winner regardless of how stale the claimant's view was, because
+// grants are exclusive until COMMIT or ABORT and any two majorities
+// intersect — the grants, not the evidence, are the arbiter.
+func (s *Server) handleUpdate(m *UpdateMsg) *AckMsg {
+	nack := func(reason string) *AckMsg {
+		info := s.lockInfo()
+		s.cfg.Trace.Addf(int64(s.net.Sim().Now()), int(s.id), m.Txn.String(), trace.UpdateNacked, "%s", reason)
+		return &AckMsg{Txn: m.Txn, Attempt: m.Attempt, From: s.id, Reason: reason, Info: &info}
+	}
+	if !s.grant.IsZero() && s.grant != m.Txn {
+		return nack("busy")
+	}
+	if s.gone[m.Txn] {
+		return nack("gone")
+	}
+	if !s.contains(m.Txn) {
+		return nack("not-enqueued")
+	}
+	isHead := len(s.ll) > 0 && s.ll[0] == m.Txn
+	if !isHead && !m.ByTie {
+		return nack("not-head")
+	}
+	s.setGrant(m.Txn)
+	s.grantAttempt = m.Attempt
+	values := make(map[string]store.Value, len(m.Keys))
+	for _, k := range m.Keys {
+		if v, ok := s.st.Get(k); ok {
+			values[k] = v
+		}
+	}
+	s.cfg.Trace.Addf(int64(s.net.Sim().Now()), int(s.id), m.Txn.String(), trace.UpdateAcked, "")
+	return &AckMsg{Txn: m.Txn, Attempt: m.Attempt, From: s.id, OK: true, LastSeq: s.st.LastSeq(), Values: values}
+}
+
+// handleCommit applies the winner's updates, releases its locks, and adds it
+// to the Updated List. A sequence gap means this replica missed earlier
+// updates (it was down); the updates are held back and a sync is requested.
+func (s *Server) handleCommit(m *CommitMsg) {
+	for _, u := range m.Updates {
+		if err := s.st.ApplyCommitted(u); err != nil {
+			if errors.Is(err, store.ErrSeqGap) {
+				s.backlog[u.Seq] = u
+				s.requestSync(m.Origin)
+				continue
+			}
+			// Stale updates are idempotently ignored by ApplyCommitted;
+			// anything else indicates a protocol bug.
+			panic("replica: commit apply failed: " + err.Error())
+		}
+	}
+	// This commit may have filled the gap ahead of earlier out-of-order
+	// arrivals (jittered links do not preserve FIFO).
+	s.drainBacklog()
+	s.markGone(m.Txn)
+	s.cfg.Trace.Addf(int64(s.net.Sim().Now()), int(s.id), m.Txn.String(), trace.Committed, "%d updates, seq now %d", len(m.Updates), s.st.LastSeq())
+	s.notify()
+}
+
+// handleAbort withdraws a claim's grant.
+func (s *Server) handleAbort(m *AbortMsg) {
+	if s.grant == m.Txn && m.Attempt >= s.grantAttempt {
+		s.setGrant(agent.ID{})
+		s.cfg.Trace.Addf(int64(s.net.Sim().Now()), int(s.id), m.Txn.String(), trace.ClaimAborted, "grant released")
+	}
+}
+
+// requestSync asks origin (falling back to all peers if origin is the
+// server itself) for the updates after the local horizon.
+func (s *Server) requestSync(origin simnet.NodeID) {
+	req := &SyncRequest{From: s.id, Since: s.st.LastSeq()}
+	if origin != s.id && origin != simnet.None {
+		s.net.Send(simnet.Message{From: s.id, To: origin, Payload: req, Size: req.WireSize()})
+		return
+	}
+	for _, p := range s.peers {
+		s.net.Send(simnet.Message{From: s.id, To: p, Payload: req, Size: req.WireSize()})
+	}
+}
+
+func (s *Server) handleSyncRequest(m *SyncRequest) {
+	updates := s.st.UpdatesSince(m.Since)
+	if len(updates) == 0 && len(s.goneList) == 0 {
+		return
+	}
+	gone := make([]agent.ID, len(s.goneList))
+	copy(gone, s.goneList)
+	reply := &SyncReply{From: s.id, Updates: updates, Gone: gone}
+	s.net.Send(simnet.Message{From: s.id, To: m.From, Payload: reply, Size: reply.WireSize()})
+}
+
+// drainBacklog applies consecutive backlogged commits now that earlier
+// updates may have landed. It reports whether anything was applied.
+func (s *Server) drainBacklog() bool {
+	applied := false
+	for {
+		u, ok := s.backlog[s.st.LastSeq()+1]
+		if !ok {
+			return applied
+		}
+		delete(s.backlog, u.Seq)
+		if err := s.st.ApplyCommitted(u); err != nil {
+			return applied
+		}
+		applied = true
+	}
+}
+
+func (s *Server) handleSyncReply(m *SyncReply) {
+	applied := false
+	for _, u := range m.Updates {
+		if err := s.st.ApplyCommitted(u); err == nil && u.Seq == s.st.LastSeq() {
+			applied = true
+		}
+	}
+	if s.drainBacklog() {
+		applied = true
+	}
+	mutated := false
+	for _, g := range m.Gone {
+		if s.markGone(g) {
+			mutated = true
+		}
+	}
+	if applied || mutated {
+		s.cfg.Trace.Addf(int64(s.net.Sim().Now()), int(s.id), "", trace.ServerSynced, "seq now %d", s.st.LastSeq())
+		s.notify()
+	}
+}
+
+// OnAgentDeath implements agent.DeathListener: evict the dead agent's lock
+// entry and release its grant, so a crashed agent never wedges the queue.
+func (s *Server) OnAgentDeath(id agent.ID) {
+	if s.down {
+		return
+	}
+	if s.markGone(id) {
+		s.cfg.Trace.Addf(int64(s.net.Sim().Now()), int(s.id), id.String(), trace.LockReleased, "agent died")
+		s.notify()
+	}
+}
+
+// Crash models a fail-stop failure: all volatile locking state is lost; the
+// committed store survives (stable storage). The caller is responsible for
+// also marking the node down in the network and killing resident agents —
+// the cluster layer in internal/core orchestrates all three.
+func (s *Server) Crash() {
+	s.down = true
+	s.ll = nil
+	s.cache = make(map[simnet.NodeID]QueueSnapshot)
+	s.setGrant(agent.ID{})
+	s.backlog = make(map[uint64]store.Update)
+	// gone survives: it is derived from committed state and death notices,
+	// and keeping it only ever suppresses already-finished agents.
+	s.cfg.Trace.Addf(int64(s.net.Sim().Now()), int(s.id), "", trace.ServerCrashed, "")
+}
+
+// Recover brings the server back: it bumps its epoch (so agents can tell
+// post-recovery snapshots from pre-crash ones) and starts a background sync
+// with its peers to fetch the updates it missed.
+func (s *Server) Recover() {
+	s.down = false
+	s.epoch++
+	s.bump(true) // the (now empty) LL is a fresh head state
+	s.cfg.Trace.Addf(int64(s.net.Sim().Now()), int(s.id), "", trace.ServerRecover, "epoch %d", s.epoch)
+	s.requestSync(simnet.None)
+}
+
+// Gone returns the agents this server knows to have finished or died, in
+// discovery order.
+func (s *Server) Gone() []agent.ID {
+	out := make([]agent.ID, len(s.goneList))
+	copy(out, s.goneList)
+	return out
+}
+
+// Peers returns the other replica IDs, sorted.
+func (s *Server) Peers() []simnet.NodeID {
+	out := make([]simnet.NodeID, len(s.peers))
+	copy(out, s.peers)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,209 @@
+// Package replica implements the replicated server side of the MARP
+// protocol — Algorithm 2 of the paper plus the server duties the paper's
+// system model assigns to replicas: holding the data copy, maintaining the
+// Locking List (LL) and Updated List (UL), providing routing information to
+// visiting agents, exchanging locking information with them, validating and
+// applying updates, and performing failure recovery through background
+// information transfer.
+package replica
+
+import (
+	"repro/internal/agent"
+	"repro/internal/simnet"
+	"repro/internal/store"
+)
+
+// QueueSnapshot is one server's Locking List as known at some moment. Agents
+// accumulate these in their Locking Table and leave them behind at the
+// servers they visit (the paper's information sharing); both directions use
+// this type. Snapshots are ordered by (Epoch, Version): Epoch increments
+// when a server recovers from a crash and its volatile locking state resets,
+// Version increments on every LL mutation within an epoch.
+type QueueSnapshot struct {
+	Server      simnet.NodeID
+	Epoch       uint64
+	Version     uint64
+	HeadVersion uint64 // version of the last mutation that changed the head
+	Queue       []agent.ID
+}
+
+// Newer reports whether s is strictly fresher information than o.
+func (s QueueSnapshot) Newer(o QueueSnapshot) bool {
+	if s.Epoch != o.Epoch {
+		return s.Epoch > o.Epoch
+	}
+	return s.Version > o.Version
+}
+
+// Clone returns a deep copy (snapshots are shared across "hosts" in the
+// simulator, so mutation isolation matters).
+func (s QueueSnapshot) Clone() QueueSnapshot {
+	q := make([]agent.ID, len(s.Queue))
+	copy(q, s.Queue)
+	s.Queue = q
+	return s
+}
+
+// LockInfo is everything a server hands to a visiting agent when the agent
+// requests its lock (paper §3.2–3.3): the local LL, the UL ("gone" agents),
+// the server's cached views of other servers' LLs, the routing table, and
+// the data version horizon.
+type LockInfo struct {
+	Local   QueueSnapshot
+	Gone    []agent.ID // agents that finished (UL) or died — prune these everywhere
+	Remote  map[simnet.NodeID]QueueSnapshot
+	Costs   map[simnet.NodeID]float64
+	LastSeq uint64
+}
+
+// LLChanged is the local event a server raises to its resident agents when
+// its Locking List mutates — the cue for parked agents to recompute their
+// priority (paper §3.3: "other mobile agents will then be able to change
+// their priorities in their locking tables").
+type LLChanged struct {
+	Server simnet.NodeID
+}
+
+// Protocol messages. Sizes are modelled wire sizes for traffic accounting.
+
+// UpdateMsg is the winning agent's UPDATE broadcast: a permission claim plus
+// the identity of the data it wants to write. Servers validate the claim,
+// install an exclusive grant, and reply with an AckMsg carrying their
+// current copy of the requested keys so the winner can "use the most recent
+// copy" (paper §3.1).
+type UpdateMsg struct {
+	Txn      agent.ID
+	Attempt  int           // claim attempt number, echoed in the AckMsg
+	Origin   simnet.NodeID // where the claiming agent currently resides
+	Keys     []string
+	ByTie    bool
+	Evidence map[simnet.NodeID]uint64 // claimed head-version per server (tie claims)
+}
+
+// Kind implements simnet.Kinder.
+func (UpdateMsg) Kind() string { return "update" }
+
+// WireSize returns the modelled size of the message.
+func (m UpdateMsg) WireSize() int { return 96 + 24*len(m.Keys) + 16*len(m.Evidence) }
+
+// AckMsg is a server's reply to an UpdateMsg. On success it carries the
+// server's committed values for the requested keys and its data horizon; on
+// refusal it carries a fresh LockInfo so the claimant can repair its Locking
+// Table before retrying.
+type AckMsg struct {
+	Txn     agent.ID
+	Attempt int // echo of the claim's attempt number
+	From    simnet.NodeID
+	OK      bool
+	Reason  string
+	LastSeq uint64
+	Values  map[string]store.Value
+	Info    *LockInfo // populated on NACK
+}
+
+// Kind implements simnet.Kinder.
+func (AckMsg) Kind() string { return "ack" }
+
+// WireSize returns the modelled size of the message.
+func (m AckMsg) WireSize() int {
+	n := 96 + 48*len(m.Values)
+	if m.Info != nil {
+		n += 64 + 24*len(m.Info.Local.Queue) + 24*len(m.Info.Gone) + 48*len(m.Info.Remote)
+	}
+	return n
+}
+
+// CommitMsg finalizes the winner's updates at every replica and releases its
+// locks (paper §3.1: "multicasts a COMMIT message to these servers and then
+// releases the lock"; §3.3: "locks from this agent will be removed from all
+// locking lists").
+type CommitMsg struct {
+	Txn     agent.ID
+	Origin  simnet.NodeID
+	Updates []store.Update
+}
+
+// Kind implements simnet.Kinder.
+func (CommitMsg) Kind() string { return "commit" }
+
+// WireSize returns the modelled size of the message.
+func (m CommitMsg) WireSize() int { return 64 + 96*len(m.Updates) }
+
+// AbortMsg withdraws a failed claim, releasing the grants the claimant
+// collected (the agent keeps its queue positions and retries later).
+// Attempt scopes the abort: a server releases its grant only if the grant
+// was installed by an attempt not newer than this one, so a stray abort
+// provoked by a long-delayed acknowledgement of an old attempt can never
+// release the claimant's own current grant.
+type AbortMsg struct {
+	Txn     agent.ID
+	Attempt int
+}
+
+// Kind implements simnet.Kinder.
+func (AbortMsg) Kind() string { return "abort" }
+
+// WireSize returns the modelled size of the message.
+func (AbortMsg) WireSize() int { return 48 }
+
+// ReadReq asks a replica for its committed value of a key — one leg of the
+// consistent-read extension (read quorum R = majority, making the system
+// one-copy serializable per Gifford's R+W > N condition; see
+// internal/quorum.StrictSpec). The paper's protocol serves reads locally;
+// this is the stricter variant its §5 invites ("the MARP approach is a
+// generic method, which can be used to implement different kinds of
+// replication control algorithms").
+type ReadReq struct {
+	ReqID uint64
+	From  simnet.NodeID
+	Key   string
+}
+
+// Kind implements simnet.Kinder.
+func (ReadReq) Kind() string { return "read-req" }
+
+// WireSize returns the modelled size of the message.
+func (ReadReq) WireSize() int { return 48 }
+
+// ReadRep answers a ReadReq with the replica's committed value.
+type ReadRep struct {
+	ReqID uint64
+	From  simnet.NodeID
+	Found bool
+	Value store.Value
+}
+
+// Kind implements simnet.Kinder.
+func (ReadRep) Kind() string { return "read-rep" }
+
+// WireSize returns the modelled size of the message.
+func (ReadRep) WireSize() int { return 96 }
+
+// SyncRequest asks a peer for the committed updates after Since — the
+// paper's "background information transfer", used by replicas recovering
+// from a failure or detecting a sequence gap.
+type SyncRequest struct {
+	From  simnet.NodeID
+	Since uint64
+}
+
+// Kind implements simnet.Kinder.
+func (SyncRequest) Kind() string { return "sync-req" }
+
+// WireSize returns the modelled size of the message.
+func (SyncRequest) WireSize() int { return 32 }
+
+// SyncReply carries the missing updates, in order, plus the sender's list
+// of finished/dead agents so the recovering replica can prune stale lock
+// information too.
+type SyncReply struct {
+	From    simnet.NodeID
+	Updates []store.Update
+	Gone    []agent.ID
+}
+
+// Kind implements simnet.Kinder.
+func (SyncReply) Kind() string { return "sync-reply" }
+
+// WireSize returns the modelled size of the message.
+func (m SyncReply) WireSize() int { return 32 + 96*len(m.Updates) + 24*len(m.Gone) }

@@ -1,0 +1,220 @@
+// Package simnet provides a simulated wide-area network on top of the
+// discrete-event simulator in internal/des.
+//
+// The network model follows the paper's assumptions (§2): logical channels
+// are asynchronous and reliable with unpredictable but finite delays; nodes
+// fail according to the fail-stop model. A message sent to a node that is
+// down (or unreachable due to a partition) is silently dropped — exactly the
+// behaviour a fail-stop process presents to its peers — and senders detect
+// such failures by timeout, as the protocol layer prescribes.
+//
+// Every delivery is scheduled on the shared des.Simulator, so an entire
+// multi-node execution remains deterministic.
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/des"
+)
+
+// NodeID identifies a simulated host. The paper numbers its replicated
+// servers 1..N; this package follows that convention (zero is reserved as
+// "no node").
+type NodeID int
+
+// None is the zero NodeID, meaning "no node".
+const None NodeID = 0
+
+// Message is a single datagram on the simulated network. Payload is an
+// arbitrary protocol-level value; Size is the modelled wire size in bytes
+// and exists purely for traffic accounting (the simulator never serializes
+// payloads).
+type Message struct {
+	From    NodeID
+	To      NodeID
+	Payload any
+	Size    int
+}
+
+// Kinder is implemented by payloads that want per-kind traffic accounting.
+type Kinder interface{ Kind() string }
+
+// Handler receives messages delivered to a node.
+type Handler interface {
+	Deliver(msg Message)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(Message)
+
+// Deliver calls f(msg).
+func (f HandlerFunc) Deliver(msg Message) { f(msg) }
+
+// Stats aggregates network traffic counters.
+type Stats struct {
+	MessagesSent      int
+	MessagesDelivered int
+	MessagesDropped   int // destination down, partitioned, or detached
+	BytesSent         int
+	ByKind            map[string]int
+}
+
+// Network is a simulated message-passing network.
+type Network struct {
+	sim     *des.Simulator
+	topo    *Topology
+	latency LatencyModel
+	nodes   map[NodeID]Handler
+	down    map[NodeID]bool
+	group   map[NodeID]int // partition group; all zero = fully connected
+	stats   Stats
+}
+
+// New creates a network over topo using the given latency model. All
+// deliveries are scheduled on sim.
+func New(sim *des.Simulator, topo *Topology, latency LatencyModel) *Network {
+	if topo == nil {
+		panic("simnet: nil topology")
+	}
+	if latency == nil {
+		latency = Constant(1 * time.Millisecond)
+	}
+	return &Network{
+		sim:     sim,
+		topo:    topo,
+		latency: latency,
+		nodes:   make(map[NodeID]Handler),
+		down:    make(map[NodeID]bool),
+		group:   make(map[NodeID]int),
+	}
+}
+
+// Sim returns the underlying simulator.
+func (n *Network) Sim() *des.Simulator { return n.sim }
+
+// Topology returns the network's topology (cost matrix).
+func (n *Network) Topology() *Topology { return n.topo }
+
+// Attach registers h as the handler for node id. Attaching twice replaces
+// the handler (used by recovery: a restarted server re-attaches itself).
+func (n *Network) Attach(id NodeID, h Handler) {
+	if id == None {
+		panic("simnet: cannot attach node 0")
+	}
+	n.nodes[id] = h
+}
+
+// Nodes returns the attached node IDs in ascending order.
+func (n *Network) Nodes() []NodeID {
+	ids := make([]NodeID, 0, len(n.nodes))
+	for id := range n.nodes {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}
+
+// SetDown marks a node as crashed (fail-stop) or recovered. Messages to and
+// from a down node are dropped. In-flight messages already scheduled for
+// delivery are dropped at delivery time if the destination is still down.
+func (n *Network) SetDown(id NodeID, down bool) {
+	if down {
+		n.down[id] = true
+	} else {
+		delete(n.down, id)
+	}
+}
+
+// Down reports whether a node is currently crashed.
+func (n *Network) Down(id NodeID) bool { return n.down[id] }
+
+// Partition splits the network into groups; nodes in different groups cannot
+// exchange messages. Nodes not mentioned stay in group 0.
+func (n *Network) Partition(groups ...[]NodeID) {
+	n.group = make(map[NodeID]int)
+	for gi, g := range groups {
+		for _, id := range g {
+			n.group[id] = gi + 1
+		}
+	}
+}
+
+// Heal removes all partitions.
+func (n *Network) Heal() { n.group = make(map[NodeID]int) }
+
+// Reachable reports whether a message from one node can currently reach the
+// other (both up, same partition group).
+func (n *Network) Reachable(from, to NodeID) bool {
+	if n.down[from] || n.down[to] {
+		return false
+	}
+	return n.group[from] == n.group[to]
+}
+
+// Cost returns the travel cost between two nodes per the topology. The cost
+// drives the agents' Un-visited Servers List ordering (paper §3.2: each
+// server maintains a routing table with the cost of transferring an agent to
+// every other server).
+func (n *Network) Cost(from, to NodeID) float64 { return n.topo.Cost(from, to) }
+
+// Send transmits msg. Delivery is scheduled after a latency drawn from the
+// network's latency model. If the destination is unreachable now, or is down
+// when the message would arrive, the message is dropped.
+func (n *Network) Send(msg Message) {
+	if msg.From == None || msg.To == None {
+		panic(fmt.Sprintf("simnet: message with unset endpoints %+v", msg))
+	}
+	n.stats.MessagesSent++
+	n.stats.BytesSent += msg.Size
+	if k, ok := msg.Payload.(Kinder); ok {
+		if n.stats.ByKind == nil {
+			n.stats.ByKind = make(map[string]int)
+		}
+		n.stats.ByKind[k.Kind()]++
+	}
+	if !n.Reachable(msg.From, msg.To) {
+		n.stats.MessagesDropped++
+		return
+	}
+	d := n.latency.Sample(n, msg)
+	if d < 0 {
+		d = 0
+	}
+	n.sim.After(d, func() { n.deliver(msg) })
+}
+
+func (n *Network) deliver(msg Message) {
+	// The message was in flight; re-check the destination at arrival time.
+	if n.down[msg.To] || n.group[msg.From] != n.group[msg.To] {
+		n.stats.MessagesDropped++
+		return
+	}
+	h, ok := n.nodes[msg.To]
+	if !ok {
+		n.stats.MessagesDropped++
+		return
+	}
+	n.stats.MessagesDelivered++
+	h.Deliver(msg)
+}
+
+// Stats returns a copy of the traffic counters.
+func (n *Network) Stats() Stats {
+	s := n.stats
+	if n.stats.ByKind != nil {
+		s.ByKind = make(map[string]int, len(n.stats.ByKind))
+		for k, v := range n.stats.ByKind {
+			s.ByKind[k] = v
+		}
+	}
+	return s
+}
+
+// ResetStats zeroes the traffic counters (used between benchmark phases).
+func (n *Network) ResetStats() { n.stats = Stats{} }

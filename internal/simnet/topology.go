@@ -1,0 +1,105 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Topology describes the relative travel costs between nodes. Costs are
+// dimensionless; latency models map them to time. The paper assumes every
+// server knows the cost of transferring a mobile agent to every other server
+// (its routing table); Topology is the ground truth those tables reflect.
+type Topology struct {
+	n    int
+	cost [][]float64
+}
+
+// NewTopology builds a topology from an explicit symmetric cost matrix.
+// cost[i][j] is the cost between node i+1 and node j+1.
+func NewTopology(cost [][]float64) *Topology {
+	n := len(cost)
+	for i, row := range cost {
+		if len(row) != n {
+			panic(fmt.Sprintf("simnet: cost matrix row %d has %d entries, want %d", i, len(row), n))
+		}
+	}
+	return &Topology{n: n, cost: cost}
+}
+
+// FullMesh returns a topology of n nodes where every pair has cost 1 —
+// the LAN-of-workstations setting of the paper's prototype.
+func FullMesh(n int) *Topology {
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			if i != j {
+				cost[i][j] = 1
+			}
+		}
+	}
+	return &Topology{n: n, cost: cost}
+}
+
+// RandomGeo places n nodes uniformly at random on the unit square and uses
+// Euclidean distances as costs — a stand-in for geographically dispersed
+// Internet replicas with heterogeneous inter-site costs.
+func RandomGeo(n int, rng *rand.Rand) *Topology {
+	type pt struct{ x, y float64 }
+	pts := make([]pt, n)
+	for i := range pts {
+		pts[i] = pt{rng.Float64(), rng.Float64()}
+	}
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			dx, dy := pts[i].x-pts[j].x, pts[i].y-pts[j].y
+			cost[i][j] = math.Sqrt(dx*dx + dy*dy)
+		}
+	}
+	return &Topology{n: n, cost: cost}
+}
+
+// Ring returns a topology where cost equals hop distance around a ring —
+// useful for exercising strongly non-uniform itineraries.
+func Ring(n int) *Topology {
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			d := i - j
+			if d < 0 {
+				d = -d
+			}
+			if n-d < d {
+				d = n - d
+			}
+			cost[i][j] = float64(d)
+		}
+	}
+	return &Topology{n: n, cost: cost}
+}
+
+// Len returns the number of nodes in the topology.
+func (t *Topology) Len() int { return t.n }
+
+// Cost returns the travel cost between two node IDs (1-based). Unknown IDs
+// cost +Inf, which keeps them last in any cost-ordered itinerary.
+func (t *Topology) Cost(from, to NodeID) float64 {
+	i, j := int(from)-1, int(to)-1
+	if i < 0 || j < 0 || i >= t.n || j >= t.n {
+		return math.Inf(1)
+	}
+	return t.cost[i][j]
+}
+
+// NodeIDs returns the node IDs 1..n of the topology.
+func (t *Topology) NodeIDs() []NodeID {
+	ids := make([]NodeID, t.n)
+	for i := range ids {
+		ids[i] = NodeID(i + 1)
+	}
+	return ids
+}

@@ -1,0 +1,193 @@
+// Package store implements the versioned data store kept by each replica.
+//
+// The paper's replicas hold "copies of the replicated data" together with
+// the time of last update; the winning agent inspects the last-update times
+// of the quorum members to find the most recent copy, then broadcasts an
+// UPDATE that every server applies tentatively and a COMMIT that finalizes
+// it (paper §3.1). Store models exactly that two-step application, plus the
+// "background information transfer" the paper assigns to replicas: a
+// committed-update log that lets a recovering replica pull the updates it
+// missed, in order.
+//
+// Updates are totally ordered by a global sequence number. The MARP lock
+// serializes writers, so sequence numbers increase by exactly one; Store
+// enforces that, turning any ordering bug in the protocol layer into an
+// immediate error instead of silent divergence.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Version identifies one committed state of a key.
+type Version struct {
+	Seq    uint64 // global update sequence number (1-based; 0 = never written)
+	Stamp  int64  // virtual time of the update, nanoseconds (the "time of last update")
+	Writer string // ID of the agent/transaction that wrote it
+}
+
+// Less reports whether v is older than u. Seq is authoritative; Stamp only
+// breaks ties for diagnostics (two committed versions never share a Seq).
+func (v Version) Less(u Version) bool {
+	if v.Seq != u.Seq {
+		return v.Seq < u.Seq
+	}
+	return v.Stamp < u.Stamp
+}
+
+// Value is a versioned datum.
+type Value struct {
+	Data    string
+	Version Version
+}
+
+// Update is one write in the global order.
+type Update struct {
+	TxnID string // unique transaction (agent) identifier
+	Key   string
+	Data  string
+	Seq   uint64
+	Stamp int64
+}
+
+func (u Update) version() Version { return Version{Seq: u.Seq, Stamp: u.Stamp, Writer: u.TxnID} }
+
+// Errors returned by Store operations.
+var (
+	ErrSeqGap       = errors.New("store: update sequence gap, sync required")
+	ErrStale        = errors.New("store: update older than committed state")
+	ErrUnknownTxn   = errors.New("store: unknown transaction")
+	ErrTxnCollision = errors.New("store: transaction already prepared")
+)
+
+// Store is a single replica's data store. It is not safe for concurrent use;
+// each simulated or real server owns one and accesses it from its event loop.
+type Store struct {
+	committed map[string]Value
+	tentative map[string]Update // keyed by TxnID
+	log       []Update          // committed updates, ascending Seq
+	lastSeq   uint64
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		committed: make(map[string]Value),
+		tentative: make(map[string]Update),
+	}
+}
+
+// Get returns the committed value for key.
+func (s *Store) Get(key string) (Value, bool) {
+	v, ok := s.committed[key]
+	return v, ok
+}
+
+// VersionOf returns the committed version of key (zero Version if absent).
+func (s *Store) VersionOf(key string) Version { return s.committed[key].Version }
+
+// LastSeq returns the highest committed sequence number.
+func (s *Store) LastSeq() uint64 { return s.lastSeq }
+
+// Prepare stages an update tentatively (the server's reaction to an UPDATE
+// message). It validates the global ordering: the update must carry exactly
+// the next sequence number. A stale update (already committed here) returns
+// ErrStale; a gap returns ErrSeqGap, signalling that the replica missed
+// updates while failed and must sync before acknowledging.
+func (s *Store) Prepare(u Update) error {
+	if u.TxnID == "" || u.Key == "" {
+		return fmt.Errorf("store: malformed update %+v", u)
+	}
+	if _, dup := s.tentative[u.TxnID]; dup {
+		return ErrTxnCollision
+	}
+	switch {
+	case u.Seq <= s.lastSeq:
+		return ErrStale
+	case u.Seq != s.lastSeq+1:
+		return ErrSeqGap
+	}
+	s.tentative[u.TxnID] = u
+	return nil
+}
+
+// Commit finalizes a prepared update (the server's reaction to a COMMIT
+// message). Committing is idempotent with respect to Abort-after-Commit but
+// an unknown TxnID returns ErrUnknownTxn.
+func (s *Store) Commit(txnID string) error {
+	u, ok := s.tentative[txnID]
+	if !ok {
+		return ErrUnknownTxn
+	}
+	delete(s.tentative, txnID)
+	if u.Seq != s.lastSeq+1 {
+		// Another path (anti-entropy) may have applied it already.
+		if u.Seq <= s.lastSeq {
+			return nil
+		}
+		return ErrSeqGap
+	}
+	s.apply(u)
+	return nil
+}
+
+// Abort discards a prepared update. Unknown transactions are ignored.
+func (s *Store) Abort(txnID string) { delete(s.tentative, txnID) }
+
+// Pending reports the number of prepared-but-uncommitted updates.
+func (s *Store) Pending() int { return len(s.tentative) }
+
+// ApplyCommitted applies an already-globally-committed update directly,
+// bypassing the prepare/commit handshake. It is the anti-entropy path used
+// by a recovering replica. Already-applied updates are no-ops; gaps are
+// rejected so callers must replay in order.
+func (s *Store) ApplyCommitted(u Update) error {
+	if u.Seq <= s.lastSeq {
+		return nil
+	}
+	if u.Seq != s.lastSeq+1 {
+		return ErrSeqGap
+	}
+	s.apply(u)
+	return nil
+}
+
+func (s *Store) apply(u Update) {
+	s.committed[u.Key] = Value{Data: u.Data, Version: u.version()}
+	s.log = append(s.log, u)
+	s.lastSeq = u.Seq
+}
+
+// UpdatesSince returns the committed updates with Seq greater than seq, in
+// order — the payload of a background information transfer to a recovering
+// peer.
+func (s *Store) UpdatesSince(seq uint64) []Update {
+	i := sort.Search(len(s.log), func(i int) bool { return s.log[i].Seq > seq })
+	out := make([]Update, len(s.log)-i)
+	copy(out, s.log[i:])
+	return out
+}
+
+// Log returns a copy of the full committed update log.
+func (s *Store) Log() []Update { return s.UpdatesSince(0) }
+
+// Keys returns the committed keys in sorted order.
+func (s *Store) Keys() []string {
+	keys := make([]string, 0, len(s.committed))
+	for k := range s.committed {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Snapshot returns a copy of the committed state.
+func (s *Store) Snapshot() map[string]Value {
+	out := make(map[string]Value, len(s.committed))
+	for k, v := range s.committed {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,280 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustPrepare(t *testing.T, s *Store, u Update) {
+	t.Helper()
+	if err := s.Prepare(u); err != nil {
+		t.Fatalf("Prepare(%+v): %v", u, err)
+	}
+}
+
+func mustCommit(t *testing.T, s *Store, txn string) {
+	t.Helper()
+	if err := s.Commit(txn); err != nil {
+		t.Fatalf("Commit(%s): %v", txn, err)
+	}
+}
+
+func TestPrepareCommitGet(t *testing.T) {
+	s := New()
+	mustPrepare(t, s, Update{TxnID: "t1", Key: "x", Data: "v1", Seq: 1, Stamp: 100})
+	if _, ok := s.Get("x"); ok {
+		t.Fatal("tentative update visible before commit")
+	}
+	mustCommit(t, s, "t1")
+	v, ok := s.Get("x")
+	if !ok || v.Data != "v1" || v.Version.Seq != 1 || v.Version.Writer != "t1" || v.Version.Stamp != 100 {
+		t.Fatalf("Get = %+v, %v", v, ok)
+	}
+	if s.LastSeq() != 1 {
+		t.Fatalf("LastSeq = %d", s.LastSeq())
+	}
+}
+
+func TestAbortDiscards(t *testing.T) {
+	s := New()
+	mustPrepare(t, s, Update{TxnID: "t1", Key: "x", Data: "v1", Seq: 1})
+	s.Abort("t1")
+	if s.Pending() != 0 {
+		t.Fatal("pending after abort")
+	}
+	if err := s.Commit("t1"); !errors.Is(err, ErrUnknownTxn) {
+		t.Fatalf("Commit after abort = %v, want ErrUnknownTxn", err)
+	}
+	// The sequence number is reusable after an abort.
+	mustPrepare(t, s, Update{TxnID: "t2", Key: "x", Data: "v2", Seq: 1})
+	mustCommit(t, s, "t2")
+	if v, _ := s.Get("x"); v.Data != "v2" {
+		t.Fatalf("Get = %+v", v)
+	}
+}
+
+func TestPrepareRejectsStaleAndGaps(t *testing.T) {
+	s := New()
+	mustPrepare(t, s, Update{TxnID: "t1", Key: "x", Data: "a", Seq: 1})
+	mustCommit(t, s, "t1")
+	if err := s.Prepare(Update{TxnID: "t2", Key: "x", Data: "b", Seq: 1}); !errors.Is(err, ErrStale) {
+		t.Fatalf("stale prepare = %v", err)
+	}
+	if err := s.Prepare(Update{TxnID: "t3", Key: "x", Data: "c", Seq: 3}); !errors.Is(err, ErrSeqGap) {
+		t.Fatalf("gap prepare = %v", err)
+	}
+}
+
+func TestPrepareRejectsMalformedAndDup(t *testing.T) {
+	s := New()
+	if err := s.Prepare(Update{TxnID: "", Key: "x", Seq: 1}); err == nil {
+		t.Fatal("empty TxnID accepted")
+	}
+	if err := s.Prepare(Update{TxnID: "t", Key: "", Seq: 1}); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	mustPrepare(t, s, Update{TxnID: "t", Key: "x", Data: "a", Seq: 1})
+	if err := s.Prepare(Update{TxnID: "t", Key: "y", Data: "b", Seq: 1}); !errors.Is(err, ErrTxnCollision) {
+		t.Fatalf("dup txn = %v", err)
+	}
+}
+
+func TestCommitIdempotentAfterAntiEntropy(t *testing.T) {
+	s := New()
+	mustPrepare(t, s, Update{TxnID: "t1", Key: "x", Data: "a", Seq: 1})
+	// Anti-entropy applies the same committed update before the COMMIT
+	// message arrives.
+	if err := s.ApplyCommitted(Update{TxnID: "t1", Key: "x", Data: "a", Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit("t1"); err != nil {
+		t.Fatalf("Commit after anti-entropy = %v", err)
+	}
+	if s.LastSeq() != 1 {
+		t.Fatalf("LastSeq = %d", s.LastSeq())
+	}
+}
+
+func TestApplyCommittedOrdering(t *testing.T) {
+	s := New()
+	if err := s.ApplyCommitted(Update{TxnID: "t2", Key: "x", Data: "b", Seq: 2}); !errors.Is(err, ErrSeqGap) {
+		t.Fatalf("gap apply = %v", err)
+	}
+	if err := s.ApplyCommitted(Update{TxnID: "t1", Key: "x", Data: "a", Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ApplyCommitted(Update{TxnID: "t1", Key: "x", Data: "a", Seq: 1}); err != nil {
+		t.Fatalf("idempotent re-apply = %v", err)
+	}
+	if err := s.ApplyCommitted(Update{TxnID: "t2", Key: "x", Data: "b", Seq: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Get("x"); v.Data != "b" {
+		t.Fatalf("Get = %+v", v)
+	}
+}
+
+func TestUpdatesSince(t *testing.T) {
+	s := New()
+	for i := 1; i <= 5; i++ {
+		u := Update{TxnID: fmt.Sprintf("t%d", i), Key: "k", Data: fmt.Sprintf("v%d", i), Seq: uint64(i)}
+		if err := s.ApplyCommitted(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.UpdatesSince(2)
+	if len(got) != 3 || got[0].Seq != 3 || got[2].Seq != 5 {
+		t.Fatalf("UpdatesSince(2) = %+v", got)
+	}
+	if len(s.Log()) != 5 {
+		t.Fatalf("Log len = %d", len(s.Log()))
+	}
+	// Mutating the returned slice must not affect the store.
+	got[0].Data = "mutated"
+	if s.Log()[2].Data == "mutated" {
+		t.Fatal("UpdatesSince returned aliasing slice")
+	}
+}
+
+func TestKeysAndSnapshot(t *testing.T) {
+	s := New()
+	_ = s.ApplyCommitted(Update{TxnID: "a", Key: "zebra", Data: "1", Seq: 1})
+	_ = s.ApplyCommitted(Update{TxnID: "b", Key: "apple", Data: "2", Seq: 2})
+	keys := s.Keys()
+	if len(keys) != 2 || keys[0] != "apple" || keys[1] != "zebra" {
+		t.Fatalf("Keys = %v", keys)
+	}
+	snap := s.Snapshot()
+	if snap["apple"].Data != "2" {
+		t.Fatalf("Snapshot = %+v", snap)
+	}
+	snap["apple"] = Value{Data: "hacked"}
+	if v, _ := s.Get("apple"); v.Data != "2" {
+		t.Fatal("Snapshot aliases store")
+	}
+}
+
+func TestVersionLess(t *testing.T) {
+	a := Version{Seq: 1, Stamp: 10}
+	b := Version{Seq: 2, Stamp: 5}
+	if !a.Less(b) || b.Less(a) {
+		t.Fatal("Seq ordering wrong")
+	}
+	c := Version{Seq: 1, Stamp: 20}
+	if !a.Less(c) {
+		t.Fatal("Stamp tiebreak wrong")
+	}
+}
+
+func TestVersionOfMissingKey(t *testing.T) {
+	s := New()
+	if v := s.VersionOf("nope"); v.Seq != 0 {
+		t.Fatalf("VersionOf missing = %+v", v)
+	}
+}
+
+// Property: two stores fed the same committed updates — one via
+// prepare/commit, one via anti-entropy replay — converge to identical state.
+func TestPropertyConvergenceAcrossPaths(t *testing.T) {
+	f := func(seed int64, nOps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		primary, replica := New(), New()
+		keys := []string{"a", "b", "c"}
+		for i := 1; i <= int(nOps); i++ {
+			u := Update{
+				TxnID: fmt.Sprintf("t%d", i),
+				Key:   keys[rng.Intn(len(keys))],
+				Data:  fmt.Sprintf("v%d", rng.Intn(100)),
+				Seq:   uint64(i),
+				Stamp: int64(i * 10),
+			}
+			if err := primary.Prepare(u); err != nil {
+				return false
+			}
+			if err := primary.Commit(u.TxnID); err != nil {
+				return false
+			}
+		}
+		for _, u := range primary.Log() {
+			if err := replica.ApplyCommitted(u); err != nil {
+				return false
+			}
+		}
+		a, b := primary.Snapshot(), replica.Snapshot()
+		if len(a) != len(b) {
+			return false
+		}
+		for k, v := range a {
+			if b[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the committed log always has strictly increasing, gapless Seq.
+func TestPropertyLogGapless(t *testing.T) {
+	f := func(aborts []bool) bool {
+		s := New()
+		seq := uint64(0)
+		for i, abort := range aborts {
+			u := Update{TxnID: fmt.Sprintf("t%d", i), Key: "k", Data: "v", Seq: seq + 1}
+			if err := s.Prepare(u); err != nil {
+				return false
+			}
+			if abort {
+				s.Abort(u.TxnID)
+				continue
+			}
+			if err := s.Commit(u.TxnID); err != nil {
+				return false
+			}
+			seq++
+		}
+		log := s.Log()
+		for i, u := range log {
+			if u.Seq != uint64(i+1) {
+				return false
+			}
+		}
+		return s.LastSeq() == seq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPrepareCommit(b *testing.B) {
+	s := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		u := Update{TxnID: "t", Key: "k", Data: "v", Seq: uint64(i + 1)}
+		if err := s.Prepare(u); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Commit("t"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUpdatesSince(b *testing.B) {
+	s := New()
+	for i := 1; i <= 10000; i++ {
+		_ = s.ApplyCommitted(Update{TxnID: "t", Key: "k", Data: "v", Seq: uint64(i)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.UpdatesSince(9990); len(got) != 10 {
+			b.Fatal("wrong tail")
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Package trace collects structured events from a simulated execution.
+//
+// The paper's prototype shipped a Tahiti-based viewer to "visualize the
+// execution" of the agents; this package is its headless equivalent. Every
+// protocol-relevant action (agent created, migrated, locked, won, committed,
+// server crashed, …) is appended as an Event, and examples print the
+// resulting timeline. Tracing is optional: a nil *Log is valid and records
+// nothing, so hot benchmark paths pay a single nil check.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Type classifies an event.
+type Type string
+
+// Event types emitted by the substrates and the protocol.
+const (
+	AgentCreated   Type = "agent-created"
+	AgentMigrate   Type = "agent-migrate"
+	AgentArrived   Type = "agent-arrived"
+	AgentBlocked   Type = "agent-migrate-failed"
+	AgentParked    Type = "agent-parked"
+	AgentDisposed  Type = "agent-disposed"
+	AgentDied      Type = "agent-died"
+	LockRequested  Type = "lock-requested"
+	LockReleased   Type = "lock-released"
+	ClaimStarted   Type = "claim-started"
+	ClaimAborted   Type = "claim-aborted"
+	UpdateSent     Type = "update-sent"
+	UpdateAcked    Type = "update-acked"
+	UpdateNacked   Type = "update-nacked"
+	CommitSent     Type = "commit-sent"
+	Committed      Type = "committed"
+	ServerCrashed  Type = "server-crashed"
+	ServerRecover  Type = "server-recovered"
+	ServerSynced   Type = "server-synced"
+	TieBreak       Type = "tie-break"
+	RequestArrived Type = "request-arrived"
+	RequestDone    Type = "request-done"
+)
+
+// Event is one timestamped occurrence.
+type Event struct {
+	At     int64 // virtual time, nanoseconds since simulation start
+	Node   int   // node where the event happened (0 = global)
+	Actor  string
+	Type   Type
+	Detail string
+}
+
+// String renders the event as a single timeline line.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10.3fms", float64(e.At)/1e6)
+	if e.Node != 0 {
+		fmt.Fprintf(&b, "  S%-2d", e.Node)
+	} else {
+		b.WriteString("  -- ")
+	}
+	fmt.Fprintf(&b, "  %-22s", string(e.Type))
+	if e.Actor != "" {
+		fmt.Fprintf(&b, " %-14s", e.Actor)
+	}
+	if e.Detail != "" {
+		b.WriteString(" ")
+		b.WriteString(e.Detail)
+	}
+	return b.String()
+}
+
+// Log is an append-only event collector. The zero value is ready to use; a
+// nil *Log discards all events.
+type Log struct {
+	events []Event
+	limit  int // 0 = unlimited
+}
+
+// New returns an empty log. If limit > 0, only the most recent limit events
+// are retained (a ring of the tail).
+func New(limit int) *Log { return &Log{limit: limit} }
+
+// Add appends an event. Add on a nil log is a no-op.
+func (l *Log) Add(e Event) {
+	if l == nil {
+		return
+	}
+	l.events = append(l.events, e)
+	if l.limit > 0 && len(l.events) > l.limit {
+		copy(l.events, l.events[len(l.events)-l.limit:])
+		l.events = l.events[:l.limit]
+	}
+}
+
+// Addf appends an event with a formatted detail string.
+func (l *Log) Addf(at int64, node int, actor string, typ Type, format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.Add(Event{At: at, Node: node, Actor: actor, Type: typ, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Events returns a copy of the recorded events in order.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Len reports the number of recorded events.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.events)
+}
+
+// Filter returns the events of the given types, in order.
+func (l *Log) Filter(types ...Type) []Event {
+	if l == nil {
+		return nil
+	}
+	want := make(map[Type]bool, len(types))
+	for _, t := range types {
+		want[t] = true
+	}
+	var out []Event
+	for _, e := range l.events {
+		if want[e.Type] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// WriteTo prints the timeline to w, one event per line.
+func (l *Log) WriteTo(w io.Writer) (int64, error) {
+	if l == nil {
+		return 0, nil
+	}
+	var total int64
+	for _, e := range l.events {
+		n, err := fmt.Fprintln(w, e.String())
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *Log
+	l.Add(Event{Type: AgentCreated})
+	l.Addf(1, 2, "a", AgentCreated, "x %d", 1)
+	if l.Len() != 0 || l.Events() != nil || l.Filter(AgentCreated) != nil {
+		t.Fatal("nil log not inert")
+	}
+	if n, err := l.WriteTo(&strings.Builder{}); n != 0 || err != nil {
+		t.Fatal("nil WriteTo wrote something")
+	}
+}
+
+func TestAddAndEvents(t *testing.T) {
+	l := New(0)
+	l.Add(Event{At: 1, Node: 2, Actor: "A1.1", Type: AgentCreated})
+	l.Addf(2, 3, "A1.1", AgentMigrate, "-> S%d", 4)
+	if l.Len() != 2 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	evs := l.Events()
+	if evs[1].Detail != "-> S4" {
+		t.Fatalf("detail = %q", evs[1].Detail)
+	}
+	evs[0].Actor = "mutated"
+	if l.Events()[0].Actor != "A1.1" {
+		t.Fatal("Events aliases log")
+	}
+}
+
+func TestRingLimit(t *testing.T) {
+	l := New(3)
+	for i := 0; i < 10; i++ {
+		l.Add(Event{At: int64(i)})
+	}
+	evs := l.Events()
+	if len(evs) != 3 || evs[0].At != 7 || evs[2].At != 9 {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	l := New(0)
+	l.Add(Event{Type: AgentCreated})
+	l.Add(Event{Type: Committed})
+	l.Add(Event{Type: AgentCreated})
+	got := l.Filter(AgentCreated)
+	if len(got) != 2 {
+		t.Fatalf("filter = %+v", got)
+	}
+	if len(l.Filter(TieBreak)) != 0 {
+		t.Fatal("filter matched absent type")
+	}
+}
+
+func TestEventStringFormat(t *testing.T) {
+	e := Event{At: 1_500_000, Node: 3, Actor: "A1.1", Type: AgentMigrate, Detail: "-> S2"}
+	s := e.String()
+	for _, want := range []string{"1.500ms", "S3", "agent-migrate", "A1.1", "-> S2"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+	global := Event{At: 0, Node: 0, Type: ServerSynced}
+	if !strings.Contains(global.String(), "--") {
+		t.Fatalf("global event format: %q", global.String())
+	}
+}
+
+func TestWriteTo(t *testing.T) {
+	l := New(0)
+	l.Add(Event{At: 1, Node: 1, Type: AgentCreated})
+	l.Add(Event{At: 2, Node: 2, Type: Committed})
+	var b strings.Builder
+	n, err := l.WriteTo(&b)
+	if err != nil || n == 0 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if lines := strings.Count(b.String(), "\n"); lines != 2 {
+		t.Fatalf("lines = %d", lines)
+	}
+}

@@ -1,0 +1,294 @@
+// Package transport exposes a live MARP cluster as a network service: a
+// TCP server speaking a line-delimited JSON protocol (one request object per
+// line, one response object per line), plus the matching client.
+//
+// The replication protocol itself runs on the deterministic simulation
+// engine, paced against the wall clock by internal/realtime; the transport
+// layer carries client traffic only. DESIGN.md documents why this
+// substitution preserves the studied behaviour: the agent/replica dynamics
+// under test are identical whether the replicas exchange messages over
+// simulated or physical links, and keeping them on the simulated fabric
+// preserves the correctness oracles (referee, convergence checks) in the
+// live deployment too.
+//
+// Wire protocol (JSON per line):
+//
+//	-> {"op":"submit","home":1,"key":"k","value":"v","append":false}
+//	<- {"ok":true}
+//	-> {"op":"read","node":2,"key":"k"}
+//	<- {"ok":true,"value":"v","seq":3,"found":true}
+//	-> {"op":"stats"}
+//	<- {"ok":true,"stats":{...}}
+//	-> {"op":"crash","node":3} / {"op":"recover","node":3}
+//	<- {"ok":true}
+package transport
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	marp "repro"
+	"repro/internal/realtime"
+)
+
+// Request is one client command.
+type Request struct {
+	Op     string `json:"op"`
+	Home   int    `json:"home,omitempty"`
+	Node   int    `json:"node,omitempty"`
+	Key    string `json:"key,omitempty"`
+	Value  string `json:"value,omitempty"`
+	Append bool   `json:"append,omitempty"`
+}
+
+// StatsBody is the payload of a stats response.
+type StatsBody struct {
+	Servers     int   `json:"servers"`
+	Outstanding int   `json:"outstanding"`
+	Committed   int   `json:"committed"`
+	Failed      int   `json:"failed"`
+	Messages    int   `json:"messages"`
+	Bytes       int   `json:"bytes"`
+	Migrations  int   `json:"migrations"`
+	VirtualMs   int64 `json:"virtual_ms"`
+}
+
+// Response is one server reply.
+type Response struct {
+	OK    bool       `json:"ok"`
+	Error string     `json:"error,omitempty"`
+	Found bool       `json:"found,omitempty"`
+	Value string     `json:"value,omitempty"`
+	Seq   uint64     `json:"seq,omitempty"`
+	Stats *StatsBody `json:"stats,omitempty"`
+}
+
+// Server serves a MARP cluster over TCP.
+type Server struct {
+	cluster  *marp.Cluster
+	driver   *realtime.Driver
+	listener net.Listener
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	done  chan struct{}
+}
+
+// Serve starts a cluster service on addr (e.g. "127.0.0.1:7707"; use port 0
+// for an ephemeral port). speed scales virtual time against the wall clock.
+func Serve(addr string, opts marp.Options, speed float64) (*Server, error) {
+	cluster, err := marp.NewCluster(opts)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	driver := realtime.NewDriver(cluster.Internal().Sim(), speed)
+	s := &Server{
+		cluster:  cluster,
+		driver:   driver,
+		listener: ln,
+		conns:    make(map[net.Conn]struct{}),
+		done:     make(chan struct{}),
+	}
+	driver.Start()
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// Close stops accepting, closes live connections, and stops the driver.
+func (s *Server) Close() {
+	select {
+	case <-s.done:
+		return
+	default:
+		close(s.done)
+	}
+	s.listener.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.driver.Stop()
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := s.handle(req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// handle executes one request on the simulation loop.
+func (s *Server) handle(req Request) Response {
+	var resp Response
+	err := s.driver.Do(func() {
+		resp = s.apply(req)
+	})
+	if err != nil {
+		return Response{Error: err.Error()}
+	}
+	return resp
+}
+
+func (s *Server) apply(req Request) Response {
+	switch req.Op {
+	case "submit":
+		r := marp.Set(req.Key, req.Value)
+		if req.Append {
+			r = marp.Append(req.Key, req.Value)
+		}
+		if err := s.cluster.Submit(marp.NodeID(req.Home), r); err != nil {
+			return Response{Error: err.Error()}
+		}
+		return Response{OK: true}
+	case "read":
+		v, ok := s.cluster.Read(marp.NodeID(req.Node), req.Key)
+		return Response{OK: true, Found: ok, Value: v.Data, Seq: v.Version.Seq}
+	case "crash":
+		s.cluster.Crash(marp.NodeID(req.Node))
+		return Response{OK: true}
+	case "recover":
+		s.cluster.Recover(marp.NodeID(req.Node))
+		return Response{OK: true}
+	case "stats":
+		st := s.cluster.Stats()
+		committed, failed := 0, 0
+		for _, o := range s.cluster.Outcomes() {
+			if o.Failed {
+				failed++
+			} else {
+				committed++
+			}
+		}
+		return Response{OK: true, Stats: &StatsBody{
+			Servers:     len(s.cluster.Servers()),
+			Outstanding: s.cluster.Outstanding(),
+			Committed:   committed,
+			Failed:      failed,
+			Messages:    st.Network.MessagesSent,
+			Bytes:       st.Network.BytesSent,
+			Migrations:  st.Agents.MigrationsCompleted,
+			VirtualMs:   s.cluster.Now().Milliseconds(),
+		}}
+	default:
+		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// Client is a TCP client for a transport.Server.
+type Client struct {
+	conn net.Conn
+	dec  *json.Decoder
+	enc  *json.Encoder
+	mu   sync.Mutex
+}
+
+// Dial connects to a MARP service.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn: conn,
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+		enc:  json.NewEncoder(conn),
+	}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and reads one response. Clients may be used
+// from multiple goroutines.
+func (c *Client) roundTrip(req Request) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, err
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return Response{}, err
+	}
+	if resp.Error != "" {
+		return resp, fmt.Errorf("transport: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Submit sends an update request to the given home server.
+func (c *Client) Submit(home int, key, value string, appendOp bool) error {
+	_, err := c.roundTrip(Request{Op: "submit", Home: home, Key: key, Value: value, Append: appendOp})
+	return err
+}
+
+// Read reads a key from a replica's local copy.
+func (c *Client) Read(node int, key string) (value string, seq uint64, found bool, err error) {
+	resp, err := c.roundTrip(Request{Op: "read", Node: node, Key: key})
+	if err != nil {
+		return "", 0, false, err
+	}
+	return resp.Value, resp.Seq, resp.Found, nil
+}
+
+// Crash fail-stops a server.
+func (c *Client) Crash(node int) error {
+	_, err := c.roundTrip(Request{Op: "crash", Node: node})
+	return err
+}
+
+// Recover restarts a crashed server.
+func (c *Client) Recover(node int) error {
+	_, err := c.roundTrip(Request{Op: "recover", Node: node})
+	return err
+}
+
+// Stats fetches service counters.
+func (c *Client) Stats() (StatsBody, error) {
+	resp, err := c.roundTrip(Request{Op: "stats"})
+	if err != nil {
+		return StatsBody{}, err
+	}
+	if resp.Stats == nil {
+		return StatsBody{}, fmt.Errorf("transport: empty stats")
+	}
+	return *resp.Stats, nil
+}

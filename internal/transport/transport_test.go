@@ -1,0 +1,174 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	marp "repro"
+)
+
+func startServer(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	// 200x speed: protocol milliseconds resolve almost immediately.
+	srv, err := Serve("127.0.0.1:0", marp.Options{Servers: 5, Seed: 42}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	return srv, cli
+}
+
+func waitCommitted(t *testing.T, cli *Client, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := cli.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Committed >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d updates committed (outstanding %d)", st.Committed, want, st.Outstanding)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestSubmitReadOverTCP(t *testing.T) {
+	_, cli := startServer(t)
+	if err := cli.Submit(1, "greeting", "hello-tcp", false); err != nil {
+		t.Fatal(err)
+	}
+	waitCommitted(t, cli, 1)
+	for node := 1; node <= 5; node++ {
+		value, seq, found, err := cli.Read(node, "greeting")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found || value != "hello-tcp" || seq != 1 {
+			t.Fatalf("node %d: value=%q seq=%d found=%v", node, value, seq, found)
+		}
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv, _ := startServer(t)
+	const clients = 4
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		i := i
+		go func() {
+			cli, err := Dial(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cli.Close()
+			errs <- cli.Submit(i+1, "shared", "from-client", true)
+		}()
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	waitCommitted(t, cli, clients)
+	value, _, found, err := cli.Read(1, "shared")
+	if err != nil || !found {
+		t.Fatalf("read: %v found=%v", err, found)
+	}
+	if len(value) != clients*len("from-client") {
+		t.Fatalf("append lost data: %q", value)
+	}
+}
+
+func TestCrashRecoverOverTCP(t *testing.T) {
+	_, cli := startServer(t)
+	if err := cli.Crash(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Submit(1, "x", "v", false); err != nil {
+		t.Fatal(err)
+	}
+	waitCommitted(t, cli, 1)
+	if _, _, found, _ := cli.Read(5, "x"); found {
+		t.Fatal("crashed server answered a read")
+	}
+	if err := cli.Recover(5); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, seq, found, err := cli.Read(5, "x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if found && seq == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("recovered server never caught up")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestStats(t *testing.T) {
+	_, cli := startServer(t)
+	st, err := cli.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Servers != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := cli.Submit(2, "k", "v", false); err != nil {
+		t.Fatal(err)
+	}
+	waitCommitted(t, cli, 1)
+	st, err = cli.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Messages == 0 || st.Migrations == 0 {
+		t.Fatalf("stats after update = %+v", st)
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	_, cli := startServer(t)
+	if err := cli.Submit(99, "k", "v", false); err == nil {
+		t.Fatal("submit to unknown home accepted")
+	}
+	if _, err := cli.roundTrip(Request{Op: "dance"}); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	// The connection remains usable after an error response.
+	if err := cli.Submit(1, "k", "v", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", marp.Options{Servers: 3, Seed: 1}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	srv.Close() // no panic
+	if _, err := Dial(srv.Addr()); err == nil {
+		t.Fatal("dial succeeded after close")
+	}
+}

@@ -1,0 +1,150 @@
+// Package workload generates the request schedules used by the paper's
+// experiments: "an exponential random number generator was used to generate
+// requests; for each server, requests were generated at different rates"
+// (§4). A Spec describes the shape; Generate produces the deterministic
+// event list a harness feeds into a cluster.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// KeyDist selects how keys are drawn.
+type KeyDist int
+
+// Supported key distributions.
+const (
+	// UniformKeys draws keys uniformly from the key universe.
+	UniformKeys KeyDist = iota
+	// ZipfKeys draws keys from a Zipf(1.2) distribution — a hot-spot
+	// workload where most updates touch few keys.
+	ZipfKeys
+	// SingleKey sends every update to one key — the maximal-contention
+	// workload of the paper's experiments (all agents compete for the
+	// same lock order).
+	SingleKey
+)
+
+// Spec describes a workload.
+type Spec struct {
+	// Servers is the number of replicated servers (homes 1..Servers).
+	Servers int
+	// RequestsPerServer is how many update requests each server's
+	// clients issue.
+	RequestsPerServer int
+	// MeanInterarrival is the mean of the exponential inter-arrival time
+	// of requests at each server (the paper's x-axis).
+	MeanInterarrival time.Duration
+	// RateSkew, if nonzero, scales server i's arrival rate by
+	// 1 + RateSkew*(i-1)/(Servers-1), reproducing the paper's "requests
+	// were generated at different rates" per server.
+	RateSkew float64
+	// Keys is the size of the key universe (default 1).
+	Keys int
+	// Dist selects the key distribution (default SingleKey when Keys<=1,
+	// else UniformKeys unless set).
+	Dist KeyDist
+	// ReadFraction in [0,1) makes that fraction of events reads instead
+	// of updates. Reads are served locally in all protocols under test.
+	ReadFraction float64
+	// Seed drives the generator.
+	Seed int64
+}
+
+// Event is one client request: a read or an update arriving at a home
+// server at a virtual time offset.
+type Event struct {
+	At    time.Duration
+	Home  simnet.NodeID
+	Key   string
+	Value string
+	Read  bool
+}
+
+// Validate checks the spec.
+func (s Spec) Validate() error {
+	if s.Servers < 1 {
+		return fmt.Errorf("workload: Servers = %d", s.Servers)
+	}
+	if s.RequestsPerServer < 0 {
+		return fmt.Errorf("workload: RequestsPerServer = %d", s.RequestsPerServer)
+	}
+	if s.MeanInterarrival <= 0 {
+		return fmt.Errorf("workload: MeanInterarrival = %v", s.MeanInterarrival)
+	}
+	if s.ReadFraction < 0 || s.ReadFraction >= 1 {
+		return fmt.Errorf("workload: ReadFraction = %v", s.ReadFraction)
+	}
+	if s.RateSkew < 0 {
+		return fmt.Errorf("workload: RateSkew = %v", s.RateSkew)
+	}
+	return nil
+}
+
+// Generate produces the deterministic event schedule for the spec, sorted
+// by arrival time.
+func Generate(spec Spec) ([]Event, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	keys := spec.Keys
+	if keys < 1 {
+		keys = 1
+	}
+	dist := spec.Dist
+	if keys == 1 {
+		dist = SingleKey
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	var zipf *rand.Zipf
+	if dist == ZipfKeys {
+		zipf = rand.NewZipf(rng, 1.2, 1, uint64(keys-1))
+	}
+
+	var events []Event
+	for srv := 1; srv <= spec.Servers; srv++ {
+		mean := float64(spec.MeanInterarrival)
+		if spec.RateSkew > 0 && spec.Servers > 1 {
+			rate := 1 + spec.RateSkew*float64(srv-1)/float64(spec.Servers-1)
+			mean /= rate
+		}
+		t := time.Duration(0)
+		for i := 0; i < spec.RequestsPerServer; i++ {
+			t += time.Duration(rng.ExpFloat64() * mean)
+			var key string
+			switch dist {
+			case SingleKey:
+				key = "k0"
+			case ZipfKeys:
+				key = fmt.Sprintf("k%d", zipf.Uint64())
+			default:
+				key = fmt.Sprintf("k%d", rng.Intn(keys))
+			}
+			ev := Event{
+				At:    t,
+				Home:  simnet.NodeID(srv),
+				Key:   key,
+				Value: fmt.Sprintf("s%d-r%d", srv, i),
+			}
+			if spec.ReadFraction > 0 && rng.Float64() < spec.ReadFraction {
+				ev.Read = true
+			}
+			events = append(events, ev)
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	return events, nil
+}
+
+// Span returns the time of the last event (0 for an empty schedule).
+func Span(events []Event) time.Duration {
+	if len(events) == 0 {
+		return 0
+	}
+	return events[len(events)-1].At
+}

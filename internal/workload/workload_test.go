@@ -1,0 +1,191 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestGenerateBasics(t *testing.T) {
+	spec := Spec{Servers: 5, RequestsPerServer: 20, MeanInterarrival: 10 * time.Millisecond, Seed: 1}
+	evs, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 100 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	perHome := make(map[int]int)
+	for i, e := range evs {
+		if i > 0 && evs[i-1].At > e.At {
+			t.Fatal("events not sorted")
+		}
+		if e.Home < 1 || e.Home > 5 {
+			t.Fatalf("home = %d", e.Home)
+		}
+		if e.Key != "k0" {
+			t.Fatalf("single-key default violated: %q", e.Key)
+		}
+		if e.Read {
+			t.Fatal("read generated with ReadFraction 0")
+		}
+		perHome[int(e.Home)]++
+	}
+	for h := 1; h <= 5; h++ {
+		if perHome[h] != 20 {
+			t.Fatalf("home %d got %d events", h, perHome[h])
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Spec{Servers: 3, RequestsPerServer: 10, MeanInterarrival: 5 * time.Millisecond, Seed: 7}
+	a, _ := Generate(spec)
+	b, _ := Generate(spec)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+	spec.Seed = 8
+	c, _ := Generate(spec)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestGenerateMeanInterarrival(t *testing.T) {
+	spec := Spec{Servers: 1, RequestsPerServer: 5000, MeanInterarrival: 10 * time.Millisecond, Seed: 3}
+	evs, _ := Generate(spec)
+	span := Span(evs)
+	mean := span / time.Duration(len(evs))
+	if mean < 9*time.Millisecond || mean > 11*time.Millisecond {
+		t.Fatalf("empirical mean interarrival %v, want ~10ms", mean)
+	}
+}
+
+func TestGenerateRateSkew(t *testing.T) {
+	spec := Spec{Servers: 2, RequestsPerServer: 3000, MeanInterarrival: 10 * time.Millisecond, RateSkew: 1, Seed: 4}
+	evs, _ := Generate(spec)
+	var last [3]time.Duration
+	for _, e := range evs {
+		if e.At > last[e.Home] {
+			last[e.Home] = e.At
+		}
+	}
+	// Server 2 runs at 2x the rate of server 1, so its schedule spans
+	// roughly half the time.
+	ratio := float64(last[2]) / float64(last[1])
+	if ratio < 0.4 || ratio > 0.65 {
+		t.Fatalf("span ratio = %.2f, want ~0.5", ratio)
+	}
+}
+
+func TestGenerateKeyDistributions(t *testing.T) {
+	uni := Spec{Servers: 1, RequestsPerServer: 1000, MeanInterarrival: time.Millisecond, Keys: 10, Dist: UniformKeys, Seed: 5}
+	evs, _ := Generate(uni)
+	seen := make(map[string]int)
+	for _, e := range evs {
+		seen[e.Key]++
+	}
+	if len(seen) != 10 {
+		t.Fatalf("uniform keys used %d of 10", len(seen))
+	}
+	zipf := Spec{Servers: 1, RequestsPerServer: 1000, MeanInterarrival: time.Millisecond, Keys: 10, Dist: ZipfKeys, Seed: 5}
+	evs, _ = Generate(zipf)
+	seen = make(map[string]int)
+	for _, e := range evs {
+		seen[e.Key]++
+	}
+	if seen["k0"] < 400 {
+		t.Fatalf("zipf hot key k0 only %d of 1000", seen["k0"])
+	}
+}
+
+func TestGenerateReadFraction(t *testing.T) {
+	spec := Spec{Servers: 1, RequestsPerServer: 2000, MeanInterarrival: time.Millisecond, ReadFraction: 0.8, Seed: 6}
+	evs, _ := Generate(spec)
+	reads := 0
+	for _, e := range evs {
+		if e.Read {
+			reads++
+		}
+	}
+	frac := float64(reads) / float64(len(evs))
+	if frac < 0.75 || frac > 0.85 {
+		t.Fatalf("read fraction = %.2f, want ~0.8", frac)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Spec{
+		{Servers: 0, RequestsPerServer: 1, MeanInterarrival: time.Millisecond},
+		{Servers: 1, RequestsPerServer: -1, MeanInterarrival: time.Millisecond},
+		{Servers: 1, RequestsPerServer: 1, MeanInterarrival: 0},
+		{Servers: 1, RequestsPerServer: 1, MeanInterarrival: time.Millisecond, ReadFraction: 1},
+		{Servers: 1, RequestsPerServer: 1, MeanInterarrival: time.Millisecond, RateSkew: -1},
+	}
+	for i, s := range bad {
+		if _, err := Generate(s); err == nil {
+			t.Fatalf("spec %d accepted: %+v", i, s)
+		}
+	}
+}
+
+func TestSpanEmpty(t *testing.T) {
+	if Span(nil) != 0 {
+		t.Fatal("Span(nil) != 0")
+	}
+}
+
+func TestEventValuesUnique(t *testing.T) {
+	spec := Spec{Servers: 3, RequestsPerServer: 50, MeanInterarrival: time.Millisecond, Seed: 9}
+	evs, _ := Generate(spec)
+	seen := make(map[string]bool)
+	for _, e := range evs {
+		if !strings.HasPrefix(e.Value, "s") {
+			t.Fatalf("value format: %q", e.Value)
+		}
+		if seen[e.Value] {
+			t.Fatalf("duplicate value %q", e.Value)
+		}
+		seen[e.Value] = true
+	}
+}
+
+// Property: schedules are sorted and sized Servers*RequestsPerServer for any
+// valid parameters.
+func TestPropertyGenerateWellFormed(t *testing.T) {
+	f := func(seed int64, srvRaw, reqRaw uint8) bool {
+		spec := Spec{
+			Servers:           int(srvRaw%8) + 1,
+			RequestsPerServer: int(reqRaw % 30),
+			MeanInterarrival:  time.Millisecond,
+			Seed:              seed,
+		}
+		evs, err := Generate(spec)
+		if err != nil {
+			return false
+		}
+		if len(evs) != spec.Servers*spec.RequestsPerServer {
+			return false
+		}
+		for i := 1; i < len(evs); i++ {
+			if evs[i-1].At > evs[i].At {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,212 @@
+package marp
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	c, err := NewCluster(Options{Servers: 5, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(1, Set("greeting", "hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range c.Servers() {
+		v, ok := c.Read(id, "greeting")
+		if !ok || v.Data != "hello" {
+			t.Fatalf("server %d: %+v %v", id, v, ok)
+		}
+	}
+	if len(c.Outcomes()) != 1 {
+		t.Fatalf("outcomes = %d", len(c.Outcomes()))
+	}
+	st := c.Stats()
+	if st.Agents.AgentsCreated != 1 || st.Network.MessagesSent == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFacadeDefaults(t *testing.T) {
+	c, err := NewCluster(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Servers()) != 5 {
+		t.Fatalf("default servers = %d", len(c.Servers()))
+	}
+}
+
+func TestFacadeBadLatency(t *testing.T) {
+	if _, err := NewCluster(Options{Latency: "carrier-pigeon"}); err == nil {
+		t.Fatal("bad latency accepted")
+	}
+}
+
+func TestFacadeTraceCapture(t *testing.T) {
+	c, err := NewCluster(Options{Servers: 3, Seed: 7, CaptureTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(2, Set("k", "v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Trace()) == 0 {
+		t.Fatal("no trace recorded")
+	}
+	s := c.TraceString()
+	for _, want := range []string{"agent-created", "commit"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("trace missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFacadeNoTraceByDefault(t *testing.T) {
+	c, err := NewCluster(Options{Servers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Trace() != nil {
+		t.Fatal("trace captured without opt-in")
+	}
+	if c.TraceString() != "" {
+		t.Fatal("trace string non-empty without opt-in")
+	}
+}
+
+func TestFacadeCrashRecover(t *testing.T) {
+	c, err := NewCluster(Options{Servers: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Crash(5)
+	if err := c.Submit(1, Set("x", "1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Read(5, "x"); ok {
+		t.Fatal("crashed server served a read")
+	}
+	c.Recover(5)
+	c.RunFor(5 * time.Second)
+	if v, ok := c.Read(5, "x"); !ok || v.Data != "1" {
+		t.Fatalf("recovered read = %+v %v", v, ok)
+	}
+}
+
+func TestFacadeScriptedScenario(t *testing.T) {
+	c, err := NewCluster(Options{Servers: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		i := i
+		c.After(time.Duration(i)*5*time.Millisecond, func() {
+			_ = c.Submit(NodeID(i%3+1), Set("counter", fmt.Sprintf("%d", i)))
+		})
+	}
+	c.RunFor(60 * time.Millisecond)
+	if err := c.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Outcomes()); got != 10 {
+		t.Fatalf("outcomes = %d", got)
+	}
+	if c.Outstanding() != 0 {
+		t.Fatal("outstanding after Run")
+	}
+	if c.Now() == 0 {
+		t.Fatal("virtual clock did not advance")
+	}
+}
+
+func TestFacadeAppendSemantics(t *testing.T) {
+	c, err := NewCluster(Options{Servers: 3, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := c.Submit(NodeID(i), Append("log", fmt.Sprintf("<%d>", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := c.Read(1, "log")
+	for i := 1; i <= 3; i++ {
+		if !strings.Contains(v.Data, fmt.Sprintf("<%d>", i)) {
+			t.Fatalf("append lost <%d>: %q", i, v.Data)
+		}
+	}
+}
+
+func TestFacadeBatching(t *testing.T) {
+	c, err := NewCluster(Options{Servers: 3, Seed: 17, BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := c.Submit(1, Set(fmt.Sprintf("k%d", i), "v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Agents.AgentsCreated; got != 1 {
+		t.Fatalf("agents = %d, want 1 for a full batch", got)
+	}
+}
+
+func TestFacadeReadQuorum(t *testing.T) {
+	c, err := NewCluster(Options{Servers: 5, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(2, Set("cfg", "v9")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	v, found, err := c.ReadQuorum(4, "cfg")
+	if err != nil || !found || v.Data != "v9" {
+		t.Fatalf("quorum read = %+v %v %v", v, found, err)
+	}
+}
+
+func TestFacadeAblationOptions(t *testing.T) {
+	// The ablation knobs must produce working clusters.
+	for _, opt := range []Options{
+		{Servers: 5, Seed: 23, DisableInfoSharing: true},
+		{Servers: 5, Seed: 23, RandomItinerary: true},
+		{Servers: 5, Seed: 23, Latency: Prototype},
+		{Servers: 5, Seed: 23, Latency: WAN},
+	} {
+		c, err := NewCluster(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i <= 5; i++ {
+			if err := c.Submit(NodeID(i), Set("k", fmt.Sprintf("v%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := c.Run(5 * time.Minute); err != nil {
+			t.Fatalf("%+v: %v", opt, err)
+		}
+	}
+}
