@@ -16,6 +16,8 @@ package marp
 //	BenchmarkAblationBatching    — A3
 //	BenchmarkFailureInjection    — A4
 import (
+	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -24,6 +26,24 @@ import (
 
 func quickOpts(seed int64) harness.FigureOptions {
 	return harness.FigureOptions{Quick: true, Seed: seed, RequestsPerServer: 15}
+}
+
+// BenchmarkFigure2Sweep runs the same quick Figure 2 grid at parallelism 1
+// and at GOMAXPROCS, so `go test -bench Figure2Sweep` shows the sweep
+// engine's wall-clock speedup directly (the results themselves are identical
+// at every setting — see TestSweepParallelismDeterminism).
+func BenchmarkFigure2Sweep(b *testing.B) {
+	for _, par := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := quickOpts(int64(i + 1))
+				opts.Parallelism = par
+				if _, _, err := harness.Figure2(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 func BenchmarkFigure2_ALT(b *testing.B) {

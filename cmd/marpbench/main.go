@@ -12,6 +12,13 @@
 //	marpbench -seed 7          # different random seed
 //	marpbench -latency wan     # latency preset for the figure sweeps
 //	marpbench -requests 100    # requests per server per run
+//	marpbench -parallel 8      # sweep-point workers (results identical at any value)
+//	marpbench -cpuprofile p.out -memprofile m.out   # pprof the run
+//
+// Every sweep point is an independent deterministic simulation, so -parallel
+// fans the grid across goroutines without changing a single output digit:
+// parallelism buys wall-clock time only. Per-experiment wall-clock is
+// printed so the speedup is visible.
 //
 // Experiments: f2 f3 f4 c1 t3 a1 a2 a3 a4 a5 (see DESIGN.md §4).
 package main
@@ -20,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -37,24 +46,64 @@ func main() {
 		latency  = flag.String("latency", "lan", "latency preset for figure sweeps: lan, prototype, wan")
 		requests = flag.Int("requests", 0, "requests per server per run (0 = experiment default)")
 		seeds    = flag.Int("seeds", 1, "replications per sweep point for Figures 2-3 (mean±sd)")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep-point worker goroutines (1 = sequential; results are identical at any value)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
-	opts := harness.FigureOptions{
+	if *parallel <= 0 {
+		*parallel = runtime.GOMAXPROCS(0)
+	}
+
+	// run does the real work so deferred profile writers flush before the
+	// process exits (os.Exit skips defers).
+	os.Exit(run(*expFlag, *cpuProf, *memProf, harness.FigureOptions{
 		Seed:              *seed,
 		Seeds:             *seeds,
 		Quick:             *quick,
 		RequestsPerServer: *requests,
 		Latency:           harness.LatencyPreset(*latency),
+		Parallelism:       *parallel,
+	}))
+}
+
+func run(expFlag, cpuProf, memProf string, opts harness.FigureOptions) int {
+	if cpuProf != "" {
+		f, err := os.Create(cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marpbench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "marpbench: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if memProf != "" {
+		defer func() {
+			f, err := os.Create(memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "marpbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "marpbench: %v\n", err)
+			}
+		}()
 	}
 
 	want := map[string]bool{}
-	if *expFlag == "all" {
+	if expFlag == "all" {
 		for _, e := range experiments {
 			want[e] = true
 		}
 	} else {
-		for _, e := range strings.Split(*expFlag, ",") {
+		for _, e := range strings.Split(expFlag, ",") {
 			e = strings.TrimSpace(strings.ToLower(e))
 			if e == "" {
 				continue
@@ -91,6 +140,7 @@ func main() {
 	}
 
 	ran := 0
+	total := time.Now()
 	for _, e := range all {
 		if !want[e.id] {
 			continue
@@ -100,17 +150,22 @@ func main() {
 		tbl, err := e.run(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "marpbench: %s failed: %v\n", e.id, err)
-			os.Exit(1)
+			return 1
 		}
 		if err := tbl.Fprint(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "marpbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		fmt.Printf("  [%s completed in %.1fs wall clock]\n\n", e.id, time.Since(start).Seconds())
+		fmt.Printf("  [%s completed in %.2fs wall clock, parallel=%d]\n\n",
+			e.id, time.Since(start).Seconds(), opts.Parallelism)
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "marpbench: no experiments matched %q (want %s or all)\n",
-			*expFlag, strings.Join(experiments, ","))
-		os.Exit(2)
+			expFlag, strings.Join(experiments, ","))
+		return 2
 	}
+	if ran > 1 {
+		fmt.Printf("[%d experiments in %.2fs total]\n", ran, time.Since(total).Seconds())
+	}
+	return 0
 }

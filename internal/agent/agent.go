@@ -143,7 +143,7 @@ type Platform struct {
 type pendingMigration struct {
 	ctx   *Context
 	dest  simnet.NodeID
-	timer *des.Event
+	timer des.Timer
 }
 
 // wire payloads
@@ -373,7 +373,7 @@ func (c *Context) Rand() *rand.Rand { return c.platform.sim.Rand() }
 
 // After schedules fn on the simulator; the agent's own timer facility.
 // fn is not invoked if the agent has been disposed or died in the meantime.
-func (c *Context) After(d time.Duration, fn func()) *des.Event {
+func (c *Context) After(d time.Duration, fn func()) des.Timer {
 	return c.platform.sim.After(d, func() {
 		if c.state == stateDisposed || c.state == stateDead {
 			return

@@ -38,7 +38,7 @@ type coord struct {
 	votes      map[simnet.NodeID]bool
 	rejects    map[simnet.NodeID]bool
 	update     store.Update
-	timer      *des.Event
+	timer      des.Timer
 }
 
 // quorum returns how many replies the protocol requires per round.
@@ -87,9 +87,7 @@ func (c *coord) beginRound() {
 // concurrent proposal a conflict) the growing backoff is what spreads the
 // competitors out enough for someone to win.
 func (c *coord) abortAndRetry() {
-	if c.timer != nil {
-		c.timer.Cancel()
-	}
+	c.timer.Cancel()
 	for _, id := range c.sys.ids {
 		m := &abortReq{Txn: c.txn, Round: c.round, From: c.seat}
 		c.sys.send(c.seat, id, m, m.WireSize())
@@ -165,9 +163,7 @@ func (c *coord) onVoteRep(v voteRep) {
 	if len(c.votes) < c.quorum() {
 		return
 	}
-	if c.timer != nil {
-		c.timer.Cancel()
-	}
+	c.timer.Cancel()
 	if c.sys.cfg.Kind != PrimaryCopy {
 		c.lockAt = c.sys.sim.Now()
 	}

@@ -129,7 +129,7 @@ type Cluster struct {
 
 type batch struct {
 	reqs  []Request
-	timer *des.Event
+	timer des.Timer
 }
 
 // NewCluster builds and wires a cluster per cfg.
@@ -238,7 +238,7 @@ func (c *Cluster) Submit(home simnet.NodeID, reqs ...Request) error {
 	switch {
 	case len(b.reqs) >= c.cfg.BatchMaxRequests || c.cfg.BatchMaxDelay == 0:
 		c.dispatch(home)
-	case b.timer == nil:
+	case !b.timer.Active():
 		b.timer = c.sim.After(c.cfg.BatchMaxDelay, func() { c.dispatch(home) })
 	}
 	return nil
@@ -250,10 +250,7 @@ func (c *Cluster) dispatch(home simnet.NodeID) {
 	if b == nil || len(b.reqs) == 0 {
 		return
 	}
-	if b.timer != nil {
-		b.timer.Cancel()
-		b.timer = nil
-	}
+	b.timer.Cancel()
 	reqs := b.reqs
 	b.reqs = nil
 	if c.net.Down(home) {

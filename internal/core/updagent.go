@@ -46,7 +46,7 @@ type UpdateAgent struct {
 	byTie    bool
 	acksOK   map[simnet.NodeID]*replica.AckMsg
 	acksNo   map[simnet.NodeID]bool
-	claimTmr *des.Event
+	claimTmr des.Timer
 
 	retryArmed  bool   // a parked-retry timer is pending
 	parkedTicks int    // consecutive fruitless retry rounds while parked
@@ -402,9 +402,7 @@ func (a *UpdateAgent) handleAck(ctx *agent.Context, ack *replica.AckMsg) {
 // from the quorum's replies, produce the updates in request order, multicast
 // COMMIT to all replicas, release the lock, and dispose.
 func (a *UpdateAgent) finishWin(ctx *agent.Context) {
-	if a.claimTmr != nil {
-		a.claimTmr.Cancel()
-	}
+	a.claimTmr.Cancel()
 	// Most recent copy per key across the acknowledging quorum.
 	latest := make(map[string]store.Value)
 	var baseSeq uint64
@@ -465,9 +463,7 @@ func (a *UpdateAgent) finishWin(ctx *agent.Context) {
 // after a randomized backoff (fresh NACK information usually changes the
 // next decision).
 func (a *UpdateAgent) abortClaim(ctx *agent.Context, reason string) {
-	if a.claimTmr != nil {
-		a.claimTmr.Cancel()
-	}
+	a.claimTmr.Cancel()
 	a.retries++
 	m := &replica.AbortMsg{Txn: ctx.ID(), Attempt: a.attempt}
 	for _, id := range a.c.nodes {

@@ -307,11 +307,15 @@ func TestEventWhenAndNextEvent(t *testing.T) {
 	if s.Pending() != 1 {
 		t.Fatalf("Pending = %d", s.Pending())
 	}
-	// A cancelled head is reaped by NextEvent.
+	// A cancelled event is reaped immediately, so NextEvent and Pending
+	// see only live events.
 	e.Cancel()
 	s.After(9*time.Millisecond, func() {})
 	if next, ok := s.NextEvent(); !ok || next.Duration() != 9*time.Millisecond {
 		t.Fatalf("NextEvent after cancel = %v %v", next, ok)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending after cancel = %d, want 1", s.Pending())
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/failure"
 	"repro/internal/metrics"
 	"repro/internal/simnet"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -35,14 +36,19 @@ func FailureInjection(o FigureOptions) (*metrics.Table, []FailureResult, error) 
 		Note:    "one crash/recovery cycle per listed server; agents on a crashing host die",
 		Columns: []string{"crashed servers", "committed", "failed", "mean ATT (ms)", "converged"},
 	}
-	var all []FailureResult
-	for _, crashes := range []int{0, 1, 2} {
+	crashCounts := []int{0, 1, 2}
+	all, err := sweep.Run(o.runner(), crashCounts, func(_ int, crashes int) (FailureResult, error) {
 		res, err := runWithFailures(o, crashes)
 		if err != nil {
-			return nil, nil, err
+			return res, fmt.Errorf("%d crashes: %w", crashes, err)
 		}
-		all = append(all, res)
-		tbl.AddRow(fmt.Sprintf("%d", crashes),
+		return res, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, res := range all {
+		tbl.AddRow(fmt.Sprintf("%d", crashCounts[i]),
 			fmt.Sprintf("%d", res.Summary.Count-res.Summary.Failures),
 			fmt.Sprintf("%d", res.Summary.Failures),
 			metrics.Ms(res.Summary.MeanATT),

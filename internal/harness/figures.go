@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/simnet"
+	"repro/internal/sweep"
 )
 
 // FigureOptions tunes the sweeps. Zero values give the full paper-scale
@@ -20,6 +21,32 @@ type FigureOptions struct {
 	// Seeds > 1 repeats every sweep point with seeds Seed, Seed+1, ... and
 	// reports mean±sd across the replications (Figures 2-4 only).
 	Seeds int
+	// Parallelism is the number of worker goroutines the sweep fans out
+	// across (<= 0 means GOMAXPROCS). Every sweep point is an independent
+	// deterministic simulation, so parallelism changes wall-clock time
+	// only — the results and tables are identical at any setting.
+	Parallelism int
+	// Progress, when non-nil, is called after each sweep point completes
+	// (serialized, possibly from a worker goroutine).
+	Progress func(done, total int)
+}
+
+// runner builds the worker pool shared by every experiment sweep.
+func (o FigureOptions) runner() sweep.Runner {
+	return sweep.Runner{Parallelism: o.Parallelism, OnProgress: o.Progress}
+}
+
+// Sweep executes each config through Run on a worker pool, preserving
+// point order: out[i] is the result of cfgs[i] at any parallelism. Errors
+// carry the offending config's coordinates and are aggregated across points.
+func Sweep(r sweep.Runner, cfgs []RunConfig) ([]RunResult, error) {
+	return sweep.Run(r, cfgs, func(_ int, c RunConfig) (RunResult, error) {
+		res, err := Run(c)
+		if err != nil {
+			return res, fmt.Errorf("%s n=%d seed=%d mean=%v: %w", c.Protocol, c.N, c.Seed, c.Mean, err)
+		}
+		return res, nil
+	})
 }
 
 func (o *FigureOptions) fill() {
@@ -53,22 +80,6 @@ func (o *FigureOptions) fill() {
 	if o.Seeds < 1 {
 		o.Seeds = 1
 	}
-}
-
-// replicate runs one sweep point for each replication seed and returns the
-// per-seed results.
-func (o FigureOptions) replicate(base RunConfig) ([]RunResult, error) {
-	out := make([]RunResult, 0, o.Seeds)
-	for r := 0; r < o.Seeds; r++ {
-		cfg := base
-		cfg.Seed = o.Seed + int64(r)
-		res, err := Run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, res)
-	}
-	return out, nil
 }
 
 // meanSD formats the mean and (for Seeds > 1) the sample standard deviation
@@ -136,19 +147,30 @@ func latencySweep(o FigureOptions, title string, stat func(metrics.Summary) floa
 	for _, n := range o.Servers {
 		tbl.Columns = append(tbl.Columns, fmt.Sprintf("%d servers", n))
 	}
-	var all []RunResult
+	// The grid flattens mean-major, then server count, then replication
+	// seed, so the result slice reads exactly like the sequential loops
+	// it replaced.
+	var cfgs []RunConfig
+	for _, mean := range o.Means {
+		for _, n := range o.Servers {
+			for r := 0; r < o.Seeds; r++ {
+				cfgs = append(cfgs, RunConfig{
+					Protocol: MARP, N: n, Mean: mean, Seed: o.Seed + int64(r),
+					RequestsPerServer: o.RequestsPerServer, Latency: o.Latency,
+				})
+			}
+		}
+	}
+	all, err := Sweep(o.runner(), cfgs)
+	if err != nil {
+		return nil, nil, err
+	}
+	i := 0
 	for _, mean := range o.Means {
 		row := []string{mean.String()}
-		for _, n := range o.Servers {
-			reps, err := o.replicate(RunConfig{
-				Protocol: MARP, N: n, Mean: mean,
-				RequestsPerServer: o.RequestsPerServer, Latency: o.Latency,
-			})
-			if err != nil {
-				return nil, nil, fmt.Errorf("n=%d mean=%v: %w", n, mean, err)
-			}
-			all = append(all, reps...)
-			row = append(row, meanSD(reps, stat))
+		for range o.Servers {
+			row = append(row, meanSD(all[i:i+o.Seeds], stat))
+			i += o.Seeds
 		}
 		tbl.AddRow(row...)
 	}
@@ -177,17 +199,19 @@ func Figure4(o FigureOptions) (*metrics.Table, []RunResult, error) {
 		Note:    fmt.Sprintf("%s latency, %d requests/server", o.Latency, o.RequestsPerServer),
 		Columns: []string{"mean-interarrival", "K=3 (%)", "K=4 (%)", "K=5 (%)", "mean visits"},
 	}
-	var all []RunResult
+	cfgs := make([]RunConfig, 0, len(o.Means))
 	for _, mean := range o.Means {
-		res, err := Run(RunConfig{
+		cfgs = append(cfgs, RunConfig{
 			Protocol: MARP, N: n, Seed: o.Seed, Mean: mean,
 			RequestsPerServer: o.RequestsPerServer, Latency: o.Latency,
 		})
-		if err != nil {
-			return nil, nil, fmt.Errorf("mean=%v: %w", mean, err)
-		}
-		all = append(all, res)
-		tbl.AddRow(mean.String(),
+	}
+	all, err := Sweep(o.runner(), cfgs)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, res := range all {
+		tbl.AddRow(o.Means[i].String(),
 			fmt.Sprintf("%.1f", res.Summary.PRK(3)),
 			fmt.Sprintf("%.1f", res.Summary.PRK(4)),
 			fmt.Sprintf("%.1f", res.Summary.PRK(5)),
@@ -217,7 +241,9 @@ func CompareProtocols(o FigureOptions) (*metrics.Table, []RunResult, error) {
 	for _, p := range protocols {
 		tbl.Columns = append(tbl.Columns, string(p)+" att", string(p)+" msg/upd")
 	}
-	var all []RunResult
+	// Grid order (preset-major, then N, then protocol) is part of the
+	// result contract: bench_test.go indexes into it.
+	var cfgs []RunConfig
 	for _, preset := range presets {
 		mean := o.Means[len(o.Means)/2]
 		if preset == WAN && mean < 250*time.Millisecond {
@@ -228,16 +254,25 @@ func CompareProtocols(o FigureOptions) (*metrics.Table, []RunResult, error) {
 			mean = 250 * time.Millisecond
 		}
 		for _, n := range o.Servers {
-			row := []string{string(preset), fmt.Sprintf("%d", n)}
 			for _, p := range protocols {
-				res, err := Run(RunConfig{
+				cfgs = append(cfgs, RunConfig{
 					Protocol: p, N: n, Seed: o.Seed, Mean: mean,
 					RequestsPerServer: o.RequestsPerServer, Latency: preset,
 				})
-				if err != nil {
-					return nil, nil, fmt.Errorf("%s n=%d %s: %w", p, n, preset, err)
-				}
-				all = append(all, res)
+			}
+		}
+	}
+	all, err := Sweep(o.runner(), cfgs)
+	if err != nil {
+		return nil, nil, err
+	}
+	i := 0
+	for _, preset := range presets {
+		for _, n := range o.Servers {
+			row := []string{string(preset), fmt.Sprintf("%d", n)}
+			for range protocols {
+				res := all[i]
+				i++
 				att := metrics.Ms(res.Summary.MeanATT)
 				if res.Saturated {
 					att = "saturated"
@@ -260,16 +295,19 @@ func MigrationBounds(o FigureOptions) (*metrics.Table, []RunResult, error) {
 		Note:    "rank-majority wins only; tie-break wins annotated separately",
 		Columns: []string{"N", "bound-lo", "bound-hi", "min", "mean", "max", "tie wins", "in bounds"},
 	}
-	var all []RunResult
+	cfgs := make([]RunConfig, 0, len(servers))
 	for _, n := range servers {
-		res, err := Run(RunConfig{
+		cfgs = append(cfgs, RunConfig{
 			Protocol: MARP, N: n, Seed: o.Seed, Mean: 20 * time.Millisecond,
 			RequestsPerServer: o.RequestsPerServer, Latency: o.Latency,
 		})
-		if err != nil {
-			return nil, nil, err
-		}
-		all = append(all, res)
+	}
+	all, err := Sweep(o.runner(), cfgs)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, res := range all {
+		n := servers[i]
 		lo, hi := n/2+1, n
 		min, max, sum, count := n+1, 0, 0, 0
 		for k, c := range res.Summary.VisitDist {
@@ -306,19 +344,22 @@ func AblationInfoSharing(o FigureOptions) (*metrics.Table, []RunResult, error) {
 		Title:   "Ablation A1: information sharing between agents and servers",
 		Columns: []string{"sharing", "mean ALT (ms)", "mean ATT (ms)", "mean visits", "tie wins"},
 	}
-	var all []RunResult
-	for _, off := range []bool{false, true} {
-		res, err := Run(RunConfig{
+	settings := []bool{false, true}
+	cfgs := make([]RunConfig, 0, len(settings))
+	for _, off := range settings {
+		cfgs = append(cfgs, RunConfig{
 			Protocol: MARP, N: 5, Seed: o.Seed, Mean: 20 * time.Millisecond,
 			RequestsPerServer: o.RequestsPerServer, Latency: o.Latency,
 			DisableInfoSharing: off,
 		})
-		if err != nil {
-			return nil, nil, err
-		}
-		all = append(all, res)
+	}
+	all, err := Sweep(o.runner(), cfgs)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, res := range all {
 		label := "on"
-		if off {
+		if settings[i] {
 			label = "off"
 		}
 		tbl.AddRow(label, metrics.Ms(res.Summary.MeanALT), metrics.Ms(res.Summary.MeanATT),
@@ -349,32 +390,43 @@ func AblationRouting(o FigureOptions) (*metrics.Table, []RunResult, error) {
 		{"serial", 3 * time.Second, o.RequestsPerServer / 4},
 		{"contended", 400 * time.Millisecond, o.RequestsPerServer},
 	}
+	type point struct {
+		regime string
+		label  string
+	}
+	var cfgs []RunConfig
+	var labels []point
 	for _, regime := range regimes {
 		reqs := regime.reqs
 		if reqs < 2 {
 			reqs = 2
 		}
 		for _, random := range []bool{false, true} {
-			// A fresh deterministic geo topology per run (same seed -> same map).
+			// A fresh deterministic geo topology per run (same seed ->
+			// same map), generated serially here so no two concurrent
+			// points ever share a topology or a random source.
 			topoRng := simnet.RandomGeo(7, newRand(o.Seed))
-			res, err := Run(RunConfig{
+			cfgs = append(cfgs, RunConfig{
 				Protocol: MARP, N: 7, Seed: o.Seed, Mean: regime.mean,
 				RequestsPerServer: reqs, Latency: WAN,
 				Topology:        topoRng,
 				CostPerUnit:     60 * time.Millisecond,
 				RandomItinerary: random,
 			})
-			if err != nil {
-				return nil, nil, err
-			}
-			all = append(all, res)
 			label := "cost-ordered"
 			if random {
 				label = "random"
 			}
-			tbl.AddRow(regime.label, label, metrics.Ms(res.Summary.MeanALT),
-				metrics.Ms(res.Summary.MeanATT), metrics.Ms(res.Summary.P95ATT))
+			labels = append(labels, point{regime.label, label})
 		}
+	}
+	all, err := Sweep(o.runner(), cfgs)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, res := range all {
+		tbl.AddRow(labels[i].regime, labels[i].label, metrics.Ms(res.Summary.MeanALT),
+			metrics.Ms(res.Summary.MeanATT), metrics.Ms(res.Summary.P95ATT))
 	}
 	return tbl, all, nil
 }
@@ -387,18 +439,21 @@ func AblationBatching(o FigureOptions) (*metrics.Table, []RunResult, error) {
 		Title:   "Ablation A3: requests per agent (batching)",
 		Columns: []string{"batch", "agents", "mean ATT (ms)", "msgs/update", "bytes/update"},
 	}
-	var all []RunResult
-	for _, b := range []int{1, 2, 4, 8} {
-		res, err := Run(RunConfig{
+	batches := []int{1, 2, 4, 8}
+	cfgs := make([]RunConfig, 0, len(batches))
+	for _, b := range batches {
+		cfgs = append(cfgs, RunConfig{
 			Protocol: MARP, N: 5, Seed: o.Seed, Mean: 15 * time.Millisecond,
 			RequestsPerServer: o.RequestsPerServer, Latency: o.Latency,
 			BatchSize: b,
 		})
-		if err != nil {
-			return nil, nil, err
-		}
-		all = append(all, res)
-		tbl.AddRow(fmt.Sprintf("%d", b), fmt.Sprintf("%d", res.Agents.AgentsCreated),
+	}
+	all, err := Sweep(o.runner(), cfgs)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, res := range all {
+		tbl.AddRow(fmt.Sprintf("%d", batches[i]), fmt.Sprintf("%d", res.Agents.AgentsCreated),
 			metrics.Ms(res.Summary.MeanATT),
 			fmt.Sprintf("%.1f", res.MsgsPerUpdate()),
 			fmt.Sprintf("%.0f", res.BytesPerUpdate()))
@@ -420,13 +475,19 @@ func ReadRatio(o FigureOptions) (*metrics.Table, []RunResult, error) {
 		Note:    fmt.Sprintf("%s latency, %d ops/server", o.Latency, o.RequestsPerServer),
 		Columns: []string{"read fraction", "updates", "mean update ATT (ms)", "mean op latency (ms)", "msgs/op"},
 	}
-	var all []RunResult
-	for _, frac := range []float64{0, 0.5, 0.9, 0.99} {
+	fracs := []float64{0, 0.5, 0.9, 0.99}
+	all, err := sweep.Run(o.runner(), fracs, func(_ int, frac float64) (RunResult, error) {
 		res, err := runMARPWithReads(o, frac)
 		if err != nil {
-			return nil, nil, err
+			return res, fmt.Errorf("read fraction %.2f: %w", frac, err)
 		}
-		all = append(all, res)
+		return res, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, res := range all {
+		frac := fracs[i]
 		updates := res.Summary.Count - res.Summary.Failures
 		totalOps := res.Config.RequestsPerServer * res.Config.N
 		// Reads are synchronous local lookups: zero network latency.

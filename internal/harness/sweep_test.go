@@ -1,0 +1,102 @@
+package harness
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// quickFig shrinks a sweep enough to run twice inside a unit test.
+func quickFig(par int) FigureOptions {
+	return FigureOptions{Quick: true, RequestsPerServer: 8, Seeds: 2, Parallelism: par}
+}
+
+// TestSweepParallelismDeterminism is the regression guard for the sweep
+// engine's core guarantee: the same grid run sequentially and run across 8
+// workers yields identical RunResult series — same summaries, same network
+// stats, same agent stats, point by point. Parallelism buys wall-clock time
+// only.
+func TestSweepParallelismDeterminism(t *testing.T) {
+	tblSeq, seq, err := Figure2(quickFig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tblPar, par, err := Figure2(quickFig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("result counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if !reflect.DeepEqual(seq[i], par[i]) {
+			t.Errorf("point %d differs between parallelism 1 and 8:\nseq: %+v\npar: %+v",
+				i, seq[i], par[i])
+		}
+	}
+	if !reflect.DeepEqual(tblSeq, tblPar) {
+		t.Error("rendered tables differ between parallelism 1 and 8")
+	}
+}
+
+// The protocol-comparison grid mixes MARP and all three baselines; run it
+// both ways too so every protocol path is exercised under the race detector.
+func TestCompareProtocolsParallelismDeterminism(t *testing.T) {
+	opts := func(par int) FigureOptions {
+		o := quickFig(par)
+		o.Seeds = 1
+		o.RequestsPerServer = 6
+		return o
+	}
+	_, seq, err := CompareProtocols(opts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, par, err := CompareProtocols(opts(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("CompareProtocols results differ between parallelism 1 and 8")
+	}
+}
+
+func TestSweepProgressReported(t *testing.T) {
+	var calls atomic.Int32
+	var lastTotal atomic.Int32
+	o := quickFig(4)
+	o.Progress = func(done, total int) {
+		calls.Add(1)
+		lastTotal.Store(int32(total))
+	}
+	_, results, err := Figure2(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(calls.Load()) != len(results) {
+		t.Fatalf("progress callbacks = %d, want %d", calls.Load(), len(results))
+	}
+	if int(lastTotal.Load()) != len(results) {
+		t.Fatalf("progress total = %d, want %d", lastTotal.Load(), len(results))
+	}
+}
+
+// FailureInjection sweeps crash counts rather than RunConfigs; make sure the
+// generic path is deterministic too (it also exercises agent death and
+// recovery sync under -race).
+func TestFailureInjectionParallelismDeterminism(t *testing.T) {
+	opts := func(par int) FigureOptions {
+		return FigureOptions{Quick: true, RequestsPerServer: 6, Parallelism: par}
+	}
+	_, seq, err := FailureInjection(opts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, par, err := FailureInjection(opts(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("FailureInjection results differ between parallelism 1 and 3")
+	}
+}

@@ -1,0 +1,123 @@
+// Package sweep executes grids of independent simulation points across a
+// pool of worker goroutines.
+//
+// Every experiment in this reproduction is a sweep: a slice of run
+// configurations, each of which is a fully self-contained deterministic
+// simulation (its own des.Simulator, its own seeded random source, its own
+// cluster). The points share nothing, so they parallelize perfectly — and
+// because results are written into a slice indexed by point (never ordered
+// by completion), the output of a sweep is byte-for-byte identical at any
+// parallelism. Parallelism changes wall-clock time, nothing else.
+//
+// The runner is generic so the harness can sweep anything — RunConfig
+// grids, crash counts, read fractions — without this package importing the
+// harness (which imports this package back).
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Runner configures a worker pool. The zero value runs one worker per
+// GOMAXPROCS with no progress reporting.
+type Runner struct {
+	// Parallelism is the number of worker goroutines; values <= 0 mean
+	// runtime.GOMAXPROCS(0). It is clamped to the number of points.
+	// Parallelism 1 runs every point inline on the calling goroutine.
+	Parallelism int
+	// OnProgress, when non-nil, is called after each point completes with
+	// the number of completed points and the total. Calls are serialized
+	// (never concurrent), but at parallelism > 1 they come from worker
+	// goroutines.
+	OnProgress func(done, total int)
+}
+
+// PointError records the failure of a single sweep point. Errors from a
+// sweep are PointErrors joined with errors.Join, so callers can recover
+// every failing index with errors.As over the joined tree.
+type PointError struct {
+	Index int
+	Err   error
+}
+
+func (e *PointError) Error() string { return fmt.Sprintf("sweep point %d: %v", e.Index, e.Err) }
+
+func (e *PointError) Unwrap() error { return e.Err }
+
+// workers resolves the effective worker count for n points.
+func (r Runner) workers(n int) int {
+	w := r.Parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// Run executes fn once per point and returns the results in point order:
+// results[i] is fn(i, points[i]) no matter which worker ran it or when it
+// finished. Failed points leave the zero R at their index; all failures are
+// aggregated (wrapped as PointError, joined in index order) into the
+// returned error. Run blocks until every point has been attempted — one bad
+// point never discards the rest of the sweep.
+func Run[P, R any](r Runner, points []P, fn func(i int, p P) (R, error)) ([]R, error) {
+	n := len(points)
+	results := make([]R, n)
+	if n == 0 {
+		return results, nil
+	}
+	errs := make([]error, n)
+	workers := r.workers(n)
+
+	if workers == 1 {
+		for i, p := range points {
+			res, err := fn(i, p)
+			results[i] = res
+			if err != nil {
+				errs[i] = &PointError{Index: i, Err: err}
+			}
+			if r.OnProgress != nil {
+				r.OnProgress(i+1, n)
+			}
+		}
+		return results, errors.Join(errs...)
+	}
+
+	var (
+		next atomic.Int64 // next unclaimed point
+		mu   sync.Mutex   // serializes OnProgress and the done count
+		done int
+		wg   sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				res, err := fn(i, points[i])
+				results[i] = res
+				if err != nil {
+					errs[i] = &PointError{Index: i, Err: err}
+				}
+				if r.OnProgress != nil {
+					mu.Lock()
+					done++
+					r.OnProgress(done, n)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return results, errors.Join(errs...)
+}

@@ -1,0 +1,139 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResultsIndexedByPoint(t *testing.T) {
+	points := make([]int, 100)
+	for i := range points {
+		points[i] = i * 3
+	}
+	for _, par := range []int{1, 2, 7, 100, 0} {
+		got, err := Run(Runner{Parallelism: par}, points, func(i, p int) (int, error) {
+			return p * 2, nil
+		})
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		for i, r := range got {
+			if r != points[i]*2 {
+				t.Fatalf("par=%d: results[%d] = %d, want %d", par, i, r, points[i]*2)
+			}
+		}
+	}
+}
+
+func TestEmptySweep(t *testing.T) {
+	got, err := Run(Runner{}, nil, func(i, p int) (int, error) { return 0, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestErrorAggregation(t *testing.T) {
+	points := []int{0, 1, 2, 3, 4, 5}
+	_, err := Run(Runner{Parallelism: 3}, points, func(i, p int) (string, error) {
+		if p%2 == 1 {
+			return "", fmt.Errorf("odd point %d", p)
+		}
+		return "ok", nil
+	})
+	if err == nil {
+		t.Fatal("expected aggregated error")
+	}
+	var pe *PointError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v does not unwrap to PointError", err)
+	}
+	// All three odd points must be reported, not just the first.
+	for _, idx := range []int{1, 3, 5} {
+		want := fmt.Sprintf("sweep point %d", idx)
+		if !contains(err.Error(), want) {
+			t.Errorf("aggregated error missing %q: %v", want, err)
+		}
+	}
+}
+
+func TestFailedPointDoesNotAbortSweep(t *testing.T) {
+	points := []int{1, 2, 3, 4}
+	got, err := Run(Runner{Parallelism: 2}, points, func(i, p int) (int, error) {
+		if p == 2 {
+			return 0, errors.New("boom")
+		}
+		return p, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got[0] != 1 || got[2] != 3 || got[3] != 4 {
+		t.Fatalf("healthy points lost: %v", got)
+	}
+	if got[1] != 0 {
+		t.Fatalf("failed point should hold zero value, got %d", got[1])
+	}
+}
+
+func TestProgressSerializedAndComplete(t *testing.T) {
+	const n = 64
+	points := make([]struct{}, n)
+	var calls atomic.Int32
+	var inCallback atomic.Int32
+	lastDone := 0
+	_, err := Run(Runner{Parallelism: 8, OnProgress: func(done, total int) {
+		if inCallback.Add(1) != 1 {
+			t.Error("OnProgress called concurrently")
+		}
+		if total != n {
+			t.Errorf("total = %d, want %d", total, n)
+		}
+		if done != lastDone+1 {
+			t.Errorf("done = %d after %d (not monotone)", done, lastDone)
+		}
+		lastDone = done
+		calls.Add(1)
+		inCallback.Add(-1)
+	}}, points, func(i int, p struct{}) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != n {
+		t.Fatalf("OnProgress called %d times, want %d", calls.Load(), n)
+	}
+}
+
+func TestDeterministicAcrossParallelism(t *testing.T) {
+	// A pure function of the point must give identical slices at any
+	// parallelism — the structural property the harness leans on.
+	points := make([]int64, 200)
+	for i := range points {
+		points[i] = int64(i)
+	}
+	run := func(par int) []int64 {
+		out, err := Run(Runner{Parallelism: par}, points, func(i int, p int64) (int64, error) {
+			return p*p + 7, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(1), run(16)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("parallelism changed results at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
