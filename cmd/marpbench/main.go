@@ -20,7 +20,7 @@
 // parallelism buys wall-clock time only. Per-experiment wall-clock is
 // printed so the speedup is visible.
 //
-// Experiments: f2 f3 f4 c1 t3 a1 a2 a3 a4 a5 (see DESIGN.md §4).
+// Experiments: f2 f3 f4 c1 t3 a1 a2 a3 a4 a5 a6 (see DESIGN.md §4).
 package main
 
 import (
@@ -36,7 +36,7 @@ import (
 	"repro/internal/metrics"
 )
 
-var experiments = []string{"f2", "f3", "f4", "c1", "t3", "a1", "a2", "a3", "a4", "a5"}
+var experiments = []string{"f2", "f3", "f4", "c1", "t3", "a1", "a2", "a3", "a4", "a5", "a6"}
 
 func main() {
 	var (
@@ -137,6 +137,10 @@ func run(expFlag, cpuProf, memProf string, opts harness.FigureOptions) int {
 			return t, err
 		}},
 		{"a5", "Ablation: read-to-update ratio", table(harness.ReadRatio)},
+		{"a6", "Ablation: chaos (loss x partition churn)", func(o harness.FigureOptions) (*metrics.Table, error) {
+			t, _, err := harness.Chaos(o)
+			return t, err
+		}},
 	}
 
 	ran := 0

@@ -2,12 +2,16 @@
 //
 // Usage:
 //
-//	marpctl [-addr host:port] submit <home> <key> <value>
+//	marpctl [-addr host:port] [-timeout 5s] submit <home> <key> <value>
 //	marpctl [-addr host:port] append <home> <key> <value>
 //	marpctl [-addr host:port] read <node> <key>
 //	marpctl [-addr host:port] crash <node>
 //	marpctl [-addr host:port] recover <node>
 //	marpctl [-addr host:port] stats
+//
+// Connecting retries up to three times with exponential backoff (covers the
+// common race of starting marpd and marpctl together); -timeout bounds each
+// request/response exchange once connected (0 disables the deadline).
 package main
 
 import (
@@ -15,9 +19,29 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"time"
 
 	"repro/internal/transport"
 )
+
+// dialRetry connects to addr, retrying with exponential backoff (100ms,
+// 200ms) between attempts so a service still binding its socket is not a
+// fatal error.
+func dialRetry(addr string, attempts int) (*transport.Client, error) {
+	backoff := 100 * time.Millisecond
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		var cli *transport.Client
+		if cli, err = transport.Dial(addr); err == nil {
+			return cli, nil
+		}
+	}
+	return nil, fmt.Errorf("%v (after %d attempts)", err, attempts)
+}
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: marpctl [-addr host:port] <command> [args]
@@ -33,6 +57,7 @@ commands:
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7707", "marpd address")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request deadline (0 = none)")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -40,11 +65,12 @@ func main() {
 		usage()
 	}
 
-	cli, err := transport.Dial(*addr)
+	cli, err := dialRetry(*addr, 3)
 	if err != nil {
 		fatal(err)
 	}
 	defer cli.Close()
+	cli.SetRequestTimeout(*timeout)
 
 	node := func(s string) int {
 		n, err := strconv.Atoi(s)

@@ -94,6 +94,7 @@ type Stats struct {
 	AgentsCreated       int
 	AgentsDisposed      int
 	AgentsKilled        int // died with a crashed host or in transit to one
+	AgentsRegenerated   int // respawned from a checkpoint after being lost
 	MigrationsStarted   int
 	MigrationsCompleted int
 	MigrationsFailed    int // timed out, agent re-activated at origin
@@ -113,6 +114,14 @@ type Config struct {
 	// DeathNoticeDelay is how long after an agent's death the other nodes
 	// learn about it.
 	DeathNoticeDelay time.Duration
+	// LostHandler, if non-nil, is consulted when an agent is lost in
+	// transit (its origin crashed while it was migrating, so no place can
+	// re-activate it). Returning true claims the loss — the caller will
+	// regenerate the agent under its original ID, so the platform must NOT
+	// announce the death (a tombstone for the reused ID would make every
+	// server reject the reborn agent). Returning false lets the normal
+	// death notices flow.
+	LostHandler func(id ID, b Behavior) bool
 	// Trace, if non-nil, receives platform events.
 	Trace *trace.Log
 }
@@ -127,8 +136,10 @@ func (c *Config) fill() {
 }
 
 // Platform hosts mobile agents across the nodes of a simulated network.
+// The fabric may be a bare *simnet.Network or the ack/retransmit layer in
+// internal/reliable; the platform is agnostic.
 type Platform struct {
-	net    *simnet.Network
+	net    simnet.Fabric
 	sim    *des.Simulator
 	cfg    Config
 	places map[simnet.NodeID]*Place
@@ -162,7 +173,7 @@ type agentMsg struct {
 func (agentMsg) Kind() string { return "agent-msg" }
 
 // NewPlatform creates a platform over net.
-func NewPlatform(net *simnet.Network, cfg Config) *Platform {
+func NewPlatform(net simnet.Fabric, cfg Config) *Platform {
 	cfg.fill()
 	return &Platform{
 		net:     net,
@@ -223,31 +234,84 @@ func (p *Platform) Spawn(home simnet.NodeID, b Behavior) *Context {
 	return ctx
 }
 
+// Respawn activates a regenerated agent at home under its original ID.
+// Theorem 2's tie-breaking is identifier-based, so the reborn agent must
+// keep its old identity (and with it its queue priority). The caller
+// guarantees the previous incarnation is dead and that no death notice was
+// sent for the reused ID.
+func (p *Platform) Respawn(home simnet.NodeID, b Behavior, id ID) *Context {
+	pl := p.places[home]
+	if pl == nil {
+		panic(fmt.Sprintf("agent: respawning on unhosted node %d", home))
+	}
+	if _, live := pl.agents[id]; live {
+		panic(fmt.Sprintf("agent: respawn of live agent %v", id))
+	}
+	ctx := &Context{
+		platform: p,
+		behavior: b,
+		id:       id,
+		node:     home,
+	}
+	pl.agents[id] = ctx
+	p.stats.AgentsRegenerated++
+	p.cfg.Trace.Addf(int64(p.sim.Now()), int(home), id.String(), trace.AgentRegen, "")
+	b.OnArrive(ctx)
+	return ctx
+}
+
+// Casualty is an agent killed by a host crash: its identity plus the
+// behavior value that died with it (callers regenerate from checkpoints, not
+// from the dead behavior, but the value is useful for bookkeeping).
+type Casualty struct {
+	ID       ID
+	Behavior Behavior
+}
+
 // KillResidents disposes every agent currently at node (because the node
 // crashed) and schedules death notices to all hosted nodes. It returns the
 // IDs of the killed agents.
 func (p *Platform) KillResidents(node simnet.NodeID) []ID {
+	cs := p.TakeResidents(node)
+	ids := make([]ID, len(cs))
+	for i, c := range cs {
+		ids[i] = c.ID
+	}
+	p.AnnounceDeaths(ids)
+	return ids
+}
+
+// TakeResidents kills every agent currently at node WITHOUT announcing the
+// deaths, returning the casualties in deterministic (ID) order. The caller
+// decides each agent's fate: regenerate it from a checkpoint (no death
+// notice — the reused ID must not be tombstoned) or pass its ID to
+// AnnounceDeaths.
+func (p *Platform) TakeResidents(node simnet.NodeID) []Casualty {
 	pl := p.places[node]
 	if pl == nil {
 		return nil
 	}
-	var killed []ID
+	var killed []Casualty
 	for id, ctx := range pl.agents {
 		ctx.state = stateDead
 		delete(pl.agents, id)
-		killed = append(killed, id)
+		killed = append(killed, Casualty{ID: id, Behavior: ctx.behavior})
 		p.stats.AgentsKilled++
 		p.cfg.Trace.Addf(int64(p.sim.Now()), int(node), id.String(), trace.AgentDied, "host crashed")
 	}
+	for i := 1; i < len(killed); i++ {
+		for j := i; j > 0 && killed[j].ID.Less(killed[j-1].ID); j-- {
+			killed[j], killed[j-1] = killed[j-1], killed[j]
+		}
+	}
 	// Agents in flight toward the crashing node will be handled by their
 	// origin's migration timeout; agents in flight *from* it already left.
-	p.announceDeaths(killed)
 	return killed
 }
 
-// announceDeaths schedules OnAgentDeath at every hosted node's registered
+// AnnounceDeaths schedules OnAgentDeath at every hosted node's registered
 // listener after the detection delay.
-func (p *Platform) announceDeaths(ids []ID) {
+func (p *Platform) AnnounceDeaths(ids []ID) {
 	if len(ids) == 0 {
 		return
 	}
@@ -426,12 +490,17 @@ func (c *Context) MigrateTo(dest simnet.NodeID) {
 		}
 		delete(p.pending, c.id)
 		// Re-activate at the origin. If the origin itself crashed while
-		// the agent was in transit, the agent dies instead.
+		// the agent was in transit, the agent is lost: no place can take
+		// it back. The lost handler may claim it for regeneration;
+		// otherwise death notices flow as for any other death.
 		if p.net.Down(origin) {
 			c.state = stateDead
 			p.stats.AgentsKilled++
 			p.cfg.Trace.Addf(int64(p.sim.Now()), int(origin), c.id.String(), trace.AgentDied, "origin crashed during failed migration")
-			p.announceDeaths([]ID{c.id})
+			if p.cfg.LostHandler != nil && p.cfg.LostHandler(c.id, c.behavior) {
+				return
+			}
+			p.AnnounceDeaths([]ID{c.id})
 			return
 		}
 		c.node = origin

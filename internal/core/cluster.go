@@ -7,6 +7,7 @@ import (
 	"repro/internal/agent"
 	"repro/internal/des"
 	"repro/internal/quorum"
+	"repro/internal/reliable"
 	"repro/internal/replica"
 	"repro/internal/simnet"
 	"repro/internal/store"
@@ -66,6 +67,31 @@ type Config struct {
 	// of cheapest-first (ablation A2).
 	RandomItinerary bool
 
+	// Faults, if non-nil, attaches a message fault model to the network:
+	// messages between live, connected nodes may then be lost or
+	// duplicated (chaos experiment A6). Nil keeps the paper's §2 reliable
+	// channels — and keeps executions byte-identical to the baseline,
+	// because the fault model owns its random source.
+	Faults *simnet.FaultModel
+	// Reliable runs all protocol messages and agent migrations over the
+	// ack/retransmit layer in internal/reliable. Required for liveness
+	// whenever Faults injects loss; off by default so fault-free runs send
+	// no acks and stay byte-identical to the baseline.
+	Reliable bool
+	// RetransmitBase is the reliable layer's first-retry delay (default
+	// reliable.DefaultConfig.Base). Only meaningful with Reliable.
+	RetransmitBase time.Duration
+	// RetransmitAttempts caps transmissions per message (default
+	// reliable.DefaultConfig.Attempts). Only meaningful with Reliable.
+	RetransmitAttempts int
+	// RegenerateAgents makes the cluster checkpoint each agent's frozen
+	// protocol state (WireState) at every server visit and claim start,
+	// and regenerate agents lost to host crashes from the latest
+	// checkpoint under their original ID — the classic answer to the
+	// mobile-agent single-point-of-failure. Without it, lost agents'
+	// requests fail as in the seed behaviour.
+	RegenerateAgents bool
+
 	// Trace, if non-nil, records the full protocol timeline.
 	Trace *trace.Log
 }
@@ -115,6 +141,8 @@ type Cluster struct {
 	cfg      Config
 	sim      *des.Simulator
 	net      *simnet.Network
+	fabric   simnet.Fabric   // what the protocol layers send on
+	rel      *reliable.Layer // non-nil iff cfg.Reliable
 	platform *agent.Platform
 	servers  map[simnet.NodeID]*replica.Server
 	nodes    []simnet.NodeID
@@ -123,8 +151,10 @@ type Cluster struct {
 	votes       quorum.Assignment
 	batches     map[simnet.NodeID]*batch
 	active      map[agent.ID]*UpdateAgent
+	checkpoints map[agent.ID]WireState
 	outcomes    []Outcome
 	outstanding int
+	regenerated int
 }
 
 type batch struct {
@@ -139,20 +169,38 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	sim := des.New(cfg.Seed)
 	net := simnet.New(sim, cfg.Topology, cfg.Latency)
-	platform := agent.NewPlatform(net, agent.Config{
+	if cfg.Faults != nil {
+		net.SetFaults(cfg.Faults)
+	}
+	var fabric simnet.Fabric = net
+	var rel *reliable.Layer
+	if cfg.Reliable {
+		rel = reliable.NewLayer(net, reliable.Config{
+			Base:     cfg.RetransmitBase,
+			Attempts: cfg.RetransmitAttempts,
+		})
+		fabric = rel
+	}
+	c := &Cluster{
+		cfg:         cfg,
+		sim:         sim,
+		net:         net,
+		fabric:      fabric,
+		rel:         rel,
+		servers:     make(map[simnet.NodeID]*replica.Server),
+		batches:     make(map[simnet.NodeID]*batch),
+		active:      make(map[agent.ID]*UpdateAgent),
+		checkpoints: make(map[agent.ID]WireState),
+	}
+	c.platform = agent.NewPlatform(fabric, agent.Config{
 		MigrationTimeout: cfg.MigrationTimeout,
 		DeathNoticeDelay: cfg.DeathNoticeDelay,
-		Trace:            cfg.Trace,
+		// Always installed: even without regeneration the cluster must
+		// learn about agents lost in transit, or their outcomes would
+		// never be recorded and RunUntilDone would wait forever.
+		LostHandler: func(id agent.ID, _ agent.Behavior) bool { return c.loseAgent(id) },
+		Trace:       cfg.Trace,
 	})
-	c := &Cluster{
-		cfg:      cfg,
-		sim:      sim,
-		net:      net,
-		platform: platform,
-		servers:  make(map[simnet.NodeID]*replica.Server),
-		batches:  make(map[simnet.NodeID]*batch),
-		active:   make(map[agent.ID]*UpdateAgent),
-	}
 	for i := 1; i <= cfg.N; i++ {
 		c.nodes = append(c.nodes, simnet.NodeID(i))
 	}
@@ -173,7 +221,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	c.referee = NewWeightedReferee(c.votes, sim.Now)
 	for _, id := range c.nodes {
-		c.servers[id] = replica.New(id, c.nodes, net, platform, store.New(), replica.Config{
+		c.servers[id] = replica.New(id, c.nodes, fabric, c.platform, store.New(), replica.Config{
 			DisableInfoSharing: cfg.DisableInfoSharing,
 			GrantObserver:      c.referee.OnGrant,
 			Trace:              cfg.Trace,
@@ -271,35 +319,126 @@ func (c *Cluster) finish(o Outcome) {
 	c.outcomes = append(c.outcomes, o)
 	c.outstanding--
 	delete(c.active, o.Agent)
+	delete(c.checkpoints, o.Agent)
 	c.cfg.Trace.Addf(int64(c.sim.Now()), int(o.Home), o.Agent.String(), trace.RequestDone,
 		"alt=%v att=%v visits=%d", o.LockLatency().Duration(), o.TotalLatency().Duration(), o.Visits)
 }
 
+// checkpoint refreshes the agent's regeneration snapshot. Called at every
+// server visit and at claim start, so a lost agent resumes from its latest
+// quiescent protocol state.
+func (c *Cluster) checkpoint(id agent.ID, a *UpdateAgent) {
+	if !c.cfg.RegenerateAgents || a.phase == phaseDone {
+		return
+	}
+	c.checkpoints[id] = a.Freeze()
+}
+
+// loseAgent handles the death of an agent incarnation (its host crashed, or
+// it was lost in transit when its origin crashed). With regeneration on and
+// a checkpoint available the agent is respawned under its original ID;
+// otherwise the loss is recorded as a failed outcome so RunUntilDone does
+// not wait for it. Reports whether the loss was claimed for regeneration —
+// the caller must then suppress death notices, because a tombstone for the
+// reused ID would make every server reject the reborn agent.
+func (c *Cluster) loseAgent(id agent.ID) bool {
+	ua, ok := c.active[id]
+	if !ok {
+		return false
+	}
+	if c.cfg.RegenerateAgents {
+		if st, ok := c.checkpoints[id]; ok {
+			c.scheduleRegeneration(id, st, ua)
+			return true
+		}
+	}
+	ua.phase = phaseDone
+	c.outcomes = append(c.outcomes, Outcome{
+		Agent:      id,
+		Home:       id.Home,
+		Requests:   len(ua.reqs),
+		Dispatched: ua.dispatched,
+		Visits:     ua.visits,
+		Retries:    ua.retries,
+		Failed:     true,
+	})
+	c.outstanding--
+	delete(c.active, id)
+	delete(c.checkpoints, id)
+	return false
+}
+
+// scheduleRegeneration respawns a lost agent from its checkpoint after the
+// death-notice delay. The delay is the honest failure-detection latency, and
+// it also guarantees any stale in-flight message from the dead incarnation
+// (an ABORT carrying the same attempt number, a late ACK) lands before the
+// reborn agent can touch a grant — preserving Theorem 2's single-claimant
+// argument without new machinery.
+func (c *Cluster) scheduleRegeneration(id agent.ID, st WireState, old *UpdateAgent) {
+	old.phase = phaseDone
+	delete(c.active, id)
+	c.sim.After(c.cfg.DeathNoticeDelay, func() {
+		home := c.regenHome(id)
+		if home == simnet.None {
+			// Nowhere alive to respawn: the requests fail like any other
+			// loss. (Schedules validated by internal/failure keep a
+			// majority up, so this is a pathological-schedule path.)
+			c.outcomes = append(c.outcomes, Outcome{
+				Agent:      id,
+				Home:       id.Home,
+				Requests:   len(st.Requests),
+				Dispatched: des.Time(st.Dispatched),
+				Visits:     st.Visits,
+				Retries:    st.Retries,
+				Failed:     true,
+			})
+			c.outstanding--
+			delete(c.checkpoints, id)
+			return
+		}
+		na := Thaw(c, st)
+		c.active[id] = na
+		c.regenerated++
+		c.platform.Respawn(home, na, id)
+	})
+}
+
+// regenHome picks where a regenerated agent resumes: its home server if that
+// is up, else the lowest-numbered live server (deterministic).
+func (c *Cluster) regenHome(id agent.ID) simnet.NodeID {
+	if !c.net.Down(id.Home) {
+		return id.Home
+	}
+	for _, n := range c.nodes {
+		if !c.net.Down(n) {
+			return n
+		}
+	}
+	return simnet.None
+}
+
 // Crash fail-stops the server at id: the network drops its traffic, its
-// volatile locking state is lost, and every agent resident there dies (death
-// notices reach the survivors after the detection delay).
+// volatile locking state (and, when the reliable layer is active, its
+// unacked sends and dedup tables) is lost, and every agent resident there
+// dies. Dead agents with checkpoints are regenerated when
+// Config.RegenerateAgents is set; the rest trigger death notices after the
+// detection delay.
 func (c *Cluster) Crash(id simnet.NodeID) {
 	if c.net.Down(id) {
 		return
 	}
 	c.net.SetDown(id, true)
+	if c.rel != nil {
+		c.rel.Crash(id)
+	}
 	c.servers[id].Crash()
-	for _, killed := range c.platform.KillResidents(id) {
-		if ua, ok := c.active[killed]; ok {
-			ua.phase = phaseDone
-			c.outcomes = append(c.outcomes, Outcome{
-				Agent:      killed,
-				Home:       killed.Home,
-				Requests:   len(ua.reqs),
-				Dispatched: ua.dispatched,
-				Visits:     ua.visits,
-				Retries:    ua.retries,
-				Failed:     true,
-			})
-			c.outstanding--
-			delete(c.active, killed)
+	var dead []agent.ID
+	for _, cas := range c.platform.TakeResidents(id) {
+		if !c.loseAgent(cas.ID) {
+			dead = append(dead, cas.ID)
 		}
 	}
+	c.platform.AnnounceDeaths(dead)
 }
 
 // Recover restarts a crashed server; it rejoins the network and pulls the
@@ -310,6 +449,42 @@ func (c *Cluster) Recover(id simnet.NodeID) {
 	}
 	c.net.SetDown(id, false)
 	c.servers[id].Recover()
+}
+
+// PartitionNet splits the network into the given groups; nodes in different
+// groups cannot exchange messages (failure.Partition events).
+func (c *Cluster) PartitionNet(groups ...[]simnet.NodeID) { c.net.Partition(groups...) }
+
+// HealNet removes all partitions and starts an anti-entropy round at every
+// live server. The explicit sync matters: a replica that sat in a minority
+// partition through a commit round has no sequence gap of its own to notice
+// — it missed whole COMMIT broadcasts — so without this pull it would stay
+// behind until the next commit happens to reach it.
+func (c *Cluster) HealNet() {
+	c.net.Heal()
+	for _, id := range c.nodes {
+		c.servers[id].RequestSync()
+	}
+}
+
+// SetLoss sets the dynamic network-wide message-loss level (failure.Lossy
+// events). It is a no-op unless the cluster was built with a fault model.
+func (c *Cluster) SetLoss(p float64) {
+	if f := c.net.Faults(); f != nil {
+		f.SetExtraLoss(p)
+	}
+}
+
+// Regenerated reports how many lost agents were respawned from checkpoints.
+func (c *Cluster) Regenerated() int { return c.regenerated }
+
+// ReliableStats returns the ack/retransmit layer's counters (the zero value
+// when the cluster runs on raw channels).
+func (c *Cluster) ReliableStats() reliable.Stats {
+	if c.rel == nil {
+		return reliable.Stats{}
+	}
+	return c.rel.Stats()
 }
 
 // Read serves a read from node's local copy — the paper's fast read path.

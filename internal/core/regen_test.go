@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// crashCurrentHost steps the simulation until the (single) in-flight agent
+// is resident somewhere, then crashes that host. It returns the host.
+func crashCurrentHost(t *testing.T, c *Cluster) simnet.NodeID {
+	t.Helper()
+	var host simnet.NodeID
+	for i := 0; i < 10000 && host == simnet.None; i++ {
+		if !c.Sim().Step() {
+			break
+		}
+		for _, id := range c.Nodes() {
+			if len(c.Platform().Place(id).Residents()) > 0 {
+				host = id
+				break
+			}
+		}
+	}
+	if host == simnet.None {
+		t.Fatal("agent not found anywhere")
+	}
+	c.Crash(host)
+	return host
+}
+
+func TestRegeneratedAgentCommitsAfterHostCrash(t *testing.T) {
+	c := newTestCluster(t, Config{N: 5, Seed: 3, RegenerateAgents: true})
+	if err := c.Submit(1, Set("x", "survives")); err != nil {
+		t.Fatal(err)
+	}
+	crashCurrentHost(t, c)
+	if err := c.RunUntilDone(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(2 * time.Second)
+	if err := c.Referee().Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckConvergence(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Regenerated() < 1 {
+		t.Fatal("no agent was regenerated")
+	}
+	outs := c.Outcomes()
+	if len(outs) != 1 || outs[0].Failed {
+		t.Fatalf("outcomes = %+v, want one committed", outs)
+	}
+	// Theorem 2's tie-breaking is identifier-based: the reborn agent must
+	// have kept the original identity.
+	if got := c.Platform().Stats().AgentsRegenerated; got < 1 {
+		t.Fatalf("platform regenerated %d agents", got)
+	}
+	for _, id := range c.Nodes() {
+		if c.Server(id).Down() {
+			continue
+		}
+		if v, ok := c.Read(id, "x"); !ok || v.Data != "survives" {
+			t.Fatalf("server %d: %+v %v", id, v, ok)
+		}
+	}
+}
+
+func TestAgentLostInTransitIsRegenerated(t *testing.T) {
+	c := newTestCluster(t, Config{N: 5, Seed: 1, RegenerateAgents: true})
+	if err := c.Submit(1, Set("x", "v")); err != nil {
+		t.Fatal(err)
+	}
+	// After Submit the agent has already left home (node 1) for the
+	// cheapest unvisited server, node 2 on a uniform mesh. Crash both ends
+	// before the envelope lands: the envelope is dropped at 2 and the
+	// migration timeout at 1 finds the origin down — the agent is lost in
+	// transit, the exact weakness regeneration addresses.
+	c.Crash(2)
+	c.Crash(1)
+	if err := c.RunUntilDone(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(2 * time.Second)
+	if c.Regenerated() != 1 {
+		t.Fatalf("Regenerated = %d, want 1", c.Regenerated())
+	}
+	outs := c.Outcomes()
+	if len(outs) != 1 || outs[0].Failed {
+		t.Fatalf("outcomes = %+v, want one committed", outs)
+	}
+	if outs[0].Agent.Home != 1 {
+		t.Fatalf("outcome carries agent %v, want the original node-1 identity", outs[0].Agent)
+	}
+	if err := c.Referee().Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckConvergence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegenerationOffStillRecordsLostInTransit(t *testing.T) {
+	// Without regeneration the same in-transit loss must surface as a
+	// failed outcome instead of wedging RunUntilDone (the lost-agent hook
+	// is installed unconditionally).
+	c := newTestCluster(t, Config{N: 5, Seed: 1})
+	if err := c.Submit(1, Set("x", "v")); err != nil {
+		t.Fatal(err)
+	}
+	c.Crash(2)
+	c.Crash(1)
+	c.Settle(5 * time.Second)
+	if c.Outstanding() != 0 {
+		t.Fatal("lost agent still outstanding")
+	}
+	outs := c.Outcomes()
+	if len(outs) != 1 || !outs[0].Failed {
+		t.Fatalf("outcomes = %+v, want one failed", outs)
+	}
+}
+
+func TestReliableFabricCommitsUnderLoss(t *testing.T) {
+	c := newTestCluster(t, Config{
+		N:        5,
+		Seed:     9,
+		Faults:   simnet.NewFaultModel(99, 0.3, 0.05),
+		Reliable: true,
+	})
+	for i := 1; i <= 5; i++ {
+		if err := c.Submit(simnet.NodeID(i), Set("k", fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.RunUntilDone(5 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(5 * time.Second)
+	if err := c.Referee().Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckConvergence(); err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range c.Outcomes() {
+		if o.Failed {
+			t.Fatalf("outcome failed under loss: %+v", o)
+		}
+	}
+	rs := c.ReliableStats()
+	if rs.Retransmissions == 0 {
+		t.Fatalf("no retransmissions under 30%% loss: %+v", rs)
+	}
+	if rs.DuplicatesSuppressed == 0 {
+		t.Fatalf("no duplicates suppressed with dup=0.05: %+v", rs)
+	}
+	ns := c.Network().Stats()
+	if ns.MessagesLost == 0 {
+		t.Fatal("fault model ate no messages")
+	}
+}
+
+func TestPartitionHealConvergesViaSync(t *testing.T) {
+	c := newTestCluster(t, Config{N: 5, Seed: 2})
+	// Commit once so there is history, then cut {4,5} off and commit again:
+	// the minority misses the COMMIT broadcast entirely.
+	if err := c.Submit(1, Set("a", "1")); err != nil {
+		t.Fatal(err)
+	}
+	finishRun(t, c)
+	c.PartitionNet([]simnet.NodeID{1, 2, 3}, []simnet.NodeID{4, 5})
+	if err := c.Submit(1, Set("b", "2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunUntilDone(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(time.Second)
+	if got := c.Server(4).Store().LastSeq(); got != 1 {
+		t.Fatalf("partitioned server LastSeq = %d, want 1 (missed the commit)", got)
+	}
+	// Healing alone would leave 4 and 5 behind (no gap to notice); HealNet
+	// also starts an anti-entropy round.
+	c.HealNet()
+	c.Settle(2 * time.Second)
+	if err := c.CheckConvergence(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := c.Read(4, "b"); !ok || v.Data != "2" {
+		t.Fatalf("healed minority read = %+v %v", v, ok)
+	}
+}

@@ -104,6 +104,7 @@ func (a *UpdateAgent) OnArrive(ctx *agent.Context) {
 	info := srv.VisitAndLock(ctx.ID(), shared, a.lt.GoneList())
 	a.lt.MergeInfo(info, true)
 	a.phase = phaseTravelling
+	a.c.checkpoint(ctx.ID(), a)
 	a.evaluate(ctx)
 }
 
@@ -295,6 +296,10 @@ func (a *UpdateAgent) armRetry(ctx *agent.Context) {
 // "it then broadcasts a message to all the replicas to request the update of
 // the replica") and begins collecting acknowledgements.
 func (a *UpdateAgent) startClaim(ctx *agent.Context, d Decision) {
+	// Checkpoint while still quiescent: a regenerated incarnation resumes
+	// from just before this claim and re-runs it with the same attempt
+	// number (safe — the regeneration delay outlives any stale message).
+	a.c.checkpoint(ctx.ID(), a)
 	a.phase = phaseClaiming
 	a.parkedTicks = 0
 	a.attempt++

@@ -1,0 +1,135 @@
+package failure
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+func TestSortedCanonicalSameInstantOrder(t *testing.T) {
+	// Built damage-first: at 20ms node 1 recovers AND node 2 crashes. The
+	// canonical order must process the recovery first regardless of
+	// construction order, or the down-count transiently overshoots.
+	s := Schedule{
+		{At: 20 * time.Millisecond, Node: 2, Kind: Crash},
+		{At: 10 * time.Millisecond, Node: 1, Kind: Crash},
+		{At: 20 * time.Millisecond, Node: 1, Kind: Recover},
+	}
+	if err := s.Validate(5, 1); err != nil {
+		t.Fatalf("recover-before-crash ordering not applied: %v", err)
+	}
+	sorted := s.Sorted()
+	if sorted[1].Kind != Recover || sorted[2].Kind != Crash {
+		t.Fatalf("sorted = %+v", sorted)
+	}
+	// Reversed construction order gives the identical canonical schedule.
+	rev := Schedule{s[2], s[1], s[0]}
+	for i, e := range rev.Sorted() {
+		if e.At != sorted[i].At || e.Kind != sorted[i].Kind || e.Node != sorted[i].Node {
+			t.Fatalf("construction order leaked into canonical order: %+v", rev.Sorted())
+		}
+	}
+}
+
+func TestValidateRejectsRecoverOfUpNodeAtSharedInstant(t *testing.T) {
+	// Node 3 is up; a same-instant Crash+Recover pair is canonically
+	// recover-then-crash, so the Recover targets an up node — invalid in
+	// either construction order.
+	forward := Schedule{
+		{At: 10 * time.Millisecond, Node: 3, Kind: Crash},
+		{At: 10 * time.Millisecond, Node: 3, Kind: Recover},
+	}
+	backward := Schedule{forward[1], forward[0]}
+	if err := forward.Validate(5, 2); err == nil {
+		t.Fatal("zero-length outage validated (forward order)")
+	}
+	if err := backward.Validate(5, 2); err == nil {
+		t.Fatal("zero-length outage validated (backward order)")
+	}
+}
+
+func TestValidateMajorityReachability(t *testing.T) {
+	ok := []Schedule{
+		PartitionWindow(time.Millisecond, 10*time.Millisecond, []simnet.NodeID{1, 2}, []simnet.NodeID{3, 4, 5}),
+		LossBurst(time.Millisecond, 10*time.Millisecond, 0.3),
+		append(PartitionWindow(time.Millisecond, 50*time.Millisecond, []simnet.NodeID{4, 5}),
+			Blip(4, 5*time.Millisecond, 10*time.Millisecond)...),
+	}
+	for i, s := range ok {
+		if err := s.Validate(5, 2); err != nil {
+			t.Fatalf("valid schedule %d rejected: %v", i, err)
+		}
+	}
+	bad := []Schedule{
+		// No group holds 3 of 5.
+		{{At: 0, Kind: Partition, Groups: [][]simnet.NodeID{{1, 2}, {3}, {4, 5}}}},
+		// The majority-capable group loses a member to a crash.
+		append(Schedule{{At: 0, Kind: Partition, Groups: [][]simnet.NodeID{{1, 2, 3}, {4, 5}}}},
+			Event{At: time.Millisecond, Node: 3, Kind: Crash}),
+		// Malformed partitions and loss levels.
+		{{At: 0, Kind: Partition, Groups: [][]simnet.NodeID{{1, 1}, {2, 3, 4, 5}}}},
+		{{At: 0, Kind: Partition, Groups: [][]simnet.NodeID{{9}, {1, 2, 3}}}},
+		{{At: 0, Kind: Lossy, Loss: 0.99}},
+		{{At: 0, Kind: Lossy, Loss: -0.1}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(5, 2); err == nil {
+			t.Fatalf("bad schedule %d validated: %+v", i, s)
+		}
+	}
+}
+
+type fakeChaosTarget struct {
+	fakeTarget
+}
+
+func (f *fakeChaosTarget) PartitionNet(groups ...[]simnet.NodeID) {
+	f.log = append(f.log, fmt.Sprintf("partition %v", groups))
+}
+func (f *fakeChaosTarget) HealNet()          { f.log = append(f.log, "heal") }
+func (f *fakeChaosTarget) SetLoss(p float64) { f.log = append(f.log, fmt.Sprintf("loss %.2f", p)) }
+
+func TestApplyDeliversChaosEvents(t *testing.T) {
+	s := Schedule{}
+	s = append(s, PartitionWindow(10*time.Millisecond, 10*time.Millisecond, []simnet.NodeID{1, 2})...)
+	s = append(s, LossBurst(5*time.Millisecond, 30*time.Millisecond, 0.25)...)
+	var fired []func()
+	run := func(target Target) []string {
+		fired = fired[:0]
+		s.Apply(func(_ time.Duration, fn func()) { fired = append(fired, fn) }, target)
+		for _, fn := range fired {
+			fn()
+		}
+		switch tg := target.(type) {
+		case *fakeChaosTarget:
+			return tg.log
+		case *fakeTarget:
+			return tg.log
+		}
+		return nil
+	}
+	got := run(&fakeChaosTarget{})
+	want := []string{"loss 0.25", "partition [[1 2]]", "heal", "loss 0.00"}
+	if len(got) != len(want) {
+		t.Fatalf("chaos log = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("chaos log = %v, want %v", got, want)
+		}
+	}
+	// A plain Target silently skips chaos events instead of panicking.
+	if got := run(&fakeTarget{}); len(got) != 0 {
+		t.Fatalf("plain target received chaos events: %v", got)
+	}
+}
+
+func TestKindStringCoversChaosKinds(t *testing.T) {
+	for k, want := range map[Kind]string{Partition: "partition", Heal: "heal", Lossy: "lossy"} {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q", int(k), k.String())
+		}
+	}
+}

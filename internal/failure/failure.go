@@ -5,10 +5,14 @@
 // transient failures").
 //
 // A Schedule is plain data — a list of (time, node, kind) events — so it can
-// be inspected, stored, and replayed deterministically. Builders construct
-// common patterns: a single blip, rolling restarts, and random churn that
-// provably never takes down a majority (so the protocol's liveness
-// assumptions hold and every injected run must still drain).
+// be inspected, stored, and replayed deterministically. Beyond fail-stop
+// crashes the schedule language covers network partitions (Partition/Heal)
+// and transient message-loss bursts (Lossy), the chaos dimensions of
+// experiment A6. Builders construct common patterns: a single blip, rolling
+// restarts, partition and loss windows, and random churn that provably never
+// takes down a majority — Validate proves a mutually reachable strict
+// majority survives every event, so the protocol's liveness assumptions hold
+// and every injected run must still drain.
 package failure
 
 import (
@@ -23,10 +27,15 @@ import (
 // Kind is the type of one fault event.
 type Kind int
 
-// The fault event kinds.
+// The fault event kinds. Crash/Recover are per-node fail-stop events;
+// Partition/Heal reshape network reachability; Lossy sets the network-wide
+// transient message-loss level (zero restores clean links).
 const (
 	Crash Kind = iota
 	Recover
+	Partition
+	Heal
+	Lossy
 )
 
 // String returns the event-kind name.
@@ -36,16 +45,46 @@ func (k Kind) String() string {
 		return "crash"
 	case Recover:
 		return "recover"
+	case Partition:
+		return "partition"
+	case Heal:
+		return "heal"
+	case Lossy:
+		return "lossy"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
 }
 
-// Event is one scheduled fault.
+// rank defines the canonical same-instant processing order: events healing
+// the system (Recover, Heal) are processed before events degrading it
+// (Lossy, Partition, Crash), so the semantics of equal-time events never
+// depend on the order a schedule was constructed in. See Sorted.
+func (k Kind) rank() int {
+	switch k {
+	case Recover:
+		return 0
+	case Heal:
+		return 1
+	case Lossy:
+		return 2
+	case Partition:
+		return 3
+	case Crash:
+		return 4
+	default:
+		return 5
+	}
+}
+
+// Event is one scheduled fault. Node is set for Crash/Recover, Groups for
+// Partition, Loss for Lossy; Heal carries only a time.
 type Event struct {
-	At   time.Duration
-	Node simnet.NodeID
-	Kind Kind
+	At     time.Duration
+	Node   simnet.NodeID
+	Kind   Kind
+	Groups [][]simnet.NodeID // Partition: nodes per group (unlisted = group 0)
+	Loss   float64           // Lossy: network-wide loss probability
 }
 
 // Schedule is an ordered fault plan.
@@ -58,24 +97,62 @@ type Target interface {
 	Recover(simnet.NodeID)
 }
 
+// ChaosTarget additionally supports partitions and transient message loss;
+// core.Cluster satisfies it. Apply delivers Partition/Heal/Lossy events only
+// to targets implementing this interface.
+type ChaosTarget interface {
+	Target
+	PartitionNet(groups ...[]simnet.NodeID)
+	HealNet()
+	SetLoss(p float64)
+}
+
 // Scheduler defers a function to a virtual-time offset; des-based systems
 // pass their simulator's After (adapted to discard the returned event).
 type Scheduler func(d time.Duration, fn func())
 
 // Validate checks that the schedule is well-formed for a system of n nodes:
 // times non-negative, nodes in 1..n, crashes and recoveries alternating per
-// node, and never more than maxDown nodes down at once (pass maxDown =
-// (n-1)/2 to preserve the protocol's majority-liveness assumption; pass n to
-// disable the check).
+// node, never more than maxDown nodes down at once (pass maxDown = (n-1)/2
+// to preserve the protocol's majority-liveness assumption; pass n to disable
+// the check), loss levels within [0, simnet.MaxLoss], partition groups
+// naming each node at most once — and, after every event, some set of
+// mutually reachable up nodes still forming a strict majority of n, so
+// liveness holds throughout.
+//
+// Events are examined in the canonical order (see Sorted): at equal
+// instants, recoveries and heals apply before new faults. In particular a
+// Recover for a node that is not down at that instant — even if a Crash of
+// the same node shares the timestamp — is rejected, deterministically,
+// regardless of the order the schedule was built in.
 func (s Schedule) Validate(n, maxDown int) error {
 	sorted := s.Sorted()
 	down := make(map[simnet.NodeID]bool)
+	group := make(map[simnet.NodeID]int) // current partition group, 0 default
+	majorityReachable := func() bool {
+		upPerGroup := make(map[int]int)
+		best := 0
+		for i := 1; i <= n; i++ {
+			id := simnet.NodeID(i)
+			if down[id] {
+				continue
+			}
+			upPerGroup[group[id]]++
+			if upPerGroup[group[id]] > best {
+				best = upPerGroup[group[id]]
+			}
+		}
+		return best >= n/2+1
+	}
 	for i, e := range sorted {
 		if e.At < 0 {
 			return fmt.Errorf("failure: event %d at negative time %v", i, e.At)
 		}
-		if int(e.Node) < 1 || int(e.Node) > n {
-			return fmt.Errorf("failure: event %d names unknown node %d", i, e.Node)
+		switch e.Kind {
+		case Crash, Recover:
+			if int(e.Node) < 1 || int(e.Node) > n {
+				return fmt.Errorf("failure: event %d names unknown node %d", i, e.Node)
+			}
 		}
 		switch e.Kind {
 		case Crash:
@@ -83,26 +160,65 @@ func (s Schedule) Validate(n, maxDown int) error {
 				return fmt.Errorf("failure: node %d crashed twice without recovery", e.Node)
 			}
 			down[e.Node] = true
-			if len(down) > maxDown {
-				return fmt.Errorf("failure: %d nodes down at %v exceeds limit %d", len(down), e.At, maxDown)
+			downCount := len(down)
+			if downCount > maxDown {
+				return fmt.Errorf("failure: %d nodes down at %v exceeds limit %d", downCount, e.At, maxDown)
 			}
 		case Recover:
 			if !down[e.Node] {
-				return fmt.Errorf("failure: node %d recovered while up", e.Node)
+				return fmt.Errorf("failure: node %d recovered while up at %v", e.Node, e.At)
 			}
 			delete(down, e.Node)
+		case Partition:
+			seen := make(map[simnet.NodeID]bool)
+			group = make(map[simnet.NodeID]int)
+			for gi, g := range e.Groups {
+				for _, id := range g {
+					if int(id) < 1 || int(id) > n {
+						return fmt.Errorf("failure: partition at %v names unknown node %d", e.At, id)
+					}
+					if seen[id] {
+						return fmt.Errorf("failure: partition at %v names node %d twice", e.At, id)
+					}
+					seen[id] = true
+					group[id] = gi + 1
+				}
+			}
+		case Heal:
+			group = make(map[simnet.NodeID]int)
+		case Lossy:
+			if e.Loss < 0 || e.Loss > simnet.MaxLoss {
+				return fmt.Errorf("failure: loss level %v at %v outside [0, %v]", e.Loss, e.At, simnet.MaxLoss)
+			}
 		default:
 			return fmt.Errorf("failure: event %d has unknown kind %d", i, int(e.Kind))
+		}
+		if !majorityReachable() {
+			return fmt.Errorf("failure: no mutually reachable majority after %s at %v", e.Kind, e.At)
 		}
 	}
 	return nil
 }
 
-// Sorted returns a copy ordered by time (stable for equal times).
+// Sorted returns a copy in canonical order: by time, then by kind rank
+// (Recover, Heal, Lossy, Partition, Crash — repairs before new damage),
+// then by node. The kind rank makes same-instant semantics independent of
+// construction order: a node may recover and a different node crash in the
+// same instant without the down-count transiently overshooting, and a
+// same-instant Recover+Crash of one node is deterministically a
+// recover-then-crash.
 func (s Schedule) Sorted() Schedule {
 	out := make(Schedule, len(s))
 	copy(out, s)
-	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		if out[i].Kind.rank() != out[j].Kind.rank() {
+			return out[i].Kind.rank() < out[j].Kind.rank()
+		}
+		return out[i].Node < out[j].Node
+	})
 	return out
 }
 
@@ -117,8 +233,11 @@ func (s Schedule) Span() time.Duration {
 	return max
 }
 
-// Apply schedules every event against the target.
+// Apply schedules every event against the target, in canonical order.
+// Partition, Heal, and Lossy events are delivered only if the target
+// implements ChaosTarget; against a plain Target they are skipped.
 func (s Schedule) Apply(sched Scheduler, target Target) {
+	chaos, _ := target.(ChaosTarget)
 	for _, e := range s.Sorted() {
 		e := e
 		sched(e.At, func() {
@@ -127,6 +246,18 @@ func (s Schedule) Apply(sched Scheduler, target Target) {
 				target.Crash(e.Node)
 			case Recover:
 				target.Recover(e.Node)
+			case Partition:
+				if chaos != nil {
+					chaos.PartitionNet(e.Groups...)
+				}
+			case Heal:
+				if chaos != nil {
+					chaos.HealNet()
+				}
+			case Lossy:
+				if chaos != nil {
+					chaos.SetLoss(e.Loss)
+				}
 			}
 		})
 	}
@@ -138,6 +269,25 @@ func Blip(node simnet.NodeID, at, downFor time.Duration) Schedule {
 	return Schedule{
 		{At: at, Node: node, Kind: Crash},
 		{At: at + downFor, Node: node, Kind: Recover},
+	}
+}
+
+// PartitionWindow splits the network into groups at `at` and heals it
+// healFor later.
+func PartitionWindow(at, healAfter time.Duration, groups ...[]simnet.NodeID) Schedule {
+	return Schedule{
+		{At: at, Kind: Partition, Groups: groups},
+		{At: at + healAfter, Kind: Heal},
+	}
+}
+
+// LossBurst raises the network-wide loss level to loss at `at` and restores
+// clean links lasts later — the paper's "frequent short transient failure"
+// as a link phenomenon rather than a node crash.
+func LossBurst(at, lasts time.Duration, loss float64) Schedule {
+	return Schedule{
+		{At: at, Kind: Lossy, Loss: loss},
+		{At: at + lasts, Kind: Lossy, Loss: 0},
 	}
 }
 

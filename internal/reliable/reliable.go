@@ -1,0 +1,306 @@
+// Package reliable layers acknowledged, at-most-once-duplicated delivery on
+// top of a lossy simnet.Network.
+//
+// The paper (§2) assumes reliable asynchronous channels, so the MARP
+// protocol layers never had to cope with message loss. When a
+// simnet.FaultModel is attached to the network that assumption breaks, and
+// this package restores it end-to-end the way real systems do: every
+// payload is wrapped in a sequenced frame, the receiver acknowledges each
+// frame and suppresses duplicates, and the sender retransmits with
+// exponential backoff and jitter until either an ack arrives or the retry
+// cap is exhausted — at which point the peer is reported unreachable to the
+// caller, who falls back on the protocol's own timeout machinery.
+//
+// Layer implements simnet.Fabric, so protocol code (agent.Platform,
+// replica.Server) runs over either a bare *simnet.Network or a *Layer
+// without change. Fault decisions live in the network; this layer draws
+// randomness only for retransmit jitter, from the shared simulator source,
+// so runs remain deterministic.
+//
+// Crash semantics follow fail-stop: Crash(id) discards the node's volatile
+// state — unacked sends die with the node and the duplicate-suppression
+// table is lost, so a retransmit that straddles a crash/recovery may be
+// delivered twice. The protocol handlers tolerate that (they are idempotent
+// or guarded by attempt numbers). The per-node send counter survives a
+// crash, modelling the sequence number kept in stable storage (a real
+// deployment would use an incarnation number to the same effect).
+package reliable
+
+import (
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/simnet"
+)
+
+// Config tunes the retransmission policy.
+type Config struct {
+	// Base is the delay before the first retransmission. Subsequent delays
+	// double up to Max.
+	Base time.Duration
+	// Max caps the backoff delay.
+	Max time.Duration
+	// Attempts is the maximum number of transmissions per message
+	// (the initial send counts as the first).
+	Attempts int
+	// Jitter is the fraction of each delay added uniformly at random, so
+	// retransmissions from different senders decorrelate.
+	Jitter float64
+}
+
+// DefaultConfig suits the LAN/prototype latency presets: first retry after
+// 20ms, doubling to 500ms, five transmissions total.
+var DefaultConfig = Config{Base: 20 * time.Millisecond, Max: 500 * time.Millisecond, Attempts: 5, Jitter: 0.2}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig
+	if c.Base <= 0 {
+		c.Base = d.Base
+	}
+	if c.Max <= 0 {
+		c.Max = d.Max
+	}
+	if c.Attempts <= 0 {
+		c.Attempts = d.Attempts
+	}
+	if c.Jitter < 0 {
+		c.Jitter = 0
+	}
+	return c
+}
+
+// Backoff returns the (jitter-free) delay scheduled after the attempt-th
+// transmission: Base doubled attempt-1 times, capped at Max. Exposed pure so
+// the schedule is unit-testable.
+func Backoff(cfg Config, attempt int) time.Duration {
+	cfg = cfg.withDefaults()
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := cfg.Base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= cfg.Max {
+			return cfg.Max
+		}
+	}
+	if d > cfg.Max {
+		d = cfg.Max
+	}
+	return d
+}
+
+// Stats counts the layer's recovery work across all nodes.
+type Stats struct {
+	Retransmissions      int // frames sent beyond the first transmission
+	DuplicatesSuppressed int // frames received more than once and dropped
+	AcksSent             int
+	GaveUp               int // sends that exhausted the retry cap
+}
+
+// frame header and ack sizes, charged to the network's byte accounting.
+const (
+	headerSize = 12
+	ackSize    = 16
+)
+
+// dataMsg is a sequenced frame wrapping a protocol payload. Kind delegates
+// to the payload so per-kind traffic accounting still names the protocol
+// message (retransmissions count again — they are real transmissions).
+type dataMsg struct {
+	Seq     uint64
+	Payload any
+}
+
+func (d dataMsg) Kind() string {
+	if k, ok := d.Payload.(simnet.Kinder); ok {
+		return k.Kind()
+	}
+	return "rel-data"
+}
+
+// ackMsg acknowledges receipt of the frame with the given sequence number.
+type ackMsg struct{ Seq uint64 }
+
+func (ackMsg) Kind() string { return "rel-ack" }
+
+type pendingSend struct {
+	msg     simnet.Message // the caller's original message
+	seq     uint64
+	attempt int
+	timer   des.Timer
+}
+
+// port is one node's endpoint state.
+type port struct {
+	id      simnet.NodeID
+	nextSeq uint64 // survives Crash (stable storage)
+	pending map[uint64]*pendingSend
+	seen    map[simnet.NodeID]map[uint64]bool
+}
+
+func (p *port) reset() {
+	p.pending = make(map[uint64]*pendingSend)
+	p.seen = make(map[simnet.NodeID]map[uint64]bool)
+}
+
+// Layer is the ack/retransmit shim. It implements simnet.Fabric.
+type Layer struct {
+	net           *simnet.Network
+	cfg           Config
+	ports         map[simnet.NodeID]*port
+	upper         map[simnet.NodeID]simnet.Handler
+	onUnreachable func(from, to simnet.NodeID, msg simnet.Message)
+	stats         Stats
+}
+
+var (
+	_ simnet.Fabric = (*Layer)(nil)
+	_ simnet.Fabric = (*simnet.Network)(nil)
+)
+
+// NewLayer wraps net. Zero-valued Config fields take defaults.
+func NewLayer(net *simnet.Network, cfg Config) *Layer {
+	return &Layer{
+		net:   net,
+		cfg:   cfg.withDefaults(),
+		ports: make(map[simnet.NodeID]*port),
+		upper: make(map[simnet.NodeID]simnet.Handler),
+	}
+}
+
+// Sim returns the underlying simulator.
+func (l *Layer) Sim() *des.Simulator { return l.net.Sim() }
+
+// Cost delegates to the underlying topology.
+func (l *Layer) Cost(from, to simnet.NodeID) float64 { return l.net.Cost(from, to) }
+
+// Down delegates to the underlying network.
+func (l *Layer) Down(id simnet.NodeID) bool { return l.net.Down(id) }
+
+// Network returns the wrapped network.
+func (l *Layer) Network() *simnet.Network { return l.net }
+
+// OnUnreachable registers fn to be called when a send exhausts its retry
+// cap. The protocol layers treat this as advisory — their own timeouts
+// (claim, migration) drive recovery — but the cluster counts it.
+func (l *Layer) OnUnreachable(fn func(from, to simnet.NodeID, msg simnet.Message)) {
+	l.onUnreachable = fn
+}
+
+func (l *Layer) port(id simnet.NodeID) *port {
+	p, ok := l.ports[id]
+	if !ok {
+		p = &port{id: id}
+		p.reset()
+		l.ports[id] = p
+	}
+	return p
+}
+
+// Attach registers h as node id's protocol handler and interposes the
+// layer's framing on the wire. Re-attaching (recovery) replaces the handler.
+func (l *Layer) Attach(id simnet.NodeID, h simnet.Handler) {
+	l.upper[id] = h
+	p := l.port(id)
+	l.net.Attach(id, simnet.HandlerFunc(func(m simnet.Message) { l.receive(p, m) }))
+}
+
+// Send transmits msg with ack/retransmit semantics. Delivery to the remote
+// handler happens at most the configured number of transmissions later; if
+// every transmission is lost the send is abandoned and OnUnreachable fires.
+func (l *Layer) Send(msg simnet.Message) {
+	p := l.port(msg.From)
+	p.nextSeq++
+	ps := &pendingSend{msg: msg, seq: p.nextSeq, attempt: 1}
+	p.pending[ps.seq] = ps
+	l.transmit(p, ps)
+}
+
+func (l *Layer) transmit(p *port, ps *pendingSend) {
+	l.net.Send(simnet.Message{
+		From:    ps.msg.From,
+		To:      ps.msg.To,
+		Payload: dataMsg{Seq: ps.seq, Payload: ps.msg.Payload},
+		Size:    ps.msg.Size + headerSize,
+	})
+	d := Backoff(l.cfg, ps.attempt)
+	if l.cfg.Jitter > 0 {
+		d += time.Duration(l.cfg.Jitter * l.net.Sim().Rand().Float64() * float64(d))
+	}
+	ps.timer = l.net.Sim().After(d, func() { l.expire(p, ps) })
+}
+
+func (l *Layer) expire(p *port, ps *pendingSend) {
+	if p.pending[ps.seq] != ps {
+		return // acked, or cleared by Crash, while the timer was in flight
+	}
+	if l.net.Down(ps.msg.From) {
+		// Fail-stop: a down sender retransmits nothing. Crash() normally
+		// clears pending first; this guards direct SetDown use.
+		delete(p.pending, ps.seq)
+		return
+	}
+	if ps.attempt >= l.cfg.Attempts {
+		delete(p.pending, ps.seq)
+		l.stats.GaveUp++
+		if l.onUnreachable != nil {
+			l.onUnreachable(ps.msg.From, ps.msg.To, ps.msg)
+		}
+		return
+	}
+	ps.attempt++
+	l.stats.Retransmissions++
+	l.transmit(p, ps)
+}
+
+func (l *Layer) receive(p *port, m simnet.Message) {
+	switch pl := m.Payload.(type) {
+	case dataMsg:
+		dup := p.seen[m.From][pl.Seq]
+		if dup {
+			l.stats.DuplicatesSuppressed++
+		} else {
+			if p.seen[m.From] == nil {
+				p.seen[m.From] = make(map[uint64]bool)
+			}
+			p.seen[m.From][pl.Seq] = true
+		}
+		// Ack even duplicates: the previous ack may itself have been lost.
+		l.stats.AcksSent++
+		l.net.Send(simnet.Message{From: p.id, To: m.From, Payload: ackMsg{Seq: pl.Seq}, Size: ackSize})
+		if dup {
+			return
+		}
+		if h := l.upper[p.id]; h != nil {
+			h.Deliver(simnet.Message{From: m.From, To: m.To, Payload: pl.Payload, Size: m.Size - headerSize})
+		}
+	case ackMsg:
+		if ps, ok := p.pending[pl.Seq]; ok {
+			ps.timer.Cancel()
+			delete(p.pending, pl.Seq)
+		}
+	default:
+		// A sender bypassed the layer; hand the raw message up unchanged.
+		if h := l.upper[p.id]; h != nil {
+			h.Deliver(m)
+		}
+	}
+}
+
+// Crash discards node id's volatile endpoint state: unacked sends die with
+// the node and its duplicate-suppression table is lost (see the package
+// comment for the recovery consequences). The send counter survives.
+func (l *Layer) Crash(id simnet.NodeID) {
+	p, ok := l.ports[id]
+	if !ok {
+		return
+	}
+	for _, ps := range p.pending {
+		ps.timer.Cancel()
+	}
+	p.reset()
+}
+
+// Stats returns a copy of the recovery counters.
+func (l *Layer) Stats() Stats { return l.stats }

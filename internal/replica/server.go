@@ -33,7 +33,7 @@ type Config struct {
 type Server struct {
 	id       simnet.NodeID
 	peers    []simnet.NodeID // all other replicas
-	net      *simnet.Network
+	net      simnet.Fabric
 	platform *agent.Platform
 	place    *agent.Place
 	st       *store.Store
@@ -70,7 +70,7 @@ type quorumRead struct {
 // New creates a server for node id over the given substrates, hosts an
 // agent place on its node, and registers itself for network delivery and
 // agent-death notices. peers must list every replica ID including id.
-func New(id simnet.NodeID, peers []simnet.NodeID, net *simnet.Network, platform *agent.Platform, st *store.Store, cfg Config) *Server {
+func New(id simnet.NodeID, peers []simnet.NodeID, net simnet.Fabric, platform *agent.Platform, st *store.Store, cfg Config) *Server {
 	if st == nil {
 		st = store.New()
 	}
@@ -425,6 +425,17 @@ func (s *Server) handleAbort(m *AbortMsg) {
 		s.setGrant(agent.ID{})
 		s.cfg.Trace.Addf(int64(s.net.Sim().Now()), int(s.id), m.Txn.String(), trace.ClaimAborted, "grant released")
 	}
+}
+
+// RequestSync starts an anti-entropy round with all peers: fetch the
+// committed updates after the local horizon. The cluster invokes it on every
+// live server after a partition heals, because a minority partition that
+// missed final COMMIT broadcasts has no sequence gap of its own to notice.
+func (s *Server) RequestSync() {
+	if s.down {
+		return
+	}
+	s.requestSync(simnet.None)
 }
 
 // requestSync asks origin (falling back to all peers if origin is the

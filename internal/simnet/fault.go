@@ -1,0 +1,120 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// FaultModel injects transient message faults into a Network, weakening the
+// paper's §2 assumption of reliable channels: a message between two live,
+// connected nodes may now be lost or duplicated, and whole windows of
+// virtual time may be extra lossy — the "frequent short transient failures"
+// the paper attributes to the Internet. All fault decisions are drawn from
+// the model's own seeded random source, so a faulty run is exactly as
+// deterministic as a clean one, and a Network with no FaultModel attached
+// draws no fault randomness at all (its executions are byte-identical to
+// the pre-fault-model behaviour).
+//
+// Probabilities compose as follows: each transmission uses the largest of
+// the base loss probability, the link's override, any covering lossy
+// window, and the dynamic loss level (failure.Lossy events). The result is
+// clamped to MaxLoss so a misconfigured window can never make a link
+// certainly dead — timeouts, not infinite loss, model long outages.
+type FaultModel struct {
+	rng       *rand.Rand
+	loss      float64 // base per-message loss probability
+	dup       float64 // per-message duplication probability
+	linkLoss  map[[2]NodeID]float64
+	windows   []LossyWindow
+	extraLoss float64 // dynamic network-wide loss (SetExtraLoss)
+}
+
+// MaxLoss caps any effective loss probability: above it, loss stops being
+// "transient" and should be modelled as a crash or partition instead.
+const MaxLoss = 0.95
+
+// LossyWindow elevates the loss probability network-wide during a virtual
+// time interval [From, To).
+type LossyWindow struct {
+	From, To time.Duration
+	Loss     float64
+}
+
+// NewFaultModel returns a model with the given base loss and duplication
+// probabilities, drawing every fault decision from a source seeded with
+// seed. Probabilities outside [0, MaxLoss] are clamped.
+func NewFaultModel(seed int64, loss, dup float64) *FaultModel {
+	return &FaultModel{
+		rng:  rand.New(rand.NewSource(seed)),
+		loss: clampProb(loss),
+		dup:  clampProb(dup),
+	}
+}
+
+func clampProb(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > MaxLoss {
+		return MaxLoss
+	}
+	return p
+}
+
+// SetLinkLoss overrides the loss probability for messages from one node to
+// another (directed). It replaces the base probability for that link; lossy
+// windows and the dynamic level still apply on top (largest wins).
+func (f *FaultModel) SetLinkLoss(from, to NodeID, p float64) {
+	if f.linkLoss == nil {
+		f.linkLoss = make(map[[2]NodeID]float64)
+	}
+	f.linkLoss[[2]NodeID{from, to}] = clampProb(p)
+}
+
+// AddWindow schedules a lossy window. Windows may overlap; the largest
+// applicable probability wins.
+func (f *FaultModel) AddWindow(w LossyWindow) error {
+	if w.To < w.From {
+		return fmt.Errorf("simnet: lossy window ends %v before it starts %v", w.To, w.From)
+	}
+	w.Loss = clampProb(w.Loss)
+	f.windows = append(f.windows, w)
+	return nil
+}
+
+// SetExtraLoss sets the dynamic network-wide loss level — the hook
+// failure.Lossy schedule events drive. Zero clears it.
+func (f *FaultModel) SetExtraLoss(p float64) { f.extraLoss = clampProb(p) }
+
+// lossAt resolves the effective loss probability for one transmission.
+func (f *FaultModel) lossAt(now time.Duration, from, to NodeID) float64 {
+	p := f.loss
+	if lp, ok := f.linkLoss[[2]NodeID{from, to}]; ok {
+		p = lp
+	}
+	for _, w := range f.windows {
+		if now >= w.From && now < w.To && w.Loss > p {
+			p = w.Loss
+		}
+	}
+	if f.extraLoss > p {
+		p = f.extraLoss
+	}
+	return p
+}
+
+// drop decides whether this transmission is lost. One uniform draw per
+// call, unconditionally, so the random stream does not depend on the
+// resolved probability.
+func (f *FaultModel) drop(now time.Duration, from, to NodeID) bool {
+	return f.rng.Float64() < f.lossAt(now, from, to)
+}
+
+// duplicate decides whether this transmission is delivered twice.
+func (f *FaultModel) duplicate() bool {
+	if f.dup <= 0 {
+		return false
+	}
+	return f.rng.Float64() < f.dup
+}

@@ -8,6 +8,13 @@
 // behaviour a fail-stop process presents to its peers — and senders detect
 // such failures by timeout, as the protocol layer prescribes.
 //
+// The reliable-channel assumption can be weakened per run by attaching a
+// FaultModel (SetFaults): messages between live, connected nodes may then be
+// lost or duplicated with configured probabilities, including time-windowed
+// loss bursts. Protocol layers that must survive such links run over the
+// ack/retransmit shim in internal/reliable rather than the raw Network; the
+// Fabric interface abstracts over the two.
+//
 // Every delivery is scheduled on the shared des.Simulator, so an entire
 // multi-node execution remains deterministic.
 package simnet
@@ -52,13 +59,29 @@ type HandlerFunc func(Message)
 // Deliver calls f(msg).
 func (f HandlerFunc) Deliver(msg Message) { f(msg) }
 
-// Stats aggregates network traffic counters.
+// Stats aggregates network traffic counters. Losses and duplicates injected
+// by a FaultModel are counted separately from drops, so an experiment can
+// tell "the link ate it" apart from "the destination was down or
+// partitioned".
 type Stats struct {
-	MessagesSent      int
-	MessagesDelivered int
-	MessagesDropped   int // destination down, partitioned, or detached
-	BytesSent         int
-	ByKind            map[string]int
+	MessagesSent       int
+	MessagesDelivered  int
+	MessagesDropped    int // destination down, partitioned, or detached
+	MessagesLost       int // eaten by the fault model on a live, connected link
+	MessagesDuplicated int // delivered twice by the fault model
+	BytesSent          int
+	ByKind             map[string]int
+}
+
+// Fabric is the message-passing surface the protocol layers run on: either
+// a *Network directly (the paper's reliable channels) or a reliability shim
+// wrapping one (internal/reliable, for runs with an attached FaultModel).
+type Fabric interface {
+	Sim() *des.Simulator
+	Cost(from, to NodeID) float64
+	Down(id NodeID) bool
+	Attach(id NodeID, h Handler)
+	Send(msg Message)
 }
 
 // Network is a simulated message-passing network.
@@ -69,6 +92,7 @@ type Network struct {
 	nodes   map[NodeID]Handler
 	down    map[NodeID]bool
 	group   map[NodeID]int // partition group; all zero = fully connected
+	faults  *FaultModel
 	stats   Stats
 }
 
@@ -148,6 +172,14 @@ func (n *Network) Partition(groups ...[]NodeID) {
 // Heal removes all partitions.
 func (n *Network) Heal() { n.group = make(map[NodeID]int) }
 
+// SetFaults attaches (or, with nil, detaches) a fault model. With no model
+// attached the network is the paper's reliable channel: a message between
+// two live, connected nodes is never lost.
+func (n *Network) SetFaults(f *FaultModel) { n.faults = f }
+
+// Faults returns the attached fault model, if any.
+func (n *Network) Faults() *FaultModel { return n.faults }
+
 // Reachable reports whether a message from one node can currently reach the
 // other (both up, same partition group).
 func (n *Network) Reachable(from, to NodeID) bool {
@@ -182,6 +214,21 @@ func (n *Network) Send(msg Message) {
 		n.stats.MessagesDropped++
 		return
 	}
+	if n.faults != nil {
+		if n.faults.drop(time.Duration(n.sim.Now()), msg.From, msg.To) {
+			n.stats.MessagesLost++
+			return
+		}
+		if n.faults.duplicate() {
+			n.stats.MessagesDuplicated++
+			n.schedule(msg)
+		}
+	}
+	n.schedule(msg)
+}
+
+// schedule queues one delivery of msg after a freshly drawn latency.
+func (n *Network) schedule(msg Message) {
 	d := n.latency.Sample(n, msg)
 	if d < 0 {
 		d = 0

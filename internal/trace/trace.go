@@ -26,6 +26,7 @@ const (
 	AgentParked    Type = "agent-parked"
 	AgentDisposed  Type = "agent-disposed"
 	AgentDied      Type = "agent-died"
+	AgentRegen     Type = "agent-regenerated"
 	LockRequested  Type = "lock-requested"
 	LockReleased   Type = "lock-released"
 	ClaimStarted   Type = "claim-started"

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	marp "repro"
 	"repro/internal/realtime"
@@ -214,10 +215,11 @@ func (s *Server) apply(req Request) Response {
 
 // Client is a TCP client for a transport.Server.
 type Client struct {
-	conn net.Conn
-	dec  *json.Decoder
-	enc  *json.Encoder
-	mu   sync.Mutex
+	conn    net.Conn
+	dec     *json.Decoder
+	enc     *json.Encoder
+	mu      sync.Mutex
+	timeout time.Duration
 }
 
 // Dial connects to a MARP service.
@@ -236,11 +238,27 @@ func Dial(addr string) (*Client, error) {
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// SetRequestTimeout bounds every subsequent request/response exchange with a
+// connection deadline; zero (the default) leaves requests unbounded. A
+// request that misses the deadline fails with a net timeout error and leaves
+// the stream in an undefined position, so callers should redial after one.
+func (c *Client) SetRequestTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.timeout = d
+}
+
 // roundTrip sends one request and reads one response. Clients may be used
 // from multiple goroutines.
 func (c *Client) roundTrip(req Request) (Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+			return Response{}, err
+		}
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	if err := c.enc.Encode(req); err != nil {
 		return Response{}, err
 	}
