@@ -7,6 +7,8 @@
 //	marpctl [-addr host:port] read <node> <key>
 //	marpctl [-addr host:port] crash <node>
 //	marpctl [-addr host:port] recover <node>
+//	marpctl [-addr host:port] digest <node>
+//	marpctl [-addr host:port] referee
 //	marpctl [-addr host:port] stats
 //
 // Connecting retries up to three times with exponential backoff (covers the
@@ -51,6 +53,8 @@ commands:
   read <node> <key>             read the local copy at server <node>
   crash <node>                  fail-stop a server
   recover <node>                restart a crashed server
+  digest <node>                 commit-set digest of a replica's store
+  referee                       grants and single-claimant violations
   stats                         service counters`)
 	os.Exit(2)
 }
@@ -118,6 +122,21 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("ok: server recovering")
+	case "digest":
+		if len(args) != 2 {
+			usage()
+		}
+		digest, commits, err := cli.Digest(node(args[1]))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s (%d commits)\n", digest, commits)
+	case "referee":
+		wins, violations, err := cli.Referee()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wins %d, violations %d\n", wins, violations)
 	case "stats":
 		st, err := cli.Stats()
 		if err != nil {

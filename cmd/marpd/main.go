@@ -1,10 +1,22 @@
-// Command marpd runs a live MARP replicated data service: a cluster of
-// mobile-agent-enabled replicated servers, paced in real time, reachable
-// over TCP with a line-delimited JSON protocol (see internal/transport).
+// Command marpd runs a live MARP replicated data service, reachable over
+// TCP with a line-delimited JSON protocol (see internal/transport). It has
+// two modes behind the same protocol code:
 //
-// Usage:
+//   - sim (default): one process hosts a whole cluster of mobile-agent-
+//     enabled replicated servers on the deterministic simulation engine,
+//     paced against the wall clock;
+//   - live: each replica is its own OS process on the wall clock, and
+//     mobile agents migrate between processes over TCP as serialized state.
+//
+// Usage (sim):
 //
 //	marpd -addr :7707 -servers 5 -latency lan -speed 1
+//
+// Usage (live, one line per terminal):
+//
+//	marpd -mode live -node 1 -peers 1=127.0.0.1:7801,2=127.0.0.1:7802,3=127.0.0.1:7803 -addr :7707
+//	marpd -mode live -node 2 -peers 1=127.0.0.1:7801,2=127.0.0.1:7802,3=127.0.0.1:7803 -addr :7708
+//	marpd -mode live -node 3 -peers 1=127.0.0.1:7801,2=127.0.0.1:7802,3=127.0.0.1:7803 -addr :7709
 //
 // Then drive it with marpctl:
 //
@@ -20,35 +32,81 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 
 	marp "repro"
+	"repro/internal/runtime"
+	"repro/internal/runtime/live"
 	"repro/internal/transport"
 )
 
+// parsePeers turns "1=host:port,2=host:port,..." into the address map every
+// live replica process must agree on.
+func parsePeers(spec string) (map[runtime.NodeID]string, error) {
+	addrs := make(map[runtime.NodeID]string)
+	for _, part := range strings.Split(spec, ",") {
+		id, addr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad peer %q (want id=host:port)", part)
+		}
+		n, err := strconv.Atoi(id)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad peer id %q", id)
+		}
+		addrs[runtime.NodeID(n)] = addr
+	}
+	return addrs, nil
+}
+
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:7707", "TCP listen address")
-		servers = flag.Int("servers", 5, "number of replicated servers")
-		seed    = flag.Int64("seed", 1, "simulation seed")
-		latency = flag.String("latency", "lan", "replica network latency: lan, prototype, wan")
-		speed   = flag.Float64("speed", 1, "virtual seconds per wall-clock second")
+		addr    = flag.String("addr", "127.0.0.1:7707", "TCP listen address for clients")
+		servers = flag.Int("servers", 5, "number of replicated servers (sim mode)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		latency = flag.String("latency", "lan", "replica network latency (sim mode): lan, prototype, wan")
+		speed   = flag.Float64("speed", 1, "virtual seconds per wall-clock second (sim mode)")
 		batch   = flag.Int("batch", 1, "requests per mobile agent")
+		mode    = flag.String("mode", "sim", "sim (whole cluster, simulated network) or live (one replica per process)")
+		node    = flag.Int("node", 0, "this process's replica ID (live mode)")
+		peers   = flag.String("peers", "", "replica fabric addresses, id=host:port comma-separated (live mode)")
 	)
 	flag.Parse()
 
-	srv, err := transport.Serve(*addr, marp.Options{
-		Servers:   *servers,
-		Seed:      *seed,
-		Latency:   marp.Latency(*latency),
-		BatchSize: *batch,
-	}, *speed)
+	var srv *transport.Server
+	var err error
+	switch *mode {
+	case "sim":
+		srv, err = transport.Serve(*addr, marp.Options{
+			Servers:   *servers,
+			Seed:      *seed,
+			Latency:   marp.Latency(*latency),
+			BatchSize: *batch,
+		}, *speed)
+	case "live":
+		var addrs map[runtime.NodeID]string
+		if addrs, err = parsePeers(*peers); err == nil {
+			srv, err = transport.ServeLive(*addr, live.NodeConfig{
+				Self:  runtime.NodeID(*node),
+				Addrs: addrs,
+				Seed:  *seed,
+			})
+		}
+	default:
+		err = fmt.Errorf("unknown mode %q", *mode)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "marpd: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("marpd: %d replicated servers, %s latency, %gx time, listening on %s\n",
-		*servers, *latency, *speed, srv.Addr())
+	if *mode == "live" {
+		fmt.Printf("marpd: live replica %d of %d, listening on %s\n",
+			*node, strings.Count(*peers, "="), srv.Addr())
+	} else {
+		fmt.Printf("marpd: %d replicated servers, %s latency, %gx time, listening on %s\n",
+			*servers, *latency, *speed, srv.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

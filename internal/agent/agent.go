@@ -2,13 +2,15 @@
 // in the paper's prototype) on top of the simulated network.
 //
 // Go has no code mobility, so "migration" here is state mobility: an agent
-// is a Go value implementing Behavior; migrating it serializes nothing in
-// the simulator (the value moves between places directly, with a modelled
-// wire size for traffic accounting) and uses encoding/gob in the real TCP
-// transport. This preserves everything the protocol layer observes: an agent
-// executes at one place at a time, interacts with the co-located server at
-// memory speed, pays network latency to move, and can fail to migrate when
-// the destination is down.
+// is a Go value implementing Behavior. Over the in-memory simulated fabric
+// the value moves between places directly, with a modelled wire size for
+// traffic accounting; over a serializing fabric (runtime.WireFabric — the
+// live TCP deployment, where each place is its own OS process) the behavior
+// is encoded via its WireBehavior hook, shipped as bytes, and reconstructed
+// by the destination's ThawWire hook. Either way the protocol layer
+// observes the same thing: an agent executes at one place at a time,
+// interacts with the co-located server at memory speed, pays network
+// latency to move, and can fail to migrate when the destination is down.
 //
 // The platform also provides the failure-notification service the paper
 // assumes ("when a process fails, all other processes are informed of the
@@ -22,8 +24,7 @@ import (
 	"math/rand"
 	"time"
 
-	"repro/internal/des"
-	"repro/internal/simnet"
+	"repro/internal/runtime"
 	"repro/internal/trace"
 )
 
@@ -32,7 +33,7 @@ import (
 // the home server's node ID and the virtual creation time, plus a sequence
 // number to disambiguate agents born in the same instant.
 type ID struct {
-	Home simnet.NodeID
+	Home runtime.NodeID
 	Born int64 // virtual creation time, nanoseconds
 	Seq  uint64
 }
@@ -66,9 +67,9 @@ type Behavior interface {
 	// OnMigrateFailed runs at the origin place when a migration to dest
 	// could not complete within the platform's migration timeout. The
 	// agent is active again at its origin.
-	OnMigrateFailed(ctx *Context, dest simnet.NodeID)
+	OnMigrateFailed(ctx *Context, dest runtime.NodeID)
 	// OnMessage delivers a network message addressed to this agent.
-	OnMessage(ctx *Context, from simnet.NodeID, payload any)
+	OnMessage(ctx *Context, from runtime.NodeID, payload any)
 	// OnLocalEvent delivers a zero-latency notification from the
 	// co-located server (e.g. "locking list changed").
 	OnLocalEvent(ctx *Context, ev any)
@@ -77,6 +78,15 @@ type Behavior interface {
 // WireSizer lets a behavior report its modelled serialized size in bytes;
 // migrations of agents without it are accounted at DefaultAgentSize.
 type WireSizer interface{ WireSize() int }
+
+// WireBehavior is a behavior that can serialize itself for migration over a
+// fabric whose ends do not share memory. MarshalWire is called only when the
+// agent is quiescent (about to leave a place), so implementations may encode
+// their full travelling state. A behavior without this hook cannot migrate
+// over a runtime.WireFabric.
+type WireBehavior interface {
+	MarshalWire() ([]byte, error)
+}
 
 // DefaultAgentSize is the modelled wire size of an agent whose behavior does
 // not implement WireSizer.
@@ -122,6 +132,15 @@ type Config struct {
 	// server reject the reborn agent). Returning false lets the normal
 	// death notices flow.
 	LostHandler func(id ID, b Behavior) bool
+	// ThawWire, if non-nil, reconstructs a behavior from its encoded state
+	// when an agent arrives over a serializing fabric. Required for wire
+	// migration; ignored over the in-memory fabric.
+	ThawWire func(id ID, state []byte) (Behavior, error)
+	// OnDeparted, if non-nil, runs at the origin when a wire migration is
+	// acknowledged by the destination — the moment the origin knows its
+	// copy of the agent is dead weight and any local bookkeeping for the
+	// in-flight agent can be dropped.
+	OnDeparted func(id ID)
 	// Trace, if non-nil, receives platform events.
 	Trace *trace.Log
 }
@@ -135,14 +154,15 @@ func (c *Config) fill() {
 	}
 }
 
-// Platform hosts mobile agents across the nodes of a simulated network.
-// The fabric may be a bare *simnet.Network or the ack/retransmit layer in
-// internal/reliable; the platform is agnostic.
+// Platform hosts mobile agents across the nodes of a fabric. The fabric may
+// be the simulated network, the ack/retransmit layer in internal/reliable,
+// or the live TCP fabric; the platform is agnostic.
 type Platform struct {
-	net    simnet.Fabric
-	sim    *des.Simulator
+	net    runtime.Fabric
+	eng    runtime.Engine
 	cfg    Config
-	places map[simnet.NodeID]*Place
+	wire   bool // fabric serializes: migrate as WireEnvelope, not pointers
+	places map[runtime.NodeID]*Place
 	// pending tracks in-flight migrations by agent ID; the destination
 	// place removes the entry when the envelope lands, the timeout fires
 	// only if it is still present.
@@ -153,11 +173,12 @@ type Platform struct {
 
 type pendingMigration struct {
 	ctx   *Context
-	dest  simnet.NodeID
-	timer des.Timer
+	dest  runtime.NodeID
+	timer runtime.Timer
 }
 
-// wire payloads
+// envelope carries a live behavior pointer between places that share one
+// address space (the simulated fabric).
 type envelope struct {
 	id       ID
 	behavior Behavior
@@ -165,23 +186,57 @@ type envelope struct {
 
 func (envelope) Kind() string { return "agent-migrate" }
 
-type agentMsg struct {
-	target  ID
-	payload any
+// WireEnvelope carries a serialized agent between places in different
+// processes. Same accounting kind as envelope: it is the same migration,
+// just physically encoded.
+type WireEnvelope struct {
+	ID    ID
+	State []byte
 }
 
-func (agentMsg) Kind() string { return "agent-msg" }
+// Kind implements runtime.Kinder.
+func (*WireEnvelope) Kind() string { return "agent-migrate" }
 
-// NewPlatform creates a platform over net.
-func NewPlatform(net simnet.Fabric, cfg Config) *Platform {
+// MigrateAck tells a wire migration's origin that the agent landed. Over
+// the shared-memory fabric the destination clears the origin's pending
+// entry directly; across processes this message does that job.
+type MigrateAck struct{ ID ID }
+
+// Kind implements runtime.Kinder.
+func (*MigrateAck) Kind() string { return "agent-migrate-ack" }
+
+// migrateAckSize is the modelled wire size of a MigrateAck.
+const migrateAckSize = 24
+
+// AgentMsg addresses a payload to a specific agent at the destination node.
+type AgentMsg struct {
+	Target  ID
+	Payload any
+}
+
+// Kind implements runtime.Kinder.
+func (*AgentMsg) Kind() string { return "agent-msg" }
+
+func init() {
+	runtime.RegisterWireType(&WireEnvelope{})
+	runtime.RegisterWireType(&MigrateAck{})
+	runtime.RegisterWireType(&AgentMsg{})
+}
+
+// NewPlatform creates a platform over net, scheduling its timers on eng.
+func NewPlatform(eng runtime.Engine, net runtime.Fabric, cfg Config) *Platform {
 	cfg.fill()
-	return &Platform{
+	p := &Platform{
 		net:     net,
-		sim:     net.Sim(),
+		eng:     eng,
 		cfg:     cfg,
-		places:  make(map[simnet.NodeID]*Place),
+		places:  make(map[runtime.NodeID]*Place),
 		pending: make(map[ID]*pendingMigration),
 	}
+	if wf, ok := net.(runtime.WireFabric); ok {
+		p.wire = wf.WireDelivery()
+	}
+	return p
 }
 
 // Stats returns a copy of the platform counters.
@@ -190,17 +245,21 @@ func (p *Platform) Stats() Stats { return p.stats }
 // Host creates the agent place at node and attaches a demultiplexing handler
 // to the network: agent-platform payloads are consumed by the place, all
 // other messages flow to server (which may be nil for agent-only nodes).
-func (p *Platform) Host(node simnet.NodeID, server simnet.Handler) *Place {
+func (p *Platform) Host(node runtime.NodeID, server runtime.Handler) *Place {
 	if _, dup := p.places[node]; dup {
 		panic(fmt.Sprintf("agent: node %d already hosted", node))
 	}
 	pl := &Place{platform: p, node: node, agents: make(map[ID]*Context)}
 	p.places[node] = pl
-	p.net.Attach(node, simnet.HandlerFunc(func(msg simnet.Message) {
+	p.net.Attach(node, runtime.HandlerFunc(func(msg runtime.Message) {
 		switch payload := msg.Payload.(type) {
 		case *envelope:
 			pl.receive(payload)
-		case *agentMsg:
+		case *WireEnvelope:
+			pl.receiveWire(msg.From, payload)
+		case *MigrateAck:
+			p.migrateAcked(payload.ID)
+		case *AgentMsg:
 			pl.deliverToAgent(msg.From, payload)
 		default:
 			if server != nil {
@@ -212,10 +271,10 @@ func (p *Platform) Host(node simnet.NodeID, server simnet.Handler) *Place {
 }
 
 // Place returns the place at node, or nil if the node is not hosted.
-func (p *Platform) Place(node simnet.NodeID) *Place { return p.places[node] }
+func (p *Platform) Place(node runtime.NodeID) *Place { return p.places[node] }
 
 // Spawn creates and activates an agent at its home node, invoking OnArrive.
-func (p *Platform) Spawn(home simnet.NodeID, b Behavior) *Context {
+func (p *Platform) Spawn(home runtime.NodeID, b Behavior) *Context {
 	pl := p.places[home]
 	if pl == nil {
 		panic(fmt.Sprintf("agent: spawning on unhosted node %d", home))
@@ -224,12 +283,12 @@ func (p *Platform) Spawn(home simnet.NodeID, b Behavior) *Context {
 	ctx := &Context{
 		platform: p,
 		behavior: b,
-		id:       ID{Home: home, Born: int64(p.sim.Now()), Seq: p.seq},
+		id:       ID{Home: home, Born: int64(p.eng.Now()), Seq: p.seq},
 		node:     home,
 	}
 	pl.agents[ctx.id] = ctx
 	p.stats.AgentsCreated++
-	p.cfg.Trace.Addf(int64(p.sim.Now()), int(home), ctx.id.String(), trace.AgentCreated, "")
+	p.cfg.Trace.Addf(int64(p.eng.Now()), int(home), ctx.id.String(), trace.AgentCreated, "")
 	b.OnArrive(ctx)
 	return ctx
 }
@@ -239,7 +298,7 @@ func (p *Platform) Spawn(home simnet.NodeID, b Behavior) *Context {
 // keep its old identity (and with it its queue priority). The caller
 // guarantees the previous incarnation is dead and that no death notice was
 // sent for the reused ID.
-func (p *Platform) Respawn(home simnet.NodeID, b Behavior, id ID) *Context {
+func (p *Platform) Respawn(home runtime.NodeID, b Behavior, id ID) *Context {
 	pl := p.places[home]
 	if pl == nil {
 		panic(fmt.Sprintf("agent: respawning on unhosted node %d", home))
@@ -255,7 +314,7 @@ func (p *Platform) Respawn(home simnet.NodeID, b Behavior, id ID) *Context {
 	}
 	pl.agents[id] = ctx
 	p.stats.AgentsRegenerated++
-	p.cfg.Trace.Addf(int64(p.sim.Now()), int(home), id.String(), trace.AgentRegen, "")
+	p.cfg.Trace.Addf(int64(p.eng.Now()), int(home), id.String(), trace.AgentRegen, "")
 	b.OnArrive(ctx)
 	return ctx
 }
@@ -271,7 +330,7 @@ type Casualty struct {
 // KillResidents disposes every agent currently at node (because the node
 // crashed) and schedules death notices to all hosted nodes. It returns the
 // IDs of the killed agents.
-func (p *Platform) KillResidents(node simnet.NodeID) []ID {
+func (p *Platform) KillResidents(node runtime.NodeID) []ID {
 	cs := p.TakeResidents(node)
 	ids := make([]ID, len(cs))
 	for i, c := range cs {
@@ -286,7 +345,7 @@ func (p *Platform) KillResidents(node simnet.NodeID) []ID {
 // decides each agent's fate: regenerate it from a checkpoint (no death
 // notice — the reused ID must not be tombstoned) or pass its ID to
 // AnnounceDeaths.
-func (p *Platform) TakeResidents(node simnet.NodeID) []Casualty {
+func (p *Platform) TakeResidents(node runtime.NodeID) []Casualty {
 	pl := p.places[node]
 	if pl == nil {
 		return nil
@@ -297,7 +356,7 @@ func (p *Platform) TakeResidents(node simnet.NodeID) []Casualty {
 		delete(pl.agents, id)
 		killed = append(killed, Casualty{ID: id, Behavior: ctx.behavior})
 		p.stats.AgentsKilled++
-		p.cfg.Trace.Addf(int64(p.sim.Now()), int(node), id.String(), trace.AgentDied, "host crashed")
+		p.cfg.Trace.Addf(int64(p.eng.Now()), int(node), id.String(), trace.AgentDied, "host crashed")
 	}
 	for i := 1; i < len(killed); i++ {
 		for j := i; j > 0 && killed[j].ID.Less(killed[j-1].ID); j-- {
@@ -317,7 +376,7 @@ func (p *Platform) AnnounceDeaths(ids []ID) {
 	}
 	for _, pl := range p.places {
 		pl := pl
-		p.sim.After(p.cfg.DeathNoticeDelay, func() {
+		p.eng.AfterFunc(p.cfg.DeathNoticeDelay, func() {
 			if pl.deaths == nil {
 				return
 			}
@@ -331,13 +390,13 @@ func (p *Platform) AnnounceDeaths(ids []ID) {
 // Place is the agent habitat on one node.
 type Place struct {
 	platform *Platform
-	node     simnet.NodeID
+	node     runtime.NodeID
 	agents   map[ID]*Context
 	deaths   DeathListener
 }
 
 // Node returns the place's node ID.
-func (pl *Place) Node() simnet.NodeID { return pl.node }
+func (pl *Place) Node() runtime.NodeID { return pl.node }
 
 // SetDeathListener registers the co-located server's agent-death handler.
 func (pl *Place) SetDeathListener(l DeathListener) { pl.deaths = l }
@@ -372,6 +431,56 @@ func (pl *Place) NotifyResidents(ev any) {
 	}
 }
 
+// receiveWire lands a serialized agent from another process: reconstruct
+// the behavior, activate it, and acknowledge the origin. Duplicate
+// deliveries (a retransmitted envelope racing its own ack) are refused —
+// the resident incarnation wins — but re-acked, since the origin clearly
+// missed the first ack.
+func (pl *Place) receiveWire(from runtime.NodeID, env *WireEnvelope) {
+	p := pl.platform
+	ack := func() {
+		p.net.Send(runtime.Message{From: pl.node, To: from, Payload: &MigrateAck{ID: env.ID}, Size: migrateAckSize})
+	}
+	if _, live := pl.agents[env.ID]; live {
+		p.stats.MigrationsRefused++
+		ack()
+		return
+	}
+	if p.cfg.ThawWire == nil {
+		p.stats.MigrationsRefused++
+		return
+	}
+	b, err := p.cfg.ThawWire(env.ID, env.State)
+	if err != nil {
+		p.stats.MigrationsRefused++
+		return
+	}
+	ctx := &Context{platform: p, behavior: b, id: env.ID, node: pl.node, state: stateActive}
+	pl.agents[env.ID] = ctx
+	p.stats.MigrationsCompleted++
+	p.cfg.Trace.Addf(int64(p.eng.Now()), int(pl.node), env.ID.String(), trace.AgentArrived, "")
+	ack()
+	b.OnArrive(ctx)
+}
+
+// migrateAcked closes out a wire migration at the origin: the destination
+// has the agent, so the origin's copy is retired. If the migration timeout
+// already fired (the ack was slow), the locally re-activated copy stands —
+// the documented duplicate-agent hazard of at-least-once migration, kept
+// rare by setting MigrationTimeout well above the fabric's retry horizon.
+func (p *Platform) migrateAcked(id ID) {
+	pm, ok := p.pending[id]
+	if !ok {
+		return
+	}
+	delete(p.pending, id)
+	pm.timer.Cancel()
+	pm.ctx.state = stateDeparted
+	if p.cfg.OnDeparted != nil {
+		p.cfg.OnDeparted(id)
+	}
+}
+
 // receive lands a migrating agent.
 func (pl *Place) receive(env *envelope) {
 	p := pl.platform
@@ -389,19 +498,19 @@ func (pl *Place) receive(env *envelope) {
 	ctx.state = stateActive
 	pl.agents[ctx.id] = ctx
 	p.stats.MigrationsCompleted++
-	p.cfg.Trace.Addf(int64(p.sim.Now()), int(pl.node), ctx.id.String(), trace.AgentArrived, "")
+	p.cfg.Trace.Addf(int64(p.eng.Now()), int(pl.node), ctx.id.String(), trace.AgentArrived, "")
 	ctx.behavior.OnArrive(ctx)
 }
 
 // deliverToAgent routes a network message to a resident agent.
-func (pl *Place) deliverToAgent(from simnet.NodeID, m *agentMsg) {
-	ctx, ok := pl.agents[m.target]
+func (pl *Place) deliverToAgent(from runtime.NodeID, m *AgentMsg) {
+	ctx, ok := pl.agents[m.Target]
 	if !ok || ctx.state != stateActive {
 		pl.platform.stats.AgentMsgsDropped++
 		return
 	}
 	pl.platform.stats.AgentMsgsDelivered++
-	ctx.behavior.OnMessage(ctx, from, m.payload)
+	ctx.behavior.OnMessage(ctx, from, m.Payload)
 }
 
 type agentState int
@@ -411,6 +520,7 @@ const (
 	stateInTransit
 	stateDisposed
 	stateDead
+	stateDeparted // wire migration acked: the live copy is elsewhere
 )
 
 // Context is an agent's handle onto the platform. One Context accompanies
@@ -419,7 +529,7 @@ type Context struct {
 	platform *Platform
 	behavior Behavior
 	id       ID
-	node     simnet.NodeID
+	node     runtime.NodeID
 	state    agentState
 }
 
@@ -427,19 +537,20 @@ type Context struct {
 func (c *Context) ID() ID { return c.id }
 
 // Node returns the agent's current location.
-func (c *Context) Node() simnet.NodeID { return c.node }
+func (c *Context) Node() runtime.NodeID { return c.node }
 
 // Now returns the current virtual time.
-func (c *Context) Now() des.Time { return c.platform.sim.Now() }
+func (c *Context) Now() runtime.Time { return c.platform.eng.Now() }
 
 // Rand returns the simulation's seeded random source.
-func (c *Context) Rand() *rand.Rand { return c.platform.sim.Rand() }
+func (c *Context) Rand() *rand.Rand { return c.platform.eng.Rand() }
 
-// After schedules fn on the simulator; the agent's own timer facility.
-// fn is not invoked if the agent has been disposed or died in the meantime.
-func (c *Context) After(d time.Duration, fn func()) des.Timer {
-	return c.platform.sim.After(d, func() {
-		if c.state == stateDisposed || c.state == stateDead {
+// After schedules fn on the engine clock; the agent's own timer facility.
+// fn is not invoked if the agent has been disposed, departed over the wire,
+// or died in the meantime.
+func (c *Context) After(d time.Duration, fn func()) runtime.Timer {
+	return c.platform.eng.AfterFunc(d, func() {
+		if c.state == stateDisposed || c.state == stateDead || c.state == stateDeparted {
 			return
 		}
 		fn()
@@ -449,7 +560,7 @@ func (c *Context) After(d time.Duration, fn func()) des.Timer {
 // Cost returns the topology cost of travelling from the agent's current
 // node to another node — the routing-table information the local server
 // provides to visiting agents (paper §3.2).
-func (c *Context) Cost(to simnet.NodeID) float64 {
+func (c *Context) Cost(to runtime.NodeID) float64 {
 	return c.platform.net.Cost(c.node, to)
 }
 
@@ -468,7 +579,7 @@ func (c *Context) wireSize() int {
 // envelope is lost (destination down or partitioned), OnMigrateFailed fires
 // at the origin after the platform's migration timeout and the agent is
 // active at the origin again.
-func (c *Context) MigrateTo(dest simnet.NodeID) {
+func (c *Context) MigrateTo(dest runtime.NodeID) {
 	if c.state != stateActive {
 		panic(fmt.Sprintf("agent %v: MigrateTo while not active (state %d)", c.id, c.state))
 	}
@@ -481,9 +592,9 @@ func (c *Context) MigrateTo(dest simnet.NodeID) {
 	delete(pl.agents, c.id)
 	c.state = stateInTransit
 	p.stats.MigrationsStarted++
-	p.cfg.Trace.Addf(int64(p.sim.Now()), int(origin), c.id.String(), trace.AgentMigrate, "-> S%d", dest)
+	p.cfg.Trace.Addf(int64(p.eng.Now()), int(origin), c.id.String(), trace.AgentMigrate, "-> S%d", dest)
 
-	timer := p.sim.After(p.cfg.MigrationTimeout, func() {
+	timer := p.eng.AfterFunc(p.cfg.MigrationTimeout, func() {
 		pm, ok := p.pending[c.id]
 		if !ok {
 			return // landed in time
@@ -496,7 +607,7 @@ func (c *Context) MigrateTo(dest simnet.NodeID) {
 		if p.net.Down(origin) {
 			c.state = stateDead
 			p.stats.AgentsKilled++
-			p.cfg.Trace.Addf(int64(p.sim.Now()), int(origin), c.id.String(), trace.AgentDied, "origin crashed during failed migration")
+			p.cfg.Trace.Addf(int64(p.eng.Now()), int(origin), c.id.String(), trace.AgentDied, "origin crashed during failed migration")
 			if p.cfg.LostHandler != nil && p.cfg.LostHandler(c.id, c.behavior) {
 				return
 			}
@@ -507,35 +618,56 @@ func (c *Context) MigrateTo(dest simnet.NodeID) {
 		c.state = stateActive
 		p.places[origin].agents[c.id] = c
 		p.stats.MigrationsFailed++
-		p.cfg.Trace.Addf(int64(p.sim.Now()), int(origin), c.id.String(), trace.AgentBlocked, "dest S%d unreachable", pm.dest)
+		p.cfg.Trace.Addf(int64(p.eng.Now()), int(origin), c.id.String(), trace.AgentBlocked, "dest S%d unreachable", pm.dest)
 		c.behavior.OnMigrateFailed(c, pm.dest)
 	})
 	p.pending[c.id] = &pendingMigration{ctx: c, dest: dest, timer: timer}
-	p.net.Send(simnet.Message{
+	payload, size := c.migrationPayload()
+	p.net.Send(runtime.Message{
 		From:    origin,
 		To:      dest,
-		Payload: &envelope{id: c.id, behavior: c.behavior},
-		Size:    c.wireSize(),
+		Payload: payload,
+		Size:    size,
 	})
+}
+
+// migrationPayload picks the migration encoding for the platform's fabric:
+// a live pointer within one address space, serialized state across
+// processes. Failure to serialize is a programming error (a behavior
+// lacking WireBehavior has no business on a wire platform), not a runtime
+// condition to recover from.
+func (c *Context) migrationPayload() (any, int) {
+	if !c.platform.wire {
+		return &envelope{id: c.id, behavior: c.behavior}, c.wireSize()
+	}
+	wb, ok := c.behavior.(WireBehavior)
+	if !ok {
+		panic(fmt.Sprintf("agent %v: behavior %T cannot migrate over a serializing fabric", c.id, c.behavior))
+	}
+	state, err := wb.MarshalWire()
+	if err != nil {
+		panic(fmt.Sprintf("agent %v: marshal for migration: %v", c.id, err))
+	}
+	return &WireEnvelope{ID: c.id, State: state}, len(state)
 }
 
 // Send transmits a payload to the server process at node to (paying network
 // latency). size is the modelled wire size.
-func (c *Context) Send(to simnet.NodeID, payload any, size int) {
+func (c *Context) Send(to runtime.NodeID, payload any, size int) {
 	if c.state != stateActive {
 		return
 	}
-	c.platform.net.Send(simnet.Message{From: c.node, To: to, Payload: payload, Size: size})
+	c.platform.net.Send(runtime.Message{From: c.node, To: to, Payload: payload, Size: size})
 }
 
 // SendToAgent transmits a payload to another agent believed to be at node to.
-func (c *Context) SendToAgent(to simnet.NodeID, target ID, payload any, size int) {
+func (c *Context) SendToAgent(to runtime.NodeID, target ID, payload any, size int) {
 	if c.state != stateActive {
 		return
 	}
-	c.platform.net.Send(simnet.Message{
+	c.platform.net.Send(runtime.Message{
 		From: c.node, To: to,
-		Payload: &agentMsg{target: target, payload: payload},
+		Payload: &AgentMsg{Target: target, Payload: payload},
 		Size:    size,
 	})
 }
@@ -549,21 +681,21 @@ func (c *Context) Dispose() {
 	delete(p.places[c.node].agents, c.id)
 	c.state = stateDisposed
 	p.stats.AgentsDisposed++
-	p.cfg.Trace.Addf(int64(p.sim.Now()), int(c.node), c.id.String(), trace.AgentDisposed, "")
+	p.cfg.Trace.Addf(int64(p.eng.Now()), int(c.node), c.id.String(), trace.AgentDisposed, "")
 }
 
 // SendToServer lets non-agent code (a server) message another node's server
 // through the same accounting path. It exists so servers do not need their
 // own network facade.
-func (p *Platform) SendToServer(from, to simnet.NodeID, payload any, size int) {
-	p.net.Send(simnet.Message{From: from, To: to, Payload: payload, Size: size})
+func (p *Platform) SendToServer(from, to runtime.NodeID, payload any, size int) {
+	p.net.Send(runtime.Message{From: from, To: to, Payload: payload, Size: size})
 }
 
 // SendToAgent lets a server reply to an agent at a (node, ID) address.
-func (p *Platform) SendToAgent(from, to simnet.NodeID, target ID, payload any, size int) {
-	p.net.Send(simnet.Message{
+func (p *Platform) SendToAgent(from, to runtime.NodeID, target ID, payload any, size int) {
+	p.net.Send(runtime.Message{
 		From: from, To: to,
-		Payload: &agentMsg{target: target, payload: payload},
+		Payload: &AgentMsg{Target: target, Payload: payload},
 		Size:    size,
 	})
 }

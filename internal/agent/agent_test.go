@@ -60,7 +60,7 @@ func rig(t *testing.T, n int, cfg Config) (*des.Simulator, *simnet.Network, *Pla
 	t.Helper()
 	sim := des.New(21)
 	net := simnet.New(sim, simnet.FullMesh(n), simnet.Constant(5*time.Millisecond))
-	p := NewPlatform(net, cfg)
+	p := NewPlatform(sim, net, cfg)
 	for i := 1; i <= n; i++ {
 		p.Host(simnet.NodeID(i), nil)
 	}
@@ -368,7 +368,7 @@ func TestMigrateToSelfPanics(t *testing.T) {
 func TestCostDelegation(t *testing.T) {
 	sim := des.New(1)
 	net := simnet.New(sim, simnet.Ring(4), nil)
-	p := NewPlatform(net, Config{})
+	p := NewPlatform(sim, net, Config{})
 	for i := 1; i <= 4; i++ {
 		p.Host(simnet.NodeID(i), nil)
 	}

@@ -7,9 +7,8 @@ import (
 	"sort"
 
 	"repro/internal/agent"
-	"repro/internal/des"
 	"repro/internal/replica"
-	"repro/internal/simnet"
+	"repro/internal/runtime"
 )
 
 // WireState is the serializable form of an UpdateAgent's protocol state —
@@ -24,8 +23,8 @@ import (
 // the paper's prototype.
 type WireState struct {
 	Requests    []Request
-	USL         []simnet.NodeID
-	Unavailable []simnet.NodeID
+	USL         []runtime.NodeID
+	Unavailable []runtime.NodeID
 	Visits      int
 	Retries     int
 	Attempt     int
@@ -40,7 +39,7 @@ type WireState struct {
 // VisitMark records where (and at which snapshot position) the agent
 // enqueued itself by visiting.
 type VisitMark struct {
-	Server  simnet.NodeID
+	Server  runtime.NodeID
 	Epoch   uint64
 	Version uint64
 }
@@ -52,7 +51,7 @@ type VisitMark struct {
 func (a *UpdateAgent) Freeze() WireState {
 	st := WireState{
 		Requests:   append([]Request(nil), a.reqs...),
-		USL:        append([]simnet.NodeID(nil), a.usl...),
+		USL:        append([]runtime.NodeID(nil), a.usl...),
 		Visits:     a.visits,
 		Retries:    a.retries,
 		Attempt:    a.attempt,
@@ -87,13 +86,13 @@ func Thaw(c *Cluster, st WireState) *UpdateAgent {
 		c:           c,
 		reqs:        append([]Request(nil), st.Requests...),
 		lt:          NewWeightedLockTable(c.cfg.N, c.votes),
-		usl:         append([]simnet.NodeID(nil), st.USL...),
-		unavailable: make(map[simnet.NodeID]bool, len(st.Unavailable)),
-		attempts:    make(map[simnet.NodeID]int),
+		usl:         append([]runtime.NodeID(nil), st.USL...),
+		unavailable: make(map[runtime.NodeID]bool, len(st.Unavailable)),
+		attempts:    make(map[runtime.NodeID]int),
 		visits:      st.Visits,
 		retries:     st.Retries,
 		attempt:     st.Attempt,
-		dispatched:  des.Time(st.Dispatched),
+		dispatched:  runtime.Time(st.Dispatched),
 	}
 	for _, id := range st.Unavailable {
 		a.unavailable[id] = true
@@ -128,3 +127,8 @@ func DecodeWireState(data []byte) (WireState, error) {
 	}
 	return st, nil
 }
+
+// MarshalWire implements agent.WireBehavior: over a serializing fabric the
+// agent travels as its encoded WireState, and the destination cluster's
+// thawWire hook rebinds it (the same freeze/thaw path regeneration uses).
+func (a *UpdateAgent) MarshalWire() ([]byte, error) { return a.Freeze().Encode() }

@@ -10,7 +10,7 @@ import (
 
 // captureTravellingAgent runs a contended cluster until some agent has
 // visited at least two servers and is not mid-claim, then returns it.
-func captureTravellingAgent(t *testing.T, c *Cluster) *UpdateAgent {
+func captureTravellingAgent(t *testing.T, c *testCluster) *UpdateAgent {
 	t.Helper()
 	for i := 1; i <= 5; i++ {
 		if err := c.Submit(simnet.NodeID(i), Set("k", "v")); err != nil {
@@ -32,7 +32,7 @@ func captureTravellingAgent(t *testing.T, c *Cluster) *UpdateAgent {
 }
 
 func TestAgentStateGobRoundTrip(t *testing.T) {
-	c := newTestCluster(t, Config{N: 5, Seed: 71})
+	c := newTestCluster(t, Config{N: 5}, simEnv{seed: 71})
 	ua := captureTravellingAgent(t, c)
 	st := ua.Freeze()
 
@@ -62,13 +62,13 @@ func TestAgentStateGobRoundTrip(t *testing.T) {
 }
 
 func TestThawPreservesProtocolState(t *testing.T) {
-	c := newTestCluster(t, Config{N: 5, Seed: 73})
+	c := newTestCluster(t, Config{N: 5}, simEnv{seed: 73})
 	ua := captureTravellingAgent(t, c)
 	st := ua.Freeze()
 
 	// Thaw at a second cluster instance (the receiving process).
-	c2 := newTestCluster(t, Config{N: 5, Seed: 73})
-	ua2 := Thaw(c2, st)
+	c2 := newTestCluster(t, Config{N: 5}, simEnv{seed: 73})
+	ua2 := Thaw(c2.Cluster, st)
 
 	if ua2.visits != ua.visits || ua2.retries != ua.retries || ua2.attempt != ua.attempt {
 		t.Fatalf("counters differ: %d/%d/%d vs %d/%d/%d",
@@ -99,7 +99,7 @@ func TestModelledWireSizeTracksRealEncoding(t *testing.T) {
 	// The simulator charges WireSize() bytes per migration; the real gob
 	// encoding must be the same order of magnitude, or the traffic
 	// accounting in every figure would be fiction.
-	c := newTestCluster(t, Config{N: 5, Seed: 75})
+	c := newTestCluster(t, Config{N: 5}, simEnv{seed: 75})
 	ua := captureTravellingAgent(t, c)
 	data, err := ua.Freeze().Encode()
 	if err != nil {
@@ -114,7 +114,7 @@ func TestModelledWireSizeTracksRealEncoding(t *testing.T) {
 }
 
 func TestFrozenStateIsDeterministic(t *testing.T) {
-	c := newTestCluster(t, Config{N: 5, Seed: 77})
+	c := newTestCluster(t, Config{N: 5}, simEnv{seed: 77})
 	ua := captureTravellingAgent(t, c)
 	a, err := ua.Freeze().Encode()
 	if err != nil {
@@ -133,7 +133,7 @@ func TestThawedAgentCanFinishTheProtocol(t *testing.T) {
 	// End-to-end: freeze a travelling agent, discard it, thaw the state
 	// into a fresh cluster (same seed, so the same world), spawn it, and
 	// let it commit.
-	c := newTestCluster(t, Config{N: 3, Seed: 79})
+	c := newTestCluster(t, Config{N: 3}, simEnv{seed: 79})
 	if err := c.Submit(1, Set("x", "v")); err != nil {
 		t.Fatal(err)
 	}
@@ -149,8 +149,8 @@ func TestThawedAgentCanFinishTheProtocol(t *testing.T) {
 	st := ua.Freeze()
 
 	// A brand new "process": same configuration, fresh servers.
-	c2 := newTestCluster(t, Config{N: 3, Seed: 79})
-	ua2 := Thaw(c2, st)
+	c2 := newTestCluster(t, Config{N: 3}, simEnv{seed: 79})
+	ua2 := Thaw(c2.Cluster, st)
 	c2.outstanding++
 	ctx := c2.platform.Spawn(1, ua2)
 	if ua2.phase != phaseDone {

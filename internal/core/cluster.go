@@ -1,36 +1,37 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/agent"
-	"repro/internal/des"
 	"repro/internal/quorum"
 	"repro/internal/reliable"
 	"repro/internal/replica"
-	"repro/internal/simnet"
+	"repro/internal/runtime"
 	"repro/internal/store"
 	"repro/internal/trace"
 )
 
-// Config assembles a simulated MARP deployment.
+// Config assembles a MARP deployment over a runtime engine and fabric. It
+// carries only protocol knobs: the engine (simulated or live), the network
+// (topology, latency, fault model — or real sockets), and the seed all
+// belong to whoever builds the engine (internal/desengine,
+// internal/runtime/live).
 type Config struct {
 	// N is the number of replicated servers (IDs 1..N).
 	N int
-	// Seed drives every random choice in the simulation.
-	Seed int64
+	// Local limits which of the N servers this cluster instance hosts. In
+	// a multi-process deployment each process hosts one replica and lists
+	// it here; nil hosts all N in-process (the simulated deployment).
+	Local []runtime.NodeID
 	// Votes assigns per-server vote weights (Gifford's weighted voting).
 	// Nil gives every server one vote — the paper's majority scheme. The
 	// update permission then requires heading servers holding more than
 	// half the total votes, and UPDATE acknowledgements are weighted the
 	// same way.
-	Votes map[simnet.NodeID]int
-	// Topology supplies inter-server travel costs; defaults to a full
-	// mesh with uniform costs (the paper's LAN prototype).
-	Topology *simnet.Topology
-	// Latency is the network delay model; defaults to simnet.LAN().
-	Latency simnet.LatencyModel
+	Votes map[runtime.NodeID]int
 
 	// BatchMaxRequests dispatches an agent once this many requests are
 	// pending at a server (paper §3.2: "after a pre-defined number of
@@ -67,12 +68,6 @@ type Config struct {
 	// of cheapest-first (ablation A2).
 	RandomItinerary bool
 
-	// Faults, if non-nil, attaches a message fault model to the network:
-	// messages between live, connected nodes may then be lost or
-	// duplicated (chaos experiment A6). Nil keeps the paper's §2 reliable
-	// channels — and keeps executions byte-identical to the baseline,
-	// because the fault model owns its random source.
-	Faults *simnet.FaultModel
 	// Reliable runs all protocol messages and agent migrations over the
 	// ack/retransmit layer in internal/reliable. Required for liveness
 	// whenever Faults injects loss; off by default so fault-free runs send
@@ -92,6 +87,11 @@ type Config struct {
 	// requests fail as in the seed behaviour.
 	RegenerateAgents bool
 
+	// OnGrant, if non-nil, observes every grant change in addition to the
+	// built-in referee. Cross-engine tests use it to assemble a global
+	// single-claimant oracle spanning several cluster processes.
+	OnGrant func(server runtime.NodeID, txn agent.ID)
+
 	// Trace, if non-nil, records the full protocol timeline.
 	Trace *trace.Log
 }
@@ -99,15 +99,6 @@ type Config struct {
 func (c *Config) fill() error {
 	if c.N < 1 {
 		return fmt.Errorf("core: config needs N >= 1, got %d", c.N)
-	}
-	if c.Topology == nil {
-		c.Topology = simnet.FullMesh(c.N)
-	}
-	if c.Topology.Len() < c.N {
-		return fmt.Errorf("core: topology has %d nodes, need %d", c.Topology.Len(), c.N)
-	}
-	if c.Latency == nil {
-		c.Latency = simnet.LAN()
 	}
 	if c.BatchMaxRequests <= 0 {
 		c.BatchMaxRequests = 1
@@ -133,23 +124,29 @@ func (c *Config) fill() error {
 	return nil
 }
 
-// Cluster is a fully assembled MARP system: N mobile-agent-enabled
-// replicated servers over a simulated network, with client entry points and
+// Cluster is a fully assembled MARP system: mobile-agent-enabled
+// replicated servers over a runtime fabric, with client entry points and
 // correctness oracles. It is the package's public face; examples, tests and
 // the benchmark harness all drive one of these.
+//
+// A Cluster never sees the concrete engine: under simulation it hosts all N
+// replicas in one process on the deterministic event loop; in a live
+// deployment each process hosts one replica (Config.Local) and the same
+// code runs on wall-clock timers with agents migrating over TCP.
 type Cluster struct {
 	cfg      Config
-	sim      *des.Simulator
-	net      *simnet.Network
-	fabric   simnet.Fabric   // what the protocol layers send on
+	eng      runtime.Engine
+	base     runtime.Fabric  // the engine's raw fabric (capability surface)
+	fabric   runtime.Fabric  // what the protocol layers send on
 	rel      *reliable.Layer // non-nil iff cfg.Reliable
 	platform *agent.Platform
-	servers  map[simnet.NodeID]*replica.Server
-	nodes    []simnet.NodeID
+	servers  map[runtime.NodeID]*replica.Server // locally hosted replicas
+	nodes    []runtime.NodeID                   // all replicas, local or not
+	local    map[runtime.NodeID]bool
 	referee  *Referee
 
 	votes       quorum.Assignment
-	batches     map[simnet.NodeID]*batch
+	batches     map[runtime.NodeID]*batch
 	active      map[agent.ID]*UpdateAgent
 	checkpoints map[agent.ID]WireState
 	outcomes    []Outcome
@@ -159,23 +156,31 @@ type Cluster struct {
 
 type batch struct {
 	reqs  []Request
-	timer des.Timer
+	timer runtime.Timer
 }
 
-// NewCluster builds and wires a cluster per cfg.
-func NewCluster(cfg Config) (*Cluster, error) {
+// OutcomeMsg carries a finished agent's Outcome back to its home node in a
+// multi-process deployment. Within one process finish() records outcomes
+// directly and this message never hits the fabric.
+type OutcomeMsg struct{ Outcome Outcome }
+
+// Kind implements runtime.Kinder.
+func (*OutcomeMsg) Kind() string { return "outcome" }
+
+// WireSize is the modelled size of an outcome report.
+func (*OutcomeMsg) WireSize() int { return 96 }
+
+func init() { runtime.RegisterWireType(&OutcomeMsg{}) }
+
+// NewCluster wires a cluster per cfg onto the given engine and fabric.
+func NewCluster(eng runtime.Engine, fab runtime.Fabric, cfg Config) (*Cluster, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
-	sim := des.New(cfg.Seed)
-	net := simnet.New(sim, cfg.Topology, cfg.Latency)
-	if cfg.Faults != nil {
-		net.SetFaults(cfg.Faults)
-	}
-	var fabric simnet.Fabric = net
+	fabric := fab
 	var rel *reliable.Layer
 	if cfg.Reliable {
-		rel = reliable.NewLayer(net, reliable.Config{
+		rel = reliable.NewLayer(eng, fab, reliable.Config{
 			Base:     cfg.RetransmitBase,
 			Attempts: cfg.RetransmitAttempts,
 		})
@@ -183,26 +188,42 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	c := &Cluster{
 		cfg:         cfg,
-		sim:         sim,
-		net:         net,
+		eng:         eng,
+		base:        fab,
 		fabric:      fabric,
 		rel:         rel,
-		servers:     make(map[simnet.NodeID]*replica.Server),
-		batches:     make(map[simnet.NodeID]*batch),
+		servers:     make(map[runtime.NodeID]*replica.Server),
+		local:       make(map[runtime.NodeID]bool),
+		batches:     make(map[runtime.NodeID]*batch),
 		active:      make(map[agent.ID]*UpdateAgent),
 		checkpoints: make(map[agent.ID]WireState),
 	}
-	c.platform = agent.NewPlatform(fabric, agent.Config{
+	c.platform = agent.NewPlatform(eng, fabric, agent.Config{
 		MigrationTimeout: cfg.MigrationTimeout,
 		DeathNoticeDelay: cfg.DeathNoticeDelay,
 		// Always installed: even without regeneration the cluster must
 		// learn about agents lost in transit, or their outcomes would
 		// never be recorded and RunUntilDone would wait forever.
 		LostHandler: func(id agent.ID, _ agent.Behavior) bool { return c.loseAgent(id) },
-		Trace:       cfg.Trace,
+		// Wire migration (multi-process fabrics): rebuild arriving agents
+		// from their frozen protocol state. Unused over in-memory fabrics.
+		ThawWire: c.thawWire,
+		Trace:    cfg.Trace,
 	})
 	for i := 1; i <= cfg.N; i++ {
-		c.nodes = append(c.nodes, simnet.NodeID(i))
+		c.nodes = append(c.nodes, runtime.NodeID(i))
+	}
+	if len(cfg.Local) == 0 {
+		for _, id := range c.nodes {
+			c.local[id] = true
+		}
+	} else {
+		for _, id := range cfg.Local {
+			if int(id) < 1 || int(id) > cfg.N {
+				return nil, fmt.Errorf("core: local server %d outside 1..%d", id, cfg.N)
+			}
+			c.local[id] = true
+		}
 	}
 	if cfg.Votes == nil {
 		c.votes = quorum.Equal(c.nodes)
@@ -219,32 +240,83 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		}
 		c.votes = quorum.Weighted(cfg.Votes)
 	}
-	c.referee = NewWeightedReferee(c.votes, sim.Now)
+	c.referee = NewWeightedReferee(c.votes, eng.Now)
+	observer := c.referee.OnGrant
+	if cfg.OnGrant != nil {
+		inner, extra := observer, cfg.OnGrant
+		observer = func(server runtime.NodeID, txn agent.ID) {
+			inner(server, txn)
+			extra(server, txn)
+		}
+	}
 	for _, id := range c.nodes {
-		c.servers[id] = replica.New(id, c.nodes, fabric, c.platform, store.New(), replica.Config{
+		if !c.local[id] {
+			continue
+		}
+		c.servers[id] = replica.New(eng, id, c.nodes, fabric, c.platform, store.New(), replica.Config{
 			DisableInfoSharing: cfg.DisableInfoSharing,
-			GrantObserver:      c.referee.OnGrant,
+			GrantObserver:      observer,
+			Intercept:          c.intercept,
 			Trace:              cfg.Trace,
 		})
 	}
 	return c, nil
 }
 
-// Sim returns the cluster's simulator.
-func (c *Cluster) Sim() *des.Simulator { return c.sim }
+// Engine returns the runtime engine the cluster is scheduled on.
+func (c *Cluster) Engine() runtime.Engine { return c.eng }
 
-// Network returns the simulated network.
-func (c *Cluster) Network() *simnet.Network { return c.net }
+// Now returns the engine's current time.
+func (c *Cluster) Now() runtime.Time { return c.eng.Now() }
+
+// NetStats returns the fabric's traffic counters (zero counters when the
+// fabric keeps none).
+func (c *Cluster) NetStats() runtime.NetStats {
+	if src, ok := c.fabric.(runtime.StatsSource); ok {
+		return src.NetStats()
+	}
+	return runtime.NetStats{}
+}
 
 // Platform returns the agent platform.
 func (c *Cluster) Platform() *agent.Platform { return c.platform }
 
+// intercept consumes cluster-level (non-Algorithm 2) messages delivered to
+// a local server: outcome reports from agents that finished away from home.
+func (c *Cluster) intercept(msg runtime.Message) bool {
+	om, ok := msg.Payload.(*OutcomeMsg)
+	if !ok {
+		return false
+	}
+	o := om.Outcome
+	delete(c.active, o.Agent)
+	delete(c.checkpoints, o.Agent)
+	if c.local[o.Home] {
+		c.recordOutcome(o)
+	}
+	return true
+}
+
+// thawWire implements the agent platform's wire-migration hook: decode the
+// frozen protocol state an agent travelled as and rebind it to this
+// cluster. The reborn UpdateAgent is tracked as active here so local crash
+// handling sees it.
+func (c *Cluster) thawWire(id agent.ID, state []byte) (agent.Behavior, error) {
+	st, err := DecodeWireState(state)
+	if err != nil {
+		return nil, err
+	}
+	ua := Thaw(c, st)
+	c.active[id] = ua
+	return ua, nil
+}
+
 // Server returns the replica at node id.
-func (c *Cluster) Server(id simnet.NodeID) *replica.Server { return c.servers[id] }
+func (c *Cluster) Server(id runtime.NodeID) *replica.Server { return c.servers[id] }
 
 // Nodes returns the replica IDs 1..N.
-func (c *Cluster) Nodes() []simnet.NodeID {
-	out := make([]simnet.NodeID, len(c.nodes))
+func (c *Cluster) Nodes() []runtime.NodeID {
+	out := make([]runtime.NodeID, len(c.nodes))
 	copy(out, c.nodes)
 	return out
 }
@@ -264,7 +336,7 @@ func (c *Cluster) Outstanding() int { return c.outstanding }
 
 // Submit queues update requests at the given home server, dispatching a
 // mobile agent per the batch policy.
-func (c *Cluster) Submit(home simnet.NodeID, reqs ...Request) error {
+func (c *Cluster) Submit(home runtime.NodeID, reqs ...Request) error {
 	if c.servers[home] == nil {
 		return fmt.Errorf("core: unknown home server %d", home)
 	}
@@ -276,7 +348,7 @@ func (c *Cluster) Submit(home simnet.NodeID, reqs ...Request) error {
 			return err
 		}
 	}
-	c.cfg.Trace.Addf(int64(c.sim.Now()), int(home), "", trace.RequestArrived, "%d request(s)", len(reqs))
+	c.cfg.Trace.Addf(int64(c.eng.Now()), int(home), "", trace.RequestArrived, "%d request(s)", len(reqs))
 	b := c.batches[home]
 	if b == nil {
 		b = &batch{}
@@ -287,13 +359,13 @@ func (c *Cluster) Submit(home simnet.NodeID, reqs ...Request) error {
 	case len(b.reqs) >= c.cfg.BatchMaxRequests || c.cfg.BatchMaxDelay == 0:
 		c.dispatch(home)
 	case !b.timer.Active():
-		b.timer = c.sim.After(c.cfg.BatchMaxDelay, func() { c.dispatch(home) })
+		b.timer = c.eng.AfterFunc(c.cfg.BatchMaxDelay, func() { c.dispatch(home) })
 	}
 	return nil
 }
 
 // dispatch ships the pending batch at home as one mobile agent.
-func (c *Cluster) dispatch(home simnet.NodeID) {
+func (c *Cluster) dispatch(home runtime.NodeID) {
 	b := c.batches[home]
 	if b == nil || len(b.reqs) == 0 {
 		return
@@ -301,7 +373,7 @@ func (c *Cluster) dispatch(home simnet.NodeID) {
 	b.timer.Cancel()
 	reqs := b.reqs
 	b.reqs = nil
-	if c.net.Down(home) {
+	if c.fabric.Down(home) {
 		// The home server crashed before the batch left: the requests
 		// are lost with it, like the paper's fail-stop clients-at-server.
 		return
@@ -314,13 +386,25 @@ func (c *Cluster) dispatch(home simnet.NodeID) {
 	}
 }
 
-// finish records a completed agent.
-func (c *Cluster) finish(o Outcome) {
-	c.outcomes = append(c.outcomes, o)
-	c.outstanding--
+// finish records a completed agent. at is where the agent finished: when
+// its home replica is hosted by another process, the outcome is reported
+// there over the fabric — the home cluster owns the outstanding count.
+func (c *Cluster) finish(at runtime.NodeID, o Outcome) {
 	delete(c.active, o.Agent)
 	delete(c.checkpoints, o.Agent)
-	c.cfg.Trace.Addf(int64(c.sim.Now()), int(o.Home), o.Agent.String(), trace.RequestDone,
+	if c.local[o.Home] {
+		c.recordOutcome(o)
+		return
+	}
+	msg := &OutcomeMsg{Outcome: o}
+	c.fabric.Send(runtime.Message{From: at, To: o.Home, Payload: msg, Size: msg.WireSize()})
+}
+
+// recordOutcome books a finished agent against this cluster's counters.
+func (c *Cluster) recordOutcome(o Outcome) {
+	c.outcomes = append(c.outcomes, o)
+	c.outstanding--
+	c.cfg.Trace.Addf(int64(c.eng.Now()), int(o.Home), o.Agent.String(), trace.RequestDone,
 		"alt=%v att=%v visits=%d", o.LockLatency().Duration(), o.TotalLatency().Duration(), o.Visits)
 }
 
@@ -377,9 +461,9 @@ func (c *Cluster) loseAgent(id agent.ID) bool {
 func (c *Cluster) scheduleRegeneration(id agent.ID, st WireState, old *UpdateAgent) {
 	old.phase = phaseDone
 	delete(c.active, id)
-	c.sim.After(c.cfg.DeathNoticeDelay, func() {
+	c.eng.AfterFunc(c.cfg.DeathNoticeDelay, func() {
 		home := c.regenHome(id)
-		if home == simnet.None {
+		if home == runtime.None {
 			// Nowhere alive to respawn: the requests fail like any other
 			// loss. (Schedules validated by internal/failure keep a
 			// majority up, so this is a pathological-schedule path.)
@@ -387,7 +471,7 @@ func (c *Cluster) scheduleRegeneration(id agent.ID, st WireState, old *UpdateAge
 				Agent:      id,
 				Home:       id.Home,
 				Requests:   len(st.Requests),
-				Dispatched: des.Time(st.Dispatched),
+				Dispatched: runtime.Time(st.Dispatched),
 				Visits:     st.Visits,
 				Retries:    st.Retries,
 				Failed:     true,
@@ -405,16 +489,16 @@ func (c *Cluster) scheduleRegeneration(id agent.ID, st WireState, old *UpdateAge
 
 // regenHome picks where a regenerated agent resumes: its home server if that
 // is up, else the lowest-numbered live server (deterministic).
-func (c *Cluster) regenHome(id agent.ID) simnet.NodeID {
-	if !c.net.Down(id.Home) {
+func (c *Cluster) regenHome(id agent.ID) runtime.NodeID {
+	if !c.fabric.Down(id.Home) && c.local[id.Home] {
 		return id.Home
 	}
 	for _, n := range c.nodes {
-		if !c.net.Down(n) {
+		if !c.fabric.Down(n) && c.local[n] {
 			return n
 		}
 	}
-	return simnet.None
+	return runtime.None
 }
 
 // Crash fail-stops the server at id: the network drops its traffic, its
@@ -423,11 +507,15 @@ func (c *Cluster) regenHome(id agent.ID) simnet.NodeID {
 // dies. Dead agents with checkpoints are regenerated when
 // Config.RegenerateAgents is set; the rest trigger death notices after the
 // detection delay.
-func (c *Cluster) Crash(id simnet.NodeID) {
-	if c.net.Down(id) {
+func (c *Cluster) Crash(id runtime.NodeID) {
+	cr, ok := c.base.(runtime.Crasher)
+	if !ok || c.servers[id] == nil {
+		return // the fabric cannot fail-stop nodes, or the replica is remote
+	}
+	if c.base.Down(id) {
 		return
 	}
-	c.net.SetDown(id, true)
+	cr.SetDown(id, true)
 	if c.rel != nil {
 		c.rel.Crash(id)
 	}
@@ -443,17 +531,26 @@ func (c *Cluster) Crash(id simnet.NodeID) {
 
 // Recover restarts a crashed server; it rejoins the network and pulls the
 // updates it missed from its peers.
-func (c *Cluster) Recover(id simnet.NodeID) {
-	if !c.net.Down(id) {
+func (c *Cluster) Recover(id runtime.NodeID) {
+	cr, ok := c.base.(runtime.Crasher)
+	if !ok || c.servers[id] == nil {
 		return
 	}
-	c.net.SetDown(id, false)
+	if !c.base.Down(id) {
+		return
+	}
+	cr.SetDown(id, false)
 	c.servers[id].Recover()
 }
 
 // PartitionNet splits the network into the given groups; nodes in different
-// groups cannot exchange messages (failure.Partition events).
-func (c *Cluster) PartitionNet(groups ...[]simnet.NodeID) { c.net.Partition(groups...) }
+// groups cannot exchange messages (failure.Partition events). A no-op when
+// the fabric cannot partition (the live TCP fabric).
+func (c *Cluster) PartitionNet(groups ...[]runtime.NodeID) {
+	if p, ok := c.base.(runtime.Partitioner); ok {
+		p.Partition(groups...)
+	}
+}
 
 // HealNet removes all partitions and starts an anti-entropy round at every
 // live server. The explicit sync matters: a replica that sat in a minority
@@ -461,17 +558,21 @@ func (c *Cluster) PartitionNet(groups ...[]simnet.NodeID) { c.net.Partition(grou
 // — it missed whole COMMIT broadcasts — so without this pull it would stay
 // behind until the next commit happens to reach it.
 func (c *Cluster) HealNet() {
-	c.net.Heal()
+	if p, ok := c.base.(runtime.Partitioner); ok {
+		p.Heal()
+	}
 	for _, id := range c.nodes {
-		c.servers[id].RequestSync()
+		if s := c.servers[id]; s != nil {
+			s.RequestSync()
+		}
 	}
 }
 
 // SetLoss sets the dynamic network-wide message-loss level (failure.Lossy
-// events). It is a no-op unless the cluster was built with a fault model.
+// events). It is a no-op unless the fabric was built with a fault model.
 func (c *Cluster) SetLoss(p float64) {
-	if f := c.net.Faults(); f != nil {
-		f.SetExtraLoss(p)
+	if lc, ok := c.base.(runtime.LossController); ok {
+		lc.SetExtraLoss(p)
 	}
 }
 
@@ -488,7 +589,7 @@ func (c *Cluster) ReliableStats() reliable.Stats {
 }
 
 // Read serves a read from node's local copy — the paper's fast read path.
-func (c *Cluster) Read(node simnet.NodeID, key string) (store.Value, bool) {
+func (c *Cluster) Read(node runtime.NodeID, key string) (store.Value, bool) {
 	s := c.servers[node]
 	if s == nil || s.Down() {
 		return store.Value{}, false
@@ -499,7 +600,7 @@ func (c *Cluster) Read(node simnet.NodeID, key string) (store.Value, bool) {
 // ReadQuorumAsync starts a consistent read coordinated by home (read quorum
 // = majority; the one-copy-serializable extension) and invokes done when a
 // majority has answered. The callback runs on the simulation loop.
-func (c *Cluster) ReadQuorumAsync(home simnet.NodeID, key string, done func(store.Value, bool)) error {
+func (c *Cluster) ReadQuorumAsync(home runtime.NodeID, key string, done func(store.Value, bool)) error {
 	s := c.servers[home]
 	if s == nil {
 		return fmt.Errorf("core: unknown home server %d", home)
@@ -514,7 +615,7 @@ func (c *Cluster) ReadQuorumAsync(home simnet.NodeID, key string, done func(stor
 // ReadQuorum issues a consistent read and advances the simulation until it
 // resolves (or maxVirtual of virtual time passes — e.g. when a majority of
 // replicas is unreachable).
-func (c *Cluster) ReadQuorum(home simnet.NodeID, key string, maxVirtual time.Duration) (store.Value, bool, error) {
+func (c *Cluster) ReadQuorum(home runtime.NodeID, key string, maxVirtual time.Duration) (store.Value, bool, error) {
 	var (
 		val      store.Value
 		found    bool
@@ -525,45 +626,41 @@ func (c *Cluster) ReadQuorum(home simnet.NodeID, key string, maxVirtual time.Dur
 	}); err != nil {
 		return store.Value{}, false, err
 	}
-	deadline := c.sim.Now().Add(maxVirtual)
-	for !resolved {
-		if c.sim.Now() > deadline {
-			return store.Value{}, false, fmt.Errorf("core: quorum read timed out after %v", maxVirtual)
-		}
-		if !c.sim.Step() {
-			return store.Value{}, false, fmt.Errorf("core: quorum read starved (no events, majority unreachable?)")
-		}
+	switch err := c.eng.Wait(maxVirtual, func() bool { return resolved }); {
+	case err == nil:
+		return val, found, nil
+	case errors.Is(err, runtime.ErrStalled):
+		return store.Value{}, false, fmt.Errorf("core: quorum read starved (no events, majority unreachable?)")
+	default:
+		return store.Value{}, false, fmt.Errorf("core: quorum read timed out after %v", maxVirtual)
 	}
-	return val, found, nil
 }
 
 // RunUntilDone advances the simulation until every dispatched agent has
 // finished, failing if that takes more than maxVirtual of simulated time or
 // if the event queue drains first (a protocol deadlock).
 func (c *Cluster) RunUntilDone(maxVirtual time.Duration) error {
-	deadline := c.sim.Now().Add(maxVirtual)
-	for c.outstanding > 0 {
-		if c.sim.Now() > deadline {
-			return fmt.Errorf("core: %d agents still outstanding after %v of virtual time", c.outstanding, maxVirtual)
-		}
-		if !c.sim.Step() {
-			return fmt.Errorf("core: event queue drained with %d agents outstanding (deadlock)", c.outstanding)
-		}
+	switch err := c.eng.Wait(maxVirtual, func() bool { return c.outstanding == 0 }); {
+	case err == nil:
+		return nil
+	case errors.Is(err, runtime.ErrStalled):
+		return fmt.Errorf("core: event queue drained with %d agents outstanding (deadlock)", c.outstanding)
+	default:
+		return fmt.Errorf("core: %d agents still outstanding after %v of virtual time", c.outstanding, maxVirtual)
 	}
-	return nil
 }
 
-// Settle runs the simulation d further so in-flight commits and syncs land.
-func (c *Cluster) Settle(d time.Duration) { c.sim.RunFor(d) }
+// Settle runs the engine d further so in-flight commits and syncs land.
+func (c *Cluster) Settle(d time.Duration) { c.eng.Sleep(d) }
 
 // CheckConvergence verifies DESIGN.md invariants 2 and 6: every live
 // replica holds the identical committed update log (hence identical state).
 func (c *Cluster) CheckConvergence() error {
 	var ref []store.Update
-	var refNode simnet.NodeID
+	var refNode runtime.NodeID
 	for _, id := range c.nodes {
 		s := c.servers[id]
-		if s.Down() {
+		if s == nil || s.Down() {
 			continue
 		}
 		log := s.Store().Log()

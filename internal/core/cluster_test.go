@@ -5,15 +5,72 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/des"
 	"repro/internal/simnet"
 )
 
-func newTestCluster(t *testing.T, cfg Config) *Cluster {
-	t.Helper()
-	if cfg.Seed == 0 {
-		cfg.Seed = 42
+// testCluster couples a core Cluster with the simulation machinery the
+// package's own tests drive directly. The public assembly lives in
+// internal/desengine, which this package cannot import without a cycle, so
+// the tests carry a miniature of it.
+type testCluster struct {
+	*Cluster
+	sim *des.Simulator
+	net *simnet.Network
+}
+
+func (c *testCluster) Sim() *des.Simulator      { return c.sim }
+func (c *testCluster) Network() *simnet.Network { return c.net }
+
+// simEnv is the simulation-owned half of a test cluster's configuration —
+// the knobs that lived on Config before the engine seam.
+type simEnv struct {
+	seed     int64
+	topology *simnet.Topology
+	latency  simnet.LatencyModel
+	faults   *simnet.FaultModel
+}
+
+func newSimCluster(cfg Config, envs ...simEnv) (*testCluster, error) {
+	var env simEnv
+	if len(envs) > 0 {
+		env = envs[0]
 	}
-	c, err := NewCluster(cfg)
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("core: config needs N >= 1, got %d", cfg.N)
+	}
+	topo := env.topology
+	if topo == nil {
+		topo = simnet.FullMesh(cfg.N)
+	}
+	if topo.Len() < cfg.N {
+		return nil, fmt.Errorf("core: topology has %d nodes, need %d", topo.Len(), cfg.N)
+	}
+	if env.latency == nil {
+		env.latency = simnet.LAN()
+	}
+	sim := des.New(env.seed)
+	net := simnet.New(sim, topo, env.latency)
+	if env.faults != nil {
+		net.SetFaults(env.faults)
+	}
+	c, err := NewCluster(sim, net, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &testCluster{Cluster: c, sim: sim, net: net}, nil
+}
+
+func newTestCluster(t *testing.T, cfg Config, envs ...simEnv) *testCluster {
+	t.Helper()
+	var env simEnv
+	if len(envs) > 0 {
+		env = envs[0]
+	}
+	if env.seed == 0 {
+		env.seed = 42
+	}
+	c, err := newSimCluster(cfg, env)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,7 +79,7 @@ func newTestCluster(t *testing.T, cfg Config) *Cluster {
 
 // finishRun drives the cluster to completion and checks the standing
 // invariants: no referee violations and fully converged replicas.
-func finishRun(t *testing.T, c *Cluster) {
+func finishRun(t *testing.T, c *testCluster) {
 	t.Helper()
 	if err := c.RunUntilDone(5 * time.Minute); err != nil {
 		t.Fatal(err)
@@ -114,7 +171,7 @@ func TestTheorem3VisitBounds(t *testing.T) {
 	// Under contention, with no failures, every winner obtains the lock
 	// after visiting at least (N+1)/2 and at most N servers.
 	for _, n := range []int{3, 5, 7, 9} {
-		c := newTestCluster(t, Config{N: n, Seed: int64(n)})
+		c := newTestCluster(t, Config{N: n}, simEnv{seed: int64(n)})
 		for i := 1; i <= n; i++ {
 			if err := c.Submit(simnet.NodeID(i), Set("k", fmt.Sprintf("v%d", i))); err != nil {
 				t.Fatal(err)
@@ -136,7 +193,7 @@ func TestTheorem3VisitBounds(t *testing.T) {
 
 func TestAppendUsesMostRecentCopy(t *testing.T) {
 	const n = 5
-	c := newTestCluster(t, Config{N: n, Seed: 7})
+	c := newTestCluster(t, Config{N: n}, simEnv{seed: 7})
 	for i := 1; i <= n; i++ {
 		if err := c.Submit(simnet.NodeID(i), Append("log", fmt.Sprintf("[%d]", i))); err != nil {
 			t.Fatal(err)
@@ -209,7 +266,7 @@ func TestBatchTimerFlushesPartialBatch(t *testing.T) {
 
 func TestDeterministicRuns(t *testing.T) {
 	run := func() []Outcome {
-		c := newTestCluster(t, Config{N: 5, Seed: 99})
+		c := newTestCluster(t, Config{N: 5}, simEnv{seed: 99})
 		for i := 1; i <= 5; i++ {
 			if err := c.Submit(simnet.NodeID(i), Set("k", fmt.Sprintf("v%d", i))); err != nil {
 				t.Fatal(err)
@@ -262,17 +319,17 @@ func TestSubmitValidation(t *testing.T) {
 }
 
 func TestConfigValidation(t *testing.T) {
-	if _, err := NewCluster(Config{N: 0}); err == nil {
+	if _, err := newSimCluster(Config{N: 0}); err == nil {
 		t.Fatal("N=0 accepted")
 	}
-	if _, err := NewCluster(Config{N: 5, Topology: simnet.FullMesh(3)}); err == nil {
+	if _, err := newSimCluster(Config{N: 5}, simEnv{topology: simnet.FullMesh(3)}); err == nil {
 		t.Fatal("undersized topology accepted")
 	}
 }
 
 func TestHighContentionManyAgentsPerServer(t *testing.T) {
 	const n, perServer = 5, 4
-	c := newTestCluster(t, Config{N: n, Seed: 5})
+	c := newTestCluster(t, Config{N: n}, simEnv{seed: 5})
 	for round := 0; round < perServer; round++ {
 		for i := 1; i <= n; i++ {
 			if err := c.Submit(simnet.NodeID(i), Set("hot", fmt.Sprintf("r%d-s%d", round, i))); err != nil {
@@ -290,7 +347,7 @@ func TestHighContentionManyAgentsPerServer(t *testing.T) {
 }
 
 func TestStaggeredSubmissions(t *testing.T) {
-	c := newTestCluster(t, Config{N: 5, Seed: 13})
+	c := newTestCluster(t, Config{N: 5}, simEnv{seed: 13})
 	for i := 0; i < 20; i++ {
 		i := i
 		home := simnet.NodeID(i%5 + 1)
@@ -313,7 +370,7 @@ func TestLargeClusterStress(t *testing.T) {
 		t.Skip("stress test")
 	}
 	const n, perServer = 15, 4
-	c := newTestCluster(t, Config{N: n, Seed: 81})
+	c := newTestCluster(t, Config{N: n}, simEnv{seed: 81})
 	for r := 0; r < perServer; r++ {
 		for i := 1; i <= n; i++ {
 			home := simnet.NodeID(i)
@@ -339,7 +396,7 @@ func TestManyKeysInterleaved(t *testing.T) {
 	// Distinct keys still serialize through the single global lock order
 	// (the paper's LL covers the replicated data as a whole), and every
 	// key ends with its last-committed writer's value on every replica.
-	c := newTestCluster(t, Config{N: 5, Seed: 83})
+	c := newTestCluster(t, Config{N: 5}, simEnv{seed: 83})
 	const writers = 30
 	for i := 0; i < writers; i++ {
 		i := i

@@ -86,7 +86,7 @@ func TestQuorumReadStrongerThanLocalRead(t *testing.T) {
 	// commit completes, a replica outside the acknowledging majority may
 	// still serve the old value locally, while a quorum read returns the
 	// new one.
-	c := newTestCluster(t, Config{N: 5, Seed: 31})
+	c := newTestCluster(t, Config{N: 5}, simEnv{seed: 31})
 	if err := c.Submit(1, Set("x", "old")); err != nil {
 		t.Fatal(err)
 	}
@@ -155,8 +155,7 @@ func TestRankingStopsWhenInconclusive(t *testing.T) {
 }
 
 func TestPartitionMinorityCannotCommit(t *testing.T) {
-	c := newTestCluster(t, Config{N: 5, Seed: 33, MigrationTimeout: 20 * time.Millisecond,
-		RetryInterval: 60 * time.Millisecond, ClaimTimeout: 50 * time.Millisecond})
+	c := newTestCluster(t, Config{N: 5, MigrationTimeout: 20 * time.Millisecond, RetryInterval: 60 * time.Millisecond, ClaimTimeout: 50 * time.Millisecond}, simEnv{seed: 33})
 	c.Network().Partition([]simnet.NodeID{1, 2}, []simnet.NodeID{3, 4, 5})
 
 	// Minority-side update: must NOT commit while partitioned.
@@ -197,8 +196,7 @@ func TestPartitionMinorityCannotCommit(t *testing.T) {
 func TestPartitionBothSidesNoSplitBrain(t *testing.T) {
 	// Symmetric 2/3 split with writers on both sides and a shared key:
 	// only the majority side may commit while partitioned.
-	c := newTestCluster(t, Config{N: 5, Seed: 35, MigrationTimeout: 20 * time.Millisecond,
-		RetryInterval: 60 * time.Millisecond, ClaimTimeout: 50 * time.Millisecond})
+	c := newTestCluster(t, Config{N: 5, MigrationTimeout: 20 * time.Millisecond, RetryInterval: 60 * time.Millisecond, ClaimTimeout: 50 * time.Millisecond}, simEnv{seed: 35})
 	c.Network().Partition([]simnet.NodeID{1, 2}, []simnet.NodeID{3, 4, 5})
 	for i := 0; i < 4; i++ {
 		home := simnet.NodeID(i%2 + 1) // minority side

@@ -88,7 +88,7 @@ func TestCommitDuringDowntimeBackfilledOnRecovery(t *testing.T) {
 }
 
 func TestAgentDiesWithCrashedHost(t *testing.T) {
-	c := newTestCluster(t, Config{N: 5, Seed: 3})
+	c := newTestCluster(t, Config{N: 5}, simEnv{seed: 3})
 	if err := c.Submit(1, Set("x", "doomed")); err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +132,7 @@ func TestAgentDiesWithCrashedHost(t *testing.T) {
 }
 
 func TestDeadAgentDoesNotBlockOthers(t *testing.T) {
-	c := newTestCluster(t, Config{N: 5, Seed: 8})
+	c := newTestCluster(t, Config{N: 5}, simEnv{seed: 8})
 	if err := c.Submit(2, Set("x", "victim")); err != nil {
 		t.Fatal(err)
 	}
@@ -166,8 +166,7 @@ func TestDeadAgentDoesNotBlockOthers(t *testing.T) {
 }
 
 func TestAgentSkipsUnavailableServerAndRetriesNextRound(t *testing.T) {
-	c := newTestCluster(t, Config{N: 5, Seed: 4, MigrationTimeout: 20 * time.Millisecond,
-		RetryInterval: 100 * time.Millisecond})
+	c := newTestCluster(t, Config{N: 5, MigrationTimeout: 20 * time.Millisecond, RetryInterval: 100 * time.Millisecond}, simEnv{seed: 4})
 	c.Crash(3)
 	if err := c.Submit(1, Set("x", "v")); err != nil {
 		t.Fatal(err)
@@ -187,7 +186,7 @@ func TestAgentSkipsUnavailableServerAndRetriesNextRound(t *testing.T) {
 }
 
 func TestContentionSurvivesCrashRecoverCycle(t *testing.T) {
-	c := newTestCluster(t, Config{N: 5, Seed: 6, MigrationTimeout: 30 * time.Millisecond})
+	c := newTestCluster(t, Config{N: 5, MigrationTimeout: 30 * time.Millisecond}, simEnv{seed: 6})
 	for i := 1; i <= 5; i++ {
 		if err := c.Submit(simnet.NodeID(i), Set("k", fmt.Sprintf("v%d", i))); err != nil {
 			t.Fatal(err)

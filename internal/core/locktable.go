@@ -6,7 +6,7 @@ import (
 	"repro/internal/agent"
 	"repro/internal/quorum"
 	"repro/internal/replica"
-	"repro/internal/simnet"
+	"repro/internal/runtime"
 )
 
 // LockTable is the mobile agent's view of the global locking state: the LT
@@ -22,15 +22,15 @@ import (
 type LockTable struct {
 	n     int
 	votes quorum.Assignment
-	snaps map[simnet.NodeID]replica.QueueSnapshot
+	snaps map[runtime.NodeID]replica.QueueSnapshot
 	gone  map[agent.ID]bool
 	// visitMark records the snapshot position (epoch, version) at which
 	// this agent last observed itself enqueued at a server by visiting it.
-	visitMark map[simnet.NodeID]visitMark
+	visitMark map[runtime.NodeID]visitMark
 	// floor holds distrust tombstones left by Forget: snapshots for the
 	// server are ignored unless strictly newer, so stale information from
 	// server caches cannot resurrect a view the agent already rejected.
-	floor map[simnet.NodeID]replica.QueueSnapshot
+	floor map[runtime.NodeID]replica.QueueSnapshot
 	// rev counts effective mutations; a stable rev across retry rounds
 	// tells the agent the system is genuinely stuck, not just slow.
 	rev uint64
@@ -44,9 +44,9 @@ type visitMark struct {
 // NewLockTable returns an empty table for a system of n replicas with one
 // vote each (the paper's plain majority scheme).
 func NewLockTable(n int) *LockTable {
-	nodes := make([]simnet.NodeID, n)
+	nodes := make([]runtime.NodeID, n)
 	for i := range nodes {
-		nodes[i] = simnet.NodeID(i + 1)
+		nodes[i] = runtime.NodeID(i + 1)
 	}
 	return NewWeightedLockTable(n, quorum.Equal(nodes))
 }
@@ -59,10 +59,10 @@ func NewWeightedLockTable(n int, votes quorum.Assignment) *LockTable {
 	return &LockTable{
 		n:         n,
 		votes:     votes,
-		snaps:     make(map[simnet.NodeID]replica.QueueSnapshot),
+		snaps:     make(map[runtime.NodeID]replica.QueueSnapshot),
 		gone:      make(map[agent.ID]bool),
-		visitMark: make(map[simnet.NodeID]visitMark),
-		floor:     make(map[simnet.NodeID]replica.QueueSnapshot),
+		visitMark: make(map[runtime.NodeID]visitMark),
+		floor:     make(map[runtime.NodeID]replica.QueueSnapshot),
 	}
 }
 
@@ -114,7 +114,7 @@ func (lt *LockTable) MergeSnapshot(s replica.QueueSnapshot) {
 // unknown head is handled more gracefully than a stale one, and without the
 // tombstone the same stale snapshot would flow right back out of a peer
 // server's information-sharing cache.
-func (lt *LockTable) Forget(server simnet.NodeID) {
+func (lt *LockTable) Forget(server runtime.NodeID) {
 	if s, ok := lt.snaps[server]; ok {
 		lt.floor[server] = replica.QueueSnapshot{Server: server, Epoch: s.Epoch, Version: s.Version}
 		delete(lt.snaps, server)
@@ -137,13 +137,13 @@ func (lt *LockTable) MergeInfo(info replica.LockInfo, visited bool) {
 }
 
 // Visited reports whether the agent has visited (enqueued at) the server.
-func (lt *LockTable) Visited(server simnet.NodeID) bool {
+func (lt *LockTable) Visited(server runtime.NodeID) bool {
 	_, ok := lt.visitMark[server]
 	return ok
 }
 
 // Snapshot returns the freshest known snapshot for a server.
-func (lt *LockTable) Snapshot(server simnet.NodeID) (replica.QueueSnapshot, bool) {
+func (lt *LockTable) Snapshot(server runtime.NodeID) (replica.QueueSnapshot, bool) {
 	s, ok := lt.snaps[server]
 	return s, ok
 }
@@ -151,7 +151,7 @@ func (lt *LockTable) Snapshot(server simnet.NodeID) (replica.QueueSnapshot, bool
 // Head returns the server's head of queue after filtering gone agents.
 // ok is false when the table has no information for the server or the
 // filtered queue is empty.
-func (lt *LockTable) Head(server simnet.NodeID) (agent.ID, bool) {
+func (lt *LockTable) Head(server runtime.NodeID) (agent.ID, bool) {
 	s, ok := lt.snaps[server]
 	if !ok {
 		return agent.ID{}, false
@@ -166,7 +166,7 @@ func (lt *LockTable) Head(server simnet.NodeID) (agent.ID, bool) {
 
 // Rank returns self's 1-based position in the server's filtered queue
 // (0 if absent or unknown) — diagnostic/metrics helper.
-func (lt *LockTable) Rank(server simnet.NodeID, self agent.ID) int {
+func (lt *LockTable) Rank(server runtime.NodeID, self agent.ID) int {
 	s, ok := lt.snaps[server]
 	if !ok {
 		return 0
@@ -187,8 +187,8 @@ func (lt *LockTable) Rank(server simnet.NodeID, self agent.ID) int {
 // Export returns the table's snapshots for leaving behind at a server (the
 // paper's information sharing). The server merges by version, so sharing is
 // always safe.
-func (lt *LockTable) Export() map[simnet.NodeID]replica.QueueSnapshot {
-	out := make(map[simnet.NodeID]replica.QueueSnapshot, len(lt.snaps))
+func (lt *LockTable) Export() map[runtime.NodeID]replica.QueueSnapshot {
+	out := make(map[runtime.NodeID]replica.QueueSnapshot, len(lt.snaps))
 	for n, s := range lt.snaps {
 		out[n] = s.Clone()
 	}
@@ -197,8 +197,8 @@ func (lt *LockTable) Export() map[simnet.NodeID]replica.QueueSnapshot {
 
 // Evidence returns the head-version claimed for every known server; servers
 // validate tie-break claims against it.
-func (lt *LockTable) Evidence() map[simnet.NodeID]uint64 {
-	out := make(map[simnet.NodeID]uint64, len(lt.snaps))
+func (lt *LockTable) Evidence() map[runtime.NodeID]uint64 {
+	out := make(map[runtime.NodeID]uint64, len(lt.snaps))
 	for n, s := range lt.snaps {
 		out[n] = s.HeadVersion
 	}
@@ -209,8 +209,8 @@ func (lt *LockTable) Evidence() map[simnet.NodeID]uint64 {
 // least as fresh as the visit, no longer hold self's queue entry — which
 // happens when the server crashed (losing its volatile LL) and recovered.
 // The agent must travel there again to re-enqueue.
-func (lt *LockTable) NeedRevisit(self agent.ID) []simnet.NodeID {
-	var out []simnet.NodeID
+func (lt *LockTable) NeedRevisit(self agent.ID) []runtime.NodeID {
+	var out []runtime.NodeID
 	for server, mark := range lt.visitMark {
 		s, ok := lt.snaps[server]
 		if !ok {
@@ -285,7 +285,7 @@ func (lt *LockTable) Decide(self agent.ID) Decision {
 	counts := make(map[agent.ID]int) // vote-weighted top counts
 	known := 0                       // votes of servers with a known head
 	for server := 1; server <= lt.n; server++ {
-		id := simnet.NodeID(server)
+		id := runtime.NodeID(server)
 		head, ok := lt.Head(id)
 		if !ok {
 			continue

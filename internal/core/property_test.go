@@ -18,7 +18,7 @@ func TestPropertyRandomWorkloadInvariants(t *testing.T) {
 	f := func(seed int64, nRaw, opsRaw uint8) bool {
 		n := int(nRaw%4)*2 + 3 // 3,5,7,9
 		ops := int(opsRaw%12) + 1
-		c, err := NewCluster(Config{N: n, Seed: seed})
+		c, err := newSimCluster(Config{N: n}, simEnv{seed: seed})
 		if err != nil {
 			t.Log(err)
 			return false
@@ -91,7 +91,7 @@ func TestPropertyRandomWorkloadInvariants(t *testing.T) {
 func TestPropertyCrashRecoveryConvergence(t *testing.T) {
 	f := func(seed int64, victimRaw uint8) bool {
 		const n = 5
-		c, err := NewCluster(Config{N: n, Seed: seed, MigrationTimeout: 30 * time.Millisecond})
+		c, err := newSimCluster(Config{N: n, MigrationTimeout: 30 * time.Millisecond}, simEnv{seed: seed})
 		if err != nil {
 			t.Log(err)
 			return false

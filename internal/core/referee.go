@@ -4,9 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/agent"
-	"repro/internal/des"
 	"repro/internal/quorum"
-	"repro/internal/simnet"
+	"repro/internal/runtime"
 )
 
 // Referee is a simulation-only oracle that checks the protocol's central
@@ -22,8 +21,8 @@ import (
 type Referee struct {
 	votes      quorum.Assignment
 	majority   int
-	clock      func() des.Time
-	grants     map[simnet.NodeID]agent.ID
+	clock      func() runtime.Time
+	grants     map[runtime.NodeID]agent.ID
 	counts     map[agent.ID]int
 	holder     agent.ID // txn currently at or above majority
 	wins       int
@@ -32,10 +31,10 @@ type Referee struct {
 
 // NewReferee returns a referee for a system of n equally-weighted replicas.
 // clock supplies the current virtual time for violation reports.
-func NewReferee(n int, clock func() des.Time) *Referee {
-	nodes := make([]simnet.NodeID, n)
+func NewReferee(n int, clock func() runtime.Time) *Referee {
+	nodes := make([]runtime.NodeID, n)
 	for i := range nodes {
-		nodes[i] = simnet.NodeID(i + 1)
+		nodes[i] = runtime.NodeID(i + 1)
 	}
 	return NewWeightedReferee(quorum.Equal(nodes), clock)
 }
@@ -43,19 +42,19 @@ func NewReferee(n int, clock func() des.Time) *Referee {
 // NewWeightedReferee returns a referee for an explicit vote assignment:
 // the exclusion invariant becomes "no two transactions simultaneously hold
 // grants worth a majority of the votes".
-func NewWeightedReferee(votes quorum.Assignment, clock func() des.Time) *Referee {
+func NewWeightedReferee(votes quorum.Assignment, clock func() runtime.Time) *Referee {
 	return &Referee{
 		votes:    votes,
 		majority: votes.Majority(),
 		clock:    clock,
-		grants:   make(map[simnet.NodeID]agent.ID),
+		grants:   make(map[runtime.NodeID]agent.ID),
 		counts:   make(map[agent.ID]int),
 	}
 }
 
 // OnGrant implements the grant observation hook: server's grant changed to
 // txn (zero = released).
-func (r *Referee) OnGrant(server simnet.NodeID, txn agent.ID) {
+func (r *Referee) OnGrant(server runtime.NodeID, txn agent.ID) {
 	if prev, ok := r.grants[server]; ok && !prev.IsZero() {
 		if !txn.IsZero() && txn != prev {
 			r.violations = append(r.violations, fmt.Sprintf(

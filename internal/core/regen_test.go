@@ -10,7 +10,7 @@ import (
 
 // crashCurrentHost steps the simulation until the (single) in-flight agent
 // is resident somewhere, then crashes that host. It returns the host.
-func crashCurrentHost(t *testing.T, c *Cluster) simnet.NodeID {
+func crashCurrentHost(t *testing.T, c *testCluster) simnet.NodeID {
 	t.Helper()
 	var host simnet.NodeID
 	for i := 0; i < 10000 && host == simnet.None; i++ {
@@ -32,7 +32,7 @@ func crashCurrentHost(t *testing.T, c *Cluster) simnet.NodeID {
 }
 
 func TestRegeneratedAgentCommitsAfterHostCrash(t *testing.T) {
-	c := newTestCluster(t, Config{N: 5, Seed: 3, RegenerateAgents: true})
+	c := newTestCluster(t, Config{N: 5, RegenerateAgents: true}, simEnv{seed: 3})
 	if err := c.Submit(1, Set("x", "survives")); err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +70,7 @@ func TestRegeneratedAgentCommitsAfterHostCrash(t *testing.T) {
 }
 
 func TestAgentLostInTransitIsRegenerated(t *testing.T) {
-	c := newTestCluster(t, Config{N: 5, Seed: 1, RegenerateAgents: true})
+	c := newTestCluster(t, Config{N: 5, RegenerateAgents: true}, simEnv{seed: 1})
 	if err := c.Submit(1, Set("x", "v")); err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +107,7 @@ func TestRegenerationOffStillRecordsLostInTransit(t *testing.T) {
 	// Without regeneration the same in-transit loss must surface as a
 	// failed outcome instead of wedging RunUntilDone (the lost-agent hook
 	// is installed unconditionally).
-	c := newTestCluster(t, Config{N: 5, Seed: 1})
+	c := newTestCluster(t, Config{N: 5}, simEnv{seed: 1})
 	if err := c.Submit(1, Set("x", "v")); err != nil {
 		t.Fatal(err)
 	}
@@ -124,12 +124,7 @@ func TestRegenerationOffStillRecordsLostInTransit(t *testing.T) {
 }
 
 func TestReliableFabricCommitsUnderLoss(t *testing.T) {
-	c := newTestCluster(t, Config{
-		N:        5,
-		Seed:     9,
-		Faults:   simnet.NewFaultModel(99, 0.3, 0.05),
-		Reliable: true,
-	})
+	c := newTestCluster(t, Config{N: 5, Reliable: true}, simEnv{seed: 9, faults: simnet.NewFaultModel(99, 0.3, 0.05)})
 	for i := 1; i <= 5; i++ {
 		if err := c.Submit(simnet.NodeID(i), Set("k", fmt.Sprintf("v%d", i))); err != nil {
 			t.Fatal(err)
@@ -164,7 +159,7 @@ func TestReliableFabricCommitsUnderLoss(t *testing.T) {
 }
 
 func TestPartitionHealConvergesViaSync(t *testing.T) {
-	c := newTestCluster(t, Config{N: 5, Seed: 2})
+	c := newTestCluster(t, Config{N: 5}, simEnv{seed: 2})
 	// Commit once so there is history, then cut {4,5} off and commit again:
 	// the minority misses the COMMIT broadcast entirely.
 	if err := c.Submit(1, Set("a", "1")); err != nil {

@@ -18,8 +18,7 @@ import (
 	"fmt"
 
 	"repro/internal/agent"
-	"repro/internal/des"
-	"repro/internal/simnet"
+	"repro/internal/runtime"
 )
 
 // Op is the kind of update a request performs.
@@ -79,19 +78,19 @@ func Append(key, val string) Request { return Request{Key: key, Op: OpAppend, Ar
 //	PRK = distribution of Visits  (Figure 4)
 type Outcome struct {
 	Agent      agent.ID
-	Home       simnet.NodeID
+	Home       runtime.NodeID
 	Requests   int
-	Dispatched des.Time
-	LockAt     des.Time // when the winning priority was established
-	DoneAt     des.Time // when the COMMIT broadcast was sent
-	Visits     int      // servers visited before the lock was obtained
-	ByTie      bool     // won via the identifier tie-break rule
-	Retries    int      // claims aborted before the successful one
-	Failed     bool     // the agent died (host crash) before committing
+	Dispatched runtime.Time
+	LockAt     runtime.Time // when the winning priority was established
+	DoneAt     runtime.Time // when the COMMIT broadcast was sent
+	Visits     int          // servers visited before the lock was obtained
+	ByTie      bool         // won via the identifier tie-break rule
+	Retries    int          // claims aborted before the successful one
+	Failed     bool         // the agent died (host crash) before committing
 }
 
 // LockLatency returns ALT for this outcome.
-func (o Outcome) LockLatency() des.Time { return o.LockAt - o.Dispatched }
+func (o Outcome) LockLatency() runtime.Time { return o.LockAt - o.Dispatched }
 
 // TotalLatency returns ATT for this outcome.
-func (o Outcome) TotalLatency() des.Time { return o.DoneAt - o.Dispatched }
+func (o Outcome) TotalLatency() runtime.Time { return o.DoneAt - o.Dispatched }

@@ -4,9 +4,8 @@ import (
 	"time"
 
 	"repro/internal/agent"
-	"repro/internal/des"
 	"repro/internal/replica"
-	"repro/internal/simnet"
+	"repro/internal/runtime"
 	"repro/internal/store"
 	"repro/internal/trace"
 )
@@ -31,22 +30,22 @@ type UpdateAgent struct {
 	reqs []Request
 	lt   *LockTable
 
-	usl         []simnet.NodeID        // unvisited servers
-	unavailable map[simnet.NodeID]bool // declared unavailable this round
-	attempts    map[simnet.NodeID]int  // consecutive failed migrations per server
+	usl         []runtime.NodeID        // unvisited servers
+	unavailable map[runtime.NodeID]bool // declared unavailable this round
+	attempts    map[runtime.NodeID]int  // consecutive failed migrations per server
 
 	phase      agentPhase
 	visits     int
 	retries    int
-	dispatched des.Time
-	claimStart des.Time
+	dispatched runtime.Time
+	claimStart runtime.Time
 	lockVisits int // visits at the moment the winning claim started
 
 	attempt  int // current claim attempt number
 	byTie    bool
-	acksOK   map[simnet.NodeID]*replica.AckMsg
-	acksNo   map[simnet.NodeID]bool
-	claimTmr des.Timer
+	acksOK   map[runtime.NodeID]*replica.AckMsg
+	acksNo   map[runtime.NodeID]bool
+	claimTmr runtime.Timer
 
 	retryArmed  bool   // a parked-retry timer is pending
 	parkedTicks int    // consecutive fruitless retry rounds while parked
@@ -56,14 +55,14 @@ type UpdateAgent struct {
 // newUpdateAgent builds an agent for a batch of requests originating at
 // home. The USL initially contains every replica except home (which the
 // agent visits implicitly on spawn).
-func newUpdateAgent(c *Cluster, home simnet.NodeID, reqs []Request) *UpdateAgent {
+func newUpdateAgent(c *Cluster, home runtime.NodeID, reqs []Request) *UpdateAgent {
 	a := &UpdateAgent{
 		c:           c,
 		reqs:        reqs,
 		lt:          NewWeightedLockTable(c.cfg.N, c.votes),
-		unavailable: make(map[simnet.NodeID]bool),
-		attempts:    make(map[simnet.NodeID]int),
-		dispatched:  c.sim.Now(),
+		unavailable: make(map[runtime.NodeID]bool),
+		attempts:    make(map[runtime.NodeID]int),
+		dispatched:  c.eng.Now(),
 	}
 	for _, id := range c.nodes {
 		if id != home {
@@ -97,7 +96,7 @@ func (a *UpdateAgent) OnArrive(ctx *agent.Context) {
 	a.removeFromUSL(node)
 	a.attempts[node] = 0
 	srv := a.c.Server(node)
-	var shared map[simnet.NodeID]replica.QueueSnapshot
+	var shared map[runtime.NodeID]replica.QueueSnapshot
 	if !a.c.cfg.DisableInfoSharing {
 		shared = a.lt.Export()
 	}
@@ -111,7 +110,7 @@ func (a *UpdateAgent) OnArrive(ctx *agent.Context) {
 // OnMigrateFailed counts the unsuccessful attempt; after the configured
 // number of attempts the replica is declared unavailable and skipped until
 // the next retry round (paper §2).
-func (a *UpdateAgent) OnMigrateFailed(ctx *agent.Context, dest simnet.NodeID) {
+func (a *UpdateAgent) OnMigrateFailed(ctx *agent.Context, dest runtime.NodeID) {
 	if a.phase == phaseDone {
 		return
 	}
@@ -127,7 +126,7 @@ func (a *UpdateAgent) OnMigrateFailed(ctx *agent.Context, dest simnet.NodeID) {
 }
 
 // OnMessage handles ACK/NACK replies to the agent's UPDATE broadcast.
-func (a *UpdateAgent) OnMessage(ctx *agent.Context, from simnet.NodeID, payload any) {
+func (a *UpdateAgent) OnMessage(ctx *agent.Context, from runtime.NodeID, payload any) {
 	ack, ok := payload.(*replica.AckMsg)
 	if !ok || ack.Txn != ctx.ID() {
 		return
@@ -165,7 +164,7 @@ func (a *UpdateAgent) refreshLocal(ctx *agent.Context) {
 	a.lt.MergeInfo(srv.RefreshInfo(), false)
 }
 
-func (a *UpdateAgent) removeFromUSL(node simnet.NodeID) {
+func (a *UpdateAgent) removeFromUSL(node runtime.NodeID) {
 	for i, id := range a.usl {
 		if id == node {
 			a.usl = append(a.usl[:i], a.usl[i+1:]...)
@@ -200,7 +199,7 @@ func (a *UpdateAgent) evaluate(ctx *agent.Context) {
 	a.park(ctx)
 }
 
-func (a *UpdateAgent) inUSL(node simnet.NodeID) bool {
+func (a *UpdateAgent) inUSL(node runtime.NodeID) bool {
 	for _, id := range a.usl {
 		if id == node {
 			return true
@@ -212,15 +211,15 @@ func (a *UpdateAgent) inUSL(node simnet.NodeID) bool {
 // nextStop picks the next server to visit: the cheapest-to-reach unvisited
 // server per the routing information (paper §3.2), or a uniformly random one
 // under the RandomItinerary ablation.
-func (a *UpdateAgent) nextStop(ctx *agent.Context) (simnet.NodeID, bool) {
-	var candidates []simnet.NodeID
+func (a *UpdateAgent) nextStop(ctx *agent.Context) (runtime.NodeID, bool) {
+	var candidates []runtime.NodeID
 	for _, id := range a.usl {
 		if !a.unavailable[id] && id != ctx.Node() {
 			candidates = append(candidates, id)
 		}
 	}
 	if len(candidates) == 0 {
-		return simnet.None, false
+		return runtime.None, false
 	}
 	if a.c.cfg.RandomItinerary {
 		return candidates[ctx.Rand().Intn(len(candidates))], true
@@ -306,8 +305,8 @@ func (a *UpdateAgent) startClaim(ctx *agent.Context, d Decision) {
 	a.byTie = d.ByTie
 	a.claimStart = ctx.Now()
 	a.lockVisits = a.visits
-	a.acksOK = make(map[simnet.NodeID]*replica.AckMsg)
-	a.acksNo = make(map[simnet.NodeID]bool)
+	a.acksOK = make(map[runtime.NodeID]*replica.AckMsg)
+	a.acksNo = make(map[runtime.NodeID]bool)
 	if d.ByTie {
 		a.c.cfg.Trace.Addf(int64(ctx.Now()), int(ctx.Node()), ctx.ID().String(), trace.TieBreak,
 			"won tie with %d tops", d.TopCount)
@@ -450,7 +449,7 @@ func (a *UpdateAgent) finishWin(ctx *agent.Context) {
 		"seq %d..%d", baseSeq+1, baseSeq+uint64(len(updates)))
 
 	a.phase = phaseDone
-	a.c.finish(Outcome{
+	a.c.finish(ctx.Node(), Outcome{
 		Agent:      ctx.ID(),
 		Home:       ctx.ID().Home,
 		Requests:   len(a.reqs),

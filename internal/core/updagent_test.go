@@ -29,9 +29,9 @@ func TestOutcomeLatencyHelpers(t *testing.T) {
 
 func TestAgentWireSizeGrowsWithState(t *testing.T) {
 	c := newTestCluster(t, Config{N: 5})
-	small := newUpdateAgent(c, 1, []Request{Set("k", "v")})
+	small := newUpdateAgent(c.Cluster, 1, []Request{Set("k", "v")})
 	base := small.WireSize()
-	big := newUpdateAgent(c, 1, []Request{Set("a", "1"), Set("b", "2"), Set("c", "3")})
+	big := newUpdateAgent(c.Cluster, 1, []Request{Set("a", "1"), Set("b", "2"), Set("c", "3")})
 	if big.WireSize() <= base {
 		t.Fatal("request list does not grow the agent")
 	}
@@ -48,7 +48,7 @@ func TestAgentWireSizeGrowsWithState(t *testing.T) {
 func TestAgentIgnoresForeignMessages(t *testing.T) {
 	// An agent must ignore messages that are not acks for its own claim.
 	c := newTestCluster(t, Config{N: 3})
-	ua := newUpdateAgent(c, 1, []Request{Set("k", "v")})
+	ua := newUpdateAgent(c.Cluster, 1, []Request{Set("k", "v")})
 	c.outstanding++
 	ctx := c.platform.Spawn(1, ua)
 	if ua.phase != phaseDone {
@@ -68,8 +68,8 @@ func TestAgentIgnoresForeignMessages(t *testing.T) {
 func TestStrayGrantReleasedByLateAck(t *testing.T) {
 	// An OK ack arriving for an abandoned claim attempt must trigger an
 	// abort to the granting server so the grant cannot dangle.
-	c := newTestCluster(t, Config{N: 5, Seed: 41})
-	ua := newUpdateAgent(c, 1, []Request{Set("k", "v")})
+	c := newTestCluster(t, Config{N: 5}, simEnv{seed: 41})
+	ua := newUpdateAgent(c.Cluster, 1, []Request{Set("k", "v")})
 	c.outstanding++
 	ctx := c.platform.Spawn(1, ua)
 	c.active[ctx.ID()] = ua
@@ -97,7 +97,7 @@ func TestStrayGrantReleasedByLateAck(t *testing.T) {
 }
 
 func TestRandomItineraryStillCorrect(t *testing.T) {
-	c := newTestCluster(t, Config{N: 5, Seed: 43, RandomItinerary: true})
+	c := newTestCluster(t, Config{N: 5, RandomItinerary: true}, simEnv{seed: 43})
 	for i := 1; i <= 5; i++ {
 		if err := c.Submit(simnet.NodeID(i), Set("k", fmt.Sprintf("v%d", i))); err != nil {
 			t.Fatal(err)
@@ -110,7 +110,7 @@ func TestRandomItineraryStillCorrect(t *testing.T) {
 }
 
 func TestInfoSharingDisabledStillCorrect(t *testing.T) {
-	c := newTestCluster(t, Config{N: 5, Seed: 45, DisableInfoSharing: true})
+	c := newTestCluster(t, Config{N: 5, DisableInfoSharing: true}, simEnv{seed: 45})
 	for i := 1; i <= 5; i++ {
 		if err := c.Submit(simnet.NodeID(i), Set("k", fmt.Sprintf("v%d", i))); err != nil {
 			t.Fatal(err)
@@ -122,8 +122,7 @@ func TestInfoSharingDisabledStillCorrect(t *testing.T) {
 func TestCostOrderedItineraryIsDeterministicNearestFirst(t *testing.T) {
 	// On a ring topology the cheapest-first itinerary from node 1 visits
 	// neighbours before the far side.
-	c, err := NewCluster(Config{N: 5, Seed: 47, Topology: simnet.Ring(5),
-		Latency: simnet.Constant(time.Millisecond)})
+	c, err := newSimCluster(Config{N: 5}, simEnv{seed: 47, topology: simnet.Ring(5), latency: simnet.Constant(time.Millisecond)})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,13 +15,13 @@ import (
 // the votes, not more than half the servers.
 
 func TestWeightedClusterValidation(t *testing.T) {
-	if _, err := NewCluster(Config{N: 3, Votes: map[simnet.NodeID]int{9: 1}}); err == nil {
+	if _, err := newSimCluster(Config{N: 3, Votes: map[simnet.NodeID]int{9: 1}}); err == nil {
 		t.Fatal("unknown server in vote map accepted")
 	}
-	if _, err := NewCluster(Config{N: 3, Votes: map[simnet.NodeID]int{1: 1, 2: 1}}); err == nil {
+	if _, err := newSimCluster(Config{N: 3, Votes: map[simnet.NodeID]int{1: 1, 2: 1}}); err == nil {
 		t.Fatal("server without votes accepted")
 	}
-	if _, err := NewCluster(Config{N: 3, Votes: map[simnet.NodeID]int{1: 1, 2: 1, 3: 0}}); err == nil {
+	if _, err := newSimCluster(Config{N: 3, Votes: map[simnet.NodeID]int{1: 1, 2: 1, 3: 0}}); err == nil {
 		t.Fatal("zero-vote server accepted")
 	}
 }
@@ -30,7 +30,7 @@ func TestWeightedWorkloadSerializes(t *testing.T) {
 	// Server 1 holds 3 of 7 votes: heading servers {1, any-other} is a
 	// quorum (4 votes), heading {2,3,4,5} without 1 is also a quorum.
 	votes := map[simnet.NodeID]int{1: 3, 2: 1, 3: 1, 4: 1, 5: 1}
-	c := newTestCluster(t, Config{N: 5, Seed: 51, Votes: votes})
+	c := newTestCluster(t, Config{N: 5, Votes: votes}, simEnv{seed: 51})
 	for i := 1; i <= 5; i++ {
 		if err := c.Submit(simnet.NodeID(i), Set("k", fmt.Sprintf("v%d", i))); err != nil {
 			t.Fatal(err)
@@ -74,7 +74,7 @@ func TestWeightedHeavyweightWinsWithTwoVisits(t *testing.T) {
 	// An uncontended agent born at the heavyweight can win after visiting
 	// only the servers worth a majority of votes.
 	votes := map[simnet.NodeID]int{1: 3, 2: 1, 3: 1, 4: 1, 5: 1}
-	c := newTestCluster(t, Config{N: 5, Seed: 53, Votes: votes})
+	c := newTestCluster(t, Config{N: 5, Votes: votes}, simEnv{seed: 53})
 	if err := c.Submit(1, Set("x", "v")); err != nil {
 		t.Fatal(err)
 	}

@@ -36,22 +36,14 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"repro/internal/runtime"
 )
 
-// Time is a virtual timestamp: nanoseconds since the simulation epoch.
-type Time int64
-
-// Duration converts a virtual timestamp to the duration since the epoch.
-func (t Time) Duration() time.Duration { return time.Duration(t) }
-
-// Add returns the timestamp d after t.
-func (t Time) Add(d time.Duration) Time { return t + Time(d) }
-
-// Sub returns the duration between two timestamps.
-func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
-
-// String formats the timestamp as a duration since the epoch.
-func (t Time) String() string { return time.Duration(t).String() }
+// Time is a virtual timestamp: nanoseconds since the simulation epoch. It
+// is the engine-neutral runtime.Time — protocol code sees only that name;
+// this alias keeps simulator-side call sites reading naturally.
+type Time = runtime.Time
 
 // Event is the simulator-owned record of one scheduled callback. Events are
 // pooled and recycled; user code never holds an Event directly, only a

@@ -1,0 +1,84 @@
+// Package desengine assembles a simulated MARP deployment: the
+// deterministic discrete-event engine (internal/des) plus the simulated
+// network (internal/simnet), wired under an engine-neutral core.Cluster.
+//
+// This is the only package that pairs the protocol with the simulation
+// engine. Everything the simulation owns — the seed, the topology, the
+// latency model, the fault model — is configured here rather than on
+// core.Config, so the protocol layers stay ignorant of how they are being
+// executed. Tests, examples and the benchmark harness build clusters
+// through this package; the live deployment builds the same core.Cluster
+// through internal/runtime/live instead.
+package desengine
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/simnet"
+)
+
+// Config assembles a simulated deployment.
+type Config struct {
+	// Seed drives every random choice in the simulation.
+	Seed int64
+	// Topology supplies inter-server travel costs; defaults to a full
+	// mesh with uniform costs (the paper's LAN prototype).
+	Topology *simnet.Topology
+	// Latency is the network delay model; defaults to simnet.LAN().
+	Latency simnet.LatencyModel
+	// Faults, if non-nil, attaches a message fault model to the network:
+	// messages between live, connected nodes may then be lost or
+	// duplicated (chaos experiment A6). Nil keeps the paper's §2 reliable
+	// channels — and keeps executions byte-identical to the baseline,
+	// because the fault model owns its random source.
+	Faults *simnet.FaultModel
+	// Cluster carries the engine-neutral protocol configuration.
+	Cluster core.Config
+}
+
+// Cluster is a core.Cluster plus access to the concrete simulation
+// machinery underneath it. Harness and test code uses Sim()/Network() to
+// step virtual time and inject faults; protocol code never sees either.
+type Cluster struct {
+	*core.Cluster
+	sim *des.Simulator
+	net *simnet.Network
+}
+
+// New builds and wires a simulated cluster per cfg.
+func New(cfg Config) (*Cluster, error) {
+	n := cfg.Cluster.N
+	if n < 1 {
+		return nil, fmt.Errorf("core: config needs N >= 1, got %d", n)
+	}
+	topo := cfg.Topology
+	if topo == nil {
+		topo = simnet.FullMesh(n)
+	}
+	if topo.Len() < n {
+		return nil, fmt.Errorf("core: topology has %d nodes, need %d", topo.Len(), n)
+	}
+	lat := cfg.Latency
+	if lat == nil {
+		lat = simnet.LAN()
+	}
+	sim := des.New(cfg.Seed)
+	net := simnet.New(sim, topo, lat)
+	if cfg.Faults != nil {
+		net.SetFaults(cfg.Faults)
+	}
+	cl, err := core.NewCluster(sim, net, cfg.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{Cluster: cl, sim: sim, net: net}, nil
+}
+
+// Sim returns the underlying simulator. Simulation-side drivers only:
+// protocol code must reach time through the runtime seam.
+func (c *Cluster) Sim() *des.Simulator { return c.sim }
+
+// Network returns the simulated network. Simulation-side drivers only.
+func (c *Cluster) Network() *simnet.Network { return c.net }

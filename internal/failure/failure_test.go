@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/desengine"
 	"repro/internal/simnet"
 )
 
@@ -117,9 +118,9 @@ func TestApplyOrdersEvents(t *testing.T) {
 // update commits, mutual exclusion holds, and all replicas reconverge.
 func TestChurnAgainstCluster(t *testing.T) {
 	const n = 5
-	c, err := core.NewCluster(core.Config{N: n, Seed: 61,
+	c, err := desengine.New(desengine.Config{Seed: 61, Cluster: core.Config{N: n,
 		MigrationTimeout: 25 * time.Millisecond, RetryInterval: 80 * time.Millisecond,
-		ClaimTimeout: 60 * time.Millisecond})
+		ClaimTimeout: 60 * time.Millisecond}})
 	if err != nil {
 		t.Fatal(err)
 	}

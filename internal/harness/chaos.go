@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/desengine"
 	"repro/internal/failure"
 	"repro/internal/metrics"
 	"repro/internal/reliable"
@@ -104,19 +105,22 @@ func runChaos(o FigureOptions, point int, p ChaosPoint) (ChaosResult, error) {
 		dup = 0.05
 	}
 	faults := simnet.NewFaultModel(o.Seed+5000+int64(point), p.Loss, dup)
-	cl, err := core.NewCluster(core.Config{
-		N: n, Seed: o.Seed,
-		Faults:   faults,
-		Reliable: true,
-		// At 30% loss a frame confirms with p≈0.49 per try; 12 attempts
-		// drive the chance of an undelivered COMMIT below 1e-5 so a run
-		// failing to converge points at a real bug, not sampling noise.
-		RetransmitBase:     10 * time.Millisecond,
-		RetransmitAttempts: 12,
-		RegenerateAgents:   true,
-		MigrationTimeout:   60 * time.Millisecond,
-		ClaimTimeout:       250 * time.Millisecond,
-		RetryInterval:      120 * time.Millisecond,
+	cl, err := desengine.New(desengine.Config{
+		Seed:   o.Seed,
+		Faults: faults,
+		Cluster: core.Config{
+			N:        n,
+			Reliable: true,
+			// At 30% loss a frame confirms with p≈0.49 per try; 12 attempts
+			// drive the chance of an undelivered COMMIT below 1e-5 so a run
+			// failing to converge points at a real bug, not sampling noise.
+			RetransmitBase:     10 * time.Millisecond,
+			RetransmitAttempts: 12,
+			RegenerateAgents:   true,
+			MigrationTimeout:   60 * time.Millisecond,
+			ClaimTimeout:       250 * time.Millisecond,
+			RetryInterval:      120 * time.Millisecond,
+		},
 	})
 	if err != nil {
 		return ChaosResult{}, err

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/desengine"
 	"repro/internal/failure"
 	"repro/internal/simnet"
 )
@@ -42,16 +43,19 @@ func TestPropertyLossyMajorityStillCommits(t *testing.T) {
 	const n, requests = 5, 6
 	prop := func(seed uint16, lossRaw, pick uint8) bool {
 		loss := float64(lossRaw%31) / 100 // 0% .. 30%
-		cl, err := core.NewCluster(core.Config{
-			N: n, Seed: int64(seed),
-			Faults:             simnet.NewFaultModel(int64(seed)+7, loss, 0.05),
-			Reliable:           true,
-			RetransmitBase:     10 * time.Millisecond,
-			RetransmitAttempts: 12,
-			RegenerateAgents:   true,
-			MigrationTimeout:   60 * time.Millisecond,
-			ClaimTimeout:       250 * time.Millisecond,
-			RetryInterval:      120 * time.Millisecond,
+		cl, err := desengine.New(desengine.Config{
+			Seed:   int64(seed),
+			Faults: simnet.NewFaultModel(int64(seed)+7, loss, 0.05),
+			Cluster: core.Config{
+				N:                  n,
+				Reliable:           true,
+				RetransmitBase:     10 * time.Millisecond,
+				RetransmitAttempts: 12,
+				RegenerateAgents:   true,
+				MigrationTimeout:   60 * time.Millisecond,
+				ClaimTimeout:       250 * time.Millisecond,
+				RetryInterval:      120 * time.Millisecond,
+			},
 		})
 		if err != nil {
 			t.Log(err)

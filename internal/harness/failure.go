@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/desengine"
 	"repro/internal/failure"
 	"repro/internal/metrics"
 	"repro/internal/simnet"
@@ -59,9 +60,12 @@ func FailureInjection(o FigureOptions) (*metrics.Table, []FailureResult, error) 
 
 func runWithFailures(o FigureOptions, crashes int) (FailureResult, error) {
 	const n = 5
-	cl, err := core.NewCluster(core.Config{
-		N: n, Seed: o.Seed,
-		MigrationTimeout: 30 * time.Millisecond,
+	cl, err := desengine.New(desengine.Config{
+		Seed: o.Seed,
+		Cluster: core.Config{
+			N:                n,
+			MigrationTimeout: 30 * time.Millisecond,
+		},
 	})
 	if err != nil {
 		return FailureResult{}, err

@@ -12,6 +12,7 @@ import (
 	"repro/internal/agent"
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/desengine"
 	"repro/internal/metrics"
 	"repro/internal/simnet"
 	"repro/internal/workload"
@@ -178,19 +179,21 @@ func runMARP(cfg RunConfig) (RunResult, error) {
 		return RunResult{}, err
 	}
 	migration, claim, retry, backoff := cfg.Latency.timers()
-	cl, err := core.NewCluster(core.Config{
-		N:                  cfg.N,
-		Seed:               cfg.Seed,
-		Topology:           cfg.Topology,
-		Latency:            model,
-		BatchMaxRequests:   cfg.BatchSize,
-		BatchMaxDelay:      batchDelay(cfg.BatchSize),
-		MigrationTimeout:   migration,
-		ClaimTimeout:       claim,
-		RetryInterval:      retry,
-		RetryBackoff:       backoff,
-		DisableInfoSharing: cfg.DisableInfoSharing,
-		RandomItinerary:    cfg.RandomItinerary,
+	cl, err := desengine.New(desengine.Config{
+		Seed:     cfg.Seed,
+		Topology: cfg.Topology,
+		Latency:  model,
+		Cluster: core.Config{
+			N:                  cfg.N,
+			BatchMaxRequests:   cfg.BatchSize,
+			BatchMaxDelay:      batchDelay(cfg.BatchSize),
+			MigrationTimeout:   migration,
+			ClaimTimeout:       claim,
+			RetryInterval:      retry,
+			RetryBackoff:       backoff,
+			DisableInfoSharing: cfg.DisableInfoSharing,
+			RandomItinerary:    cfg.RandomItinerary,
+		},
 	})
 	if err != nil {
 		return RunResult{}, err
@@ -334,10 +337,13 @@ func runMARPWithReads(o FigureOptions, readFraction float64) (RunResult, error) 
 		return RunResult{}, err
 	}
 	migration, claim, retry, backoff := cfg.Latency.timers()
-	cl, err := core.NewCluster(core.Config{
-		N: cfg.N, Seed: cfg.Seed, Latency: model,
-		MigrationTimeout: migration, ClaimTimeout: claim,
-		RetryInterval: retry, RetryBackoff: backoff,
+	cl, err := desengine.New(desengine.Config{
+		Seed: cfg.Seed, Latency: model,
+		Cluster: core.Config{
+			N:                cfg.N,
+			MigrationTimeout: migration, ClaimTimeout: claim,
+			RetryInterval: retry, RetryBackoff: backoff,
+		},
 	})
 	if err != nil {
 		return RunResult{}, err

@@ -1,5 +1,5 @@
 // Package reliable layers acknowledged, at-most-once-duplicated delivery on
-// top of a lossy simnet.Network.
+// top of a lossy runtime.Fabric.
 //
 // The paper (§2) assumes reliable asynchronous channels, so the MARP
 // protocol layers never had to cope with message loss. When a
@@ -11,11 +11,12 @@
 // cap is exhausted — at which point the peer is reported unreachable to the
 // caller, who falls back on the protocol's own timeout machinery.
 //
-// Layer implements simnet.Fabric, so protocol code (agent.Platform,
-// replica.Server) runs over either a bare *simnet.Network or a *Layer
-// without change. Fault decisions live in the network; this layer draws
-// randomness only for retransmit jitter, from the shared simulator source,
-// so runs remain deterministic.
+// Layer implements runtime.Fabric, so protocol code (agent.Platform,
+// replica.Server) runs over either a bare fabric or a *Layer without
+// change. Fault decisions live in the fabric; this layer draws randomness
+// only for retransmit jitter, from the engine's seeded source, so simulated
+// runs remain deterministic. Over the live TCP fabric the same framing
+// provides at-least-once delivery with dedup for agent migration.
 //
 // Crash semantics follow fail-stop: Crash(id) discards the node's volatile
 // state — unacked sends die with the node and the duplicate-suppression
@@ -29,8 +30,7 @@ package reliable
 import (
 	"time"
 
-	"repro/internal/des"
-	"repro/internal/simnet"
+	"repro/internal/runtime"
 )
 
 // Config tunes the retransmission policy.
@@ -113,7 +113,7 @@ type dataMsg struct {
 }
 
 func (d dataMsg) Kind() string {
-	if k, ok := d.Payload.(simnet.Kinder); ok {
+	if k, ok := d.Payload.(runtime.Kinder); ok {
 		return k.Kind()
 	}
 	return "rel-data"
@@ -125,70 +125,88 @@ type ackMsg struct{ Seq uint64 }
 func (ackMsg) Kind() string { return "rel-ack" }
 
 type pendingSend struct {
-	msg     simnet.Message // the caller's original message
+	msg     runtime.Message // the caller's original message
 	seq     uint64
 	attempt int
-	timer   des.Timer
+	timer   runtime.Timer
 }
 
 // port is one node's endpoint state.
 type port struct {
-	id      simnet.NodeID
+	id      runtime.NodeID
 	nextSeq uint64 // survives Crash (stable storage)
 	pending map[uint64]*pendingSend
-	seen    map[simnet.NodeID]map[uint64]bool
+	seen    map[runtime.NodeID]map[uint64]bool
 }
 
 func (p *port) reset() {
 	p.pending = make(map[uint64]*pendingSend)
-	p.seen = make(map[simnet.NodeID]map[uint64]bool)
+	p.seen = make(map[runtime.NodeID]map[uint64]bool)
 }
 
-// Layer is the ack/retransmit shim. It implements simnet.Fabric.
+// Layer is the ack/retransmit shim. It implements runtime.Fabric.
 type Layer struct {
-	net           *simnet.Network
+	eng           runtime.Engine
+	net           runtime.Fabric
 	cfg           Config
-	ports         map[simnet.NodeID]*port
-	upper         map[simnet.NodeID]simnet.Handler
-	onUnreachable func(from, to simnet.NodeID, msg simnet.Message)
+	ports         map[runtime.NodeID]*port
+	upper         map[runtime.NodeID]runtime.Handler
+	onUnreachable func(from, to runtime.NodeID, msg runtime.Message)
 	stats         Stats
 }
 
-var (
-	_ simnet.Fabric = (*Layer)(nil)
-	_ simnet.Fabric = (*simnet.Network)(nil)
-)
+var _ runtime.Fabric = (*Layer)(nil)
 
-// NewLayer wraps net. Zero-valued Config fields take defaults.
-func NewLayer(net *simnet.Network, cfg Config) *Layer {
+func init() {
+	// The frames must decode on the far side of a serializing fabric.
+	runtime.RegisterWireType(dataMsg{})
+	runtime.RegisterWireType(ackMsg{})
+}
+
+// NewLayer wraps the fabric net, scheduling retransmissions on eng.
+// Zero-valued Config fields take defaults.
+func NewLayer(eng runtime.Engine, net runtime.Fabric, cfg Config) *Layer {
 	return &Layer{
+		eng:   eng,
 		net:   net,
 		cfg:   cfg.withDefaults(),
-		ports: make(map[simnet.NodeID]*port),
-		upper: make(map[simnet.NodeID]simnet.Handler),
+		ports: make(map[runtime.NodeID]*port),
+		upper: make(map[runtime.NodeID]runtime.Handler),
 	}
 }
 
-// Sim returns the underlying simulator.
-func (l *Layer) Sim() *des.Simulator { return l.net.Sim() }
+// Cost delegates to the underlying fabric.
+func (l *Layer) Cost(from, to runtime.NodeID) float64 { return l.net.Cost(from, to) }
 
-// Cost delegates to the underlying topology.
-func (l *Layer) Cost(from, to simnet.NodeID) float64 { return l.net.Cost(from, to) }
+// Down delegates to the underlying fabric.
+func (l *Layer) Down(id runtime.NodeID) bool { return l.net.Down(id) }
 
-// Down delegates to the underlying network.
-func (l *Layer) Down(id simnet.NodeID) bool { return l.net.Down(id) }
+// NetStats delegates the runtime.StatsSource capability to the underlying
+// fabric (zero counters if it keeps none).
+func (l *Layer) NetStats() runtime.NetStats {
+	if src, ok := l.net.(runtime.StatsSource); ok {
+		return src.NetStats()
+	}
+	return runtime.NetStats{}
+}
 
-// Network returns the wrapped network.
-func (l *Layer) Network() *simnet.Network { return l.net }
+// WireDelivery forwards the runtime.WireFabric capability: framing does not
+// change whether payloads are physically serialized underneath.
+func (l *Layer) WireDelivery() bool {
+	if wf, ok := l.net.(runtime.WireFabric); ok {
+		return wf.WireDelivery()
+	}
+	return false
+}
 
 // OnUnreachable registers fn to be called when a send exhausts its retry
 // cap. The protocol layers treat this as advisory — their own timeouts
 // (claim, migration) drive recovery — but the cluster counts it.
-func (l *Layer) OnUnreachable(fn func(from, to simnet.NodeID, msg simnet.Message)) {
+func (l *Layer) OnUnreachable(fn func(from, to runtime.NodeID, msg runtime.Message)) {
 	l.onUnreachable = fn
 }
 
-func (l *Layer) port(id simnet.NodeID) *port {
+func (l *Layer) port(id runtime.NodeID) *port {
 	p, ok := l.ports[id]
 	if !ok {
 		p = &port{id: id}
@@ -200,16 +218,16 @@ func (l *Layer) port(id simnet.NodeID) *port {
 
 // Attach registers h as node id's protocol handler and interposes the
 // layer's framing on the wire. Re-attaching (recovery) replaces the handler.
-func (l *Layer) Attach(id simnet.NodeID, h simnet.Handler) {
+func (l *Layer) Attach(id runtime.NodeID, h runtime.Handler) {
 	l.upper[id] = h
 	p := l.port(id)
-	l.net.Attach(id, simnet.HandlerFunc(func(m simnet.Message) { l.receive(p, m) }))
+	l.net.Attach(id, runtime.HandlerFunc(func(m runtime.Message) { l.receive(p, m) }))
 }
 
 // Send transmits msg with ack/retransmit semantics. Delivery to the remote
 // handler happens at most the configured number of transmissions later; if
 // every transmission is lost the send is abandoned and OnUnreachable fires.
-func (l *Layer) Send(msg simnet.Message) {
+func (l *Layer) Send(msg runtime.Message) {
 	p := l.port(msg.From)
 	p.nextSeq++
 	ps := &pendingSend{msg: msg, seq: p.nextSeq, attempt: 1}
@@ -218,7 +236,7 @@ func (l *Layer) Send(msg simnet.Message) {
 }
 
 func (l *Layer) transmit(p *port, ps *pendingSend) {
-	l.net.Send(simnet.Message{
+	l.net.Send(runtime.Message{
 		From:    ps.msg.From,
 		To:      ps.msg.To,
 		Payload: dataMsg{Seq: ps.seq, Payload: ps.msg.Payload},
@@ -226,9 +244,9 @@ func (l *Layer) transmit(p *port, ps *pendingSend) {
 	})
 	d := Backoff(l.cfg, ps.attempt)
 	if l.cfg.Jitter > 0 {
-		d += time.Duration(l.cfg.Jitter * l.net.Sim().Rand().Float64() * float64(d))
+		d += time.Duration(l.cfg.Jitter * l.eng.Rand().Float64() * float64(d))
 	}
-	ps.timer = l.net.Sim().After(d, func() { l.expire(p, ps) })
+	ps.timer = l.eng.AfterFunc(d, func() { l.expire(p, ps) })
 }
 
 func (l *Layer) expire(p *port, ps *pendingSend) {
@@ -254,7 +272,7 @@ func (l *Layer) expire(p *port, ps *pendingSend) {
 	l.transmit(p, ps)
 }
 
-func (l *Layer) receive(p *port, m simnet.Message) {
+func (l *Layer) receive(p *port, m runtime.Message) {
 	switch pl := m.Payload.(type) {
 	case dataMsg:
 		dup := p.seen[m.From][pl.Seq]
@@ -268,12 +286,12 @@ func (l *Layer) receive(p *port, m simnet.Message) {
 		}
 		// Ack even duplicates: the previous ack may itself have been lost.
 		l.stats.AcksSent++
-		l.net.Send(simnet.Message{From: p.id, To: m.From, Payload: ackMsg{Seq: pl.Seq}, Size: ackSize})
+		l.net.Send(runtime.Message{From: p.id, To: m.From, Payload: ackMsg{Seq: pl.Seq}, Size: ackSize})
 		if dup {
 			return
 		}
 		if h := l.upper[p.id]; h != nil {
-			h.Deliver(simnet.Message{From: m.From, To: m.To, Payload: pl.Payload, Size: m.Size - headerSize})
+			h.Deliver(runtime.Message{From: m.From, To: m.To, Payload: pl.Payload, Size: m.Size - headerSize})
 		}
 	case ackMsg:
 		if ps, ok := p.pending[pl.Seq]; ok {
@@ -291,7 +309,7 @@ func (l *Layer) receive(p *port, m simnet.Message) {
 // Crash discards node id's volatile endpoint state: unacked sends die with
 // the node and its duplicate-suppression table is lost (see the package
 // comment for the recovery consequences). The send counter survives.
-func (l *Layer) Crash(id simnet.NodeID) {
+func (l *Layer) Crash(id runtime.NodeID) {
 	p, ok := l.ports[id]
 	if !ok {
 		return

@@ -17,7 +17,7 @@ func pair(t *testing.T, faults *simnet.FaultModel, cfg Config) (*des.Simulator, 
 	sim := des.New(11)
 	net := simnet.New(sim, simnet.FullMesh(2), simnet.Constant(time.Millisecond))
 	net.SetFaults(faults)
-	l := NewLayer(net, cfg)
+	l := NewLayer(sim, net, cfg)
 	a, b := &rec{}, &rec{}
 	l.Attach(1, a)
 	l.Attach(2, b)

@@ -5,7 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/agent"
-	"repro/internal/simnet"
+	"repro/internal/runtime"
 	"repro/internal/store"
 	"repro/internal/trace"
 )
@@ -20,7 +20,13 @@ type Config struct {
 	// changes (installed, released, aborted, or evicted). The core
 	// package's Referee uses it to check Theorem 2 on every run; a zero
 	// txn means the grant was released.
-	GrantObserver func(server simnet.NodeID, txn agent.ID)
+	GrantObserver func(server runtime.NodeID, txn agent.ID)
+	// Intercept, if non-nil, sees every server-bound message before the
+	// Algorithm 2 handlers; returning true consumes it. The cluster layer
+	// uses it for cross-process notifications (e.g. an agent reporting its
+	// outcome back to its home node) that are not part of the replica
+	// protocol itself.
+	Intercept func(msg runtime.Message) bool
 	// Trace, if non-nil, receives server events.
 	Trace *trace.Log
 }
@@ -28,12 +34,13 @@ type Config struct {
 // Server is one replicated server: data copy, Locking List, Updated List,
 // routing table, and the message handlers of the paper's Algorithm 2.
 //
-// A Server is driven entirely from the simulator's event loop (network
+// A Server is driven entirely from its engine's execution context (network
 // deliveries, local calls from co-located agents), so it needs no locking.
 type Server struct {
-	id       simnet.NodeID
-	peers    []simnet.NodeID // all other replicas
-	net      simnet.Fabric
+	id       runtime.NodeID
+	peers    []runtime.NodeID // all other replicas
+	net      runtime.Fabric
+	clock    runtime.Clock
 	platform *agent.Platform
 	place    *agent.Place
 	st       *store.Store
@@ -48,7 +55,7 @@ type Server struct {
 	ll           []agent.ID
 	gone         map[agent.ID]bool
 	goneList     []agent.ID
-	cache        map[simnet.NodeID]QueueSnapshot
+	cache        map[runtime.NodeID]QueueSnapshot
 	grant        agent.ID
 	grantAttempt int
 	backlog      map[uint64]store.Update
@@ -62,19 +69,21 @@ type Server struct {
 // quorumRead tracks one in-flight consistent read.
 type quorumRead struct {
 	key     string
-	replies map[simnet.NodeID]ReadRep
+	replies map[runtime.NodeID]ReadRep
 	needed  int
 	done    func(store.Value, bool)
 }
 
 // New creates a server for node id over the given substrates, hosts an
 // agent place on its node, and registers itself for network delivery and
-// agent-death notices. peers must list every replica ID including id.
-func New(id simnet.NodeID, peers []simnet.NodeID, net simnet.Fabric, platform *agent.Platform, st *store.Store, cfg Config) *Server {
+// agent-death notices. peers must list every replica ID including id (in a
+// multi-process deployment: every replica in the system, not just the local
+// one). clock supplies timestamps for traces.
+func New(clock runtime.Clock, id runtime.NodeID, peers []runtime.NodeID, net runtime.Fabric, platform *agent.Platform, st *store.Store, cfg Config) *Server {
 	if st == nil {
 		st = store.New()
 	}
-	others := make([]simnet.NodeID, 0, len(peers))
+	others := make([]runtime.NodeID, 0, len(peers))
 	for _, p := range peers {
 		if p != id {
 			others = append(others, p)
@@ -84,11 +93,12 @@ func New(id simnet.NodeID, peers []simnet.NodeID, net simnet.Fabric, platform *a
 		id:       id,
 		peers:    others,
 		net:      net,
+		clock:    clock,
 		platform: platform,
 		st:       st,
 		cfg:      cfg,
 		gone:     make(map[agent.ID]bool),
-		cache:    make(map[simnet.NodeID]QueueSnapshot),
+		cache:    make(map[runtime.NodeID]QueueSnapshot),
 		backlog:  make(map[uint64]store.Update),
 		reads:    make(map[uint64]*quorumRead),
 	}
@@ -98,7 +108,7 @@ func New(id simnet.NodeID, peers []simnet.NodeID, net simnet.Fabric, platform *a
 }
 
 // ID returns the server's node ID.
-func (s *Server) ID() simnet.NodeID { return s.id }
+func (s *Server) ID() runtime.NodeID { return s.id }
 
 // Store returns the server's data store.
 func (s *Server) Store() *store.Store { return s.st }
@@ -194,7 +204,7 @@ func (s *Server) notify() {
 // server appends the agent to its Locking List, absorbs the locking
 // information the agent carries, and returns everything the agent needs to
 // update its own data structures.
-func (s *Server) VisitAndLock(id agent.ID, shared map[simnet.NodeID]QueueSnapshot, knownGone []agent.ID) LockInfo {
+func (s *Server) VisitAndLock(id agent.ID, shared map[runtime.NodeID]QueueSnapshot, knownGone []agent.ID) LockInfo {
 	// Absorb the agent's knowledge of finished/dead agents first, so a
 	// stale entry never blocks the queue.
 	mutated := false
@@ -217,7 +227,7 @@ func (s *Server) VisitAndLock(id agent.ID, shared map[simnet.NodeID]QueueSnapsho
 		s.ll = append(s.ll, id)
 		s.bump(len(s.ll) == 1)
 		mutated = len(s.ll) == 1 || mutated
-		s.cfg.Trace.Addf(int64(s.net.Sim().Now()), int(s.id), id.String(), trace.LockRequested, "pos %d", len(s.ll))
+		s.cfg.Trace.Addf(int64(s.clock.Now()), int(s.id), id.String(), trace.LockRequested, "pos %d", len(s.ll))
 	}
 	if mutated {
 		s.notify()
@@ -238,13 +248,13 @@ func (s *Server) contains(id agent.ID) bool {
 func (s *Server) lockInfo() LockInfo {
 	gone := make([]agent.ID, len(s.goneList))
 	copy(gone, s.goneList)
-	costs := make(map[simnet.NodeID]float64, len(s.peers))
+	costs := make(map[runtime.NodeID]float64, len(s.peers))
 	for _, p := range s.peers {
 		costs[p] = s.net.Cost(s.id, p)
 	}
-	var remote map[simnet.NodeID]QueueSnapshot
+	var remote map[runtime.NodeID]QueueSnapshot
 	if !s.cfg.DisableInfoSharing && len(s.cache) > 0 {
-		remote = make(map[simnet.NodeID]QueueSnapshot, len(s.cache))
+		remote = make(map[runtime.NodeID]QueueSnapshot, len(s.cache))
 		for n, snap := range s.cache {
 			remote[n] = snap.Clone()
 		}
@@ -262,9 +272,12 @@ func (s *Server) lockInfo() LockInfo {
 // parked agents recomputing their priority after a notification.
 func (s *Server) RefreshInfo() LockInfo { return s.lockInfo() }
 
-// Deliver implements simnet.Handler for server-bound protocol messages.
-func (s *Server) Deliver(msg simnet.Message) {
+// Deliver implements runtime.Handler for server-bound protocol messages.
+func (s *Server) Deliver(msg runtime.Message) {
 	if s.down {
+		return
+	}
+	if s.cfg.Intercept != nil && s.cfg.Intercept(msg) {
 		return
 	}
 	switch m := msg.Payload.(type) {
@@ -282,7 +295,7 @@ func (s *Server) Deliver(msg simnet.Message) {
 	case *ReadReq:
 		v, ok := s.st.Get(m.Key)
 		rep := &ReadRep{ReqID: m.ReqID, From: s.id, Found: ok, Value: v}
-		s.net.Send(simnet.Message{From: s.id, To: m.From, Payload: rep, Size: rep.WireSize()})
+		s.net.Send(runtime.Message{From: s.id, To: m.From, Payload: rep, Size: rep.WireSize()})
 	case *ReadRep:
 		s.handleReadRep(m)
 	}
@@ -299,7 +312,7 @@ func (s *Server) QuorumRead(key string, done func(store.Value, bool)) {
 	majority := (len(s.peers)+1)/2 + 1
 	qr := &quorumRead{
 		key:     key,
-		replies: make(map[simnet.NodeID]ReadRep),
+		replies: make(map[runtime.NodeID]ReadRep),
 		needed:  majority,
 		done:    done,
 	}
@@ -312,7 +325,7 @@ func (s *Server) QuorumRead(key string, done func(store.Value, bool)) {
 	}
 	req := &ReadReq{ReqID: s.readSeq, From: s.id, Key: key}
 	for _, p := range s.peers {
-		s.net.Send(simnet.Message{From: s.id, To: p, Payload: req, Size: req.WireSize()})
+		s.net.Send(runtime.Message{From: s.id, To: p, Payload: req, Size: req.WireSize()})
 	}
 }
 
@@ -367,7 +380,7 @@ func (s *Server) HandleAbortLocal(m *AbortMsg) { s.handleAbort(m) }
 func (s *Server) handleUpdate(m *UpdateMsg) *AckMsg {
 	nack := func(reason string) *AckMsg {
 		info := s.lockInfo()
-		s.cfg.Trace.Addf(int64(s.net.Sim().Now()), int(s.id), m.Txn.String(), trace.UpdateNacked, "%s", reason)
+		s.cfg.Trace.Addf(int64(s.clock.Now()), int(s.id), m.Txn.String(), trace.UpdateNacked, "%s", reason)
 		return &AckMsg{Txn: m.Txn, Attempt: m.Attempt, From: s.id, Reason: reason, Info: &info}
 	}
 	if !s.grant.IsZero() && s.grant != m.Txn {
@@ -391,7 +404,7 @@ func (s *Server) handleUpdate(m *UpdateMsg) *AckMsg {
 			values[k] = v
 		}
 	}
-	s.cfg.Trace.Addf(int64(s.net.Sim().Now()), int(s.id), m.Txn.String(), trace.UpdateAcked, "")
+	s.cfg.Trace.Addf(int64(s.clock.Now()), int(s.id), m.Txn.String(), trace.UpdateAcked, "")
 	return &AckMsg{Txn: m.Txn, Attempt: m.Attempt, From: s.id, OK: true, LastSeq: s.st.LastSeq(), Values: values}
 }
 
@@ -415,7 +428,7 @@ func (s *Server) handleCommit(m *CommitMsg) {
 	// arrivals (jittered links do not preserve FIFO).
 	s.drainBacklog()
 	s.markGone(m.Txn)
-	s.cfg.Trace.Addf(int64(s.net.Sim().Now()), int(s.id), m.Txn.String(), trace.Committed, "%d updates, seq now %d", len(m.Updates), s.st.LastSeq())
+	s.cfg.Trace.Addf(int64(s.clock.Now()), int(s.id), m.Txn.String(), trace.Committed, "%d updates, seq now %d", len(m.Updates), s.st.LastSeq())
 	s.notify()
 }
 
@@ -423,7 +436,7 @@ func (s *Server) handleCommit(m *CommitMsg) {
 func (s *Server) handleAbort(m *AbortMsg) {
 	if s.grant == m.Txn && m.Attempt >= s.grantAttempt {
 		s.setGrant(agent.ID{})
-		s.cfg.Trace.Addf(int64(s.net.Sim().Now()), int(s.id), m.Txn.String(), trace.ClaimAborted, "grant released")
+		s.cfg.Trace.Addf(int64(s.clock.Now()), int(s.id), m.Txn.String(), trace.ClaimAborted, "grant released")
 	}
 }
 
@@ -435,19 +448,19 @@ func (s *Server) RequestSync() {
 	if s.down {
 		return
 	}
-	s.requestSync(simnet.None)
+	s.requestSync(runtime.None)
 }
 
 // requestSync asks origin (falling back to all peers if origin is the
 // server itself) for the updates after the local horizon.
-func (s *Server) requestSync(origin simnet.NodeID) {
+func (s *Server) requestSync(origin runtime.NodeID) {
 	req := &SyncRequest{From: s.id, Since: s.st.LastSeq()}
-	if origin != s.id && origin != simnet.None {
-		s.net.Send(simnet.Message{From: s.id, To: origin, Payload: req, Size: req.WireSize()})
+	if origin != s.id && origin != runtime.None {
+		s.net.Send(runtime.Message{From: s.id, To: origin, Payload: req, Size: req.WireSize()})
 		return
 	}
 	for _, p := range s.peers {
-		s.net.Send(simnet.Message{From: s.id, To: p, Payload: req, Size: req.WireSize()})
+		s.net.Send(runtime.Message{From: s.id, To: p, Payload: req, Size: req.WireSize()})
 	}
 }
 
@@ -459,7 +472,7 @@ func (s *Server) handleSyncRequest(m *SyncRequest) {
 	gone := make([]agent.ID, len(s.goneList))
 	copy(gone, s.goneList)
 	reply := &SyncReply{From: s.id, Updates: updates, Gone: gone}
-	s.net.Send(simnet.Message{From: s.id, To: m.From, Payload: reply, Size: reply.WireSize()})
+	s.net.Send(runtime.Message{From: s.id, To: m.From, Payload: reply, Size: reply.WireSize()})
 }
 
 // drainBacklog applies consecutive backlogged commits now that earlier
@@ -496,7 +509,7 @@ func (s *Server) handleSyncReply(m *SyncReply) {
 		}
 	}
 	if applied || mutated {
-		s.cfg.Trace.Addf(int64(s.net.Sim().Now()), int(s.id), "", trace.ServerSynced, "seq now %d", s.st.LastSeq())
+		s.cfg.Trace.Addf(int64(s.clock.Now()), int(s.id), "", trace.ServerSynced, "seq now %d", s.st.LastSeq())
 		s.notify()
 	}
 }
@@ -508,7 +521,7 @@ func (s *Server) OnAgentDeath(id agent.ID) {
 		return
 	}
 	if s.markGone(id) {
-		s.cfg.Trace.Addf(int64(s.net.Sim().Now()), int(s.id), id.String(), trace.LockReleased, "agent died")
+		s.cfg.Trace.Addf(int64(s.clock.Now()), int(s.id), id.String(), trace.LockReleased, "agent died")
 		s.notify()
 	}
 }
@@ -520,12 +533,12 @@ func (s *Server) OnAgentDeath(id agent.ID) {
 func (s *Server) Crash() {
 	s.down = true
 	s.ll = nil
-	s.cache = make(map[simnet.NodeID]QueueSnapshot)
+	s.cache = make(map[runtime.NodeID]QueueSnapshot)
 	s.setGrant(agent.ID{})
 	s.backlog = make(map[uint64]store.Update)
 	// gone survives: it is derived from committed state and death notices,
 	// and keeping it only ever suppresses already-finished agents.
-	s.cfg.Trace.Addf(int64(s.net.Sim().Now()), int(s.id), "", trace.ServerCrashed, "")
+	s.cfg.Trace.Addf(int64(s.clock.Now()), int(s.id), "", trace.ServerCrashed, "")
 }
 
 // Recover brings the server back: it bumps its epoch (so agents can tell
@@ -535,8 +548,8 @@ func (s *Server) Recover() {
 	s.down = false
 	s.epoch++
 	s.bump(true) // the (now empty) LL is a fresh head state
-	s.cfg.Trace.Addf(int64(s.net.Sim().Now()), int(s.id), "", trace.ServerRecover, "epoch %d", s.epoch)
-	s.requestSync(simnet.None)
+	s.cfg.Trace.Addf(int64(s.clock.Now()), int(s.id), "", trace.ServerRecover, "epoch %d", s.epoch)
+	s.requestSync(runtime.None)
 }
 
 // Gone returns the agents this server knows to have finished or died, in
@@ -548,8 +561,8 @@ func (s *Server) Gone() []agent.ID {
 }
 
 // Peers returns the other replica IDs, sorted.
-func (s *Server) Peers() []simnet.NodeID {
-	out := make([]simnet.NodeID, len(s.peers))
+func (s *Server) Peers() []runtime.NodeID {
+	out := make([]runtime.NodeID, len(s.peers))
 	copy(out, s.peers)
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out

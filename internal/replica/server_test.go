@@ -31,14 +31,14 @@ func newFixture(t *testing.T, n int, cfg Config) *fixture {
 	t.Helper()
 	sim := des.New(31)
 	net := simnet.New(sim, simnet.FullMesh(n), simnet.Constant(2*time.Millisecond))
-	platform := agent.NewPlatform(net, agent.Config{DeathNoticeDelay: 5 * time.Millisecond})
+	platform := agent.NewPlatform(sim, net, agent.Config{DeathNoticeDelay: 5 * time.Millisecond})
 	peers := make([]simnet.NodeID, n)
 	for i := range peers {
 		peers[i] = simnet.NodeID(i + 1)
 	}
 	f := &fixture{sim: sim, net: net, platform: platform, servers: make(map[simnet.NodeID]*Server)}
 	for _, id := range peers {
-		f.servers[id] = New(id, peers, net, platform, store.New(), cfg)
+		f.servers[id] = New(sim, id, peers, net, platform, store.New(), cfg)
 	}
 	return f
 }

@@ -9,9 +9,21 @@ package replica
 
 import (
 	"repro/internal/agent"
-	"repro/internal/simnet"
+	"repro/internal/runtime"
 	"repro/internal/store"
 )
+
+func init() {
+	// The Algorithm 2 message set must decode on the far side of a
+	// serializing fabric (the live gob-over-TCP deployment).
+	for _, m := range []any{
+		&UpdateMsg{}, &AckMsg{}, &CommitMsg{}, &AbortMsg{},
+		&ReadReq{}, &ReadRep{}, &SyncRequest{}, &SyncReply{},
+		LLChanged{},
+	} {
+		runtime.RegisterWireType(m)
+	}
+}
 
 // QueueSnapshot is one server's Locking List as known at some moment. Agents
 // accumulate these in their Locking Table and leave them behind at the
@@ -20,7 +32,7 @@ import (
 // when a server recovers from a crash and its volatile locking state resets,
 // Version increments on every LL mutation within an epoch.
 type QueueSnapshot struct {
-	Server      simnet.NodeID
+	Server      runtime.NodeID
 	Epoch       uint64
 	Version     uint64
 	HeadVersion uint64 // version of the last mutation that changed the head
@@ -51,8 +63,8 @@ func (s QueueSnapshot) Clone() QueueSnapshot {
 type LockInfo struct {
 	Local   QueueSnapshot
 	Gone    []agent.ID // agents that finished (UL) or died — prune these everywhere
-	Remote  map[simnet.NodeID]QueueSnapshot
-	Costs   map[simnet.NodeID]float64
+	Remote  map[runtime.NodeID]QueueSnapshot
+	Costs   map[runtime.NodeID]float64
 	LastSeq uint64
 }
 
@@ -61,7 +73,7 @@ type LockInfo struct {
 // priority (paper §3.3: "other mobile agents will then be able to change
 // their priorities in their locking tables").
 type LLChanged struct {
-	Server simnet.NodeID
+	Server runtime.NodeID
 }
 
 // Protocol messages. Sizes are modelled wire sizes for traffic accounting.
@@ -74,13 +86,13 @@ type LLChanged struct {
 type UpdateMsg struct {
 	Txn      agent.ID
 	Attempt  int           // claim attempt number, echoed in the AckMsg
-	Origin   simnet.NodeID // where the claiming agent currently resides
+	Origin   runtime.NodeID // where the claiming agent currently resides
 	Keys     []string
 	ByTie    bool
-	Evidence map[simnet.NodeID]uint64 // claimed head-version per server (tie claims)
+	Evidence map[runtime.NodeID]uint64 // claimed head-version per server (tie claims)
 }
 
-// Kind implements simnet.Kinder.
+// Kind implements runtime.Kinder.
 func (UpdateMsg) Kind() string { return "update" }
 
 // WireSize returns the modelled size of the message.
@@ -93,7 +105,7 @@ func (m UpdateMsg) WireSize() int { return 96 + 24*len(m.Keys) + 16*len(m.Eviden
 type AckMsg struct {
 	Txn     agent.ID
 	Attempt int // echo of the claim's attempt number
-	From    simnet.NodeID
+	From    runtime.NodeID
 	OK      bool
 	Reason  string
 	LastSeq uint64
@@ -101,7 +113,7 @@ type AckMsg struct {
 	Info    *LockInfo // populated on NACK
 }
 
-// Kind implements simnet.Kinder.
+// Kind implements runtime.Kinder.
 func (AckMsg) Kind() string { return "ack" }
 
 // WireSize returns the modelled size of the message.
@@ -119,11 +131,11 @@ func (m AckMsg) WireSize() int {
 // locking lists").
 type CommitMsg struct {
 	Txn     agent.ID
-	Origin  simnet.NodeID
+	Origin  runtime.NodeID
 	Updates []store.Update
 }
 
-// Kind implements simnet.Kinder.
+// Kind implements runtime.Kinder.
 func (CommitMsg) Kind() string { return "commit" }
 
 // WireSize returns the modelled size of the message.
@@ -140,7 +152,7 @@ type AbortMsg struct {
 	Attempt int
 }
 
-// Kind implements simnet.Kinder.
+// Kind implements runtime.Kinder.
 func (AbortMsg) Kind() string { return "abort" }
 
 // WireSize returns the modelled size of the message.
@@ -155,11 +167,11 @@ func (AbortMsg) WireSize() int { return 48 }
 // replication control algorithms").
 type ReadReq struct {
 	ReqID uint64
-	From  simnet.NodeID
+	From  runtime.NodeID
 	Key   string
 }
 
-// Kind implements simnet.Kinder.
+// Kind implements runtime.Kinder.
 func (ReadReq) Kind() string { return "read-req" }
 
 // WireSize returns the modelled size of the message.
@@ -168,12 +180,12 @@ func (ReadReq) WireSize() int { return 48 }
 // ReadRep answers a ReadReq with the replica's committed value.
 type ReadRep struct {
 	ReqID uint64
-	From  simnet.NodeID
+	From  runtime.NodeID
 	Found bool
 	Value store.Value
 }
 
-// Kind implements simnet.Kinder.
+// Kind implements runtime.Kinder.
 func (ReadRep) Kind() string { return "read-rep" }
 
 // WireSize returns the modelled size of the message.
@@ -183,11 +195,11 @@ func (ReadRep) WireSize() int { return 96 }
 // paper's "background information transfer", used by replicas recovering
 // from a failure or detecting a sequence gap.
 type SyncRequest struct {
-	From  simnet.NodeID
+	From  runtime.NodeID
 	Since uint64
 }
 
-// Kind implements simnet.Kinder.
+// Kind implements runtime.Kinder.
 func (SyncRequest) Kind() string { return "sync-req" }
 
 // WireSize returns the modelled size of the message.
@@ -197,12 +209,12 @@ func (SyncRequest) WireSize() int { return 32 }
 // of finished/dead agents so the recovering replica can prune stale lock
 // information too.
 type SyncReply struct {
-	From    simnet.NodeID
+	From    runtime.NodeID
 	Updates []store.Update
 	Gone    []agent.ID
 }
 
-// Kind implements simnet.Kinder.
+// Kind implements runtime.Kinder.
 func (SyncReply) Kind() string { return "sync-reply" }
 
 // WireSize returns the modelled size of the message.

@@ -1,0 +1,291 @@
+package live
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/runtime"
+)
+
+var _ runtime.Fabric = (*Fabric)(nil)
+
+// frame is the unit on the wire: one gob-encoded protocol message. From
+// identifies the sender (no separate handshake); Size carries the sender's
+// modelled payload size so traffic accounting matches across engines.
+type frame struct {
+	From, To runtime.NodeID
+	Size     int
+	Payload  any
+}
+
+// Fabric is a gob-over-TCP implementation of runtime.Fabric for a fixed
+// set of replica processes. Each process listens on its own address and
+// lazily dials every peer it first sends to; one outbound connection per
+// peer, written by a dedicated goroutine fed from a bounded queue.
+//
+// Send keeps the seam's fail-stop semantics: when a peer is unreachable or
+// its queue is full the message is dropped and the sender finds out by
+// protocol timeout, exactly as on the simulated network. Down always
+// reports false — a live fabric has no oracle for remote liveness.
+type Fabric struct {
+	eng   *Engine
+	self  runtime.NodeID
+	addrs map[runtime.NodeID]string
+	ln    net.Listener
+
+	mu       sync.Mutex
+	handlers map[runtime.NodeID]runtime.Handler
+	peers    map[runtime.NodeID]*peer
+	inbound  map[net.Conn]bool
+	stats    runtime.NetStats
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+type peer struct {
+	out chan frame
+}
+
+// NewFabric starts listening on addrs[self] and returns the fabric.
+// Peer connections are dialed on first send.
+func NewFabric(eng *Engine, self runtime.NodeID, addrs map[runtime.NodeID]string) (*Fabric, error) {
+	addr, ok := addrs[self]
+	if !ok {
+		return nil, fmt.Errorf("live: no address for self node %d", self)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("live: listen %s: %w", addr, err)
+	}
+	f := &Fabric{
+		eng:      eng,
+		self:     self,
+		addrs:    addrs,
+		ln:       ln,
+		handlers: make(map[runtime.NodeID]runtime.Handler),
+		peers:    make(map[runtime.NodeID]*peer),
+		inbound:  make(map[net.Conn]bool),
+	}
+	f.wg.Add(1)
+	go f.acceptLoop()
+	return f, nil
+}
+
+// Addr returns the address the fabric actually listens on (useful with
+// ":0" test listeners).
+func (f *Fabric) Addr() string { return f.ln.Addr().String() }
+
+// WireDelivery reports that payloads are physically serialized: agents
+// must migrate as encoded wire state, not live pointers.
+func (f *Fabric) WireDelivery() bool { return true }
+
+// Attach registers the handler for a local node.
+func (f *Fabric) Attach(id runtime.NodeID, h runtime.Handler) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.handlers[id] = h
+}
+
+// Cost returns a uniform unit cost between distinct nodes — localhost
+// deployments have no meaningful topology; agents visit in ID order.
+func (f *Fabric) Cost(from, to runtime.NodeID) float64 {
+	if from == to {
+		return 0
+	}
+	return 1
+}
+
+// Down always reports false: the live fabric cannot observe remote
+// liveness; failures surface as protocol timeouts.
+func (f *Fabric) Down(runtime.NodeID) bool { return false }
+
+// NetStats implements runtime.StatsSource.
+func (f *Fabric) NetStats() runtime.NetStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := f.stats
+	if f.stats.ByKind != nil {
+		s.ByKind = make(map[string]int, len(f.stats.ByKind))
+		for k, v := range f.stats.ByKind {
+			s.ByKind[k] = v
+		}
+	}
+	return s
+}
+
+// Send transmits msg: locally injected when the destination handler lives
+// in this process, otherwise queued to the peer's writer. Fire-and-forget.
+func (f *Fabric) Send(msg runtime.Message) {
+	if msg.From == runtime.None || msg.To == runtime.None {
+		panic(fmt.Sprintf("live: message with unset endpoints %+v", msg))
+	}
+	f.mu.Lock()
+	f.stats.MessagesSent++
+	f.stats.BytesSent += msg.Size
+	if k, ok := msg.Payload.(runtime.Kinder); ok {
+		if f.stats.ByKind == nil {
+			f.stats.ByKind = make(map[string]int)
+		}
+		f.stats.ByKind[k.Kind()]++
+	}
+	if h, ok := f.handlers[msg.To]; ok {
+		f.stats.MessagesDelivered++
+		f.mu.Unlock()
+		f.eng.Inject(func() { h.Deliver(msg) })
+		return
+	}
+	p, err := f.peerLocked(msg.To)
+	if err != nil {
+		f.stats.MessagesDropped++
+		f.mu.Unlock()
+		return
+	}
+	f.mu.Unlock()
+	select {
+	case p.out <- frame{From: msg.From, To: msg.To, Size: msg.Size, Payload: msg.Payload}:
+	default:
+		// Queue full: drop, per fail-stop semantics. The reliable layer or
+		// the protocol's own timeouts recover.
+		f.mu.Lock()
+		f.stats.MessagesDropped++
+		f.mu.Unlock()
+	}
+}
+
+// peerLocked returns (starting if needed) the writer for a remote node.
+// Caller holds f.mu.
+func (f *Fabric) peerLocked(id runtime.NodeID) (*peer, error) {
+	if f.closed {
+		return nil, fmt.Errorf("live: fabric closed")
+	}
+	if p, ok := f.peers[id]; ok {
+		return p, nil
+	}
+	addr, ok := f.addrs[id]
+	if !ok {
+		return nil, fmt.Errorf("live: unknown node %d", id)
+	}
+	p := &peer{out: make(chan frame, 256)}
+	f.peers[id] = p
+	f.wg.Add(1)
+	go f.writeLoop(p, addr)
+	return p, nil
+}
+
+// writeLoop owns one outbound connection: dial lazily per frame, encode,
+// and on any error drop the connection (the next frame redials). Frames
+// that cannot be sent are counted lost — the live analogue of the fault
+// model eating a message on an otherwise healthy link.
+func (f *Fabric) writeLoop(p *peer, addr string) {
+	defer f.wg.Done()
+	var conn net.Conn
+	var enc *gob.Encoder
+	drop := func() {
+		if conn != nil {
+			conn.Close()
+			conn, enc = nil, nil
+		}
+		f.mu.Lock()
+		f.stats.MessagesLost++
+		f.mu.Unlock()
+	}
+	for fr := range p.out {
+		if conn == nil {
+			c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+			if err != nil {
+				drop()
+				continue
+			}
+			conn = c
+			enc = gob.NewEncoder(conn)
+		}
+		if err := enc.Encode(&fr); err != nil {
+			drop()
+			continue
+		}
+		f.mu.Lock()
+		f.stats.MessagesDelivered++ // handed to the kernel; receipt is the peer's count
+		f.mu.Unlock()
+	}
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+func (f *Fabric) acceptLoop() {
+	defer f.wg.Done()
+	for {
+		conn, err := f.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		f.mu.Lock()
+		if f.closed {
+			f.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		f.inbound[conn] = true
+		f.mu.Unlock()
+		f.wg.Add(1)
+		go f.readLoop(conn)
+	}
+}
+
+// readLoop decodes inbound frames and injects deliveries onto the actor
+// loop, preserving the single-threaded protocol contract.
+func (f *Fabric) readLoop(conn net.Conn) {
+	defer f.wg.Done()
+	defer func() {
+		conn.Close()
+		f.mu.Lock()
+		delete(f.inbound, conn)
+		f.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	for {
+		var fr frame
+		if err := dec.Decode(&fr); err != nil {
+			return
+		}
+		f.mu.Lock()
+		h, ok := f.handlers[fr.To]
+		if !ok {
+			f.stats.MessagesDropped++
+			f.mu.Unlock()
+			continue
+		}
+		f.mu.Unlock()
+		msg := runtime.Message{From: fr.From, To: fr.To, Payload: fr.Payload, Size: fr.Size}
+		f.eng.Inject(func() { h.Deliver(msg) })
+	}
+}
+
+// Close shuts the listener and all peer writers down and waits for the
+// socket goroutines to exit.
+func (f *Fabric) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	peers := f.peers
+	f.peers = make(map[runtime.NodeID]*peer)
+	conns := make([]net.Conn, 0, len(f.inbound))
+	for c := range f.inbound {
+		conns = append(conns, c)
+	}
+	f.mu.Unlock()
+	f.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	for _, p := range peers {
+		close(p.out)
+	}
+	f.wg.Wait()
+}

@@ -1,0 +1,318 @@
+package live_test
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/core"
+	"repro/internal/desengine"
+	"repro/internal/runtime"
+	"repro/internal/runtime/live"
+	"repro/internal/store"
+)
+
+// freeAddrs reserves n distinct loopback addresses by briefly listening on
+// ephemeral ports. The tiny window between Close and the node's own Listen
+// is an accepted test-only race.
+func freeAddrs(t *testing.T, n int) map[runtime.NodeID]string {
+	t.Helper()
+	addrs := make(map[runtime.NodeID]string, n)
+	for i := 1; i <= n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[runtime.NodeID(i)] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs
+}
+
+// sharedReferee spans all processes of a live cluster: each node's OnGrant
+// hook feeds one global single-claimant oracle, restoring the cross-replica
+// view the in-process referee has for free on the simulator.
+type sharedReferee struct {
+	mu  sync.Mutex
+	ref *core.Referee
+}
+
+func newSharedReferee(n int) *sharedReferee {
+	start := time.Now()
+	return &sharedReferee{
+		ref: core.NewReferee(n, func() runtime.Time { return runtime.Time(time.Since(start)) }),
+	}
+}
+
+func (s *sharedReferee) onGrant(server runtime.NodeID, txn agent.ID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ref.OnGrant(server, txn)
+}
+
+func (s *sharedReferee) report() (wins int, violations []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ref.Wins(), s.ref.Violations()
+}
+
+// startLiveCluster brings up one live node per replica, all in this process,
+// wired through real TCP sockets.
+func startLiveCluster(t *testing.T, n int, cfg core.Config) ([]*live.Node, *sharedReferee) {
+	t.Helper()
+	addrs := freeAddrs(t, n)
+	ref := newSharedReferee(n)
+	nodes := make([]*live.Node, n)
+	for i := 1; i <= n; i++ {
+		c := cfg
+		c.OnGrant = ref.onGrant
+		node, err := live.StartNode(live.NodeConfig{
+			Self:    runtime.NodeID(i),
+			Addrs:   addrs,
+			Seed:    int64(100 + i),
+			Cluster: c,
+		})
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		nodes[i-1] = node
+		t.Cleanup(node.Close)
+	}
+	return nodes, ref
+}
+
+// submitAt runs a Submit on the owning node's actor loop.
+func submitAt(t *testing.T, node *live.Node, home runtime.NodeID, reqs ...core.Request) {
+	t.Helper()
+	var err error
+	if !node.Eng.Do(func() { err = node.Cluster.Submit(home, reqs...) }) {
+		t.Fatal("engine closed during submit")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// localLog snapshots the commit log of the node's own replica.
+func localLog(t *testing.T, node *live.Node, self runtime.NodeID) []store.Update {
+	t.Helper()
+	var log []store.Update
+	if !node.Eng.Do(func() { log = node.Cluster.Server(self).Store().Log() }) {
+		t.Fatal("engine closed during log read")
+	}
+	return log
+}
+
+// commitSet reduces a log to its engine-independent content: the set of
+// (key, txn, data) triples. Seq and Stamp are deliberately excluded — the
+// global commit order is an artefact of scheduling, so two correct engines
+// (or two runs of the live one) may commit the same transactions in
+// different orders.
+func commitSet(log []store.Update) map[string]bool {
+	set := make(map[string]bool, len(log))
+	for _, u := range log {
+		set[u.Key+"\x00"+u.TxnID+"\x00"+u.Data] = true
+	}
+	return set
+}
+
+// normalizeTxns rewrites each entry's TxnID ("A<home>.<seq>") to its home
+// prefix ("A<home>"). Agent sequence numbers are an engine artefact — the
+// simulator allocates them from one cluster-global counter, a live
+// deployment from one counter per process — so cross-ENGINE comparison must
+// ignore them, while cross-REPLICA comparison within one run keeps them.
+func normalizeTxns(set map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(set))
+	for k := range set {
+		parts := strings.SplitN(k, "\x00", 3)
+		if i := strings.IndexByte(parts[1], '.'); i >= 0 {
+			parts[1] = parts[1][:i]
+		}
+		out[strings.Join(parts, "\x00")] = true
+	}
+	return out
+}
+
+func equalSets(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// waitConverged polls until every node's local replica holds exactly the
+// same commit set of the expected size.
+func waitConverged(t *testing.T, nodes []*live.Node, want int, deadline time.Duration) []map[string]bool {
+	t.Helper()
+	end := time.Now().Add(deadline)
+	for {
+		sets := make([]map[string]bool, len(nodes))
+		ok := true
+		for i, node := range nodes {
+			sets[i] = commitSet(localLog(t, node, runtime.NodeID(i+1)))
+			if len(sets[i]) != want || !equalSets(sets[i], sets[0]) {
+				ok = false
+			}
+		}
+		if ok {
+			return sets
+		}
+		if time.Now().After(end) {
+			for i := range sets {
+				t.Logf("replica %d: %d commits", i+1, len(sets[i]))
+			}
+			t.Fatalf("replicas did not converge on %d commits within %v", want, deadline)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestLiveClusterMigratesAndConverges is the live engine's basic liveness
+// check: three replica processes (in-process here, real sockets between
+// them), concurrent writers on every node, agents physically migrating as
+// serialized state, every replica ending with the identical committed log.
+func TestLiveClusterMigratesAndConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live cluster test uses wall-clock timeouts")
+	}
+	nodes, ref := startLiveCluster(t, 3, core.Config{})
+
+	const perNode = 3
+	for i, node := range nodes {
+		home := runtime.NodeID(i + 1)
+		for s := 1; s <= perNode; s++ {
+			submitAt(t, node, home, core.Set(fmt.Sprintf("k%d-%d", home, s), fmt.Sprintf("v%d-%d", home, s)))
+		}
+	}
+	for i, node := range nodes {
+		if err := node.Cluster.RunUntilDone(30 * time.Second); err != nil {
+			t.Fatalf("node %d: %v", i+1, err)
+		}
+	}
+	waitConverged(t, nodes, 3*perNode, 10*time.Second)
+
+	// Agents must have genuinely crossed sockets: every update visits a
+	// majority, so each node's platform completed remote migrations.
+	migrations := 0
+	for _, node := range nodes {
+		var st agent.Stats
+		node.Eng.Do(func() { st = node.Cluster.Platform().Stats() })
+		migrations += st.MigrationsCompleted
+	}
+	if migrations == 0 {
+		t.Fatal("no agent migrations happened — agents never left their home process")
+	}
+
+	wins, violations := ref.report()
+	if len(violations) > 0 {
+		t.Fatalf("shared referee saw %d violation(s): %s", len(violations), violations[0])
+	}
+	if wins < 3*perNode {
+		t.Fatalf("referee saw %d majority wins, want >= %d (one per committed txn)", wins, 3*perNode)
+	}
+}
+
+// TestCrossEngineEquivalence runs the same workload once on the discrete-
+// event simulator and once on a three-process live deployment, then checks
+// that both engines commit exactly the same transaction set and that every
+// replica of both runs ends in the same final store state.
+//
+// Equality is on commit *sets*, not sequences: MARP totally orders updates
+// within one run (the store's Seq), but which interleaving wins is an
+// artefact of scheduling, so the two engines may order commits differently.
+// The workload therefore gives every transaction its own key — making the
+// final per-key state order-independent — plus one deliberately contended
+// key whose committed-writer set must still match even though its final
+// value may legitimately differ between engines.
+func TestCrossEngineEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live cluster test uses wall-clock timeouts")
+	}
+	const n, perNode = 3, 3
+	type write struct {
+		home       runtime.NodeID
+		key, value string
+	}
+	var workload []write
+	for home := 1; home <= n; home++ {
+		for s := 1; s <= perNode; s++ {
+			workload = append(workload, write{
+				home:  runtime.NodeID(home),
+				key:   fmt.Sprintf("k%d-%d", home, s),
+				value: fmt.Sprintf("v%d-%d", home, s),
+			})
+		}
+		workload = append(workload, write{
+			home:  runtime.NodeID(home),
+			key:   "hot",
+			value: fmt.Sprintf("h%d", home),
+		})
+	}
+	total := len(workload)
+
+	// Engine 1: the simulator.
+	des, err := desengine.New(desengine.Config{Seed: 42, Cluster: core.Config{N: n}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workload {
+		if err := des.Submit(w.home, core.Set(w.key, w.value)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := des.RunUntilDone(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	des.Settle(time.Second)
+	if err := des.CheckConvergence(); err != nil {
+		t.Fatal(err)
+	}
+	desSet := commitSet(des.Server(1).Store().Log())
+
+	// Engine 2: three live replica processes.
+	nodes, ref := startLiveCluster(t, n, core.Config{})
+	for _, w := range workload {
+		submitAt(t, nodes[w.home-1], w.home, core.Set(w.key, w.value))
+	}
+	for i, node := range nodes {
+		if err := node.Cluster.RunUntilDone(30 * time.Second); err != nil {
+			t.Fatalf("live node %d: %v", i+1, err)
+		}
+	}
+	liveSets := waitConverged(t, nodes, total, 10*time.Second)
+
+	if _, violations := ref.report(); len(violations) > 0 {
+		t.Fatalf("shared referee saw violations: %s", violations[0])
+	}
+
+	// Same transactions committed, on every replica of both engines.
+	if !equalSets(normalizeTxns(desSet), normalizeTxns(liveSets[0])) {
+		t.Fatalf("commit sets differ:\nsim:  %d commits\nlive: %d commits", len(desSet), len(liveSets[0]))
+	}
+
+	// Single-writer keys must agree on final state across engines too.
+	for _, w := range workload {
+		if w.key == "hot" {
+			continue
+		}
+		dv, ok := des.Read(1, w.key)
+		if !ok || dv.Data != w.value {
+			t.Fatalf("sim: %s = %q (%v), want %q", w.key, dv.Data, ok, w.value)
+		}
+		var lv store.Value
+		var lok bool
+		nodes[0].Eng.Do(func() { lv, lok = nodes[0].Cluster.Read(1, w.key) })
+		if !lok || lv.Data != dv.Data {
+			t.Fatalf("live: %s = %q (%v), sim has %q", w.key, lv.Data, lok, dv.Data)
+		}
+	}
+}

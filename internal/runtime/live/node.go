@@ -1,0 +1,62 @@
+package live
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/runtime"
+)
+
+// NodeConfig describes one replica process of a live deployment.
+type NodeConfig struct {
+	// Self is this process's replica ID (1..N).
+	Self runtime.NodeID
+	// Addrs maps every replica ID — including Self — to its TCP address.
+	// All processes must agree on this map.
+	Addrs map[runtime.NodeID]string
+	// Seed feeds the protocol's random source (retry jitter and the like).
+	Seed int64
+	// Cluster carries the engine-neutral protocol configuration. N and
+	// Local are derived from Addrs/Self and must be left unset.
+	Cluster core.Config
+}
+
+// Node is one running replica process: an actor-loop engine, a TCP fabric,
+// and the same core.Cluster the simulator drives.
+type Node struct {
+	Eng     *Engine
+	Fab     *Fabric
+	Cluster *core.Cluster
+}
+
+// StartNode brings up the engine, the fabric, and the local replica. The
+// node is ready to exchange protocol traffic when StartNode returns; peers
+// that are not up yet simply cost a few dropped messages, which the
+// protocol's timeouts absorb.
+func StartNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Cluster.N != 0 || cfg.Cluster.Local != nil {
+		return nil, fmt.Errorf("live: Cluster.N and Cluster.Local are derived from Addrs; leave them unset")
+	}
+	cfg.Cluster.N = len(cfg.Addrs)
+	cfg.Cluster.Local = []runtime.NodeID{cfg.Self}
+	eng := NewEngine(cfg.Seed)
+	fab, err := NewFabric(eng, cfg.Self, cfg.Addrs)
+	if err != nil {
+		eng.Close()
+		return nil, err
+	}
+	cl, err := core.NewCluster(eng, fab, cfg.Cluster)
+	if err != nil {
+		fab.Close()
+		eng.Close()
+		return nil, err
+	}
+	return &Node{Eng: eng, Fab: fab, Cluster: cl}, nil
+}
+
+// Close tears the node down: fabric first (stops inbound traffic), then
+// the actor loop.
+func (n *Node) Close() {
+	n.Fab.Close()
+	n.Eng.Close()
+}

@@ -1,0 +1,55 @@
+package runtime_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestProtocolPackagesStayEngineNeutral enforces the runtime seam at build
+// time: the protocol packages may depend on the runtime interfaces only,
+// never on a concrete engine. If this test fails, engine-specific types have
+// leaked back into protocol code and the live deployment no longer runs the
+// same implementation as the simulator.
+//
+// Test files are exempt: they legitimately use the DES engine as a
+// deterministic oracle for protocol behaviour.
+func TestProtocolPackagesStayEngineNeutral(t *testing.T) {
+	protocol := []string{"agent", "replica", "core", "reliable"}
+	forbidden := []string{"repro/internal/des", "repro/internal/simnet", "repro/internal/runtime/live", "repro/internal/desengine"}
+
+	fset := token.NewFileSet()
+	for _, pkg := range protocol {
+		dir := filepath.Join("..", pkg)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("reading %s: %v", dir, err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(dir, name)
+			f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+			if err != nil {
+				t.Fatalf("parsing %s: %v", path, err)
+			}
+			for _, imp := range f.Imports {
+				ipath, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					t.Fatalf("%s: bad import %s", path, imp.Path.Value)
+				}
+				for _, bad := range forbidden {
+					if ipath == bad {
+						t.Errorf("%s imports %s: protocol packages must depend only on internal/runtime interfaces", path, ipath)
+					}
+				}
+			}
+		}
+	}
+}

@@ -24,65 +24,35 @@ import (
 	"time"
 
 	"repro/internal/des"
+	"repro/internal/runtime"
 )
 
-// NodeID identifies a simulated host. The paper numbers its replicated
-// servers 1..N; this package follows that convention (zero is reserved as
-// "no node").
-type NodeID int
+// The vocabulary types of the fabric — node identity, messages, handlers,
+// traffic counters — are the engine-neutral definitions in internal/runtime.
+// The aliases keep simulation-side call sites (tests, harness, topology
+// code) reading in this package's terms while protocol code sees only the
+// runtime names.
+type (
+	// NodeID identifies a simulated host (1..N; zero = "no node").
+	NodeID = runtime.NodeID
+	// Message is a single datagram on the simulated network.
+	Message = runtime.Message
+	// Kinder is implemented by payloads wanting per-kind accounting.
+	Kinder = runtime.Kinder
+	// Handler receives messages delivered to a node.
+	Handler = runtime.Handler
+	// HandlerFunc adapts a function to the Handler interface.
+	HandlerFunc = runtime.HandlerFunc
+	// Stats aggregates network traffic counters.
+	Stats = runtime.NetStats
+	// Fabric is the message-passing surface protocol layers run on:
+	// either a *Network directly (the paper's reliable channels) or a
+	// reliability shim wrapping one (internal/reliable).
+	Fabric = runtime.Fabric
+)
 
 // None is the zero NodeID, meaning "no node".
-const None NodeID = 0
-
-// Message is a single datagram on the simulated network. Payload is an
-// arbitrary protocol-level value; Size is the modelled wire size in bytes
-// and exists purely for traffic accounting (the simulator never serializes
-// payloads).
-type Message struct {
-	From    NodeID
-	To      NodeID
-	Payload any
-	Size    int
-}
-
-// Kinder is implemented by payloads that want per-kind traffic accounting.
-type Kinder interface{ Kind() string }
-
-// Handler receives messages delivered to a node.
-type Handler interface {
-	Deliver(msg Message)
-}
-
-// HandlerFunc adapts a function to the Handler interface.
-type HandlerFunc func(Message)
-
-// Deliver calls f(msg).
-func (f HandlerFunc) Deliver(msg Message) { f(msg) }
-
-// Stats aggregates network traffic counters. Losses and duplicates injected
-// by a FaultModel are counted separately from drops, so an experiment can
-// tell "the link ate it" apart from "the destination was down or
-// partitioned".
-type Stats struct {
-	MessagesSent       int
-	MessagesDelivered  int
-	MessagesDropped    int // destination down, partitioned, or detached
-	MessagesLost       int // eaten by the fault model on a live, connected link
-	MessagesDuplicated int // delivered twice by the fault model
-	BytesSent          int
-	ByKind             map[string]int
-}
-
-// Fabric is the message-passing surface the protocol layers run on: either
-// a *Network directly (the paper's reliable channels) or a reliability shim
-// wrapping one (internal/reliable, for runs with an attached FaultModel).
-type Fabric interface {
-	Sim() *des.Simulator
-	Cost(from, to NodeID) float64
-	Down(id NodeID) bool
-	Attach(id NodeID, h Handler)
-	Send(msg Message)
-}
+const None = runtime.None
 
 // Network is a simulated message-passing network.
 type Network struct {
@@ -249,6 +219,18 @@ func (n *Network) deliver(msg Message) {
 	}
 	n.stats.MessagesDelivered++
 	h.Deliver(msg)
+}
+
+// NetStats implements the runtime.StatsSource capability.
+func (n *Network) NetStats() runtime.NetStats { return n.Stats() }
+
+// SetExtraLoss implements the runtime.LossController capability by routing
+// to the attached fault model; without one the call is a no-op (the paper's
+// reliable channels stay reliable).
+func (n *Network) SetExtraLoss(p float64) {
+	if n.faults != nil {
+		n.faults.SetExtraLoss(p)
+	}
 }
 
 // Stats returns a copy of the traffic counters.

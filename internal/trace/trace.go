@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 )
 
 // Type classifies an event.
@@ -75,7 +76,13 @@ func (e Event) String() string {
 
 // Log is an append-only event collector. The zero value is ready to use; a
 // nil *Log discards all events.
+//
+// Log is safe for concurrent use. Under the simulation engine every Add
+// comes from the single event loop and the mutex is uncontended; under the
+// live engine client-facing goroutines (transport reads, stats dumps) can
+// observe the log while protocol callbacks append to it.
 type Log struct {
+	mu     sync.Mutex
 	events []Event
 	limit  int // 0 = unlimited
 }
@@ -89,6 +96,8 @@ func (l *Log) Add(e Event) {
 	if l == nil {
 		return
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	l.events = append(l.events, e)
 	if l.limit > 0 && len(l.events) > l.limit {
 		copy(l.events, l.events[len(l.events)-l.limit:])
@@ -109,6 +118,8 @@ func (l *Log) Events() []Event {
 	if l == nil {
 		return nil
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	out := make([]Event, len(l.events))
 	copy(out, l.events)
 	return out
@@ -119,6 +130,8 @@ func (l *Log) Len() int {
 	if l == nil {
 		return 0
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	return len(l.events)
 }
 
@@ -131,6 +144,8 @@ func (l *Log) Filter(types ...Type) []Event {
 	for _, t := range types {
 		want[t] = true
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	var out []Event
 	for _, e := range l.events {
 		if want[e.Type] {
@@ -146,7 +161,7 @@ func (l *Log) WriteTo(w io.Writer) (int64, error) {
 		return 0, nil
 	}
 	var total int64
-	for _, e := range l.events {
+	for _, e := range l.Events() {
 		n, err := fmt.Fprintln(w, e.String())
 		total += int64(n)
 		if err != nil {

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -84,5 +85,33 @@ func TestWriteTo(t *testing.T) {
 	}
 	if lines := strings.Count(b.String(), "\n"); lines != 2 {
 		t.Fatalf("lines = %d", lines)
+	}
+}
+
+// TestConcurrentAddRace hammers one Log from many goroutines — the live
+// engine's transport goroutines read the log while protocol callbacks
+// append — and relies on the -race gate in CI to flag unsynchronized
+// access.
+func TestConcurrentAddRace(t *testing.T) {
+	l := New(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l.Addf(int64(i), g, "a", Committed, "g%d i%d", g, i)
+				if i%10 == 0 {
+					_ = l.Events()
+					_ = l.Len()
+					_ = l.Filter(Committed)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Len() != 64 {
+		t.Fatalf("Len = %d, want ring limit 64", l.Len())
 	}
 }

@@ -27,12 +27,18 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
 	marp "repro"
+	"repro/internal/core"
 	"repro/internal/realtime"
+	"repro/internal/runtime"
+	"repro/internal/runtime/live"
+	"repro/internal/store"
 )
 
 // Request is one client command.
@@ -59,18 +65,24 @@ type StatsBody struct {
 
 // Response is one server reply.
 type Response struct {
-	OK    bool       `json:"ok"`
-	Error string     `json:"error,omitempty"`
-	Found bool       `json:"found,omitempty"`
-	Value string     `json:"value,omitempty"`
-	Seq   uint64     `json:"seq,omitempty"`
-	Stats *StatsBody `json:"stats,omitempty"`
+	OK         bool       `json:"ok"`
+	Error      string     `json:"error,omitempty"`
+	Found      bool       `json:"found,omitempty"`
+	Value      string     `json:"value,omitempty"`
+	Seq        uint64     `json:"seq,omitempty"`
+	Stats      *StatsBody `json:"stats,omitempty"`
+	Wins       int        `json:"wins,omitempty"`
+	Violations int        `json:"violations,omitempty"`
 }
 
-// Server serves a MARP cluster over TCP.
+// Server serves a MARP cluster over TCP. The same server fronts either
+// engine: in sim mode it owns a whole simulated cluster paced against the
+// wall clock; in live mode it fronts this process's single replica, with
+// the rest of the cluster in sibling processes.
 type Server struct {
-	cluster  *marp.Cluster
-	driver   *realtime.Driver
+	cluster  *core.Cluster
+	exec     func(func()) error // runs fn on the engine's execution context
+	teardown func()
 	listener net.Listener
 
 	mu    sync.Mutex
@@ -78,26 +90,59 @@ type Server struct {
 	done  chan struct{}
 }
 
-// Serve starts a cluster service on addr (e.g. "127.0.0.1:7707"; use port 0
-// for an ephemeral port). speed scales virtual time against the wall clock.
+// Serve starts a simulated cluster service on addr (e.g. "127.0.0.1:7707";
+// use port 0 for an ephemeral port). speed scales virtual time against the
+// wall clock.
 func Serve(addr string, opts marp.Options, speed float64) (*Server, error) {
 	cluster, err := marp.NewCluster(opts)
 	if err != nil {
 		return nil, err
 	}
+	driver := realtime.NewDriver(cluster.Internal().Sim(), speed)
+	s, err := serve(addr, cluster.Internal().Cluster, driver.Do, driver.Stop)
+	if err != nil {
+		return nil, err
+	}
+	driver.Start()
+	return s, nil
+}
+
+// ServeLive starts one live replica process on addr: the protocol runs on
+// the wall clock and exchanges replica-to-replica traffic — mobile agents
+// included — with its peers over TCP (cfg.Addrs).
+func ServeLive(addr string, cfg live.NodeConfig) (*Server, error) {
+	node, err := live.StartNode(cfg)
+	if err != nil {
+		return nil, err
+	}
+	exec := func(fn func()) error {
+		if !node.Eng.Do(fn) {
+			return realtime.ErrStopped
+		}
+		return nil
+	}
+	s, err := serve(addr, node.Cluster, exec, node.Close)
+	if err != nil {
+		node.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// serve wires the listener over an already running cluster.
+func serve(addr string, cluster *core.Cluster, exec func(func()) error, teardown func()) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	driver := realtime.NewDriver(cluster.Internal().Sim(), speed)
 	s := &Server{
 		cluster:  cluster,
-		driver:   driver,
+		exec:     exec,
+		teardown: teardown,
 		listener: ln,
 		conns:    make(map[net.Conn]struct{}),
 		done:     make(chan struct{}),
 	}
-	driver.Start()
 	go s.acceptLoop()
 	return s, nil
 }
@@ -119,7 +164,7 @@ func (s *Server) Close() {
 		c.Close()
 	}
 	s.mu.Unlock()
-	s.driver.Stop()
+	s.teardown()
 }
 
 func (s *Server) acceptLoop() {
@@ -156,10 +201,10 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// handle executes one request on the simulation loop.
+// handle executes one request on the engine's execution context.
 func (s *Server) handle(req Request) Response {
 	var resp Response
-	err := s.driver.Do(func() {
+	err := s.exec(func() {
 		resp = s.apply(req)
 	})
 	if err != nil {
@@ -171,25 +216,37 @@ func (s *Server) handle(req Request) Response {
 func (s *Server) apply(req Request) Response {
 	switch req.Op {
 	case "submit":
-		r := marp.Set(req.Key, req.Value)
+		r := core.Set(req.Key, req.Value)
 		if req.Append {
-			r = marp.Append(req.Key, req.Value)
+			r = core.Append(req.Key, req.Value)
 		}
-		if err := s.cluster.Submit(marp.NodeID(req.Home), r); err != nil {
+		if err := s.cluster.Submit(runtime.NodeID(req.Home), r); err != nil {
 			return Response{Error: err.Error()}
 		}
 		return Response{OK: true}
 	case "read":
-		v, ok := s.cluster.Read(marp.NodeID(req.Node), req.Key)
+		v, ok := s.cluster.Read(runtime.NodeID(req.Node), req.Key)
 		return Response{OK: true, Found: ok, Value: v.Data, Seq: v.Version.Seq}
 	case "crash":
-		s.cluster.Crash(marp.NodeID(req.Node))
+		s.cluster.Crash(runtime.NodeID(req.Node))
 		return Response{OK: true}
 	case "recover":
-		s.cluster.Recover(marp.NodeID(req.Node))
+		s.cluster.Recover(runtime.NodeID(req.Node))
 		return Response{OK: true}
+	case "digest":
+		srv := s.cluster.Server(runtime.NodeID(req.Node))
+		if srv == nil {
+			return Response{Error: fmt.Sprintf("node %d is not hosted here", req.Node)}
+		}
+		log := srv.Store().Log()
+		d, n := digestLog(log)
+		return Response{OK: true, Value: d, Seq: uint64(n)}
+	case "referee":
+		ref := s.cluster.Referee()
+		return Response{OK: true, Wins: ref.Wins(), Violations: len(ref.Violations())}
 	case "stats":
-		st := s.cluster.Stats()
+		ns := s.cluster.NetStats()
+		as := s.cluster.Platform().Stats()
 		committed, failed := 0, 0
 		for _, o := range s.cluster.Outcomes() {
 			if o.Failed {
@@ -199,14 +256,14 @@ func (s *Server) apply(req Request) Response {
 			}
 		}
 		return Response{OK: true, Stats: &StatsBody{
-			Servers:     len(s.cluster.Servers()),
+			Servers:     len(s.cluster.Nodes()),
 			Outstanding: s.cluster.Outstanding(),
 			Committed:   committed,
 			Failed:      failed,
-			Messages:    st.Network.MessagesSent,
-			Bytes:       st.Network.BytesSent,
-			Migrations:  st.Agents.MigrationsCompleted,
-			VirtualMs:   s.cluster.Now().Milliseconds(),
+			Messages:    ns.MessagesSent,
+			Bytes:       ns.BytesSent,
+			Migrations:  as.MigrationsCompleted,
+			VirtualMs:   s.cluster.Now().Duration().Milliseconds(),
 		}}
 	default:
 		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
@@ -309,4 +366,46 @@ func (c *Client) Stats() (StatsBody, error) {
 		return StatsBody{}, fmt.Errorf("transport: empty stats")
 	}
 	return *resp.Stats, nil
+}
+
+// digestLog folds a replica's committed-update log into an order-independent
+// digest of the commit set: entries are sorted by (key, txn, data) and the
+// engine-dependent fields (local commit sequence, wall stamp) are excluded.
+// Two replicas — or the same workload on two engines — that committed the
+// same writes produce the same digest even when commit order differed, which
+// MARP permits for independent keys (agents for disjoint keys serialize per
+// key, not globally).
+func digestLog(log []store.Update) (string, int) {
+	entries := make([]string, len(log))
+	for i, u := range log {
+		entries[i] = u.Key + "\x00" + u.TxnID + "\x00" + u.Data
+	}
+	sort.Strings(entries)
+	h := fnv.New64a()
+	for _, e := range entries {
+		h.Write([]byte(e))
+		h.Write([]byte{0xff})
+	}
+	return fmt.Sprintf("%016x", h.Sum64()), len(entries)
+}
+
+// Digest fetches the order-independent commit-set digest of a replica's
+// store (live mode: the one replica the addressed process hosts).
+func (c *Client) Digest(node int) (digest string, commits int, err error) {
+	resp, err := c.roundTrip(Request{Op: "digest", Node: node})
+	if err != nil {
+		return "", 0, err
+	}
+	return resp.Value, int(resp.Seq), nil
+}
+
+// Referee fetches the process-local referee verdict: how many update
+// permissions were granted and how many single-claimant violations were
+// observed.
+func (c *Client) Referee() (wins, violations int, err error) {
+	resp, err := c.roundTrip(Request{Op: "referee"})
+	if err != nil {
+		return 0, 0, err
+	}
+	return resp.Wins, resp.Violations, nil
 }

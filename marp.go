@@ -44,6 +44,7 @@ import (
 
 	"repro/internal/agent"
 	"repro/internal/core"
+	"repro/internal/desengine"
 	"repro/internal/simnet"
 	"repro/internal/store"
 	"repro/internal/trace"
@@ -111,7 +112,7 @@ type Options struct {
 // Cluster is a MARP deployment: N mobile-agent-enabled replicated servers on
 // a simulated network, driven in deterministic virtual time.
 type Cluster struct {
-	inner *core.Cluster
+	inner *desengine.Cluster
 	log   *trace.Log
 }
 
@@ -142,16 +143,18 @@ func NewCluster(o Options) (*Cluster, error) {
 	if batchDelay == 0 && o.BatchSize > 1 {
 		batchDelay = 20 * time.Millisecond
 	}
-	inner, err := core.NewCluster(core.Config{
-		N:                  o.Servers,
-		Seed:               o.Seed,
-		Votes:              o.Votes,
-		Latency:            model,
-		BatchMaxRequests:   o.BatchSize,
-		BatchMaxDelay:      batchDelay,
-		DisableInfoSharing: o.DisableInfoSharing,
-		RandomItinerary:    o.RandomItinerary,
-		Trace:              log,
+	inner, err := desengine.New(desengine.Config{
+		Seed:    o.Seed,
+		Latency: model,
+		Cluster: core.Config{
+			N:                  o.Servers,
+			Votes:              o.Votes,
+			BatchMaxRequests:   o.BatchSize,
+			BatchMaxDelay:      batchDelay,
+			DisableInfoSharing: o.DisableInfoSharing,
+			RandomItinerary:    o.RandomItinerary,
+			Trace:              log,
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -202,10 +205,10 @@ func (c *Cluster) RunFor(d time.Duration) { c.inner.Settle(d) }
 
 // After schedules fn at a virtual-time offset — the way to script crashes,
 // submissions and probes inside a deterministic run.
-func (c *Cluster) After(d time.Duration, fn func()) { c.inner.Sim().After(d, fn) }
+func (c *Cluster) After(d time.Duration, fn func()) { c.inner.Engine().AfterFunc(d, fn) }
 
 // Now returns the current virtual time since the start of the run.
-func (c *Cluster) Now() time.Duration { return c.inner.Sim().Now().Duration() }
+func (c *Cluster) Now() time.Duration { return c.inner.Now().Duration() }
 
 // Crash fail-stops a server: its volatile locking state is lost and agents
 // hosted there die. Committed data survives on stable storage.
@@ -245,9 +248,9 @@ type Stats struct {
 
 // Stats returns traffic and agent-platform counters for the run so far.
 func (c *Cluster) Stats() Stats {
-	return Stats{Network: c.inner.Network().Stats(), Agents: c.inner.Platform().Stats()}
+	return Stats{Network: c.inner.NetStats(), Agents: c.inner.Platform().Stats()}
 }
 
-// Internal returns the underlying core cluster for advanced use (benchmark
-// harness, tests).
-func (c *Cluster) Internal() *core.Cluster { return c.inner }
+// Internal returns the underlying simulated cluster for advanced use
+// (benchmark harness, tests).
+func (c *Cluster) Internal() *desengine.Cluster { return c.inner }
