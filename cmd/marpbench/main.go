@@ -20,7 +20,7 @@
 // parallelism buys wall-clock time only. Per-experiment wall-clock is
 // printed so the speedup is visible.
 //
-// Experiments: f2 f3 f4 c1 t3 a1 a2 a3 a4 a5 a6 (see DESIGN.md §4).
+// Experiments: f2 f3 f4 c1 t3 a1 a2 a3 a4 a5 a6 a7 (see DESIGN.md §4).
 package main
 
 import (
@@ -36,7 +36,7 @@ import (
 	"repro/internal/metrics"
 )
 
-var experiments = []string{"f2", "f3", "f4", "c1", "t3", "a1", "a2", "a3", "a4", "a5", "a6"}
+var experiments = []string{"f2", "f3", "f4", "c1", "t3", "a1", "a2", "a3", "a4", "a5", "a6", "a7"}
 
 func main() {
 	var (
@@ -112,15 +112,17 @@ func run(expFlag, cpuProf, memProf string, opts harness.FigureOptions) int {
 		}
 	}
 
+	// Experiments produce one table each, except A7 which reports three
+	// (overhead, recovery, raw replay) — run therefore yields a slice.
 	type experiment struct {
 		id   string
 		name string
-		run  func(harness.FigureOptions) (*metrics.Table, error)
+		run  func(harness.FigureOptions) ([]*metrics.Table, error)
 	}
-	table := func(f func(harness.FigureOptions) (*metrics.Table, []harness.RunResult, error)) func(harness.FigureOptions) (*metrics.Table, error) {
-		return func(o harness.FigureOptions) (*metrics.Table, error) {
+	table := func(f func(harness.FigureOptions) (*metrics.Table, []harness.RunResult, error)) func(harness.FigureOptions) ([]*metrics.Table, error) {
+		return func(o harness.FigureOptions) ([]*metrics.Table, error) {
 			t, _, err := f(o)
-			return t, err
+			return []*metrics.Table{t}, err
 		}
 	}
 	all := []experiment{
@@ -132,15 +134,16 @@ func run(expFlag, cpuProf, memProf string, opts harness.FigureOptions) int {
 		{"a1", "Ablation: information sharing", table(harness.AblationInfoSharing)},
 		{"a2", "Ablation: itinerary routing", table(harness.AblationRouting)},
 		{"a3", "Ablation: request batching", table(harness.AblationBatching)},
-		{"a4", "Ablation: failure injection", func(o harness.FigureOptions) (*metrics.Table, error) {
+		{"a4", "Ablation: failure injection", func(o harness.FigureOptions) ([]*metrics.Table, error) {
 			t, _, err := harness.FailureInjection(o)
-			return t, err
+			return []*metrics.Table{t}, err
 		}},
 		{"a5", "Ablation: read-to-update ratio", table(harness.ReadRatio)},
-		{"a6", "Ablation: chaos (loss x partition churn)", func(o harness.FigureOptions) (*metrics.Table, error) {
+		{"a6", "Ablation: chaos (loss x partition churn)", func(o harness.FigureOptions) ([]*metrics.Table, error) {
 			t, _, err := harness.Chaos(o)
-			return t, err
+			return []*metrics.Table{t}, err
 		}},
+		{"a7", "Durability: WAL overhead and crash recovery", harness.Durability},
 	}
 
 	ran := 0
@@ -151,14 +154,16 @@ func run(expFlag, cpuProf, memProf string, opts harness.FigureOptions) int {
 		}
 		ran++
 		start := time.Now()
-		tbl, err := e.run(opts)
+		tbls, err := e.run(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "marpbench: %s failed: %v\n", e.id, err)
 			return 1
 		}
-		if err := tbl.Fprint(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "marpbench: %v\n", err)
-			return 1
+		for _, tbl := range tbls {
+			if err := tbl.Fprint(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "marpbench: %v\n", err)
+				return 1
+			}
 		}
 		fmt.Printf("  [%s completed in %.2fs wall clock, parallel=%d]\n\n",
 			e.id, time.Since(start).Seconds(), opts.Parallelism)

@@ -7,16 +7,19 @@
 //	marpctl [-addr host:port] read <node> <key>
 //	marpctl [-addr host:port] crash <node>
 //	marpctl [-addr host:port] recover <node>
-//	marpctl [-addr host:port] digest <node>
-//	marpctl [-addr host:port] referee
+//	marpctl [-addr host:port] [-json] digest <node>
+//	marpctl [-addr host:port] [-json] referee
 //	marpctl [-addr host:port] stats
 //
 // Connecting retries up to three times with exponential backoff (covers the
 // common race of starting marpd and marpctl together); -timeout bounds each
 // request/response exchange once connected (0 disables the deadline).
+// -json switches digest and referee output to one JSON object per line,
+// for scripts (the CI restart-smoke gate parses it).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -55,13 +58,15 @@ commands:
   recover <node>                restart a crashed server
   digest <node>                 commit-set digest of a replica's store
   referee                       grants and single-claimant violations
-  stats                         service counters`)
+  stats                         service counters
+flags: -addr host:port, -timeout 5s, -json (digest/referee)`)
 	os.Exit(2)
 }
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7707", "marpd address")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request deadline (0 = none)")
+	asJSON := flag.Bool("json", false, "machine-readable output (digest, referee)")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -130,11 +135,19 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if *asJSON {
+			printJSON(map[string]any{"node": node(args[1]), "digest": digest, "commits": commits})
+			return
+		}
 		fmt.Printf("%s (%d commits)\n", digest, commits)
 	case "referee":
 		wins, violations, err := cli.Referee()
 		if err != nil {
 			fatal(err)
+		}
+		if *asJSON {
+			printJSON(map[string]any{"wins": wins, "violations": violations})
+			return
 		}
 		fmt.Printf("wins %d, violations %d\n", wins, violations)
 	case "stats":
@@ -152,6 +165,15 @@ func main() {
 	default:
 		usage()
 	}
+}
+
+// printJSON writes one sorted-key JSON object per line to stdout.
+func printJSON(v map[string]any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(string(b))
 }
 
 func fatal(err error) {

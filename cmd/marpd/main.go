@@ -18,6 +18,11 @@
 //	marpd -mode live -node 2 -peers 1=127.0.0.1:7801,2=127.0.0.1:7802,3=127.0.0.1:7803 -addr :7708
 //	marpd -mode live -node 3 -peers 1=127.0.0.1:7801,2=127.0.0.1:7802,3=127.0.0.1:7803 -addr :7709
 //
+// Add -data-dir <dir> (one directory per replica) to make a live replica
+// durable: its write-ahead log and snapshots land there, SIGTERM flushes
+// and closes the log, and restarting with the same -data-dir replays it
+// before rejoining (README.md walks through a kill-and-restart).
+//
 // Then drive it with marpctl:
 //
 //	marpctl -addr :7707 submit 1 mykey myvalue
@@ -71,6 +76,8 @@ func main() {
 		mode    = flag.String("mode", "sim", "sim (whole cluster, simulated network) or live (one replica per process)")
 		node    = flag.Int("node", 0, "this process's replica ID (live mode)")
 		peers   = flag.String("peers", "", "replica fabric addresses, id=host:port comma-separated (live mode)")
+		dataDir = flag.String("data-dir", "", "durability directory: WAL + snapshots; restart with the same dir to recover (live mode)")
+		fsync   = flag.String("fsync", "commit", "WAL fsync policy with -data-dir: commit, always, none")
 	)
 	flag.Parse()
 
@@ -88,9 +95,11 @@ func main() {
 		var addrs map[runtime.NodeID]string
 		if addrs, err = parsePeers(*peers); err == nil {
 			srv, err = transport.ServeLive(*addr, live.NodeConfig{
-				Self:  runtime.NodeID(*node),
-				Addrs: addrs,
-				Seed:  *seed,
+				Self:    runtime.NodeID(*node),
+				Addrs:   addrs,
+				Seed:    *seed,
+				DataDir: *dataDir,
+				Fsync:   *fsync,
 			})
 		}
 	default:

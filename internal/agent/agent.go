@@ -166,9 +166,21 @@ type Platform struct {
 	// pending tracks in-flight migrations by agent ID; the destination
 	// place removes the entry when the envelope lands, the timeout fires
 	// only if it is still present.
-	pending map[ID]*pendingMigration
-	seq     uint64
-	stats   Stats
+	pending   map[ID]*pendingMigration
+	seq       uint64
+	bornFloor int64
+	stats     Stats
+}
+
+// AdvanceBirth raises the minimum Born value for subsequently spawned
+// agents. Recovery calls this with a value past every timestamp the
+// durable state remembers: engines restart their clocks at zero, so
+// without the floor a reborn process could mint an ID identical to one in
+// a persisted gone set — which every replica would then refuse forever.
+func (p *Platform) AdvanceBirth(min int64) {
+	if min > p.bornFloor {
+		p.bornFloor = min
+	}
 }
 
 type pendingMigration struct {
@@ -280,10 +292,14 @@ func (p *Platform) Spawn(home runtime.NodeID, b Behavior) *Context {
 		panic(fmt.Sprintf("agent: spawning on unhosted node %d", home))
 	}
 	p.seq++
+	born := int64(p.eng.Now())
+	if born < p.bornFloor {
+		born = p.bornFloor
+	}
 	ctx := &Context{
 		platform: p,
 		behavior: b,
-		id:       ID{Home: home, Born: int64(p.eng.Now()), Seq: p.seq},
+		id:       ID{Home: home, Born: born, Seq: p.seq},
 		node:     home,
 	}
 	pl.agents[ctx.id] = ctx

@@ -6,12 +6,15 @@ import (
 	"time"
 
 	"repro/internal/agent"
+	"repro/internal/disk"
+	"repro/internal/durable"
 	"repro/internal/quorum"
 	"repro/internal/reliable"
 	"repro/internal/replica"
 	"repro/internal/runtime"
 	"repro/internal/store"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 // Config assembles a MARP deployment over a runtime engine and fabric. It
@@ -87,6 +90,13 @@ type Config struct {
 	// requests fail as in the seed behaviour.
 	RegenerateAgents bool
 
+	// Durability, if non-nil, makes every locally hosted replica durable:
+	// its store, locking state, and reliable-delivery endpoint are
+	// journaled to a per-node write-ahead log, and Recover restarts a
+	// crashed node from its log instead of from nothing. Off by default so
+	// baseline runs touch no storage path and stay byte-identical.
+	Durability *DurabilityConfig
+
 	// OnGrant, if non-nil, observes every grant change in addition to the
 	// built-in referee. Cross-engine tests use it to assemble a global
 	// single-claimant oracle spanning several cluster processes.
@@ -94,6 +104,20 @@ type Config struct {
 
 	// Trace, if non-nil, records the full protocol timeline.
 	Trace *trace.Log
+}
+
+// DurabilityConfig selects stable storage for the cluster's replicas.
+type DurabilityConfig struct {
+	// Backend returns node id's stable-storage backend: disk.NewFS for a
+	// live data dir, disk.NewMem for deterministic simulation. Called once
+	// per local node at construction; the cluster keeps the backend for
+	// crash/recover cycles.
+	Backend func(id runtime.NodeID) disk.Backend
+	// Policy is the fsync policy (default wal.PolicyCommit).
+	Policy wal.Policy
+	// SegmentBytes and CompactEvery tune the journal (see durable.Options).
+	SegmentBytes int
+	CompactEvery int
 }
 
 func (c *Config) fill() error {
@@ -144,6 +168,8 @@ type Cluster struct {
 	nodes    []runtime.NodeID                   // all replicas, local or not
 	local    map[runtime.NodeID]bool
 	referee  *Referee
+	backends map[runtime.NodeID]disk.Backend // durability only
+	journals map[runtime.NodeID]*durable.Journal
 
 	votes       quorum.Assignment
 	batches     map[runtime.NodeID]*batch
@@ -197,6 +223,8 @@ func NewCluster(eng runtime.Engine, fab runtime.Fabric, cfg Config) (*Cluster, e
 		batches:     make(map[runtime.NodeID]*batch),
 		active:      make(map[agent.ID]*UpdateAgent),
 		checkpoints: make(map[agent.ID]WireState),
+		backends:    make(map[runtime.NodeID]disk.Backend),
+		journals:    make(map[runtime.NodeID]*durable.Journal),
 	}
 	c.platform = agent.NewPlatform(eng, fabric, agent.Config{
 		MigrationTimeout: cfg.MigrationTimeout,
@@ -253,14 +281,60 @@ func NewCluster(eng runtime.Engine, fab runtime.Fabric, cfg Config) (*Cluster, e
 		if !c.local[id] {
 			continue
 		}
-		c.servers[id] = replica.New(eng, id, c.nodes, fabric, c.platform, store.New(), replica.Config{
+		rcfg := replica.Config{
 			DisableInfoSharing: cfg.DisableInfoSharing,
 			GrantObserver:      observer,
 			Intercept:          c.intercept,
 			Trace:              cfg.Trace,
-		})
+		}
+		if cfg.Durability != nil {
+			b := cfg.Durability.Backend(id)
+			j, st, err := durable.Open(b, c.durableOptions())
+			if err != nil {
+				return nil, fmt.Errorf("core: opening journal for server %d: %w", id, err)
+			}
+			c.backends[id] = b
+			c.journals[id] = j
+			c.wireRelJournal(id, j, st)
+			rcfg.Journal = j
+			rcfg.Restore = st
+			if st != nil {
+				// The engine's clock restarted at zero; keep new agent IDs
+				// clear of everything the recovered state remembers.
+				c.platform.AdvanceBirth(st.BirthFloor() + 1)
+			}
+		}
+		c.servers[id] = replica.New(eng, id, c.nodes, fabric, c.platform, store.New(), rcfg)
+		if rcfg.Restore != nil {
+			// The node has history: pull what it missed while down. Deferred
+			// so the sends land after every node has attached to the fabric.
+			srv := c.servers[id]
+			eng.AfterFunc(0, srv.RequestSync)
+		}
 	}
 	return c, nil
+}
+
+func (c *Cluster) durableOptions() durable.Options {
+	d := c.cfg.Durability
+	return durable.Options{Policy: d.Policy, SegmentBytes: d.SegmentBytes, CompactEvery: d.CompactEvery}
+}
+
+// wireRelJournal connects node id's journal to the reliable layer (when one
+// is active): endpoint mutations are journaled, compaction snapshots carry
+// the port state, and recovered state is reinstated.
+func (c *Cluster) wireRelJournal(id runtime.NodeID, j *durable.Journal, st *durable.State) {
+	if c.rel == nil {
+		return
+	}
+	c.rel.SetJournal(id, j)
+	if st != nil {
+		c.rel.Restore(id, st.RelNextSeq, st.RelSeen)
+	}
+	rel := c.rel
+	j.AddSource(func(ds *durable.State) {
+		ds.RelNextSeq, ds.RelSeen = rel.PortState(id)
+	})
 }
 
 // Engine returns the runtime engine the cluster is scheduled on.
@@ -520,6 +594,16 @@ func (c *Cluster) Crash(id runtime.NodeID) {
 		c.rel.Crash(id)
 	}
 	c.servers[id].Crash()
+	if j := c.journals[id]; j != nil {
+		// Kill the journal handle (no final sync — this is a crash, not a
+		// shutdown) and power-cut the disk model: everything past the last
+		// fsync is gone, exactly what Recover must cope with.
+		j.Kill()
+		c.journals[id] = nil
+		if dc, ok := c.backends[id].(disk.Crasher); ok {
+			dc.Crash()
+		}
+	}
 	var dead []agent.ID
 	for _, cas := range c.platform.TakeResidents(id) {
 		if !c.loseAgent(cas.ID) {
@@ -530,7 +614,9 @@ func (c *Cluster) Crash(id runtime.NodeID) {
 }
 
 // Recover restarts a crashed server; it rejoins the network and pulls the
-// updates it missed from its peers.
+// updates it missed from its peers. With durability configured the node
+// first replays its journal — what it committed before the crash comes off
+// its own disk, and only the suffix it missed comes from the peers.
 func (c *Cluster) Recover(id runtime.NodeID) {
 	cr, ok := c.base.(runtime.Crasher)
 	if !ok || c.servers[id] == nil {
@@ -540,7 +626,19 @@ func (c *Cluster) Recover(id runtime.NodeID) {
 		return
 	}
 	cr.SetDown(id, false)
-	c.servers[id].Recover()
+	if c.cfg.Durability == nil {
+		c.servers[id].Recover()
+		return
+	}
+	j, st, err := durable.Open(c.backends[id], c.durableOptions())
+	if err != nil {
+		// Fail-stop: a replica whose stable storage will not replay must
+		// not rejoin — and in simulation any corruption is a bug.
+		panic(fmt.Sprintf("core: recovering server %d: %v", id, err))
+	}
+	c.journals[id] = j
+	c.wireRelJournal(id, j, st)
+	c.servers[id].Restart(j, st)
 }
 
 // PartitionNet splits the network into the given groups; nodes in different
@@ -578,6 +676,64 @@ func (c *Cluster) SetLoss(p float64) {
 
 // Regenerated reports how many lost agents were respawned from checkpoints.
 func (c *Cluster) Regenerated() int { return c.regenerated }
+
+// Journal returns node id's open durability journal (nil when durability is
+// off or the node is crashed).
+func (c *Cluster) Journal(id runtime.NodeID) *durable.Journal { return c.journals[id] }
+
+// JournalStats sums the WAL counters across all locally hosted journals.
+func (c *Cluster) JournalStats() wal.Stats {
+	var total wal.Stats
+	for _, j := range c.journals {
+		if j == nil {
+			continue
+		}
+		s := j.Stats()
+		total.Appends += s.Appends
+		total.AppendedBytes += s.AppendedBytes
+		total.Syncs += s.Syncs
+		total.Rotations += s.Rotations
+		total.Snapshots += s.Snapshots
+		total.Replayed += s.Replayed
+		total.TailDropped += s.TailDropped
+	}
+	return total
+}
+
+// DiskStats sums the backend I/O counters across all locally hosted nodes.
+func (c *Cluster) DiskStats() disk.Stats {
+	var total disk.Stats
+	for _, b := range c.backends {
+		if src, ok := b.(disk.StatsSource); ok {
+			s := src.Stats()
+			total.Writes += s.Writes
+			total.BytesWritten += s.BytesWritten
+			total.Syncs += s.Syncs
+			total.SyncTime += s.SyncTime
+		}
+	}
+	return total
+}
+
+// CloseJournals flushes and closes every open journal — the graceful
+// shutdown path (live nodes call it on SIGTERM; tests call it before
+// re-opening a data dir).
+func (c *Cluster) CloseJournals() error {
+	var first error
+	for id, j := range c.journals {
+		if j == nil {
+			continue
+		}
+		if err := j.Close(); err != nil && first == nil {
+			first = err
+		}
+		c.journals[id] = nil
+		if s := c.servers[id]; s != nil {
+			s.Store().SetJournal(nil)
+		}
+	}
+	return first
+}
 
 // ReliableStats returns the ack/retransmit layer's counters (the zero value
 // when the cluster runs on raw channels).

@@ -1,0 +1,80 @@
+// Package disk is the stable-storage seam under the durability subsystem.
+//
+// The write-ahead log (internal/wal) talks to named append-only files
+// through the Backend interface and never to the filesystem directly — the
+// same pattern as the runtime seam in internal/runtime: one protocol-side
+// consumer, two substrates. The FS backend is a directory of real files
+// with real fsyncs for the live deployment; the Mem backend is a
+// deterministic in-memory model of a disk for the simulation engine, with
+// an explicit synced/unsynced boundary so crash experiments can discard
+// exactly the bytes a real power cut would discard, an injectable fsync
+// latency model for durability-cost accounting, and crash-point truncation
+// for torn-write replay tests.
+package disk
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrNotExist is returned when a named file is absent. Backends wrap their
+// substrate's error so callers test with errors.Is.
+var ErrNotExist = errors.New("disk: file does not exist")
+
+// ErrCrashed is returned by Mem file handles after a simulated crash: the
+// process that held them is dead, so writes through them must not land.
+var ErrCrashed = errors.New("disk: backend crashed under open handle")
+
+// File is one append-only stable-storage file. Write buffers in the "OS
+// page cache" (real or modelled); Sync makes everything written so far
+// survive a crash.
+type File interface {
+	io.Writer
+	// Sync flushes all writes to stable storage (fsync).
+	Sync() error
+	// Close releases the handle without an implied Sync — exactly like a
+	// POSIX close. Callers that need the tail durable must Sync first.
+	Close() error
+}
+
+// Backend is a flat namespace of stable-storage files. Implementations
+// must make Rename atomic with respect to crashes: after a crash the old
+// name, the new name, or both exist, but never a half-written target —
+// that is what makes snapshot installation safe.
+type Backend interface {
+	// Create opens name for writing, truncating any existing content.
+	Create(name string) (File, error)
+	// Append opens name for appending, creating it if absent.
+	Append(name string) (File, error)
+	// ReadFile returns the full content of name (ErrNotExist if absent).
+	ReadFile(name string) ([]byte, error)
+	// List returns all file names in lexical order.
+	List() ([]string, error)
+	// Rename atomically moves oldName over newName.
+	Rename(oldName, newName string) error
+	// Remove deletes name (nil if absent: removal is idempotent).
+	Remove(name string) error
+}
+
+// Stats counts a backend's I/O for durability-cost accounting.
+type Stats struct {
+	Writes       int
+	BytesWritten int
+	Syncs        int
+	// SyncTime is the modelled or measured time spent in Sync calls,
+	// nanoseconds. The Mem backend accumulates its injected latency here.
+	SyncTime int64
+}
+
+// StatsSource is a backend that counts its I/O.
+type StatsSource interface {
+	Stats() Stats
+}
+
+// Crasher is a backend that can simulate a machine crash: all unsynced
+// bytes vanish and open handles die. The Mem backend implements it; the FS
+// backend does not (a real kill -9 is the live equivalent, and the OS page
+// cache survives it).
+type Crasher interface {
+	Crash()
+}

@@ -1,0 +1,164 @@
+package disk
+
+import (
+	"errors"
+	"os"
+	"testing"
+	"time"
+)
+
+// backends under test: the deterministic model and the real filesystem must
+// satisfy the same contract wherever both can express it.
+func backends(t *testing.T) map[string]Backend {
+	t.Helper()
+	fs, err := NewFS(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewFS: %v", err)
+	}
+	return map[string]Backend{"mem": NewMem(), "fs": fs}
+}
+
+func writeAll(t *testing.T, b Backend, name, content string) {
+	t.Helper()
+	f, err := b.Create(name)
+	if err != nil {
+		t.Fatalf("Create(%s): %v", name, err)
+	}
+	if _, err := f.Write([]byte(content)); err != nil {
+		t.Fatalf("Write(%s): %v", name, err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync(%s): %v", name, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close(%s): %v", name, err)
+	}
+}
+
+func TestBackendContract(t *testing.T) {
+	for label, b := range backends(t) {
+		t.Run(label, func(t *testing.T) {
+			if _, err := b.ReadFile("absent"); !errors.Is(err, ErrNotExist) {
+				t.Fatalf("ReadFile(absent) = %v, want ErrNotExist", err)
+			}
+			if err := b.Remove("absent"); err != nil {
+				t.Fatalf("Remove(absent) = %v, want nil", err)
+			}
+			writeAll(t, b, "a", "hello")
+			// Append extends without truncating.
+			f, err := b.Append("a")
+			if err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+			f.Write([]byte(" world"))
+			f.Sync()
+			f.Close()
+			got, err := b.ReadFile("a")
+			if err != nil || string(got) != "hello world" {
+				t.Fatalf("ReadFile(a) = %q, %v", got, err)
+			}
+			// Create truncates.
+			writeAll(t, b, "a", "short")
+			if got, _ := b.ReadFile("a"); string(got) != "short" {
+				t.Fatalf("after Create, ReadFile(a) = %q", got)
+			}
+			// Rename replaces the target and frees the source name.
+			writeAll(t, b, "b", "target")
+			if err := b.Rename("a", "b"); err != nil {
+				t.Fatalf("Rename: %v", err)
+			}
+			if got, _ := b.ReadFile("b"); string(got) != "short" {
+				t.Fatalf("after Rename, ReadFile(b) = %q", got)
+			}
+			if _, err := b.ReadFile("a"); !errors.Is(err, ErrNotExist) {
+				t.Fatalf("after Rename, ReadFile(a) = %v, want ErrNotExist", err)
+			}
+			names, err := b.List()
+			if err != nil || len(names) != 1 || names[0] != "b" {
+				t.Fatalf("List = %v, %v, want [b]", names, err)
+			}
+		})
+	}
+}
+
+func TestMemCrashDropsUnsyncedTail(t *testing.T) {
+	m := NewMem()
+	f, _ := m.Create("f")
+	f.Write([]byte("durable"))
+	f.Sync()
+	f.Write([]byte(" volatile"))
+	m.Crash()
+	got, err := m.ReadFile("f")
+	if err != nil || string(got) != "durable" {
+		t.Fatalf("after crash, ReadFile = %q, %v; want \"durable\"", got, err)
+	}
+	// The old handle belongs to the dead process.
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write on crashed handle = %v, want ErrCrashed", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("sync on crashed handle = %v, want ErrCrashed", err)
+	}
+	// A fresh handle appends where the stable prefix ended.
+	f2, _ := m.Append("f")
+	f2.Write([]byte("!"))
+	if got, _ := m.ReadFile("f"); string(got) != "durable!" {
+		t.Fatalf("after reopen, ReadFile = %q", got)
+	}
+}
+
+func TestMemTruncateAndSize(t *testing.T) {
+	m := NewMem()
+	writeAll(t, m, "f", "0123456789")
+	if n := m.Size("f"); n != 10 {
+		t.Fatalf("Size = %d, want 10", n)
+	}
+	if err := m.Truncate("f", 4); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	if got, _ := m.ReadFile("f"); string(got) != "0123" {
+		t.Fatalf("after Truncate, ReadFile = %q", got)
+	}
+	if err := m.Truncate("f", 99); err == nil {
+		t.Fatal("Truncate past end succeeded")
+	}
+	if err := m.Truncate("absent", 0); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("Truncate(absent) = %v, want ErrNotExist", err)
+	}
+}
+
+func TestMemSyncDelayAccountsIntoStats(t *testing.T) {
+	m := NewMem()
+	m.SyncDelay = func() time.Duration { return 3 * time.Millisecond }
+	f, _ := m.Create("f")
+	f.Write([]byte("x"))
+	f.Sync()
+	f.Sync()
+	st := m.Stats()
+	if st.Syncs != 2 || st.SyncTime != int64(6*time.Millisecond) {
+		t.Fatalf("stats = %+v, want 2 syncs, 6ms", st)
+	}
+	if st.Writes != 1 || st.BytesWritten != 1 {
+		t.Fatalf("stats = %+v, want 1 write of 1 byte", st)
+	}
+}
+
+func TestFSDirPersistsAcrossOpens(t *testing.T) {
+	dir := t.TempDir()
+	fs1, err := NewFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, fs1, "f", "persisted")
+	fs2, err := NewFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs2.ReadFile("f")
+	if err != nil || string(got) != "persisted" {
+		t.Fatalf("second open ReadFile = %q, %v", got, err)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("backing dir: %v", err)
+	}
+}

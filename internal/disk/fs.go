@@ -1,0 +1,133 @@
+package disk
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// FS is the real-filesystem backend: a flat directory of files. It is what
+// a live replica's -data-dir opens. Writes go through the OS page cache;
+// Sync is a real fsync; Rename is rename(2) followed by a directory fsync,
+// which is the portable recipe for an atomic, durable name swap.
+type FS struct {
+	dir   string
+	stats Stats
+}
+
+var (
+	_ Backend     = (*FS)(nil)
+	_ StatsSource = (*FS)(nil)
+)
+
+// NewFS opens (creating if necessary) the directory dir as a backend.
+func NewFS(dir string) (*FS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("disk: %w", err)
+	}
+	return &FS{dir: dir}, nil
+}
+
+// Dir returns the backing directory.
+func (f *FS) Dir() string { return f.dir }
+
+func (f *FS) path(name string) string { return filepath.Join(f.dir, name) }
+
+// Create opens name for writing, truncating any existing content.
+func (f *FS) Create(name string) (File, error) {
+	file, err := os.OpenFile(f.path(name), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &fsFile{f: file, fs: f}, nil
+}
+
+// Append opens name for appending, creating it if absent.
+func (f *FS) Append(name string) (File, error) {
+	file, err := os.OpenFile(f.path(name), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &fsFile{f: file, fs: f}, nil
+}
+
+// ReadFile returns the full content of name.
+func (f *FS) ReadFile(name string) ([]byte, error) {
+	b, err := os.ReadFile(f.path(name))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	return b, err
+}
+
+// List returns the directory's file names in lexical order.
+func (f *FS) List() ([]string, error) {
+	entries, err := os.ReadDir(f.dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Rename atomically moves oldName over newName and fsyncs the directory so
+// the swap itself is durable.
+func (f *FS) Rename(oldName, newName string) error {
+	if err := os.Rename(f.path(oldName), f.path(newName)); err != nil {
+		return err
+	}
+	return f.syncDir()
+}
+
+// Remove deletes name; removing an absent file is not an error.
+func (f *FS) Remove(name string) error {
+	err := os.Remove(f.path(name))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// Stats returns the backend's I/O counters.
+func (f *FS) Stats() Stats { return f.stats }
+
+func (f *FS) syncDir() error {
+	d, err := os.Open(f.dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+type fsFile struct {
+	f  *os.File
+	fs *FS
+}
+
+func (ff *fsFile) Write(p []byte) (int, error) {
+	n, err := ff.f.Write(p)
+	ff.fs.stats.Writes++
+	ff.fs.stats.BytesWritten += n
+	return n, err
+}
+
+func (ff *fsFile) Sync() error {
+	start := time.Now()
+	err := ff.f.Sync()
+	ff.fs.stats.Syncs++
+	ff.fs.stats.SyncTime += int64(time.Since(start))
+	return err
+}
+
+func (ff *fsFile) Close() error { return ff.f.Close() }

@@ -1,0 +1,186 @@
+package disk
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Mem is the deterministic in-memory backend the simulation engine runs
+// durability experiments on. It models exactly the part of a disk the
+// protocol cares about:
+//
+//   - every file keeps a synced/unsynced boundary: Write lands in the
+//     modelled page cache, Sync advances the stable mark;
+//   - Crash discards every byte past the stable mark and kills open
+//     handles, which is what a power cut does to a real disk;
+//   - SyncDelay injects a per-fsync latency model whose cost accumulates
+//     in Stats.SyncTime, so the A7 experiment can price a policy without
+//     waiting on real hardware;
+//   - Truncate chops a file at an arbitrary byte for torn-write replay
+//     tests (the testing/quick crash-point property).
+//
+// Mem is not safe for concurrent use; like every simulated substrate it is
+// driven from the engine's single execution context.
+type Mem struct {
+	files map[string]*memFile
+	stats Stats
+	// SyncDelay, if non-nil, returns the modelled duration of one fsync.
+	// It is only accounted, never slept: virtual time cannot advance in
+	// the middle of a protocol callback.
+	SyncDelay func() time.Duration
+}
+
+var (
+	_ Backend     = (*Mem)(nil)
+	_ StatsSource = (*Mem)(nil)
+	_ Crasher     = (*Mem)(nil)
+)
+
+// NewMem returns an empty in-memory backend.
+func NewMem() *Mem { return &Mem{files: make(map[string]*memFile)} }
+
+type memFile struct {
+	data   []byte
+	stable int // bytes guaranteed to survive a Crash
+	gen    uint64
+}
+
+// Create opens name for writing, truncating any existing content.
+func (m *Mem) Create(name string) (File, error) {
+	mf := m.files[name]
+	if mf == nil {
+		mf = &memFile{}
+		m.files[name] = mf
+	}
+	mf.data = nil
+	mf.stable = 0
+	mf.gen++
+	return &memHandle{m: m, f: mf, name: name, gen: mf.gen}, nil
+}
+
+// Append opens name for appending, creating it if absent.
+func (m *Mem) Append(name string) (File, error) {
+	mf := m.files[name]
+	if mf == nil {
+		mf = &memFile{}
+		m.files[name] = mf
+	}
+	return &memHandle{m: m, f: mf, name: name, gen: mf.gen}, nil
+}
+
+// ReadFile returns a copy of name's full content, synced or not (the page
+// cache serves reads; only a crash distinguishes the stable prefix).
+func (m *Mem) ReadFile(name string) ([]byte, error) {
+	mf := m.files[name]
+	if mf == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	out := make([]byte, len(mf.data))
+	copy(out, mf.data)
+	return out, nil
+}
+
+// List returns the file names in lexical order.
+func (m *Mem) List() ([]string, error) {
+	names := make([]string, 0, len(m.files))
+	for n := range m.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Rename atomically moves oldName over newName. The swap is modelled as
+// durable (the FS backend fsyncs the directory to get the same guarantee).
+func (m *Mem) Rename(oldName, newName string) error {
+	mf := m.files[oldName]
+	if mf == nil {
+		return fmt.Errorf("%w: %s", ErrNotExist, oldName)
+	}
+	delete(m.files, oldName)
+	mf.gen++ // old handles must not keep writing under the new name
+	m.files[newName] = mf
+	return nil
+}
+
+// Remove deletes name; removing an absent file is not an error.
+func (m *Mem) Remove(name string) error {
+	if mf := m.files[name]; mf != nil {
+		mf.gen++
+		delete(m.files, name)
+	}
+	return nil
+}
+
+// Stats returns the backend's I/O counters.
+func (m *Mem) Stats() Stats { return m.stats }
+
+// Crash simulates a power cut: every file loses its unsynced tail and all
+// open handles die (their owner's process is gone). The stable prefixes
+// survive for the next Open — that is the whole point of the WAL.
+func (m *Mem) Crash() {
+	for _, mf := range m.files {
+		mf.data = mf.data[:mf.stable]
+		mf.gen++
+	}
+}
+
+// Truncate chops name to size bytes (both caches), simulating an arbitrary
+// crash-point torn write for replay tests.
+func (m *Mem) Truncate(name string, size int) error {
+	mf := m.files[name]
+	if mf == nil {
+		return fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	if size < 0 || size > len(mf.data) {
+		return fmt.Errorf("disk: truncate %s to %d outside [0,%d]", name, size, len(mf.data))
+	}
+	mf.data = mf.data[:size]
+	if mf.stable > size {
+		mf.stable = size
+	}
+	mf.gen++
+	return nil
+}
+
+// Size reports name's current length in bytes (0 if absent).
+func (m *Mem) Size(name string) int {
+	if mf := m.files[name]; mf != nil {
+		return len(mf.data)
+	}
+	return 0
+}
+
+type memHandle struct {
+	m    *Mem
+	f    *memFile
+	name string
+	gen  uint64
+}
+
+func (h *memHandle) stale() bool { return h.f.gen != h.gen }
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	if h.stale() {
+		return 0, fmt.Errorf("%w: %s", ErrCrashed, h.name)
+	}
+	h.f.data = append(h.f.data, p...)
+	h.m.stats.Writes++
+	h.m.stats.BytesWritten += len(p)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	if h.stale() {
+		return fmt.Errorf("%w: %s", ErrCrashed, h.name)
+	}
+	h.f.stable = len(h.f.data)
+	h.m.stats.Syncs++
+	if h.m.SyncDelay != nil {
+		h.m.stats.SyncTime += int64(h.m.SyncDelay())
+	}
+	return nil
+}
+
+func (h *memHandle) Close() error { return nil }

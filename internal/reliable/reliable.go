@@ -23,11 +23,17 @@
 // table is lost, so a retransmit that straddles a crash/recovery may be
 // delivered twice. The protocol handlers tolerate that (they are idempotent
 // or guarded by attempt numbers). The per-node send counter survives a
-// crash, modelling the sequence number kept in stable storage (a real
-// deployment would use an incarnation number to the same effect).
+// crash, modelling the sequence number kept in stable storage.
+//
+// With a durability journal attached (SetJournal), that modelling becomes
+// real: the send counter is journaled as a striding high-water mark and the
+// dedup table as one record per first-seen frame, and Restore rebuilds both
+// after a restart — so a retransmit straddling the crash is suppressed
+// instead of double-delivered.
 package reliable
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/runtime"
@@ -131,12 +137,24 @@ type pendingSend struct {
 	timer   runtime.Timer
 }
 
+// Journal receives the endpoint state a node must not lose across a
+// restart. The durability subsystem implements it; both callbacks fire
+// from the node's execution context, after the in-memory mutation.
+type Journal interface {
+	// NextSeq reports the send counter after an increment. Implementations
+	// persist a striding high-water mark, not every value.
+	NextSeq(seq uint64)
+	// Seen reports a first-seen frame from a peer.
+	Seen(from runtime.NodeID, seq uint64)
+}
+
 // port is one node's endpoint state.
 type port struct {
 	id      runtime.NodeID
 	nextSeq uint64 // survives Crash (stable storage)
 	pending map[uint64]*pendingSend
 	seen    map[runtime.NodeID]map[uint64]bool
+	journal Journal // nil = volatile endpoint (the default)
 }
 
 func (p *port) reset() {
@@ -224,12 +242,53 @@ func (l *Layer) Attach(id runtime.NodeID, h runtime.Handler) {
 	l.net.Attach(id, runtime.HandlerFunc(func(m runtime.Message) { l.receive(p, m) }))
 }
 
+// SetJournal attaches (or, with nil, detaches) node id's durability
+// journal. Crash detaches it implicitly — a dead node must not journal.
+func (l *Layer) SetJournal(id runtime.NodeID, j Journal) { l.port(id).journal = j }
+
+// Restore reinstates node id's persistent endpoint state after a restart:
+// the send counter (already slack-adjusted by the journal) and the
+// duplicate-suppression table.
+func (l *Layer) Restore(id runtime.NodeID, nextSeq uint64, seen map[runtime.NodeID][]uint64) {
+	p := l.port(id)
+	if nextSeq > p.nextSeq {
+		p.nextSeq = nextSeq
+	}
+	for from, seqs := range seen {
+		if p.seen[from] == nil {
+			p.seen[from] = make(map[uint64]bool, len(seqs))
+		}
+		for _, q := range seqs {
+			p.seen[from][q] = true
+		}
+	}
+}
+
+// PortState captures node id's persistent endpoint state for a compaction
+// snapshot: the send counter and the dedup table as sorted slices.
+func (l *Layer) PortState(id runtime.NodeID) (nextSeq uint64, seen map[runtime.NodeID][]uint64) {
+	p := l.port(id)
+	seen = make(map[runtime.NodeID][]uint64, len(p.seen))
+	for from, set := range p.seen {
+		seqs := make([]uint64, 0, len(set))
+		for q := range set {
+			seqs = append(seqs, q)
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		seen[from] = seqs
+	}
+	return p.nextSeq, seen
+}
+
 // Send transmits msg with ack/retransmit semantics. Delivery to the remote
 // handler happens at most the configured number of transmissions later; if
 // every transmission is lost the send is abandoned and OnUnreachable fires.
 func (l *Layer) Send(msg runtime.Message) {
 	p := l.port(msg.From)
 	p.nextSeq++
+	if p.journal != nil {
+		p.journal.NextSeq(p.nextSeq)
+	}
 	ps := &pendingSend{msg: msg, seq: p.nextSeq, attempt: 1}
 	p.pending[ps.seq] = ps
 	l.transmit(p, ps)
@@ -283,6 +342,9 @@ func (l *Layer) receive(p *port, m runtime.Message) {
 				p.seen[m.From] = make(map[uint64]bool)
 			}
 			p.seen[m.From][pl.Seq] = true
+			if p.journal != nil {
+				p.journal.Seen(m.From, pl.Seq)
+			}
 		}
 		// Ack even duplicates: the previous ack may itself have been lost.
 		l.stats.AcksSent++
@@ -318,6 +380,7 @@ func (l *Layer) Crash(id runtime.NodeID) {
 		ps.timer.Cancel()
 	}
 	p.reset()
+	p.journal = nil
 }
 
 // Stats returns a copy of the recovery counters.

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/agent"
+	"repro/internal/durable"
 	"repro/internal/runtime"
 	"repro/internal/store"
 	"repro/internal/trace"
@@ -29,6 +30,13 @@ type Config struct {
 	Intercept func(msg runtime.Message) bool
 	// Trace, if non-nil, receives server events.
 	Trace *trace.Log
+	// Journal, if non-nil, makes the server durable: every store and
+	// locking-state mutation is logged through it after succeeding.
+	Journal *durable.Journal
+	// Restore, if non-nil, is the state recovered from Journal's log; the
+	// server rebuilds itself from it before attaching the journal (pass a
+	// nil store to New in that case — Restore supplies it).
+	Restore *durable.State
 }
 
 // Server is one replicated server: data copy, Locking List, Updated List,
@@ -45,6 +53,7 @@ type Server struct {
 	place    *agent.Place
 	st       *store.Store
 	cfg      Config
+	journal  *durable.Journal // nil = volatile server (the default)
 
 	// Volatile locking state. Version counters deliberately survive
 	// crashes (see Crash): monotone versions make stale-evidence checks
@@ -104,7 +113,85 @@ func New(clock runtime.Clock, id runtime.NodeID, peers []runtime.NodeID, net run
 	}
 	s.place = platform.Host(id, s)
 	s.place.SetDeathListener(s)
+	if cfg.Restore != nil {
+		s.restore(cfg.Restore)
+	}
+	if cfg.Journal != nil {
+		s.attachJournal(cfg.Journal)
+		if cfg.Restore != nil {
+			// Persist the recovery epoch bump immediately: a second crash
+			// before any other mutation must still see a fresh epoch.
+			s.logLock(true)
+		}
+	}
 	return s
+}
+
+// restore rebuilds the server's durable state from a recovered snapshot.
+// No journal is attached yet, so the rebuild itself is not re-logged.
+// Counters merge by max with whatever the server already holds (the DES
+// restart path keeps memory across Crash), then the epoch is bumped so
+// agents can tell post-recovery snapshots from pre-crash ones. The Locking
+// List and grant are restored as-is: stale entries only ever cause extra
+// nacks (safe under Theorem 2), and the gone-set propagation plus claim
+// timeouts clear them.
+func (s *Server) restore(st *durable.State) {
+	s.st = store.FromState(st.Store)
+	if st.Lock.Epoch > s.epoch {
+		s.epoch = st.Lock.Epoch
+	}
+	s.epoch++
+	if st.Lock.LLVersion > s.llVersion {
+		s.llVersion = st.Lock.LLVersion
+	}
+	if st.Lock.HeadVersion > s.headVersion {
+		s.headVersion = st.Lock.HeadVersion
+	}
+	s.ll = append([]agent.ID(nil), st.Lock.LL...)
+	for _, id := range st.Gone {
+		if !s.gone[id] {
+			s.gone[id] = true
+			s.goneList = append(s.goneList, id)
+		}
+	}
+	s.setGrant(st.Lock.Grant)
+	if st.Lock.GrantAttempt > s.grantAttempt {
+		s.grantAttempt = st.Lock.GrantAttempt
+	}
+	s.bump(true) // recovery is a fresh head state
+}
+
+// attachJournal wires the journal into the store and registers the
+// server's contribution to compaction snapshots.
+func (s *Server) attachJournal(j *durable.Journal) {
+	s.journal = j
+	s.st.SetJournal(j)
+	j.AddSource(func(st *durable.State) {
+		st.Store = s.st.State()
+		st.Lock = s.lockState()
+		st.Gone = append([]agent.ID(nil), s.goneList...)
+	})
+}
+
+// lockState captures the serializable locking state.
+func (s *Server) lockState() durable.LockState {
+	return durable.LockState{
+		Epoch:        s.epoch,
+		LLVersion:    s.llVersion,
+		HeadVersion:  s.headVersion,
+		LL:           append([]agent.ID(nil), s.ll...),
+		Grant:        s.grant,
+		GrantAttempt: s.grantAttempt,
+	}
+}
+
+// logLock journals the full locking state after a mutation. barrier marks
+// grant and epoch transitions — the mutations whose loss could re-grant a
+// lock this server already released, or reuse an epoch.
+func (s *Server) logLock(barrier bool) {
+	if s.journal != nil {
+		s.journal.LogLock(s.lockState(), barrier)
+	}
 }
 
 // ID returns the server's node ID.
@@ -176,22 +263,30 @@ func (s *Server) markGone(id agent.ID) bool {
 	if !s.gone[id] {
 		s.gone[id] = true
 		s.goneList = append(s.goneList, id)
+		if s.journal != nil {
+			s.journal.LogGone(id)
+		}
 		changed = true
 	}
+	lockChanged := false
 	for i, e := range s.ll {
 		if e == id {
 			headChanged := i == 0
 			s.ll = append(s.ll[:i], s.ll[i+1:]...)
 			s.bump(headChanged)
-			changed = true
+			lockChanged = true
 			break
 		}
 	}
+	released := false
 	if s.grant == id {
 		s.setGrant(agent.ID{})
-		changed = true
+		released = true
 	}
-	return changed
+	if lockChanged || released {
+		s.logLock(released)
+	}
+	return changed || lockChanged || released
 }
 
 // notify raises LLChanged to resident agents.
@@ -226,6 +321,7 @@ func (s *Server) VisitAndLock(id agent.ID, shared map[runtime.NodeID]QueueSnapsh
 	if !s.gone[id] && !s.contains(id) {
 		s.ll = append(s.ll, id)
 		s.bump(len(s.ll) == 1)
+		s.logLock(false)
 		mutated = len(s.ll) == 1 || mutated
 		s.cfg.Trace.Addf(int64(s.clock.Now()), int(s.id), id.String(), trace.LockRequested, "pos %d", len(s.ll))
 	}
@@ -398,6 +494,7 @@ func (s *Server) handleUpdate(m *UpdateMsg) *AckMsg {
 	}
 	s.setGrant(m.Txn)
 	s.grantAttempt = m.Attempt
+	s.logLock(true) // a lost grant record could let a restart re-grant
 	values := make(map[string]store.Value, len(m.Keys))
 	for _, k := range m.Keys {
 		if v, ok := s.st.Get(k); ok {
@@ -430,12 +527,16 @@ func (s *Server) handleCommit(m *CommitMsg) {
 	s.markGone(m.Txn)
 	s.cfg.Trace.Addf(int64(s.clock.Now()), int(s.id), m.Txn.String(), trace.Committed, "%d updates, seq now %d", len(m.Updates), s.st.LastSeq())
 	s.notify()
+	if s.journal != nil {
+		s.journal.MaybeCompact() // post-commit is a quiescent point
+	}
 }
 
 // handleAbort withdraws a claim's grant.
 func (s *Server) handleAbort(m *AbortMsg) {
 	if s.grant == m.Txn && m.Attempt >= s.grantAttempt {
 		s.setGrant(agent.ID{})
+		s.logLock(true)
 		s.cfg.Trace.Addf(int64(s.clock.Now()), int(s.id), m.Txn.String(), trace.ClaimAborted, "grant released")
 	}
 }
@@ -511,6 +612,9 @@ func (s *Server) handleSyncReply(m *SyncReply) {
 	if applied || mutated {
 		s.cfg.Trace.Addf(int64(s.clock.Now()), int(s.id), "", trace.ServerSynced, "seq now %d", s.st.LastSeq())
 		s.notify()
+		if s.journal != nil {
+			s.journal.MaybeCompact()
+		}
 	}
 }
 
@@ -531,6 +635,12 @@ func (s *Server) OnAgentDeath(id agent.ID) {
 // also marking the node down in the network and killing resident agents —
 // the cluster layer in internal/core orchestrates all three.
 func (s *Server) Crash() {
+	// Detach durability first: a dead node journals nothing, and the
+	// volatile wipe below must not masquerade as protocol mutations. The
+	// cluster layer additionally kills the journal's log handle and crashes
+	// the backing disk.
+	s.journal = nil
+	s.st.SetJournal(nil)
 	s.down = true
 	s.ll = nil
 	s.cache = make(map[runtime.NodeID]QueueSnapshot)
@@ -549,6 +659,29 @@ func (s *Server) Recover() {
 	s.epoch++
 	s.bump(true) // the (now empty) LL is a fresh head state
 	s.cfg.Trace.Addf(int64(s.clock.Now()), int(s.id), "", trace.ServerRecover, "epoch %d", s.epoch)
+	s.requestSync(runtime.None)
+}
+
+// Restart is the durable counterpart of Recover: the server comes back
+// from its journal rather than from nothing. j is the freshly re-opened
+// journal and st the state it replayed (nil on an empty log). Like Recover
+// it ends with an anti-entropy round — the WAL restores what this replica
+// committed; the peers supply what it missed while down.
+func (s *Server) Restart(j *durable.Journal, st *durable.State) {
+	s.down = false
+	s.cache = make(map[runtime.NodeID]QueueSnapshot)
+	s.backlog = make(map[uint64]store.Update)
+	if st != nil {
+		s.restore(st)
+	} else {
+		s.epoch++
+		s.bump(true)
+	}
+	if j != nil {
+		s.attachJournal(j)
+		s.logLock(true) // make the recovery epoch durable immediately
+	}
+	s.cfg.Trace.Addf(int64(s.clock.Now()), int(s.id), "", trace.ServerRecover, "epoch %d, seq %d restored", s.epoch, s.st.LastSeq())
 	s.requestSync(runtime.None)
 }
 

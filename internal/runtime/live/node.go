@@ -4,7 +4,9 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/disk"
 	"repro/internal/runtime"
+	"repro/internal/wal"
 )
 
 // NodeConfig describes one replica process of a live deployment.
@@ -16,8 +18,17 @@ type NodeConfig struct {
 	Addrs map[runtime.NodeID]string
 	// Seed feeds the protocol's random source (retry jitter and the like).
 	Seed int64
+	// DataDir, if non-empty, makes the replica durable: its write-ahead log
+	// and snapshots live in this directory, and a restart with the same
+	// DataDir replays them before rejoining. Empty keeps the replica
+	// volatile (the seed behaviour).
+	DataDir string
+	// Fsync selects the WAL fsync policy ("commit", "always", "none"; see
+	// wal.ParsePolicy). Only meaningful with DataDir.
+	Fsync string
 	// Cluster carries the engine-neutral protocol configuration. N and
-	// Local are derived from Addrs/Self and must be left unset.
+	// Local are derived from Addrs/Self and must be left unset; Durability
+	// is derived from DataDir/Fsync.
 	Cluster core.Config
 }
 
@@ -33,12 +44,35 @@ type Node struct {
 // node is ready to exchange protocol traffic when StartNode returns; peers
 // that are not up yet simply cost a few dropped messages, which the
 // protocol's timeouts absorb.
+//
+// With NodeConfig.DataDir set, startup begins with a recovery phase: the
+// replica replays its journal (snapshot plus WAL suffix) before it attaches
+// to the network, then runs an anti-entropy round against its peers to
+// fetch whatever it missed while down. A fresh directory replays nothing
+// and the node starts empty, exactly like a volatile one.
 func StartNode(cfg NodeConfig) (*Node, error) {
 	if cfg.Cluster.N != 0 || cfg.Cluster.Local != nil {
 		return nil, fmt.Errorf("live: Cluster.N and Cluster.Local are derived from Addrs; leave them unset")
 	}
+	if cfg.Cluster.Durability != nil {
+		return nil, fmt.Errorf("live: Cluster.Durability is derived from DataDir; leave it unset")
+	}
 	cfg.Cluster.N = len(cfg.Addrs)
 	cfg.Cluster.Local = []runtime.NodeID{cfg.Self}
+	if cfg.DataDir != "" {
+		policy, err := wal.ParsePolicy(cfg.Fsync)
+		if err != nil {
+			return nil, fmt.Errorf("live: %w", err)
+		}
+		fsb, err := disk.NewFS(cfg.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Cluster.Durability = &core.DurabilityConfig{
+			Backend: func(runtime.NodeID) disk.Backend { return fsb },
+			Policy:  policy,
+		}
+	}
 	eng := NewEngine(cfg.Seed)
 	fab, err := NewFabric(eng, cfg.Self, cfg.Addrs)
 	if err != nil {
@@ -54,9 +88,16 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	return &Node{Eng: eng, Fab: fab, Cluster: cl}, nil
 }
 
-// Close tears the node down: fabric first (stops inbound traffic), then
-// the actor loop.
+// Close tears the node down: journal first (flush and close, so a graceful
+// shutdown leaves nothing to replay), then the fabric (stops inbound
+// traffic), then the actor loop. The journal close runs on the actor loop,
+// serialized with any in-flight protocol callbacks.
 func (n *Node) Close() {
+	n.Eng.Do(func() {
+		if err := n.Cluster.CloseJournals(); err != nil {
+			fmt.Printf("live: closing journal: %v\n", err)
+		}
+	})
 	n.Fab.Close()
 	n.Eng.Close()
 }

@@ -62,6 +62,26 @@ var (
 	ErrTxnCollision = errors.New("store: transaction already prepared")
 )
 
+// Journal receives every state-changing store operation after it has been
+// validated, in execution order. The durability subsystem (internal/durable)
+// implements it over a write-ahead log; a recovering replica rebuilds its
+// store from a snapshot plus the journaled suffix. Each callback fires only
+// after the operation succeeded, so replaying the journal against the
+// snapshot cannot fail.
+type Journal interface {
+	// Prepared logs a tentatively staged update.
+	Prepared(u Update)
+	// Committed logs the finalization of a prepared transaction.
+	Committed(txnID string)
+	// Applied logs a directly applied committed update (the COMMIT
+	// broadcast and anti-entropy paths). This is the record a durable
+	// replica must never lose: implementations treat it as a commit
+	// barrier for their fsync policy.
+	Applied(u Update)
+	// Aborted logs a discarded tentative transaction.
+	Aborted(txnID string)
+}
+
 // Store is a single replica's data store. It is not safe for concurrent use;
 // each simulated or real server owns one and accesses it from its event loop.
 type Store struct {
@@ -69,6 +89,7 @@ type Store struct {
 	tentative map[string]Update // keyed by TxnID
 	log       []Update          // committed updates, ascending Seq
 	lastSeq   uint64
+	journal   Journal // nil = volatile store (the default)
 }
 
 // New returns an empty store.
@@ -77,6 +98,43 @@ func New() *Store {
 		committed: make(map[string]Value),
 		tentative: make(map[string]Update),
 	}
+}
+
+// SetJournal attaches (or, with nil, detaches) the store's durability
+// journal. Mutations made while attached are logged after they succeed.
+func (s *Store) SetJournal(j Journal) { s.journal = j }
+
+// State is the serializable form of a Store: the committed log (from which
+// the key-value state is derivable) plus the tentative set. It is what a
+// durability snapshot carries.
+type State struct {
+	Log       []Update
+	Tentative []Update
+}
+
+// State captures the store's full state for a snapshot.
+func (s *Store) State() State {
+	st := State{Log: make([]Update, len(s.log))}
+	copy(st.Log, s.log)
+	for _, u := range s.tentative {
+		st.Tentative = append(st.Tentative, u)
+	}
+	sort.Slice(st.Tentative, func(i, j int) bool { return st.Tentative[i].TxnID < st.Tentative[j].TxnID })
+	return st
+}
+
+// FromState rebuilds a store from a captured State. The returned store has
+// no journal attached; recovery attaches one after replay so the rebuild
+// itself is not re-logged.
+func FromState(st State) *Store {
+	s := New()
+	for _, u := range st.Log {
+		s.apply(u)
+	}
+	for _, u := range st.Tentative {
+		s.tentative[u.TxnID] = u
+	}
+	return s
 }
 
 // Get returns the committed value for key.
@@ -110,6 +168,9 @@ func (s *Store) Prepare(u Update) error {
 		return ErrSeqGap
 	}
 	s.tentative[u.TxnID] = u
+	if s.journal != nil {
+		s.journal.Prepared(u)
+	}
 	return nil
 }
 
@@ -125,16 +186,30 @@ func (s *Store) Commit(txnID string) error {
 	if u.Seq != s.lastSeq+1 {
 		// Another path (anti-entropy) may have applied it already.
 		if u.Seq <= s.lastSeq {
+			if s.journal != nil {
+				s.journal.Committed(txnID)
+			}
 			return nil
 		}
 		return ErrSeqGap
 	}
 	s.apply(u)
+	if s.journal != nil {
+		s.journal.Committed(txnID)
+	}
 	return nil
 }
 
 // Abort discards a prepared update. Unknown transactions are ignored.
-func (s *Store) Abort(txnID string) { delete(s.tentative, txnID) }
+func (s *Store) Abort(txnID string) {
+	if _, ok := s.tentative[txnID]; !ok {
+		return
+	}
+	delete(s.tentative, txnID)
+	if s.journal != nil {
+		s.journal.Aborted(txnID)
+	}
+}
 
 // Pending reports the number of prepared-but-uncommitted updates.
 func (s *Store) Pending() int { return len(s.tentative) }
@@ -151,6 +226,9 @@ func (s *Store) ApplyCommitted(u Update) error {
 		return ErrSeqGap
 	}
 	s.apply(u)
+	if s.journal != nil {
+		s.journal.Applied(u)
+	}
 	return nil
 }
 

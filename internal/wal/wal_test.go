@@ -1,0 +1,287 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/disk"
+)
+
+func rec(i int) Record {
+	return Record{Type: byte(i%7 + 1), Data: []byte(fmt.Sprintf("record-%04d", i))}
+}
+
+func appendN(t *testing.T, l *Log, from, n int, commitEvery int) {
+	t.Helper()
+	for i := from; i < from+n; i++ {
+		commit := commitEvery > 0 && i%commitEvery == 0
+		if err := l.Append(rec(i), commit); err != nil {
+			t.Fatalf("Append(%d): %v", i, err)
+		}
+	}
+}
+
+func wantRecords(t *testing.T, got []Record, from, n int) {
+	t.Helper()
+	if len(got) != n {
+		t.Fatalf("replayed %d records, want %d", len(got), n)
+	}
+	for i, r := range got {
+		w := rec(from + i)
+		if r.Type != w.Type || !bytes.Equal(r.Data, w.Data) {
+			t.Fatalf("record %d = {%d %q}, want {%d %q}", i, r.Type, r.Data, w.Type, w.Data)
+		}
+	}
+}
+
+func TestCleanCloseReplaysEverything(t *testing.T) {
+	for _, policy := range []Policy{PolicyAlways, PolicyCommit, PolicyNone} {
+		t.Run(policy.String(), func(t *testing.T) {
+			m := disk.NewMem()
+			l, snap, recs, err := Open(m, Options{Policy: policy})
+			if err != nil || snap != nil || len(recs) != 0 {
+				t.Fatalf("fresh Open = %v, snap %v, %d records", err, snap, len(recs))
+			}
+			appendN(t, l, 0, 25, 5)
+			if err := l.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			_, snap, recs, err = Open(m, Options{Policy: policy})
+			if err != nil || snap != nil {
+				t.Fatalf("reopen = %v, snap %v", err, snap)
+			}
+			// A clean close syncs regardless of policy: nothing is lost.
+			wantRecords(t, recs, 0, 25)
+		})
+	}
+}
+
+func TestCrashKeepsSyncedPrefix(t *testing.T) {
+	m := disk.NewMem()
+	l, _, _, err := Open(m, Options{Policy: PolicyCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 10, 0) // no commit barriers: all unsynced
+	if err := l.Append(rec(10), true); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 11, 4, 0) // unsynced tail
+	l.Kill()
+	m.Crash()
+	_, _, recs, err := Open(m, Options{})
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	// Everything up to and including the commit barrier survives; the
+	// unsynced tail is gone.
+	wantRecords(t, recs, 0, 11)
+}
+
+func TestTornTailToleratedOnlyInLastSegment(t *testing.T) {
+	m := disk.NewMem()
+	l, _, _, err := Open(m, Options{Policy: PolicyAlways, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 13, 0) // several rotations at 64-byte segments
+	if l.Stats().Rotations == 0 {
+		t.Fatal("expected rotations")
+	}
+	l.Kill() // crash mid-append leaves the current (last) segment torn below
+
+	names, _ := m.List()
+	var segs []string
+	for _, n := range names {
+		var g uint64
+		var k int
+		if parseSeg(n, &g, &k) {
+			segs = append(segs, n)
+		}
+	}
+	if len(segs) < 3 {
+		t.Fatalf("want >= 3 segments, got %v", segs)
+	}
+
+	// Tear the last byte off the last segment: tolerated.
+	last := segs[len(segs)-1]
+	m.Truncate(last, m.Size(last)-1)
+	_, _, recs, err := Open(m, Options{})
+	if err != nil {
+		t.Fatalf("open with torn tail: %v", err)
+	}
+	if len(recs) >= 13 || len(recs) == 0 {
+		t.Fatalf("torn tail replayed %d records, want 0 < n < 13", len(recs))
+	}
+
+	// The same damage in the middle of the log is corruption.
+	m2 := disk.NewMem()
+	l2, _, _, _ := Open(m2, Options{Policy: PolicyAlways, SegmentBytes: 64})
+	appendN(t, l2, 0, 12, 0)
+	l2.Close()
+	names2, _ := m2.List()
+	var first string
+	for _, n := range names2 {
+		var g uint64
+		var k int
+		if parseSeg(n, &g, &k) && k == 0 {
+			first = n
+		}
+	}
+	m2.Truncate(first, m2.Size(first)-1)
+	if _, _, _, err := Open(m2, Options{}); err == nil {
+		t.Fatal("open with mid-log damage succeeded, want ErrCorrupt")
+	}
+}
+
+func TestSnapshotSupersedesLog(t *testing.T) {
+	m := disk.NewMem()
+	l, _, _, err := Open(m, Options{Policy: PolicyCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 20, 4)
+	state := []byte("state-after-20")
+	if err := l.SaveSnapshot(state); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	appendN(t, l, 20, 5, 1)
+	l.Close()
+	_, snap, recs, err := Open(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snap, state) {
+		t.Fatalf("snapshot = %q, want %q", snap, state)
+	}
+	wantRecords(t, recs, 20, 5)
+	// Superseded segments were deleted: only the new generation remains.
+	names, _ := m.List()
+	for _, n := range names {
+		var g uint64
+		var k int
+		if parseSeg(n, &g, &k) && g == 0 {
+			t.Fatalf("stale generation-0 segment %s survived compaction", n)
+		}
+	}
+}
+
+func TestCrashDuringCompactionCleanup(t *testing.T) {
+	// A crash after the snapshot rename but before the old segments are
+	// deleted must leave a log that opens to the snapshot, ignores the
+	// stale generation, and finishes the cleanup.
+	m := disk.NewMem()
+	l, _, _, err := Open(m, Options{Policy: PolicyAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 8, 1)
+	if err := l.SaveSnapshot([]byte("snap")); err != nil {
+		t.Fatal(err)
+	}
+	// Resurrect a stale generation-0 segment plus an orphan snap.tmp, as if
+	// the cleanup never ran.
+	f, _ := m.Create(segName(0, 0))
+	f.Write([]byte("garbage from gen 0"))
+	f.Sync()
+	f.Close()
+	f2, _ := m.Create("snap.tmp")
+	f2.Write([]byte("half-written"))
+	f2.Sync()
+	f2.Close()
+	l.Kill()
+
+	_, snap, recs, err := Open(m, Options{})
+	if err != nil {
+		t.Fatalf("open after interrupted compaction: %v", err)
+	}
+	if string(snap) != "snap" || len(recs) != 0 {
+		t.Fatalf("got snap %q, %d records", snap, len(recs))
+	}
+	names, _ := m.List()
+	for _, n := range names {
+		if n == "snap.tmp" || n == segName(0, 0) {
+			t.Fatalf("stale file %s survived reopen", n)
+		}
+	}
+}
+
+func TestCorruptSnapshotFailsOpen(t *testing.T) {
+	m := disk.NewMem()
+	l, _, _, _ := Open(m, Options{Policy: PolicyAlways})
+	appendN(t, l, 0, 3, 1)
+	l.SaveSnapshot([]byte("good"))
+	l.Close()
+	name := snapName(1)
+	sz := m.Size(name)
+	m.Truncate(name, sz-1)
+	if _, _, _, err := Open(m, Options{}); err == nil {
+		t.Fatal("open with corrupt installed snapshot succeeded")
+	}
+}
+
+// TestQuickTruncationReplaysPrefix is the crash-point property at the WAL
+// layer: chop a synced log at ANY byte offset and replay must yield a
+// prefix of the appended record sequence (never garbage, never a gap).
+func TestQuickTruncationReplaysPrefix(t *testing.T) {
+	build := func(n int) (*disk.Mem, string) {
+		m := disk.NewMem()
+		l, _, _, _ := Open(m, Options{Policy: PolicyAlways})
+		for i := 0; i < n; i++ {
+			l.Append(rec(i), false)
+		}
+		l.Kill()
+		return m, segName(0, 0)
+	}
+	const n = 40
+	prop := func(cut uint16) bool {
+		m, seg := build(n)
+		size := m.Size(seg)
+		at := int(cut) % (size + 1)
+		if err := m.Truncate(seg, at); err != nil {
+			return false
+		}
+		_, _, recs, err := Open(m, Options{})
+		if err != nil {
+			return false
+		}
+		if len(recs) > n {
+			return false
+		}
+		for i, r := range recs {
+			w := rec(i)
+			if r.Type != w.Type || !bytes.Equal(r.Data, w.Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for s, want := range map[string]Policy{"": PolicyCommit, "commit": PolicyCommit, "Always": PolicyAlways, "none": PolicyNone} {
+		got, err := ParsePolicy(s)
+		if err != nil || got != want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Fatal("ParsePolicy(bogus) succeeded")
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	m := disk.NewMem()
+	l, _, _, _ := Open(m, Options{Policy: PolicyAlways, SegmentBytes: 128})
+	appendN(t, l, 0, 10, 0)
+	st := l.Stats()
+	if st.Appends != 10 || st.Syncs < 10 || st.AppendedBytes == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	l.Close()
+}
