@@ -717,20 +717,26 @@ func (c *Cluster) DiskStats() disk.Stats {
 
 // CloseJournals flushes and closes every open journal — the graceful
 // shutdown path (live nodes call it on SIGTERM; tests call it before
-// re-opening a data dir).
+// re-opening a data dir). Every attachment point is detached before the
+// close: a message handled after this call (the live fabric drains after
+// the journals close) must fall back to volatile behaviour, not append to
+// a closed log.
 func (c *Cluster) CloseJournals() error {
 	var first error
 	for id, j := range c.journals {
 		if j == nil {
 			continue
 		}
+		if s := c.servers[id]; s != nil {
+			s.DetachJournal()
+		}
+		if c.rel != nil {
+			c.rel.SetJournal(id, nil)
+		}
 		if err := j.Close(); err != nil && first == nil {
 			first = err
 		}
 		c.journals[id] = nil
-		if s := c.servers[id]; s != nil {
-			s.Store().SetJournal(nil)
-		}
 	}
 	return first
 }

@@ -188,6 +188,38 @@ func TestDurabilityOffRunsIdentical(t *testing.T) {
 	}
 }
 
+func TestCloseJournalsDetachesEveryAttachmentPoint(t *testing.T) {
+	// A message handled after CloseJournals (in live mode the fabric drains
+	// its last callbacks around shutdown) must fall back to volatile
+	// behaviour, not append to a closed WAL and panic. The reliable layer is
+	// on so its Seen/NextSeq journal hooks — attachment points beyond the
+	// store's — are exercised too, as are the server's lock-state hooks.
+	dur, _ := memDurability(wal.PolicyCommit)
+	c := newTestCluster(t, Config{N: 3, Durability: dur, Reliable: true})
+	if err := c.Submit(1, Set("x", "v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunUntilDone(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(time.Second)
+	if err := c.CloseJournals(); err != nil {
+		t.Fatal(err)
+	}
+	// The cluster keeps working with the journals gone: commits, reliable
+	// frames, and locking traffic all still flow.
+	if err := c.Submit(2, Set("y", "w")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunUntilDone(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(time.Second)
+	if err := c.CheckConvergence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestDurableGracefulCloseReopensClean(t *testing.T) {
 	dur, disks := memDurability(wal.PolicyCommit)
 	c := newTestCluster(t, Config{N: 3, Durability: dur})

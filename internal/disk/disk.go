@@ -54,6 +54,11 @@ type Backend interface {
 	Rename(oldName, newName string) error
 	// Remove deletes name (nil if absent: removal is idempotent).
 	Remove(name string) error
+	// Truncate durably chops name to size bytes; size outside the file's
+	// current [0, len] is an error. The WAL uses it to cut a tolerated
+	// torn tail off a segment so the damage never resurfaces as
+	// corruption on a later Open.
+	Truncate(name string, size int) error
 }
 
 // Stats counts a backend's I/O for durability-cost accounting.

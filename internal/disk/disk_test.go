@@ -77,6 +77,19 @@ func TestBackendContract(t *testing.T) {
 			if err != nil || len(names) != 1 || names[0] != "b" {
 				t.Fatalf("List = %v, %v, want [b]", names, err)
 			}
+			// Truncate chops to a prefix and rejects sizes outside [0, len].
+			if err := b.Truncate("b", 2); err != nil {
+				t.Fatalf("Truncate: %v", err)
+			}
+			if got, _ := b.ReadFile("b"); string(got) != "sh" {
+				t.Fatalf("after Truncate, ReadFile(b) = %q", got)
+			}
+			if err := b.Truncate("b", 99); err == nil {
+				t.Fatal("Truncate past end succeeded")
+			}
+			if err := b.Truncate("absent", 0); !errors.Is(err, ErrNotExist) {
+				t.Fatalf("Truncate(absent) = %v, want ErrNotExist", err)
+			}
 		})
 	}
 }

@@ -39,18 +39,29 @@ func (f *FS) path(name string) string { return filepath.Join(f.dir, name) }
 
 // Create opens name for writing, truncating any existing content.
 func (f *FS) Create(name string) (File, error) {
-	file, err := os.OpenFile(f.path(name), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
-	if err != nil {
-		return nil, err
-	}
-	return &fsFile{f: file, fs: f}, nil
+	return f.open(name, os.O_CREATE|os.O_TRUNC|os.O_WRONLY)
 }
 
 // Append opens name for appending, creating it if absent.
 func (f *FS) Append(name string) (File, error) {
-	file, err := os.OpenFile(f.path(name), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	return f.open(name, os.O_CREATE|os.O_APPEND|os.O_WRONLY)
+}
+
+// open opens name with flag. When O_CREATE makes a file that did not
+// previously exist, the parent directory is fsynced: without that, a power
+// cut can lose the directory entry of a segment whose *contents* were
+// fsynced, silently dropping acknowledged commits.
+func (f *FS) open(name string, flag int) (File, error) {
+	_, statErr := os.Stat(f.path(name))
+	file, err := os.OpenFile(f.path(name), flag, 0o644)
 	if err != nil {
 		return nil, err
+	}
+	if errors.Is(statErr, fs.ErrNotExist) {
+		if err := f.syncDir(); err != nil {
+			file.Close()
+			return nil, err
+		}
 	}
 	return &fsFile{f: file, fs: f}, nil
 }
@@ -96,6 +107,30 @@ func (f *FS) Remove(name string) error {
 		return nil
 	}
 	return err
+}
+
+// Truncate chops name to size bytes and fsyncs it, so the cut survives a
+// power cut as surely as the bytes it removed would not have.
+func (f *FS) Truncate(name string, size int) error {
+	file, err := os.OpenFile(f.path(name), os.O_WRONLY, 0o644)
+	if errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	info, err := file.Stat()
+	if err != nil {
+		return err
+	}
+	if size < 0 || int64(size) > info.Size() {
+		return fmt.Errorf("disk: truncate %s to %d outside [0,%d]", name, size, info.Size())
+	}
+	if err := file.Truncate(int64(size)); err != nil {
+		return err
+	}
+	return file.Sync()
 }
 
 // Stats returns the backend's I/O counters.

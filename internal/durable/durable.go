@@ -275,13 +275,17 @@ func (j *Journal) LogGone(id agent.ID) { j.append(recGone, encodeAgentID(id), fa
 
 // NextSeq implements the reliable layer's journal: it persists the send
 // counter every relNextStride sends, over-approximated so a restart can
-// never reuse a sequence number.
+// never reuse a sequence number. Commit barrier: the high-water mark must
+// be on disk before any send in its stride leaves the node, or a crash
+// restores a stale counter and the restarted node reuses sequence numbers
+// that peers' dedup tables silently swallow. The stride amortizes the
+// extra fsync to one per relNextStride sends.
 func (j *Journal) NextSeq(seq uint64) {
 	if seq < j.relNextHi {
 		return
 	}
 	j.relNextHi = (seq/relNextStride + 1) * relNextStride
-	j.append(recRelNext, encodeUvarint(j.relNextHi), false)
+	j.append(recRelNext, encodeUvarint(j.relNextHi), true)
 }
 
 // Seen implements the reliable layer's journal: one record per first-seen

@@ -178,6 +178,26 @@ func TestRelNextStrideNeverReusesSequence(t *testing.T) {
 	}
 }
 
+func TestNextSeqIsDurableBeforeTheSend(t *testing.T) {
+	// recRelNext is a commit barrier: under the default PolicyCommit the
+	// high-water mark must be on disk before the stride's first message
+	// leaves the node. A crash right after NextSeq — with no other commit in
+	// between — must still restore the full stride, or the restarted node
+	// would reuse sequence numbers its peers' dedup tables silently swallow.
+	m := disk.NewMem()
+	j, _, _ := Open(m, Options{Policy: wal.PolicyCommit})
+	j.NextSeq(1)
+	j.Kill()
+	m.Crash()
+	_, st, err := Open(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st == nil || st.RelNextSeq != relNextStride {
+		t.Fatalf("after crash, restored state = %+v, want RelNextSeq %d", st, relNextStride)
+	}
+}
+
 func TestSnapshotKeepsSendCounterHighWater(t *testing.T) {
 	// Sends between a snapshot and the journaled high-water write no
 	// records; the snapshot must carry the high-water so they still cannot

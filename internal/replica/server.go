@@ -173,6 +173,14 @@ func (s *Server) attachJournal(j *durable.Journal) {
 	})
 }
 
+// DetachJournal unhooks durability without touching protocol state — the
+// graceful-shutdown path, where the journal is about to be closed while the
+// server may still field stray callbacks that must not append to it.
+func (s *Server) DetachJournal() {
+	s.journal = nil
+	s.st.SetJournal(nil)
+}
+
 // lockState captures the serializable locking state.
 func (s *Server) lockState() durable.LockState {
 	return durable.LockState{

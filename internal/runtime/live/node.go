@@ -88,16 +88,17 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	return &Node{Eng: eng, Fab: fab, Cluster: cl}, nil
 }
 
-// Close tears the node down: journal first (flush and close, so a graceful
-// shutdown leaves nothing to replay), then the fabric (stops inbound
-// traffic), then the actor loop. The journal close runs on the actor loop,
-// serialized with any in-flight protocol callbacks.
+// Close tears the node down: fabric first (stops inbound traffic, so no
+// protocol callback can arrive after its journal is gone), then the journal
+// (flush and close, so a graceful shutdown leaves nothing to replay), then
+// the actor loop. The journal close runs on the actor loop, serialized
+// after any callbacks the fabric injected before it closed.
 func (n *Node) Close() {
+	n.Fab.Close()
 	n.Eng.Do(func() {
 		if err := n.Cluster.CloseJournals(); err != nil {
 			fmt.Printf("live: closing journal: %v\n", err)
 		}
 	})
-	n.Fab.Close()
 	n.Eng.Close()
 }

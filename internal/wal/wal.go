@@ -17,9 +17,11 @@
 // Record frame: 4-byte little-endian payload length, 4-byte CRC-32C over
 // type+payload, 1 type byte, payload. A torn tail — a partial or
 // CRC-corrupt frame at the end of the *last* segment — is tolerated on
-// replay: it is exactly what a crash mid-append leaves behind, and the log
-// resumes in a fresh segment so the garbage bytes are never parsed again.
-// The same damage anywhere else is real corruption and fails Open.
+// replay: it is exactly what a crash mid-append leaves behind. Open
+// truncates the segment back to its valid prefix (so the garbage can never
+// be mistaken for mid-log corruption by a later Open, after this segment is
+// no longer last) and resumes writing in a fresh segment. The same damage
+// anywhere else is real corruption and fails Open.
 //
 // Fsync policy is configurable per the classic durability/throughput
 // trade-off: every append, only at commit barriers, or never (the OS page
@@ -158,11 +160,19 @@ func Open(b disk.Backend, opts Options) (*Log, []byte, []Record, error) {
 	}
 	var records []Record
 	for i, s := range segs {
-		recs, dropped, err := readSegment(b, s.name, i == len(segs)-1)
+		recs, valid, dropped, err := readSegment(b, s.name, i == len(segs)-1)
 		if err != nil {
 			return nil, nil, nil, fmt.Errorf("wal: %s: %w", s.name, err)
 		}
 		records = append(records, recs...)
+		if dropped > 0 {
+			// Cut the torn bytes off durably: on the next Open this segment
+			// is no longer last, and an un-truncated tail would read as real
+			// corruption and permanently refuse to start.
+			if err := b.Truncate(s.name, valid); err != nil {
+				return nil, nil, nil, fmt.Errorf("wal: truncating torn tail of %s: %w", s.name, err)
+			}
+		}
 		l.stats.TailDropped += dropped
 	}
 	l.stats.Replayed = len(records)
@@ -410,12 +420,13 @@ func nextSegIndex(segs []segRef) int {
 	return segs[len(segs)-1].k + 1
 }
 
-// readSegment decodes one segment. tail marks the last segment of the
-// generation, where a torn frame is tolerated (dropped) instead of fatal.
-func readSegment(b disk.Backend, name string, tail bool) ([]Record, int, error) {
+// readSegment decodes one segment, reporting the valid prefix length. tail
+// marks the last segment of the generation, where a torn frame is tolerated
+// (dropped, and truncated away by Open) instead of fatal.
+func readSegment(b disk.Backend, name string, tail bool) ([]Record, int, int, error) {
 	data, err := b.ReadFile(name)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	var records []Record
 	off := 0
@@ -423,14 +434,14 @@ func readSegment(b disk.Backend, name string, tail bool) ([]Record, int, error) 
 		rec, n, ok := decodeFrame(data[off:])
 		if !ok {
 			if tail {
-				return records, len(data) - off, nil
+				return records, off, len(data) - off, nil
 			}
-			return nil, 0, fmt.Errorf("%w (offset %d)", ErrCorrupt, off)
+			return nil, 0, 0, fmt.Errorf("%w (offset %d)", ErrCorrupt, off)
 		}
 		records = append(records, rec)
 		off += n
 	}
-	return records, 0, nil
+	return records, off, 0, nil
 }
 
 // decodeFrame parses one frame from the front of data, reporting its total

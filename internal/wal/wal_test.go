@@ -136,6 +136,39 @@ func TestTornTailToleratedOnlyInLastSegment(t *testing.T) {
 	}
 }
 
+func TestTornTailDoesNotPoisonSecondReopen(t *testing.T) {
+	// The first Open after a torn write tolerates the damage and resumes in
+	// a fresh segment — which makes the torn segment no longer last. Open
+	// must truncate the garbage away, or the SECOND Open reads it with
+	// tail=false and refuses to start (ErrCorrupt) with all data intact.
+	m := disk.NewMem()
+	l, _, _, err := Open(m, Options{Policy: PolicyAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 8, 0)
+	l.Kill()
+	seg := segName(0, 0)
+	m.Truncate(seg, m.Size(seg)-3) // tear the last frame
+
+	l1, _, recs, err := Open(m, Options{Policy: PolicyAlways})
+	if err != nil {
+		t.Fatalf("first reopen with torn tail: %v", err)
+	}
+	wantRecords(t, recs, 0, 7)
+	if l1.Stats().TailDropped == 0 {
+		t.Fatal("expected dropped tail bytes")
+	}
+	appendN(t, l1, 7, 3, 0) // new records land in the fresh segment
+	l1.Close()
+
+	_, _, recs, err = Open(m, Options{})
+	if err != nil {
+		t.Fatalf("second reopen after tolerated torn tail: %v", err)
+	}
+	wantRecords(t, recs, 0, 10)
+}
+
 func TestSnapshotSupersedesLog(t *testing.T) {
 	m := disk.NewMem()
 	l, _, _, err := Open(m, Options{Policy: PolicyCommit})
