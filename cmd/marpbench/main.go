@@ -8,6 +8,7 @@
 //
 //	marpbench                  # run everything at full scale
 //	marpbench -exp f2,f4       # only Figures 2 and 4
+//	marpbench -exp help        # list every experiment with its description
 //	marpbench -quick           # reduced scale (seconds instead of minutes)
 //	marpbench -seed 7          # different random seed
 //	marpbench -latency wan     # latency preset for the figure sweeps
@@ -20,7 +21,9 @@
 // parallelism buys wall-clock time only. Per-experiment wall-clock is
 // printed so the speedup is visible.
 //
-// Experiments: f2 f3 f4 c1 t3 a1 a2 a3 a4 a5 a6 a7 (see DESIGN.md §4).
+// Experiments: f2 f3 f4 c1 t3 a1 a2 a3 a4 a5 a6 a7 a8 (see DESIGN.md §4).
+// Unknown -exp names are rejected; the list above, `-exp help`, and the
+// DESIGN.md per-experiment index enumerate the same set.
 package main
 
 import (
@@ -36,11 +39,11 @@ import (
 	"repro/internal/metrics"
 )
 
-var experiments = []string{"f2", "f3", "f4", "c1", "t3", "a1", "a2", "a3", "a4", "a5", "a6", "a7"}
+var experiments = []string{"f2", "f3", "f4", "c1", "t3", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8"}
 
 func main() {
 	var (
-		expFlag  = flag.String("exp", "all", "comma-separated experiments to run ("+strings.Join(experiments, ",")+" or all)")
+		expFlag  = flag.String("exp", "all", "comma-separated experiments to run ("+strings.Join(experiments, ",")+"), all, or help")
 		quick    = flag.Bool("quick", false, "reduced scale for a fast pass")
 		seed     = flag.Int64("seed", 1, "random seed")
 		latency  = flag.String("latency", "lan", "latency preset for figure sweeps: lan, prototype, wan")
@@ -97,23 +100,9 @@ func run(expFlag, cpuProf, memProf string, opts harness.FigureOptions) int {
 		}()
 	}
 
-	want := map[string]bool{}
-	if expFlag == "all" {
-		for _, e := range experiments {
-			want[e] = true
-		}
-	} else {
-		for _, e := range strings.Split(expFlag, ",") {
-			e = strings.TrimSpace(strings.ToLower(e))
-			if e == "" {
-				continue
-			}
-			want[e] = true
-		}
-	}
-
-	// Experiments produce one table each, except A7 which reports three
-	// (overhead, recovery, raw replay) — run therefore yields a slice.
+	// Experiments produce one table each, except A7 (three: overhead,
+	// recovery, raw replay) and A8 (two: simulator and live) — run
+	// therefore yields a slice.
 	type experiment struct {
 		id   string
 		name string
@@ -144,6 +133,43 @@ func run(expFlag, cpuProf, memProf string, opts harness.FigureOptions) int {
 			return []*metrics.Table{t}, err
 		}},
 		{"a7", "Durability: WAL overhead and crash recovery", harness.Durability},
+		{"a8", "Ablation: keyspace sharding throughput", harness.Sharding},
+	}
+
+	// The flag, the doc comment, and the experiment table must enumerate
+	// the same set — DESIGN.md's per-experiment index is keyed off it.
+	if len(all) != len(experiments) {
+		panic("marpbench: experiments list out of sync with the experiment table")
+	}
+	known := map[string]bool{}
+	for _, e := range all {
+		known[e.id] = true
+	}
+
+	if expFlag == "help" || expFlag == "list" {
+		for _, e := range all {
+			fmt.Printf("%-3s  %s\n", e.id, e.name)
+		}
+		return 0
+	}
+	want := map[string]bool{}
+	if expFlag == "all" {
+		for _, e := range experiments {
+			want[e] = true
+		}
+	} else {
+		for _, e := range strings.Split(expFlag, ",") {
+			e = strings.TrimSpace(strings.ToLower(e))
+			if e == "" {
+				continue
+			}
+			if !known[e] {
+				fmt.Fprintf(os.Stderr, "marpbench: unknown experiment %q (want %s, all, or help)\n",
+					e, strings.Join(experiments, ","))
+				return 2
+			}
+			want[e] = true
+		}
 	}
 
 	ran := 0

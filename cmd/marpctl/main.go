@@ -131,15 +131,23 @@ func main() {
 		if len(args) != 2 {
 			usage()
 		}
-		digest, commits, err := cli.Digest(node(args[1]))
+		digest, commits, shards, err := cli.DigestShards(node(args[1]))
 		if err != nil {
 			fatal(err)
 		}
 		if *asJSON {
-			printJSON(map[string]any{"node": node(args[1]), "digest": digest, "commits": commits})
+			out := map[string]any{"node": node(args[1]), "digest": digest, "commits": commits}
+			if len(shards) > 0 {
+				out["shards"] = shards
+			}
+			printJSON(out)
 			return
 		}
 		fmt.Printf("%s (%d commits)\n", digest, commits)
+		for _, sh := range shards {
+			fmt.Printf("  shard %-3d %s (%d commits, %d requests, alt %.2fms, att %.2fms, %.1f visits)\n",
+				sh.Shard, sh.Digest, sh.Commits, sh.Requests, sh.MeanALTMs, sh.MeanATTMs, sh.MeanVisits)
+		}
 	case "referee":
 		wins, violations, err := cli.Referee()
 		if err != nil {

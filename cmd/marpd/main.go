@@ -42,6 +42,8 @@ import (
 	"syscall"
 
 	marp "repro"
+	"repro/internal/core"
+	"repro/internal/quorum"
 	"repro/internal/runtime"
 	"repro/internal/runtime/live"
 	"repro/internal/transport"
@@ -67,17 +69,19 @@ func parsePeers(spec string) (map[runtime.NodeID]string, error) {
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:7707", "TCP listen address for clients")
-		servers = flag.Int("servers", 5, "number of replicated servers (sim mode)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		latency = flag.String("latency", "lan", "replica network latency (sim mode): lan, prototype, wan")
-		speed   = flag.Float64("speed", 1, "virtual seconds per wall-clock second (sim mode)")
-		batch   = flag.Int("batch", 1, "requests per mobile agent")
-		mode    = flag.String("mode", "sim", "sim (whole cluster, simulated network) or live (one replica per process)")
-		node    = flag.Int("node", 0, "this process's replica ID (live mode)")
-		peers   = flag.String("peers", "", "replica fabric addresses, id=host:port comma-separated (live mode)")
-		dataDir = flag.String("data-dir", "", "durability directory: WAL + snapshots; restart with the same dir to recover (live mode)")
-		fsync   = flag.String("fsync", "commit", "WAL fsync policy with -data-dir: commit, always, none")
+		addr     = flag.String("addr", "127.0.0.1:7707", "TCP listen address for clients")
+		servers  = flag.Int("servers", 5, "number of replicated servers (sim mode)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		latency  = flag.String("latency", "lan", "replica network latency (sim mode): lan, prototype, wan")
+		speed    = flag.Float64("speed", 1, "virtual seconds per wall-clock second (sim mode)")
+		batch    = flag.Int("batch", 1, "requests per mobile agent")
+		mode     = flag.String("mode", "sim", "sim (whole cluster, simulated network) or live (one replica per process)")
+		node     = flag.Int("node", 0, "this process's replica ID (live mode)")
+		peers    = flag.String("peers", "", "replica fabric addresses, id=host:port comma-separated (live mode)")
+		dataDir  = flag.String("data-dir", "", "durability directory: WAL + snapshots; restart with the same dir to recover (live mode)")
+		fsync    = flag.String("fsync", "commit", "WAL fsync policy with -data-dir: commit, always, none")
+		shards   = flag.Int("shards", 1, "key-space shards (independent per-key locking domains)")
+		geometry = flag.String("geometry", "majority", "quorum geometry: majority, grid, tree")
 	)
 	flag.Parse()
 
@@ -90,17 +94,23 @@ func main() {
 			Seed:      *seed,
 			Latency:   marp.Latency(*latency),
 			BatchSize: *batch,
+			Shards:    *shards,
+			Geometry:  *geometry,
 		}, *speed)
 	case "live":
+		var geom quorum.Geometry
 		var addrs map[runtime.NodeID]string
-		if addrs, err = parsePeers(*peers); err == nil {
-			srv, err = transport.ServeLive(*addr, live.NodeConfig{
-				Self:    runtime.NodeID(*node),
-				Addrs:   addrs,
-				Seed:    *seed,
-				DataDir: *dataDir,
-				Fsync:   *fsync,
-			})
+		if geom, err = quorum.ParseGeometry(*geometry); err == nil {
+			if addrs, err = parsePeers(*peers); err == nil {
+				srv, err = transport.ServeLive(*addr, live.NodeConfig{
+					Self:    runtime.NodeID(*node),
+					Addrs:   addrs,
+					Seed:    *seed,
+					DataDir: *dataDir,
+					Fsync:   *fsync,
+					Cluster: core.Config{Shards: *shards, Geometry: geom},
+				})
+			}
 		}
 	default:
 		err = fmt.Errorf("unknown mode %q", *mode)

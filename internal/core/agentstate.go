@@ -40,6 +40,7 @@ type WireState struct {
 // enqueued itself by visiting.
 type VisitMark struct {
 	Server  runtime.NodeID
+	Shard   int
 	Epoch   uint64
 	Version uint64
 }
@@ -64,16 +65,34 @@ func (a *UpdateAgent) Freeze() WireState {
 	for _, snap := range a.lt.snaps {
 		st.Snapshots = append(st.Snapshots, snap.Clone())
 	}
-	sort.Slice(st.Snapshots, func(i, j int) bool { return st.Snapshots[i].Server < st.Snapshots[j].Server })
+	sort.Slice(st.Snapshots, func(i, j int) bool {
+		a, b := st.Snapshots[i], st.Snapshots[j]
+		if a.Shard != b.Shard {
+			return a.Shard < b.Shard
+		}
+		return a.Server < b.Server
+	})
 	st.Gone = a.lt.GoneList()
-	for server, mark := range a.lt.visitMark {
-		st.Visited = append(st.Visited, VisitMark{Server: server, Epoch: mark.epoch, Version: mark.version})
+	for k, mark := range a.lt.visitMark {
+		st.Visited = append(st.Visited, VisitMark{Server: k.server, Shard: k.shard, Epoch: mark.epoch, Version: mark.version})
 	}
-	sort.Slice(st.Visited, func(i, j int) bool { return st.Visited[i].Server < st.Visited[j].Server })
+	sort.Slice(st.Visited, func(i, j int) bool {
+		a, b := st.Visited[i], st.Visited[j]
+		if a.Shard != b.Shard {
+			return a.Shard < b.Shard
+		}
+		return a.Server < b.Server
+	})
 	for _, f := range a.lt.floor {
 		st.Floors = append(st.Floors, f)
 	}
-	sort.Slice(st.Floors, func(i, j int) bool { return st.Floors[i].Server < st.Floors[j].Server })
+	sort.Slice(st.Floors, func(i, j int) bool {
+		a, b := st.Floors[i], st.Floors[j]
+		if a.Shard != b.Shard {
+			return a.Shard < b.Shard
+		}
+		return a.Server < b.Server
+	})
 	return st
 }
 
@@ -82,10 +101,13 @@ func (a *UpdateAgent) Freeze() WireState {
 // migration. The agent resumes in the travelling phase; its next OnArrive
 // continues Algorithm 1 where the frozen agent left off.
 func Thaw(c *Cluster, st WireState) *UpdateAgent {
+	shards := c.shardsOf(st.Requests)
 	a := &UpdateAgent{
 		c:           c,
 		reqs:        append([]Request(nil), st.Requests...),
-		lt:          NewWeightedLockTable(c.cfg.N, c.votes),
+		lt:          c.lockTableFor(shards),
+		shards:      shards,
+		targets:     c.groupUnion(shards),
 		usl:         append([]runtime.NodeID(nil), st.USL...),
 		unavailable: make(map[runtime.NodeID]bool, len(st.Unavailable)),
 		attempts:    make(map[runtime.NodeID]int),
@@ -98,14 +120,14 @@ func Thaw(c *Cluster, st WireState) *UpdateAgent {
 		a.unavailable[id] = true
 	}
 	for _, f := range st.Floors {
-		a.lt.floor[f.Server] = f
+		a.lt.floor[snapKey{shard: f.Shard, server: f.Server}] = f
 	}
 	for _, snap := range st.Snapshots {
 		a.lt.MergeSnapshot(snap)
 	}
 	a.lt.MarkGone(st.Gone...)
 	for _, m := range st.Visited {
-		a.lt.visitMark[m.Server] = visitMark{epoch: m.Epoch, version: m.Version}
+		a.lt.visitMark[snapKey{shard: m.Shard, server: m.Server}] = visitMark{epoch: m.Epoch, version: m.Version}
 	}
 	return a
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/agent"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/reliable"
 	"repro/internal/replica"
 	"repro/internal/runtime"
+	"repro/internal/shard"
 	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/wal"
@@ -35,6 +37,23 @@ type Config struct {
 	// half the total votes, and UPDATE acknowledgements are weighted the
 	// same way.
 	Votes map[runtime.NodeID]int
+	// Shards partitions the key space into this many independent locking
+	// domains (default 1 — the paper's single-object system). Keys map to
+	// shards by hash (internal/shard); each shard has its own Locking
+	// Lists, sequence space, and quorums, and agents visit only the
+	// replica group owning their keys.
+	Shards int
+	// GroupSize is the replica-group size per shard, chosen by rendezvous
+	// hashing over the N servers. Zero (or >= N) replicates every shard on
+	// every server — full replication.
+	GroupSize int
+	// Geometry selects the quorum construction for every shard:
+	// quorum.GeomMajority (default), GeomGrid, or GeomTree. Grid and tree
+	// geometries require Votes to be nil (they are structural, not
+	// weighted).
+	Geometry quorum.Geometry
+	// ShardGeometry overrides Geometry for individual shards.
+	ShardGeometry map[int]quorum.Geometry
 
 	// BatchMaxRequests dispatches an agent once this many requests are
 	// pending at a server (paper §3.2: "after a pre-defined number of
@@ -100,7 +119,7 @@ type Config struct {
 	// OnGrant, if non-nil, observes every grant change in addition to the
 	// built-in referee. Cross-engine tests use it to assemble a global
 	// single-claimant oracle spanning several cluster processes.
-	OnGrant func(server runtime.NodeID, txn agent.ID)
+	OnGrant func(server runtime.NodeID, shrd int, txn agent.ID)
 
 	// Trace, if non-nil, records the full protocol timeline.
 	Trace *trace.Log
@@ -123,6 +142,9 @@ type DurabilityConfig struct {
 func (c *Config) fill() error {
 	if c.N < 1 {
 		return fmt.Errorf("core: config needs N >= 1, got %d", c.N)
+	}
+	if c.Shards < 1 {
+		c.Shards = 1
 	}
 	if c.BatchMaxRequests <= 0 {
 		c.BatchMaxRequests = 1
@@ -172,10 +194,14 @@ type Cluster struct {
 	journals map[runtime.NodeID]*durable.Journal
 
 	votes       quorum.Assignment
+	shards      int
+	groups      [][]runtime.NodeID  // replica group per shard, ascending
+	assigns     []quorum.Assignment // quorum geometry per shard
 	batches     map[runtime.NodeID]*batch
 	active      map[agent.ID]*UpdateAgent
 	checkpoints map[agent.ID]WireState
 	outcomes    []Outcome
+	done        map[agent.ID]int // agent -> index into outcomes, for dedup
 	outstanding int
 	regenerated int
 }
@@ -223,6 +249,7 @@ func NewCluster(eng runtime.Engine, fab runtime.Fabric, cfg Config) (*Cluster, e
 		batches:     make(map[runtime.NodeID]*batch),
 		active:      make(map[agent.ID]*UpdateAgent),
 		checkpoints: make(map[agent.ID]WireState),
+		done:        make(map[agent.ID]int),
 		backends:    make(map[runtime.NodeID]disk.Backend),
 		journals:    make(map[runtime.NodeID]*durable.Journal),
 	}
@@ -268,24 +295,37 @@ func NewCluster(eng runtime.Engine, fab runtime.Fabric, cfg Config) (*Cluster, e
 		}
 		c.votes = quorum.Weighted(cfg.Votes)
 	}
-	c.referee = NewWeightedReferee(c.votes, eng.Now)
+	c.shards = cfg.Shards
+	if err := c.buildShardMap(); err != nil {
+		return nil, err
+	}
+	c.referee = NewShardedReferee(c.assigns, eng.Now)
 	observer := c.referee.OnGrant
 	if cfg.OnGrant != nil {
 		inner, extra := observer, cfg.OnGrant
-		observer = func(server runtime.NodeID, txn agent.ID) {
-			inner(server, txn)
-			extra(server, txn)
+		observer = func(server runtime.NodeID, shrd int, txn agent.ID) {
+			inner(server, shrd, txn)
+			extra(server, shrd, txn)
 		}
 	}
+	// A sharded or grouped or non-majority deployment tells the replicas
+	// about its shard map; the default single-shard majority system passes
+	// none, keeping the replica layer on its legacy paths byte-for-byte.
+	explicit := cfg.Shards > 1 || c.grouped() || c.nonMajority()
 	for _, id := range c.nodes {
 		if !c.local[id] {
 			continue
 		}
 		rcfg := replica.Config{
+			Shards:             cfg.Shards,
 			DisableInfoSharing: cfg.DisableInfoSharing,
 			GrantObserver:      observer,
 			Intercept:          c.intercept,
 			Trace:              cfg.Trace,
+		}
+		if explicit {
+			rcfg.Groups = c.groups
+			rcfg.Quorums = c.assigns
 		}
 		if cfg.Durability != nil {
 			b := cfg.Durability.Backend(id)
@@ -317,7 +357,123 @@ func NewCluster(eng runtime.Engine, fab runtime.Fabric, cfg Config) (*Cluster, e
 
 func (c *Cluster) durableOptions() durable.Options {
 	d := c.cfg.Durability
-	return durable.Options{Policy: d.Policy, SegmentBytes: d.SegmentBytes, CompactEvery: d.CompactEvery}
+	return durable.Options{Policy: d.Policy, SegmentBytes: d.SegmentBytes, CompactEvery: d.CompactEvery, Shards: c.cfg.Shards}
+}
+
+// buildShardMap derives every shard's replica group (rendezvous hashing
+// over the N servers) and quorum assignment (per Geometry/ShardGeometry)
+// from the config. With one shard, full replication and majority geometry
+// this reduces exactly to the pre-sharding system.
+func (c *Cluster) buildShardMap() error {
+	c.groups = make([][]runtime.NodeID, c.shards)
+	c.assigns = make([]quorum.Assignment, c.shards)
+	for sh := 0; sh < c.shards; sh++ {
+		group := shard.Group(sh, c.nodes, c.cfg.GroupSize)
+		geom := c.cfg.Geometry
+		if g, ok := c.cfg.ShardGeometry[sh]; ok {
+			geom = g
+		}
+		var a quorum.Assignment
+		var err error
+		switch {
+		case geom == "" || geom == quorum.GeomMajority:
+			if c.cfg.Votes == nil || len(group) == len(c.nodes) {
+				a, err = quorum.Build(quorum.GeomMajority, group, c.subVotes(group))
+			} else {
+				return fmt.Errorf("core: weighted votes require full replication (GroupSize 0), got group size %d", len(group))
+			}
+		default:
+			if c.cfg.Votes != nil {
+				return fmt.Errorf("core: geometry %q cannot be combined with weighted votes", geom)
+			}
+			a, err = quorum.Build(geom, group, nil)
+		}
+		if err != nil {
+			return fmt.Errorf("core: shard %d: %w", sh, err)
+		}
+		c.groups[sh] = group
+		c.assigns[sh] = a
+	}
+	return nil
+}
+
+// subVotes restricts the configured vote map to the group (nil in, nil out).
+func (c *Cluster) subVotes(group []runtime.NodeID) map[runtime.NodeID]int {
+	if c.cfg.Votes == nil {
+		return nil
+	}
+	sub := make(map[runtime.NodeID]int, len(group))
+	for _, id := range group {
+		sub[id] = c.cfg.Votes[id]
+	}
+	return sub
+}
+
+// grouped reports whether any shard's replica group is a strict subset of
+// the servers.
+func (c *Cluster) grouped() bool {
+	for _, g := range c.groups {
+		if len(g) != len(c.nodes) {
+			return true
+		}
+	}
+	return false
+}
+
+// nonMajority reports whether any shard uses a structural (grid/tree)
+// quorum geometry.
+func (c *Cluster) nonMajority() bool {
+	for _, a := range c.assigns {
+		if _, ok := a.(quorum.Voting); !ok {
+			return true
+		}
+	}
+	return false
+}
+
+// shardsOf returns the distinct shards of the batch's keys, ascending.
+func (c *Cluster) shardsOf(reqs []Request) []int {
+	seen := make(map[int]bool, len(reqs))
+	var out []int
+	for _, r := range reqs {
+		sh := shard.Of(r.Key, c.shards)
+		if !seen[sh] {
+			seen[sh] = true
+			out = append(out, sh)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// groupUnion returns the union of the shards' replica groups, ascending.
+func (c *Cluster) groupUnion(shards []int) []runtime.NodeID {
+	if len(shards) == 1 {
+		out := make([]runtime.NodeID, len(c.groups[shards[0]]))
+		copy(out, c.groups[shards[0]])
+		return out
+	}
+	seen := make(map[runtime.NodeID]bool)
+	var out []runtime.NodeID
+	for _, sh := range shards {
+		for _, id := range c.groups[sh] {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// lockTableFor builds an agent's lock table scoped to the given shards.
+func (c *Cluster) lockTableFor(shards []int) *LockTable {
+	views := make([]ShardView, len(shards))
+	for i, sh := range shards {
+		views[i] = ShardView{Shard: sh, Group: c.groups[sh], Votes: c.assigns[sh]}
+	}
+	return NewShardedLockTable(c.cfg.N, views)
 }
 
 // wireRelJournal connects node id's journal to the reliable layer (when one
@@ -475,9 +631,23 @@ func (c *Cluster) finish(at runtime.NodeID, o Outcome) {
 }
 
 // recordOutcome books a finished agent against this cluster's counters.
+// Recording is idempotent per agent: on a live deployment the home can
+// declare a slow migration failed (a Failed outcome) and still hear from
+// the agent when it commits anyway — the success then replaces the false
+// death in place, and the outstanding count never double-decrements.
 func (c *Cluster) recordOutcome(o Outcome) {
+	if i, ok := c.done[o.Agent]; ok {
+		if c.outcomes[i].Failed && !o.Failed {
+			c.outcomes[i] = o
+		}
+		return
+	}
+	c.done[o.Agent] = len(c.outcomes)
 	c.outcomes = append(c.outcomes, o)
 	c.outstanding--
+	if o.Failed {
+		return
+	}
 	c.cfg.Trace.Addf(int64(c.eng.Now()), int(o.Home), o.Agent.String(), trace.RequestDone,
 		"alt=%v att=%v visits=%d", o.LockLatency().Duration(), o.TotalLatency().Duration(), o.Visits)
 }
@@ -511,7 +681,7 @@ func (c *Cluster) loseAgent(id agent.ID) bool {
 		}
 	}
 	ua.phase = phaseDone
-	c.outcomes = append(c.outcomes, Outcome{
+	c.recordOutcome(Outcome{
 		Agent:      id,
 		Home:       id.Home,
 		Requests:   len(ua.reqs),
@@ -520,7 +690,6 @@ func (c *Cluster) loseAgent(id agent.ID) bool {
 		Retries:    ua.retries,
 		Failed:     true,
 	})
-	c.outstanding--
 	delete(c.active, id)
 	delete(c.checkpoints, id)
 	return false
@@ -541,7 +710,7 @@ func (c *Cluster) scheduleRegeneration(id agent.ID, st WireState, old *UpdateAge
 			// Nowhere alive to respawn: the requests fail like any other
 			// loss. (Schedules validated by internal/failure keep a
 			// majority up, so this is a pathological-schedule path.)
-			c.outcomes = append(c.outcomes, Outcome{
+			c.recordOutcome(Outcome{
 				Agent:      id,
 				Home:       id.Home,
 				Requests:   len(st.Requests),
@@ -550,7 +719,6 @@ func (c *Cluster) scheduleRegeneration(id agent.ID, st WireState, old *UpdateAge
 				Retries:    st.Retries,
 				Failed:     true,
 			})
-			c.outstanding--
 			delete(c.checkpoints, id)
 			return
 		}
@@ -815,27 +983,30 @@ func (c *Cluster) RunUntilDone(maxVirtual time.Duration) error {
 // Settle runs the engine d further so in-flight commits and syncs land.
 func (c *Cluster) Settle(d time.Duration) { c.eng.Sleep(d) }
 
-// CheckConvergence verifies DESIGN.md invariants 2 and 6: every live
-// replica holds the identical committed update log (hence identical state).
+// CheckConvergence verifies DESIGN.md invariants 2 and 6 per shard: every
+// live member of a shard's replica group holds the identical committed
+// update log for that shard (hence identical state).
 func (c *Cluster) CheckConvergence() error {
-	var ref []store.Update
-	var refNode runtime.NodeID
-	for _, id := range c.nodes {
-		s := c.servers[id]
-		if s == nil || s.Down() {
-			continue
-		}
-		log := s.Store().Log()
-		if ref == nil {
-			ref, refNode = log, id
-			continue
-		}
-		if len(log) != len(ref) {
-			return fmt.Errorf("core: server %d has %d updates, server %d has %d", id, len(log), refNode, len(ref))
-		}
-		for i := range log {
-			if log[i] != ref[i] {
-				return fmt.Errorf("core: server %d log[%d] = %+v, server %d has %+v", id, i, log[i], refNode, ref[i])
+	for sh := 0; sh < c.shards; sh++ {
+		var ref []store.Update
+		var refNode runtime.NodeID
+		for _, id := range c.groups[sh] {
+			s := c.servers[id]
+			if s == nil || s.Down() {
+				continue
+			}
+			log := s.StoreOf(sh).Log()
+			if ref == nil {
+				ref, refNode = log, id
+				continue
+			}
+			if len(log) != len(ref) {
+				return fmt.Errorf("core: shard %d: server %d has %d updates, server %d has %d", sh, id, len(log), refNode, len(ref))
+			}
+			for i := range log {
+				if log[i] != ref[i] {
+					return fmt.Errorf("core: shard %d: server %d log[%d] = %+v, server %d has %+v", sh, id, i, log[i], refNode, ref[i])
+				}
 			}
 		}
 	}

@@ -282,7 +282,7 @@ func TestDeterministicRuns(t *testing.T) {
 		t.Fatalf("different outcome counts: %d vs %d", len(a), len(b))
 	}
 	for i := range a {
-		if a[i] != b[i] {
+		if fmt.Sprintf("%+v", a[i]) != fmt.Sprintf("%+v", b[i]) {
 			t.Fatalf("outcome %d differs:\n%+v\n%+v", i, a[i], b[i])
 		}
 	}

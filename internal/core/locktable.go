@@ -9,28 +9,48 @@ import (
 	"repro/internal/runtime"
 )
 
+// ShardView is everything an agent's LockTable knows about one shard it
+// operates on: the replica group owning the shard and the quorum geometry
+// arbitrating its write permission. A single-shard system has one view
+// covering all N servers — the paper's configuration.
+type ShardView struct {
+	Shard int
+	Group []runtime.NodeID // ascending
+	Votes quorum.Assignment
+}
+
+// snapKey identifies one Locking List: a (shard, server) pair.
+type snapKey struct {
+	shard  int
+	server runtime.NodeID
+}
+
 // LockTable is the mobile agent's view of the global locking state: the LT
 // of the paper (§3.2), fused with the UAL (agents known to have finished or
 // died, whose stale queue entries must be ignored) and the bookkeeping
 // needed to notice that a visited server lost the agent's entry in a crash.
+// Snapshots are kept per (server, shard): a multi-shard agent tracks every
+// Locking List its claim depends on.
 //
-// Queue snapshots about a server change only in constrained ways — entries
-// are appended at the tail and removed when their agent finishes or dies —
-// so the head computed from a stale snapshot, after filtering agents known
-// to be gone, equals the server's true current head whenever the snapshot
-// still contains at least one live entry (see DESIGN.md §6, invariant 5).
+// Queue snapshots about a locking list change only in constrained ways —
+// entries are appended at the tail and removed when their agent finishes or
+// dies — so the head computed from a stale snapshot, after filtering agents
+// known to be gone, equals the list's true current head whenever the
+// snapshot still contains at least one live entry (see DESIGN.md §6,
+// invariant 5).
 type LockTable struct {
 	n     int
-	votes quorum.Assignment
-	snaps map[runtime.NodeID]replica.QueueSnapshot
+	views []ShardView
+	snaps map[snapKey]replica.QueueSnapshot
 	gone  map[agent.ID]bool
 	// visitMark records the snapshot position (epoch, version) at which
-	// this agent last observed itself enqueued at a server by visiting it.
-	visitMark map[runtime.NodeID]visitMark
+	// this agent last observed itself enqueued in a locking list by
+	// visiting its server.
+	visitMark map[snapKey]visitMark
 	// floor holds distrust tombstones left by Forget: snapshots for the
-	// server are ignored unless strictly newer, so stale information from
+	// list are ignored unless strictly newer, so stale information from
 	// server caches cannot resurrect a view the agent already rejected.
-	floor map[runtime.NodeID]replica.QueueSnapshot
+	floor map[snapKey]replica.QueueSnapshot
 	// rev counts effective mutations; a stable rev across retry rounds
 	// tells the agent the system is genuinely stuck, not just slow.
 	rev uint64
@@ -41,8 +61,8 @@ type visitMark struct {
 	version uint64
 }
 
-// NewLockTable returns an empty table for a system of n replicas with one
-// vote each (the paper's plain majority scheme).
+// NewLockTable returns an empty table for an unsharded system of n replicas
+// with one vote each (the paper's plain majority scheme).
 func NewLockTable(n int) *LockTable {
 	nodes := make([]runtime.NodeID, n)
 	for i := range nodes {
@@ -51,18 +71,28 @@ func NewLockTable(n int) *LockTable {
 	return NewWeightedLockTable(n, quorum.Equal(nodes))
 }
 
-// NewWeightedLockTable returns a table using an explicit vote assignment —
-// Gifford's weighted-voting generalization [5] of the paper's majority
-// scheme: an agent wins when the servers whose locking lists it heads hold
-// more than half the votes.
+// NewWeightedLockTable returns an unsharded table using an explicit vote
+// assignment — Gifford's weighted-voting generalization [5] of the paper's
+// majority scheme: an agent wins when the servers whose locking lists it
+// heads form a write quorum.
 func NewWeightedLockTable(n int, votes quorum.Assignment) *LockTable {
+	nodes := make([]runtime.NodeID, n)
+	for i := range nodes {
+		nodes[i] = runtime.NodeID(i + 1)
+	}
+	return NewShardedLockTable(n, []ShardView{{Shard: 0, Group: nodes, Votes: votes}})
+}
+
+// NewShardedLockTable returns a table over explicit shard views (ascending
+// shard order). The agent wins only when every view elects it.
+func NewShardedLockTable(n int, views []ShardView) *LockTable {
 	return &LockTable{
 		n:         n,
-		votes:     votes,
-		snaps:     make(map[runtime.NodeID]replica.QueueSnapshot),
+		views:     views,
+		snaps:     make(map[snapKey]replica.QueueSnapshot),
 		gone:      make(map[agent.ID]bool),
-		visitMark: make(map[runtime.NodeID]visitMark),
-		floor:     make(map[runtime.NodeID]replica.QueueSnapshot),
+		visitMark: make(map[snapKey]visitMark),
+		floor:     make(map[snapKey]replica.QueueSnapshot),
 	}
 }
 
@@ -95,64 +125,79 @@ func (lt *LockTable) GoneList() []agent.ID {
 	return out
 }
 
-// MergeSnapshot absorbs a queue snapshot, keeping the freshest per server
-// and respecting any distrust tombstone left by Forget.
+// MergeSnapshot absorbs a queue snapshot, keeping the freshest per
+// (shard, server) and respecting any distrust tombstone left by Forget.
 func (lt *LockTable) MergeSnapshot(s replica.QueueSnapshot) {
-	if f, ok := lt.floor[s.Server]; ok && !s.Newer(f) {
+	k := snapKey{shard: s.Shard, server: s.Server}
+	if f, ok := lt.floor[k]; ok && !s.Newer(f) {
 		return
 	}
-	cur, ok := lt.snaps[s.Server]
+	cur, ok := lt.snaps[k]
 	if !ok || s.Newer(cur) {
-		lt.snaps[s.Server] = s.Clone()
+		lt.snaps[k] = s.Clone()
 		lt.rev++
 	}
 }
 
-// Forget drops all knowledge about a server and refuses to re-learn
-// anything not strictly newer. Agents forget servers that do not answer a
-// claim: whatever snapshot led to the claim is evidently useless, an
-// unknown head is handled more gracefully than a stale one, and without the
-// tombstone the same stale snapshot would flow right back out of a peer
+// Forget drops all knowledge about a server (every shard) and refuses to
+// re-learn anything not strictly newer. Agents forget servers that do not
+// answer a claim: whatever snapshot led to the claim is evidently useless,
+// an unknown head is handled more gracefully than a stale one, and without
+// the tombstone the same stale snapshot would flow right back out of a peer
 // server's information-sharing cache.
 func (lt *LockTable) Forget(server runtime.NodeID) {
-	if s, ok := lt.snaps[server]; ok {
-		lt.floor[server] = replica.QueueSnapshot{Server: server, Epoch: s.Epoch, Version: s.Version}
-		delete(lt.snaps, server)
+	for k, s := range lt.snaps {
+		if k.server != server {
+			continue
+		}
+		lt.floor[k] = replica.QueueSnapshot{Server: server, Shard: k.shard, Epoch: s.Epoch, Version: s.Version}
+		delete(lt.snaps, k)
 		lt.rev++
 	}
 }
 
 // MergeInfo absorbs everything a server handed out. If visited is true the
-// local snapshot came from this agent's own visit (it just enqueued there),
-// and the table records the visit mark used by NeedRevisit.
+// local snapshots came from this agent's own visit (it just enqueued
+// there), and the table records the visit marks used by NeedRevisit.
 func (lt *LockTable) MergeInfo(info replica.LockInfo, visited bool) {
-	lt.MergeSnapshot(info.Local)
+	for _, local := range info.Locals {
+		lt.MergeSnapshot(local)
+		if visited {
+			lt.visitMark[snapKey{shard: local.Shard, server: local.Server}] =
+				visitMark{epoch: local.Epoch, version: local.Version}
+		}
+	}
 	lt.MarkGone(info.Gone...)
 	for _, snap := range info.Remote {
 		lt.MergeSnapshot(snap)
-	}
-	if visited {
-		lt.visitMark[info.Local.Server] = visitMark{epoch: info.Local.Epoch, version: info.Local.Version}
 	}
 }
 
 // Visited reports whether the agent has visited (enqueued at) the server.
 func (lt *LockTable) Visited(server runtime.NodeID) bool {
-	_, ok := lt.visitMark[server]
-	return ok
+	for k := range lt.visitMark {
+		if k.server == server {
+			return true
+		}
+	}
+	return false
 }
 
-// Snapshot returns the freshest known snapshot for a server.
+// Snapshot returns the freshest known shard-0 snapshot for a server.
 func (lt *LockTable) Snapshot(server runtime.NodeID) (replica.QueueSnapshot, bool) {
-	s, ok := lt.snaps[server]
+	s, ok := lt.snaps[snapKey{server: server}]
 	return s, ok
 }
 
-// Head returns the server's head of queue after filtering gone agents.
-// ok is false when the table has no information for the server or the
-// filtered queue is empty.
+// Head returns the head of the server's shard-0 queue after filtering gone
+// agents; ok is false when the table has no information for the server or
+// the filtered queue is empty.
 func (lt *LockTable) Head(server runtime.NodeID) (agent.ID, bool) {
-	s, ok := lt.snaps[server]
+	return lt.headAt(0, server)
+}
+
+func (lt *LockTable) headAt(shrd int, server runtime.NodeID) (agent.ID, bool) {
+	s, ok := lt.snaps[snapKey{shard: shrd, server: server}]
 	if !ok {
 		return agent.ID{}, false
 	}
@@ -164,10 +209,10 @@ func (lt *LockTable) Head(server runtime.NodeID) (agent.ID, bool) {
 	return agent.ID{}, false
 }
 
-// Rank returns self's 1-based position in the server's filtered queue
-// (0 if absent or unknown) — diagnostic/metrics helper.
+// Rank returns self's 1-based position in the server's filtered shard-0
+// queue (0 if absent or unknown) — diagnostic/metrics helper.
 func (lt *LockTable) Rank(server runtime.NodeID, self agent.ID) int {
-	s, ok := lt.snaps[server]
+	s, ok := lt.snaps[snapKey{server: server}]
 	if !ok {
 		return 0
 	}
@@ -185,34 +230,46 @@ func (lt *LockTable) Rank(server runtime.NodeID, self agent.ID) int {
 }
 
 // Export returns the table's snapshots for leaving behind at a server (the
-// paper's information sharing). The server merges by version, so sharing is
-// always safe.
-func (lt *LockTable) Export() map[runtime.NodeID]replica.QueueSnapshot {
-	out := make(map[runtime.NodeID]replica.QueueSnapshot, len(lt.snaps))
-	for n, s := range lt.snaps {
-		out[n] = s.Clone()
+// paper's information sharing), sorted by (shard, server). The server
+// merges by version, so sharing is always safe.
+func (lt *LockTable) Export() []replica.QueueSnapshot {
+	out := make([]replica.QueueSnapshot, 0, len(lt.snaps))
+	for _, s := range lt.snaps {
+		out = append(out, s.Clone())
 	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Shard != out[j].Shard {
+			return out[i].Shard < out[j].Shard
+		}
+		return out[i].Server < out[j].Server
+	})
 	return out
 }
 
-// Evidence returns the head-version claimed for every known server; servers
-// validate tie-break claims against it.
+// Evidence returns the head-version claimed for every known server (the
+// freshest across its shards); servers validate tie-break claims against it.
 func (lt *LockTable) Evidence() map[runtime.NodeID]uint64 {
 	out := make(map[runtime.NodeID]uint64, len(lt.snaps))
-	for n, s := range lt.snaps {
-		out[n] = s.HeadVersion
+	for k, s := range lt.snaps {
+		if cur, ok := out[k.server]; !ok || s.HeadVersion > cur {
+			out[k.server] = s.HeadVersion
+		}
 	}
 	return out
 }
 
-// NeedRevisit returns visited servers that, according to information at
-// least as fresh as the visit, no longer hold self's queue entry — which
-// happens when the server crashed (losing its volatile LL) and recovered.
-// The agent must travel there again to re-enqueue.
+// NeedRevisit returns visited servers where, according to information at
+// least as fresh as the visit, some locking list no longer holds self's
+// queue entry — which happens when the server crashed (losing its volatile
+// LLs) and recovered. The agent must travel there again to re-enqueue.
 func (lt *LockTable) NeedRevisit(self agent.ID) []runtime.NodeID {
+	seen := make(map[runtime.NodeID]bool)
 	var out []runtime.NodeID
-	for server, mark := range lt.visitMark {
-		s, ok := lt.snaps[server]
+	for k, mark := range lt.visitMark {
+		if seen[k.server] {
+			continue
+		}
+		s, ok := lt.snaps[k]
 		if !ok {
 			continue
 		}
@@ -228,7 +285,8 @@ func (lt *LockTable) NeedRevisit(self agent.ID) []runtime.NodeID {
 			}
 		}
 		if !present {
-			out = append(out, server)
+			seen[k.server] = true
+			out = append(out, k.server)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
@@ -265,67 +323,127 @@ type Decision struct {
 	Found    bool
 	Winner   agent.ID
 	ByTie    bool
-	SelfTops int // servers where self heads the queue, per current knowledge
-	TopCount int // the winner's top count
+	SelfTops int // write-quorum score of the lists self heads, summed over shards
+	TopCount int // the winner's score
 }
 
-// Decide runs the paper's priority rule (§3.3) over the table's knowledge:
+// shardDecision is one shard's sub-decision.
+type shardDecision struct {
+	found  bool
+	winner agent.ID
+	byTie  bool
+	headed map[agent.ID][]runtime.NodeID
+	votes  quorum.Assignment
+}
+
+// Decide runs the paper's priority rule (§3.3) over the table's knowledge,
+// generalized to quorum geometries and shards:
 //
-//   - an agent heading the locking lists of a majority of the N servers has
-//     the highest priority;
-//   - otherwise, if even claiming every server whose head is unknown cannot
-//     lift any agent to a majority — the paper's S + (N − M·S) < N/2
-//     condition, generalized to partial knowledge — the tie is resolved in
-//     favor of the smallest agent identifier among the current leaders.
+//   - on each shard, an agent heading the locking lists of a write quorum of
+//     the shard's replica group has the highest priority (the paper's
+//     majority of N servers, under the majority geometry);
+//   - otherwise, if even claiming every list whose head is unknown cannot
+//     lift any agent to a write quorum — the paper's S + (N − M·S) < N/2
+//     condition, generalized to partial knowledge — the tie resolves in
+//     favor of the heaviest current leader, smallest identifier first;
+//   - the agent wins overall when every shard it operates on elects it. If
+//     all shards decide but disagree, the cross-shard tie resolves to the
+//     leader with the highest total score (then smallest identifier), and
+//     the losers wait.
 //
 // A Decision with Found == false means the agent must gather more
 // information (keep travelling, or wait for locking lists to change).
 func (lt *LockTable) Decide(self agent.ID) Decision {
-	majority := lt.votes.Majority()
-	counts := make(map[agent.ID]int) // vote-weighted top counts
-	known := 0                       // votes of servers with a known head
-	for server := 1; server <= lt.n; server++ {
-		id := runtime.NodeID(server)
-		head, ok := lt.Head(id)
-		if !ok {
-			continue
-		}
-		counts[head] += lt.votes.Votes(id)
-		known += lt.votes.Votes(id)
+	subs := make([]shardDecision, len(lt.views))
+	selfTops := 0
+	for i, v := range lt.views {
+		subs[i] = lt.decideShard(v, self)
+		selfTops += v.Votes.Score(subs[i].headed[self])
 	}
-	d := Decision{SelfTops: counts[self]}
-	best := 0
-	for _, c := range counts {
-		if c > best {
-			best = c
-		}
-	}
-	for id, c := range counts {
-		if c >= majority {
-			d.Found = true
-			d.Winner = id
-			d.TopCount = c
+	d := Decision{SelfTops: selfTops}
+	for _, s := range subs {
+		if !s.found {
 			return d
 		}
 	}
-	unclaimed := lt.votes.Total() - known
-	if best == 0 || best+unclaimed >= majority {
-		return d // someone could still reach a majority: no decision yet
+	winner := subs[0].winner
+	agreed := true
+	for _, s := range subs[1:] {
+		if s.winner != winner {
+			agreed = false
+			break
+		}
 	}
-	// Tie: resolve by smallest identifier among the agents with the most
-	// top ranks.
-	var winner agent.ID
-	for id, c := range counts {
-		if c != best {
-			continue
+	if !agreed {
+		// Cross-shard tie (multi-shard systems only): different shards
+		// elected different leaders. Resolve deterministically so exactly
+		// one agent proceeds to claim; the servers' grant exclusivity
+		// arbitrates safely either way.
+		winner = agent.ID{}
+		best := -1
+		for _, s := range subs {
+			total := 0
+			for _, x := range subs {
+				total += x.votes.Score(x.headed[s.winner])
+			}
+			if total > best || (total == best && s.winner.Less(winner)) {
+				winner, best = s.winner, total
+			}
 		}
-		if winner.IsZero() || id.Less(winner) {
-			winner = id
-		}
+		d.Found = true
+		d.Winner = winner
+		d.ByTie = true
+		d.TopCount = best
+		return d
 	}
 	d.Found = true
 	d.Winner = winner
-	d.ByTie = true
-	d.TopCount = best
+	for _, s := range subs {
+		d.TopCount += s.votes.Score(s.headed[winner])
+		d.ByTie = d.ByTie || s.byTie
+	}
+	return d
+}
+
+// decideShard elects one shard's highest-priority agent from the heads the
+// table knows on that shard's replica group.
+func (lt *LockTable) decideShard(v ShardView, self agent.ID) shardDecision {
+	d := shardDecision{headed: make(map[agent.ID][]runtime.NodeID), votes: v.Votes}
+	var unknown []runtime.NodeID
+	for _, server := range v.Group {
+		head, ok := lt.headAt(v.Shard, server)
+		if !ok {
+			unknown = append(unknown, server)
+			continue
+		}
+		d.headed[head] = append(d.headed[head], server)
+	}
+	for id, nodes := range d.headed {
+		if v.Votes.HasWrite(nodes) {
+			d.found = true
+			d.winner = id
+			return d
+		}
+	}
+	if len(d.headed) == 0 {
+		return d // nothing known yet
+	}
+	for _, nodes := range d.headed {
+		if v.Votes.HasWrite(append(append([]runtime.NodeID(nil), nodes...), unknown...)) {
+			return d // someone could still reach a write quorum: no decision yet
+		}
+	}
+	// Tie: resolve by score, then smallest identifier among the leaders.
+	best := -1
+	var winner agent.ID
+	for id, nodes := range d.headed {
+		score := v.Votes.Score(nodes)
+		if score > best || (score == best && id.Less(winner)) {
+			winner, best = id, score
+		}
+	}
+	d.found = true
+	d.winner = winner
+	d.byTie = true
 	return d
 }

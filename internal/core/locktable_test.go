@@ -220,7 +220,7 @@ func TestLockTableRank(t *testing.T) {
 func TestLockTableNeedRevisit(t *testing.T) {
 	lt := NewLockTable(3)
 	me := agentID(1)
-	visit := replica.LockInfo{Local: snap(1, 3, agentID(2), me)}
+	visit := replica.LockInfo{Locals: []replica.QueueSnapshot{snap(1, 3, agentID(2), me)}}
 	lt.MergeInfo(visit, true)
 	if got := lt.NeedRevisit(me); len(got) != 0 {
 		t.Fatalf("revisit = %v", got)
@@ -249,10 +249,10 @@ func TestLockTableExportAndEvidence(t *testing.T) {
 	s.HeadVersion = 2
 	lt.MergeSnapshot(s)
 	exp := lt.Export()
-	if len(exp) != 1 || exp[1].Version != 4 {
+	if len(exp) != 1 || exp[0].Server != 1 || exp[0].Version != 4 {
 		t.Fatalf("export = %+v", exp)
 	}
-	exp[1].Queue[0] = agentID(9)
+	exp[0].Queue[0] = agentID(9)
 	if h, _ := lt.Head(1); h != agentID(1) {
 		t.Fatal("Export aliases table")
 	}
@@ -264,7 +264,7 @@ func TestLockTableExportAndEvidence(t *testing.T) {
 
 func TestLockTableVisitedAndGoneList(t *testing.T) {
 	lt := NewLockTable(3)
-	lt.MergeInfo(replica.LockInfo{Local: snap(2, 1, agentID(1))}, true)
+	lt.MergeInfo(replica.LockInfo{Locals: []replica.QueueSnapshot{snap(2, 1, agentID(1))}}, true)
 	if !lt.Visited(2) || lt.Visited(1) {
 		t.Fatal("Visited wrong")
 	}

@@ -10,27 +10,34 @@ import (
 
 // Referee is a simulation-only oracle that checks the protocol's central
 // safety property — Theorem 2 of the paper, "there is only one highest
-// priority mobile agent in the system at any time". It observes every
-// server's exclusive grant (via replica.Config.GrantObserver) and flags a
-// violation the instant two different transactions simultaneously hold
-// grants at a majority of servers, since a validated majority of grants is
-// what constitutes the update permission in this implementation.
+// priority mobile agent in the system at any time" — per shard. It observes
+// every server's per-shard exclusive grant (via
+// replica.Config.GrantObserver) and flags a violation the instant two
+// different transactions simultaneously hold grants forming a write quorum
+// of the same shard's replica group, since a validated write quorum of
+// grants is what constitutes the update permission in this implementation.
+// Grants on different shards are independent by design (shard isolation),
+// so the oracle never relates them.
 //
 // The referee is pure observation: it never influences the protocol, so a
 // run with a referee behaves identically to one without.
 type Referee struct {
-	votes      quorum.Assignment
-	majority   int
 	clock      func() runtime.Time
-	grants     map[runtime.NodeID]agent.ID
-	counts     map[agent.ID]int
-	holder     agent.ID // txn currently at or above majority
-	wins       int
+	shards     []*refShard
 	violations []string
 }
 
-// NewReferee returns a referee for a system of n equally-weighted replicas.
-// clock supplies the current virtual time for violation reports.
+// refShard tracks one shard's grants against its quorum geometry.
+type refShard struct {
+	votes  quorum.Assignment
+	grants map[runtime.NodeID]agent.ID
+	holder agent.ID // txn currently holding a write quorum of grants
+	wins   int
+}
+
+// NewReferee returns a referee for an unsharded system of n equally
+// weighted replicas. clock supplies the current virtual time for violation
+// reports.
 func NewReferee(n int, clock func() runtime.Time) *Referee {
 	nodes := make([]runtime.NodeID, n)
 	for i := range nodes {
@@ -39,69 +46,84 @@ func NewReferee(n int, clock func() runtime.Time) *Referee {
 	return NewWeightedReferee(quorum.Equal(nodes), clock)
 }
 
-// NewWeightedReferee returns a referee for an explicit vote assignment:
-// the exclusion invariant becomes "no two transactions simultaneously hold
-// grants worth a majority of the votes".
+// NewWeightedReferee returns an unsharded referee for an explicit vote
+// assignment: the exclusion invariant becomes "no two transactions
+// simultaneously hold grants forming a write quorum".
 func NewWeightedReferee(votes quorum.Assignment, clock func() runtime.Time) *Referee {
-	return &Referee{
-		votes:    votes,
-		majority: votes.Majority(),
-		clock:    clock,
-		grants:   make(map[runtime.NodeID]agent.ID),
-		counts:   make(map[agent.ID]int),
-	}
+	return NewShardedReferee([]quorum.Assignment{votes}, clock)
 }
 
-// OnGrant implements the grant observation hook: server's grant changed to
-// txn (zero = released).
-func (r *Referee) OnGrant(server runtime.NodeID, txn agent.ID) {
-	if prev, ok := r.grants[server]; ok && !prev.IsZero() {
-		if !txn.IsZero() && txn != prev {
-			r.violations = append(r.violations, fmt.Sprintf(
-				"grant exclusivity violated at %v: server %d reassigned %v -> %v without release",
-				r.clock(), server, prev, txn))
-		}
-		r.counts[prev] -= r.votes.Votes(server)
-		if r.counts[prev] <= 0 {
-			delete(r.counts, prev)
-		}
+// NewShardedReferee returns a referee observing one grant space per shard,
+// each judged against its own quorum geometry.
+func NewShardedReferee(assigns []quorum.Assignment, clock func() runtime.Time) *Referee {
+	r := &Referee{clock: clock}
+	for _, a := range assigns {
+		r.shards = append(r.shards, &refShard{votes: a, grants: make(map[runtime.NodeID]agent.ID)})
 	}
-	r.grants[server] = txn
-	if !txn.IsZero() {
-		r.counts[txn] += r.votes.Votes(server)
-	}
-	r.check()
+	return r
 }
 
-func (r *Referee) check() {
-	var atMajority []agent.ID
-	for txn, c := range r.counts {
-		if c >= r.majority {
-			atMajority = append(atMajority, txn)
+// OnGrant implements the grant observation hook: server's grant on shard
+// shrd changed to txn (zero = released).
+func (r *Referee) OnGrant(server runtime.NodeID, shrd int, txn agent.ID) {
+	if shrd < 0 || shrd >= len(r.shards) {
+		return
+	}
+	rs := r.shards[shrd]
+	if prev, ok := rs.grants[server]; ok && !prev.IsZero() && !txn.IsZero() && txn != prev {
+		r.violations = append(r.violations, fmt.Sprintf(
+			"grant exclusivity violated at %v: server %d shard %d reassigned %v -> %v without release",
+			r.clock(), server, shrd, prev, txn))
+	}
+	rs.grants[server] = txn
+	r.check(shrd, rs)
+}
+
+func (r *Referee) check(shrd int, rs *refShard) {
+	holding := make(map[agent.ID][]runtime.NodeID)
+	for server, txn := range rs.grants {
+		if !txn.IsZero() {
+			holding[txn] = append(holding[txn], server)
+		}
+	}
+	var atQuorum []agent.ID
+	for txn, nodes := range holding {
+		if rs.votes.HasWrite(nodes) {
+			atQuorum = append(atQuorum, txn)
 		}
 	}
 	switch {
-	case len(atMajority) > 1:
+	case len(atQuorum) > 1:
 		r.violations = append(r.violations, fmt.Sprintf(
-			"mutual exclusion violated at %v: %d agents hold grant majorities: %v",
-			r.clock(), len(atMajority), atMajority))
-	case len(atMajority) == 1:
-		if r.holder != atMajority[0] {
-			r.holder = atMajority[0]
-			r.wins++
+			"mutual exclusion violated at %v: %d agents hold grant write quorums on shard %d: %v",
+			r.clock(), len(atQuorum), shrd, atQuorum))
+	case len(atQuorum) == 1:
+		if rs.holder != atQuorum[0] {
+			rs.holder = atQuorum[0]
+			rs.wins++
 		}
 	default:
-		r.holder = agent.ID{}
+		rs.holder = agent.ID{}
 	}
 }
 
-// Holder returns the transaction currently holding a grant majority (zero
-// if none).
-func (r *Referee) Holder() agent.ID { return r.holder }
+// Holder returns the transaction currently holding a write quorum of
+// shard-0 grants (zero if none).
+func (r *Referee) Holder() agent.ID { return r.shards[0].holder }
+
+// HolderOf returns the transaction holding a write quorum of the shard's
+// grants (zero if none).
+func (r *Referee) HolderOf(shrd int) agent.ID { return r.shards[shrd].holder }
 
 // Wins reports how many distinct times some transaction reached a grant
-// majority.
-func (r *Referee) Wins() int { return r.wins }
+// write quorum, summed over shards.
+func (r *Referee) Wins() int {
+	total := 0
+	for _, rs := range r.shards {
+		total += rs.wins
+	}
+	return total
+}
 
 // Violations returns the recorded safety violations (empty on a correct run).
 func (r *Referee) Violations() []string {

@@ -12,21 +12,21 @@ func TestRefereeCleanSerialRun(t *testing.T) {
 	r := NewReferee(5, func() des.Time { return 0 })
 	a, b := agentID(1), agentID(2)
 	// a wins 3 grants, commits (grants released), then b.
-	r.OnGrant(1, a)
-	r.OnGrant(2, a)
+	r.OnGrant(1, 0, a)
+	r.OnGrant(2, 0, a)
 	if r.Holder() != (agent.ID{}) {
 		t.Fatal("holder before majority")
 	}
-	r.OnGrant(3, a)
+	r.OnGrant(3, 0, a)
 	if r.Holder() != a {
 		t.Fatalf("holder = %v", r.Holder())
 	}
 	for i := 1; i <= 3; i++ {
-		r.OnGrant(simnet.NodeID(i), agent.ID{})
+		r.OnGrant(simnet.NodeID(i), 0, agent.ID{})
 	}
-	r.OnGrant(1, b)
-	r.OnGrant(2, b)
-	r.OnGrant(4, b)
+	r.OnGrant(1, 0, b)
+	r.OnGrant(2, 0, b)
+	r.OnGrant(4, 0, b)
 	if r.Holder() != b {
 		t.Fatalf("holder = %v", r.Holder())
 	}
@@ -41,14 +41,14 @@ func TestRefereeCleanSerialRun(t *testing.T) {
 func TestRefereeDetectsOverlap(t *testing.T) {
 	r := NewReferee(5, func() des.Time { return 100 })
 	a, b := agentID(1), agentID(2)
-	r.OnGrant(1, a)
-	r.OnGrant(2, a)
-	r.OnGrant(3, a)
+	r.OnGrant(1, 0, a)
+	r.OnGrant(2, 0, a)
+	r.OnGrant(3, 0, a)
 	// A second majority without releasing the first: impossible with
 	// exclusive grants, but the referee must catch it if it happens.
-	r.OnGrant(4, b)
-	r.OnGrant(5, b)
-	r.OnGrant(3, b) // server 3 betrays its exclusivity
+	r.OnGrant(4, 0, b)
+	r.OnGrant(5, 0, b)
+	r.OnGrant(3, 0, b) // server 3 betrays its exclusivity
 	if err := r.Err(); err == nil {
 		t.Fatal("overlap not detected")
 	}
@@ -60,12 +60,12 @@ func TestRefereeDetectsOverlap(t *testing.T) {
 func TestRefereeHolderClearsOnRelease(t *testing.T) {
 	r := NewReferee(3, func() des.Time { return 0 })
 	a := agentID(1)
-	r.OnGrant(1, a)
-	r.OnGrant(2, a)
+	r.OnGrant(1, 0, a)
+	r.OnGrant(2, 0, a)
 	if r.Holder() != a {
 		t.Fatal("no holder at majority")
 	}
-	r.OnGrant(1, agent.ID{})
+	r.OnGrant(1, 0, agent.ID{})
 	if r.Holder() != (agent.ID{}) {
 		t.Fatal("holder survived dropping below majority")
 	}

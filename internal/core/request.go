@@ -87,6 +87,7 @@ type Outcome struct {
 	ByTie      bool         // won via the identifier tie-break rule
 	Retries    int          // claims aborted before the successful one
 	Failed     bool         // the agent died (host crash) before committing
+	Shards     []int        // distinct shards of the batch's keys, ascending
 }
 
 // LockLatency returns ALT for this outcome.

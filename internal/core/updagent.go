@@ -6,6 +6,7 @@ import (
 	"repro/internal/agent"
 	"repro/internal/replica"
 	"repro/internal/runtime"
+	"repro/internal/shard"
 	"repro/internal/store"
 	"repro/internal/trace"
 )
@@ -26,9 +27,11 @@ const (
 // fully-distributed priority calculation elects it — claims the update
 // permission, applies the most recent copy, and commits everywhere.
 type UpdateAgent struct {
-	c    *Cluster
-	reqs []Request
-	lt   *LockTable
+	c       *Cluster
+	reqs    []Request
+	lt      *LockTable
+	shards  []int            // distinct shards of the request keys, ascending
+	targets []runtime.NodeID // union of those shards' replica groups, ascending
 
 	usl         []runtime.NodeID        // unvisited servers
 	unavailable map[runtime.NodeID]bool // declared unavailable this round
@@ -53,18 +56,23 @@ type UpdateAgent struct {
 }
 
 // newUpdateAgent builds an agent for a batch of requests originating at
-// home. The USL initially contains every replica except home (which the
-// agent visits implicitly on spawn).
+// home. The itinerary is hash-routed: the USL initially contains every
+// member of the replica groups owning the batch's shards, except home
+// (which the agent visits implicitly on spawn). With one shard and full
+// replication that is every replica — the paper's itinerary.
 func newUpdateAgent(c *Cluster, home runtime.NodeID, reqs []Request) *UpdateAgent {
+	shards := c.shardsOf(reqs)
 	a := &UpdateAgent{
 		c:           c,
 		reqs:        reqs,
-		lt:          NewWeightedLockTable(c.cfg.N, c.votes),
+		lt:          c.lockTableFor(shards),
+		shards:      shards,
+		targets:     c.groupUnion(shards),
 		unavailable: make(map[runtime.NodeID]bool),
 		attempts:    make(map[runtime.NodeID]int),
 		dispatched:  c.eng.Now(),
 	}
-	for _, id := range c.nodes {
+	for _, id := range a.targets {
 		if id != home {
 			a.usl = append(a.usl, id)
 		}
@@ -96,11 +104,11 @@ func (a *UpdateAgent) OnArrive(ctx *agent.Context) {
 	a.removeFromUSL(node)
 	a.attempts[node] = 0
 	srv := a.c.Server(node)
-	var shared map[runtime.NodeID]replica.QueueSnapshot
+	var shared []replica.QueueSnapshot
 	if !a.c.cfg.DisableInfoSharing {
 		shared = a.lt.Export()
 	}
-	info := srv.VisitAndLock(ctx.ID(), shared, a.lt.GoneList())
+	info := srv.VisitAndLock(ctx.ID(), a.shards, shared, a.lt.GoneList())
 	a.lt.MergeInfo(info, true)
 	a.phase = phaseTravelling
 	a.c.checkpoint(ctx.ID(), a)
@@ -161,7 +169,7 @@ func (a *UpdateAgent) OnLocalEvent(ctx *agent.Context, ev any) {
 // refreshLocal re-reads the co-located server's lock information.
 func (a *UpdateAgent) refreshLocal(ctx *agent.Context) {
 	srv := a.c.Server(ctx.Node())
-	a.lt.MergeInfo(srv.RefreshInfo(), false)
+	a.lt.MergeInfo(srv.RefreshInfo(a.shards), false)
 }
 
 func (a *UpdateAgent) removeFromUSL(node runtime.NodeID) {
@@ -320,12 +328,13 @@ func (a *UpdateAgent) startClaim(ctx *agent.Context, d Decision) {
 		Attempt: a.attempt,
 		Origin:  ctx.Node(),
 		Keys:    keys,
+		Shards:  a.shards,
 		ByTie:   d.ByTie,
 	}
 	if d.ByTie {
 		m.Evidence = a.lt.Evidence()
 	}
-	for _, id := range a.c.nodes {
+	for _, id := range a.targets {
 		if id == ctx.Node() {
 			continue
 		}
@@ -372,9 +381,10 @@ func (a *UpdateAgent) keys() []string {
 	return out
 }
 
-// handleAck folds one acknowledgement into the claim. A majority of OKs
-// wins; once a majority has become arithmetically impossible the claim is
-// withdrawn.
+// handleAck folds one acknowledgement into the claim. A write quorum of
+// OKs on every claimed shard wins (a majority of the votes, under the
+// default geometry); once that has become arithmetically impossible on any
+// shard the claim is withdrawn.
 func (a *UpdateAgent) handleAck(ctx *agent.Context, ack *replica.AckMsg) {
 	if ack.OK {
 		a.acksOK[ack.From] = ack
@@ -384,20 +394,30 @@ func (a *UpdateAgent) handleAck(ctx *agent.Context, ack *replica.AckMsg) {
 			a.lt.MergeInfo(*ack.Info, false)
 		}
 	}
-	majority := a.c.votes.Majority()
-	okVotes, noVotes := 0, 0
-	for id := range a.acksOK {
-		okVotes += a.c.votes.Votes(id)
+	win, dead := true, false
+	for _, shrd := range a.shards {
+		var oks, reachable []runtime.NodeID
+		for _, id := range a.c.groups[shrd] {
+			if _, ok := a.acksOK[id]; ok {
+				oks = append(oks, id)
+				reachable = append(reachable, id)
+			} else if !a.acksNo[id] {
+				reachable = append(reachable, id) // still unanswered
+			}
+		}
+		assign := a.c.assigns[shrd]
+		if !assign.HasWrite(oks) {
+			win = false
+		}
+		if !assign.HasWrite(reachable) {
+			dead = true
+		}
 	}
-	for id := range a.acksNo {
-		noVotes += a.c.votes.Votes(id)
-	}
-	if okVotes >= majority {
+	if win {
 		a.finishWin(ctx)
 		return
 	}
-	unanswered := a.c.votes.Total() - okVotes - noVotes
-	if okVotes+unanswered < majority {
+	if dead {
 		a.abortClaim(ctx, "majority impossible")
 	}
 }
@@ -407,12 +427,17 @@ func (a *UpdateAgent) handleAck(ctx *agent.Context, ack *replica.AckMsg) {
 // COMMIT to all replicas, release the lock, and dispose.
 func (a *UpdateAgent) finishWin(ctx *agent.Context) {
 	a.claimTmr.Cancel()
-	// Most recent copy per key across the acknowledging quorum.
+	// Most recent copy per key — and committed horizon per shard — across
+	// the acknowledging quorum. Sequence numbers are per shard: commits on
+	// one shard never reorder against another (the shard-isolation
+	// invariant).
 	latest := make(map[string]store.Value)
-	var baseSeq uint64
+	baseSeq := make(map[int]uint64, len(a.shards))
 	for _, ack := range a.acksOK {
-		if ack.LastSeq > baseSeq {
-			baseSeq = ack.LastSeq
+		for i, shrd := range a.shards {
+			if i < len(ack.ShardSeqs) && ack.ShardSeqs[i] > baseSeq[shrd] {
+				baseSeq[shrd] = ack.ShardSeqs[i]
+			}
 		}
 		for k, v := range ack.Values {
 			if cur, ok := latest[k]; !ok || cur.Version.Less(v.Version) {
@@ -422,23 +447,26 @@ func (a *UpdateAgent) finishWin(ctx *agent.Context) {
 	}
 	now := int64(ctx.Now())
 	updates := make([]store.Update, 0, len(a.reqs))
-	for i, r := range a.reqs {
+	written := make(map[int]uint64, len(a.shards))
+	for _, r := range a.reqs {
 		data := r.Arg
 		if r.Op == OpAppend {
 			data = latest[r.Key].Data + r.Arg
 		}
+		shrd := shard.Of(r.Key, a.c.shards)
+		written[shrd]++
 		u := store.Update{
 			TxnID: ctx.ID().String(),
 			Key:   r.Key,
 			Data:  data,
-			Seq:   baseSeq + 1 + uint64(i),
+			Seq:   baseSeq[shrd] + written[shrd],
 			Stamp: now,
 		}
 		latest[r.Key] = store.Value{Data: data, Version: store.Version{Seq: u.Seq, Stamp: now, Writer: u.TxnID}}
 		updates = append(updates, u)
 	}
 	commit := &replica.CommitMsg{Txn: ctx.ID(), Origin: ctx.Node(), Updates: updates}
-	for _, id := range a.c.nodes {
+	for _, id := range a.targets {
 		if id == ctx.Node() {
 			continue
 		}
@@ -446,7 +474,7 @@ func (a *UpdateAgent) finishWin(ctx *agent.Context) {
 	}
 	a.c.Server(ctx.Node()).HandleCommitLocal(commit)
 	a.c.cfg.Trace.Addf(int64(ctx.Now()), int(ctx.Node()), ctx.ID().String(), trace.CommitSent,
-		"seq %d..%d", baseSeq+1, baseSeq+uint64(len(updates)))
+		"seq %d..%d", baseSeq[a.shards[0]]+1, baseSeq[a.shards[0]]+written[a.shards[0]])
 
 	a.phase = phaseDone
 	a.c.finish(ctx.Node(), Outcome{
@@ -459,6 +487,7 @@ func (a *UpdateAgent) finishWin(ctx *agent.Context) {
 		Visits:     a.lockVisits,
 		ByTie:      a.byTie,
 		Retries:    a.retries,
+		Shards:     a.shards,
 	})
 	ctx.Dispose()
 }
@@ -470,7 +499,7 @@ func (a *UpdateAgent) abortClaim(ctx *agent.Context, reason string) {
 	a.claimTmr.Cancel()
 	a.retries++
 	m := &replica.AbortMsg{Txn: ctx.ID(), Attempt: a.attempt}
-	for _, id := range a.c.nodes {
+	for _, id := range a.targets {
 		if id == ctx.Node() {
 			continue
 		}

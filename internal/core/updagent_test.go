@@ -75,7 +75,7 @@ func TestStrayGrantReleasedByLateAck(t *testing.T) {
 	c.active[ctx.ID()] = ua
 	// Simulate: the agent is parked mid-protocol and receives a stale OK
 	// ack from attempt 0 while its current attempt is different.
-	c.Server(2).VisitAndLock(ctx.ID(), nil, nil)
+	c.Server(2).VisitAndLock(ctx.ID(), nil, nil, nil)
 	ack := c.Server(2).HandleUpdateLocal(&replica.UpdateMsg{
 		Txn: ctx.ID(), Attempt: 99, Origin: 2, Keys: []string{"k"}, ByTie: true,
 	})

@@ -91,15 +91,15 @@ func TestWeightedRefereeMajority(t *testing.T) {
 	r := NewWeightedReferee(votes, func() des.Time { return 0 })
 	a := agentID(1)
 	// The heavyweight server alone is a vote majority (3 of 5).
-	r.OnGrant(1, a)
+	r.OnGrant(1, 0, a)
 	if r.Holder() != a {
 		t.Fatalf("holder = %v", r.Holder())
 	}
-	r.OnGrant(1, agent.ID{})
+	r.OnGrant(1, 0, agent.ID{})
 	// Both lightweights together are not.
 	b := agentID(2)
-	r.OnGrant(2, b)
-	r.OnGrant(3, b)
+	r.OnGrant(2, 0, b)
+	r.OnGrant(3, 0, b)
 	if r.Holder() == b {
 		t.Fatal("2 of 5 votes treated as a majority")
 	}

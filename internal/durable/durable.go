@@ -26,6 +26,7 @@ import (
 	"repro/internal/agent"
 	"repro/internal/disk"
 	"repro/internal/runtime"
+	"repro/internal/shard"
 	"repro/internal/store"
 	"repro/internal/wal"
 )
@@ -40,6 +41,7 @@ const (
 	recGone      byte = 6 // agent added to the Updated List / gone set
 	recRelNext   byte = 7 // reliable-delivery send-sequence high-water mark
 	recRelSeen   byte = 8 // reliable-delivery first-seen frame (dedup state)
+	recLockS     byte = 9 // locking-state snapshot of a shard > 0 (shard-prefixed)
 )
 
 // LockState is the serializable locking state of a replica: the Locking
@@ -63,6 +65,13 @@ type State struct {
 	Gone       []agent.ID
 	RelNextSeq uint64
 	RelSeen    map[runtime.NodeID][]uint64
+	// Sharded replicas (shard-isolation invariant: every shard journals
+	// and restores independently) carry one extra store/lock pair per
+	// shard beyond the first: index i holds shard i+1. Empty on unsharded
+	// replicas, keeping their snapshots byte-identical to the pre-sharding
+	// format.
+	ExtraStores []store.State
+	ExtraLocks  []LockState
 }
 
 // BirthFloor returns the largest timestamp the state remembers — agent
@@ -80,15 +89,21 @@ func (st *State) BirthFloor() int64 {
 	for _, id := range st.Gone {
 		bump(id.Born)
 	}
-	for _, id := range st.Lock.LL {
-		bump(id.Born)
+	locks := append([]LockState{st.Lock}, st.ExtraLocks...)
+	for _, ls := range locks {
+		for _, id := range ls.LL {
+			bump(id.Born)
+		}
+		bump(ls.Grant.Born)
 	}
-	bump(st.Lock.Grant.Born)
-	for _, u := range st.Store.Log {
-		bump(u.Stamp)
-	}
-	for _, u := range st.Store.Tentative {
-		bump(u.Stamp)
+	stores := append([]store.State{st.Store}, st.ExtraStores...)
+	for _, ss := range stores {
+		for _, u := range ss.Log {
+			bump(u.Stamp)
+		}
+		for _, u := range ss.Tentative {
+			bump(u.Stamp)
+		}
 	}
 	return floor
 }
@@ -108,11 +123,18 @@ type Options struct {
 	// CompactEvery installs a fresh snapshot and drops the replayed log
 	// every this many records (default 4096; negative disables).
 	CompactEvery int
+	// Shards is the replica's shard count (default 1). Replay routes each
+	// store record to its key's shard, so the journal stays a single
+	// ordered log while the shards restore independently.
+	Shards int
 }
 
 func (o Options) withDefaults() Options {
 	if o.CompactEvery == 0 {
 		o.CompactEvery = 4096
+	}
+	if o.Shards < 1 {
+		o.Shards = 1
 	}
 	return o
 }
@@ -146,7 +168,7 @@ func Open(b disk.Backend, opts Options) (*Journal, *State, error) {
 	if snap == nil && len(records) == 0 {
 		return j, nil, nil
 	}
-	st, err := replay(snap, records)
+	st, err := replay(snap, records, opts.Shards)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -156,8 +178,11 @@ func Open(b disk.Backend, opts Options) (*Journal, *State, error) {
 
 // replay rebuilds the replica state from a snapshot (nil = empty) and the
 // records journaled after it, in order. Records were only ever written for
-// operations that succeeded, so any replay error is corruption.
-func replay(snap []byte, records []wal.Record) (*State, error) {
+// operations that succeeded, so any replay error is corruption. Store
+// records route to their key's shard; lock records carry their shard
+// explicitly (shard 0 uses the legacy record type, so unsharded logs are
+// unchanged on disk).
+func replay(snap []byte, records []wal.Record, shards int) (*State, error) {
 	st := &State{RelSeen: make(map[runtime.NodeID][]uint64)}
 	if snap != nil {
 		s, err := decodeState(snap)
@@ -166,7 +191,19 @@ func replay(snap []byte, records []wal.Record) (*State, error) {
 		}
 		st = s
 	}
-	mem := store.FromState(st.Store)
+	if shards > 1 {
+		for len(st.ExtraStores) < shards-1 {
+			st.ExtraStores = append(st.ExtraStores, store.State{})
+		}
+		for len(st.ExtraLocks) < shards-1 {
+			st.ExtraLocks = append(st.ExtraLocks, LockState{})
+		}
+	}
+	mems := make([]*store.Store, shards)
+	mems[0] = store.FromState(st.Store)
+	for i := 1; i < shards; i++ {
+		mems[i] = store.FromState(st.ExtraStores[i-1])
+	}
 	seen := make(map[runtime.NodeID]map[uint64]bool, len(st.RelSeen))
 	for from, seqs := range st.RelSeen {
 		seen[from] = make(map[uint64]bool, len(seqs))
@@ -184,25 +221,48 @@ func replay(snap []byte, records []wal.Record) (*State, error) {
 		case recApply:
 			var u store.Update
 			if u, err = decodeUpdate(rec.Data); err == nil {
-				err = mem.ApplyCommitted(u)
+				err = mems[shard.Of(u.Key, shards)].ApplyCommitted(u)
 			}
 		case recPrepare:
 			var u store.Update
 			if u, err = decodeUpdate(rec.Data); err == nil {
-				err = mem.Prepare(u)
+				err = mems[shard.Of(u.Key, shards)].Prepare(u)
 			}
 		case recCommitTxn:
 			var txn string
 			if txn, err = decodeString(rec.Data); err == nil {
-				err = mem.Commit(txn)
+				// The record does not name a shard (its encoding predates
+				// sharding); the tentative transaction lives on exactly one.
+				err = store.ErrUnknownTxn
+				for _, mem := range mems {
+					if cErr := mem.Commit(txn); cErr != store.ErrUnknownTxn {
+						err = cErr
+						break
+					}
+				}
 			}
 		case recAbortTxn:
 			var txn string
 			if txn, err = decodeString(rec.Data); err == nil {
-				mem.Abort(txn)
+				for _, mem := range mems {
+					mem.Abort(txn)
+				}
 			}
 		case recLock:
 			st.Lock, err = decodeLock(rec.Data)
+		case recLockS:
+			var shrd int
+			var ls LockState
+			if shrd, ls, err = decodeLockShard(rec.Data); err == nil {
+				switch {
+				case shrd == 0:
+					st.Lock = ls
+				case shrd-1 < len(st.ExtraLocks):
+					st.ExtraLocks[shrd-1] = ls
+				default:
+					err = fmt.Errorf("lock record for shard %d beyond %d shards", shrd, shards)
+				}
+			}
 		case recGone:
 			var id agent.ID
 			if id, err = decodeAgentID(rec.Data); err == nil && !gone[id] {
@@ -231,7 +291,10 @@ func replay(snap []byte, records []wal.Record) (*State, error) {
 			return nil, fmt.Errorf("durable: replaying record %d (type %d): %w", i, rec.Type, err)
 		}
 	}
-	st.Store = mem.State()
+	st.Store = mems[0].State()
+	for i := 1; i < shards; i++ {
+		st.ExtraStores[i-1] = mems[i].State()
+	}
 	return st, nil
 }
 
@@ -269,6 +332,16 @@ func (j *Journal) Aborted(txnID string) { j.append(recAbortTxn, encodeString(txn
 // barrier marks grant transitions — the mutations whose loss could
 // re-grant a lock the replica already released.
 func (j *Journal) LogLock(ls LockState, barrier bool) { j.append(recLock, encodeLock(ls), barrier) }
+
+// LogLockShard journals one shard's locking state. Shard 0 writes the
+// legacy record type, so an unsharded replica's log bytes are unchanged.
+func (j *Journal) LogLockShard(shrd int, ls LockState, barrier bool) {
+	if shrd == 0 {
+		j.LogLock(ls, barrier)
+		return
+	}
+	j.append(recLockS, encodeLockShard(shrd, ls), barrier)
+}
 
 // LogGone journals one agent joining the gone set (the Updated List).
 func (j *Journal) LogGone(id agent.ID) { j.append(recGone, encodeAgentID(id), false) }
@@ -420,6 +493,18 @@ func decodeLock(b []byte) (LockState, error) {
 	return ls, d.finish()
 }
 
+func encodeLockShard(shrd int, ls LockState) []byte {
+	b := binary.AppendUvarint(nil, uint64(shrd))
+	return appendLock(b, ls)
+}
+
+func decodeLockShard(b []byte) (int, LockState, error) {
+	d := &decoder{b: b}
+	shrd := int(d.uvarint())
+	ls := d.lock()
+	return shrd, ls, d.finish()
+}
+
 func encodeRelSeen(from runtime.NodeID, seq uint64) []byte {
 	b := binary.AppendVarint(nil, int64(from))
 	return binary.AppendUvarint(b, seq)
@@ -432,16 +517,21 @@ func decodeRelSeen(b []byte) (runtime.NodeID, uint64, error) {
 	return from, seq, d.finish()
 }
 
+func appendStoreState(b []byte, ss store.State) []byte {
+	b = binary.AppendUvarint(b, uint64(len(ss.Log)))
+	for _, u := range ss.Log {
+		b = appendUpdate(b, u)
+	}
+	b = binary.AppendUvarint(b, uint64(len(ss.Tentative)))
+	for _, u := range ss.Tentative {
+		b = appendUpdate(b, u)
+	}
+	return b
+}
+
 func encodeState(st *State) []byte {
 	var b []byte
-	b = binary.AppendUvarint(b, uint64(len(st.Store.Log)))
-	for _, u := range st.Store.Log {
-		b = appendUpdate(b, u)
-	}
-	b = binary.AppendUvarint(b, uint64(len(st.Store.Tentative)))
-	for _, u := range st.Store.Tentative {
-		b = appendUpdate(b, u)
-	}
+	b = appendStoreState(b, st.Store)
 	b = appendLock(b, st.Lock)
 	b = binary.AppendUvarint(b, uint64(len(st.Gone)))
 	for _, id := range st.Gone {
@@ -463,18 +553,26 @@ func encodeState(st *State) []byte {
 			b = binary.AppendUvarint(b, q)
 		}
 	}
+	// Shard extension, appended only when present: the unsharded snapshot
+	// encoding is bit-for-bit the pre-sharding format, and the decoder
+	// reads the extension iff bytes remain.
+	if len(st.ExtraStores) > 0 || len(st.ExtraLocks) > 0 {
+		b = binary.AppendUvarint(b, uint64(len(st.ExtraStores)))
+		for _, ss := range st.ExtraStores {
+			b = appendStoreState(b, ss)
+		}
+		b = binary.AppendUvarint(b, uint64(len(st.ExtraLocks)))
+		for _, ls := range st.ExtraLocks {
+			b = appendLock(b, ls)
+		}
+	}
 	return b
 }
 
 func decodeState(b []byte) (*State, error) {
 	d := &decoder{b: b}
 	st := &State{RelSeen: make(map[runtime.NodeID][]uint64)}
-	for i, n := 0, int(d.uvarint()); i < n && d.err == nil; i++ {
-		st.Store.Log = append(st.Store.Log, d.update())
-	}
-	for i, n := 0, int(d.uvarint()); i < n && d.err == nil; i++ {
-		st.Store.Tentative = append(st.Store.Tentative, d.update())
-	}
+	st.Store = d.storeState()
 	st.Lock = d.lock()
 	for i, n := 0, int(d.uvarint()); i < n && d.err == nil; i++ {
 		st.Gone = append(st.Gone, d.agentID())
@@ -484,6 +582,14 @@ func decodeState(b []byte) (*State, error) {
 		from := runtime.NodeID(d.varint())
 		for k, m := 0, int(d.uvarint()); k < m && d.err == nil; k++ {
 			st.RelSeen[from] = append(st.RelSeen[from], d.uvarint())
+		}
+	}
+	if d.err == nil && len(d.b) > 0 { // shard extension present
+		for i, n := 0, int(d.uvarint()); i < n && d.err == nil; i++ {
+			st.ExtraStores = append(st.ExtraStores, d.storeState())
+		}
+		for i, n := 0, int(d.uvarint()); i < n && d.err == nil; i++ {
+			st.ExtraLocks = append(st.ExtraLocks, d.lock())
 		}
 	}
 	if err := d.finish(); err != nil {
@@ -554,6 +660,17 @@ func (d *decoder) agentID() agent.ID {
 		Born: d.varint(),
 		Seq:  d.uvarint(),
 	}
+}
+
+func (d *decoder) storeState() store.State {
+	var ss store.State
+	for i, n := 0, int(d.uvarint()); i < n && d.err == nil; i++ {
+		ss.Log = append(ss.Log, d.update())
+	}
+	for i, n := 0, int(d.uvarint()); i < n && d.err == nil; i++ {
+		ss.Tentative = append(ss.Tentative, d.update())
+	}
+	return ss
 }
 
 func (d *decoder) lock() LockState {

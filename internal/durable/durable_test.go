@@ -204,7 +204,7 @@ func TestSnapshotKeepsSendCounterHighWater(t *testing.T) {
 	// be reused after a crash.
 	m := disk.NewMem()
 	j, _, _ := Open(m, Options{Policy: wal.PolicyAlways})
-	j.NextSeq(1) // journals high-water = relNextStride
+	j.NextSeq(1)                                       // journals high-water = relNextStride
 	j.AddSource(func(ds *State) { ds.RelNextSeq = 1 }) // exact counter only
 	if err := j.Compact(); err != nil {
 		t.Fatal(err)

@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/desengine"
 	"repro/internal/metrics"
+	"repro/internal/quorum"
 	"repro/internal/simnet"
 	"repro/internal/workload"
 )
@@ -87,6 +88,12 @@ type RunConfig struct {
 	DisableInfoSharing bool
 	RandomItinerary    bool
 
+	// Sharding knobs (A8). Zero values reproduce the unsharded protocol:
+	// one locking list per server, majority quorums over all N replicas.
+	Shards    int
+	GroupSize int
+	Geometry  quorum.Geometry
+
 	// Workload shape.
 	Keys     int
 	RateSkew float64
@@ -125,6 +132,20 @@ type RunResult struct {
 	// Write-all AvailableCopy saturates far earlier than the quorum
 	// protocols — the very weakness that motivated voting schemes.
 	Saturated bool
+	// Makespan is the virtual time of the last COMMIT broadcast (MARP runs
+	// only). Committed-updates / Makespan is the aggregate throughput A8
+	// reports; being virtual time, it is deterministic at any parallelism.
+	Makespan time.Duration
+}
+
+// CommitsPerSec returns the aggregate committed-update throughput over the
+// run's virtual makespan.
+func (r RunResult) CommitsPerSec() float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	ok := r.Summary.Count - r.Summary.Failures
+	return float64(ok) / r.Makespan.Seconds()
 }
 
 // MsgsPerUpdate returns the average number of network messages per
@@ -185,6 +206,9 @@ func runMARP(cfg RunConfig) (RunResult, error) {
 		Latency:  model,
 		Cluster: core.Config{
 			N:                  cfg.N,
+			Shards:             cfg.Shards,
+			GroupSize:          cfg.GroupSize,
+			Geometry:           cfg.Geometry,
 			BatchMaxRequests:   cfg.BatchSize,
 			BatchMaxDelay:      batchDelay(cfg.BatchSize),
 			MigrationTimeout:   migration,
@@ -227,6 +251,7 @@ func runMARP(cfg RunConfig) (RunResult, error) {
 		}
 	}
 	var samples []metrics.Sample
+	var makespan time.Duration
 	for _, o := range cl.Outcomes() {
 		samples = append(samples, metrics.Sample{
 			ALT:     o.LockLatency().Duration(),
@@ -235,7 +260,11 @@ func runMARP(cfg RunConfig) (RunResult, error) {
 			ByTie:   o.ByTie,
 			Retries: o.Retries,
 			Failed:  o.Failed,
+			Shards:  o.Shards,
 		})
+		if !o.Failed && o.DoneAt.Duration() > makespan {
+			makespan = o.DoneAt.Duration()
+		}
 	}
 	return RunResult{
 		Config:    cfg,
@@ -243,6 +272,7 @@ func runMARP(cfg RunConfig) (RunResult, error) {
 		Net:       cl.Network().Stats(),
 		Agents:    cl.Platform().Stats(),
 		Saturated: saturated,
+		Makespan:  makespan,
 	}, nil
 }
 

@@ -20,6 +20,7 @@ type Sample struct {
 	ByTie   bool
 	Retries int
 	Failed  bool
+	Shards  []int // key-space shards the request batch touched (empty = unsharded)
 }
 
 // Summary aggregates samples.
@@ -42,6 +43,30 @@ type Summary struct {
 	VisitDist map[int]int
 	TieCount  int
 	Retries   int
+
+	// ByShard labels the aggregation by key-space shard: each successful
+	// sample counts toward every shard its batch touched. Nil when no
+	// sample carried shard labels (unsharded runs and baselines).
+	ByShard map[int]ShardSummary
+}
+
+// ShardSummary is one shard's slice of the aggregation: the same ALT/ATT
+// means and visit distribution (PRK) as the whole-run Summary, restricted
+// to the requests that touched the shard.
+type ShardSummary struct {
+	Count     int
+	MeanALT   time.Duration
+	MeanATT   time.Duration
+	VisitDist map[int]int
+}
+
+// PRK returns the percentage of the shard's requests whose lock was
+// obtained by visiting exactly k servers.
+func (s ShardSummary) PRK(k int) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return 100 * float64(s.VisitDist[k]) / float64(s.Count)
 }
 
 // Summarize computes a Summary over the samples. Failed samples count in
@@ -49,6 +74,8 @@ type Summary struct {
 func Summarize(samples []Sample) Summary {
 	s := Summary{VisitDist: make(map[int]int)}
 	var alts, atts []time.Duration
+	shardALT := make(map[int]time.Duration)
+	shardATT := make(map[int]time.Duration)
 	for _, x := range samples {
 		s.Count++
 		if x.Failed {
@@ -62,6 +89,25 @@ func Summarize(samples []Sample) Summary {
 			s.TieCount++
 		}
 		s.Retries += x.Retries
+		for _, sh := range x.Shards {
+			if s.ByShard == nil {
+				s.ByShard = make(map[int]ShardSummary)
+			}
+			ss := s.ByShard[sh]
+			if ss.VisitDist == nil {
+				ss.VisitDist = make(map[int]int)
+			}
+			ss.Count++
+			ss.VisitDist[x.Visits]++
+			shardALT[sh] += x.ALT
+			shardATT[sh] += x.ATT
+			s.ByShard[sh] = ss
+		}
+	}
+	for sh, ss := range s.ByShard {
+		ss.MeanALT = shardALT[sh] / time.Duration(ss.Count)
+		ss.MeanATT = shardATT[sh] / time.Duration(ss.Count)
+		s.ByShard[sh] = ss
 	}
 	s.MeanALT = mean(alts)
 	s.MeanATT = mean(atts)

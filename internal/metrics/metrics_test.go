@@ -152,3 +152,33 @@ func TestPropertyMeanBounded(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSummarizeByShard(t *testing.T) {
+	samples := []Sample{
+		{ALT: 10 * time.Millisecond, ATT: 20 * time.Millisecond, Visits: 1, Shards: []int{0}},
+		{ALT: 30 * time.Millisecond, ATT: 40 * time.Millisecond, Visits: 2, Shards: []int{0, 3}},
+		{ALT: 50 * time.Millisecond, ATT: 60 * time.Millisecond, Visits: 2, Shards: []int{3}},
+		{Failed: true, Shards: []int{3}},
+	}
+	s := Summarize(samples)
+	if len(s.ByShard) != 2 {
+		t.Fatalf("ByShard = %+v", s.ByShard)
+	}
+	s0, s3 := s.ByShard[0], s.ByShard[3]
+	if s0.Count != 2 || s0.MeanALT != 20*time.Millisecond || s0.MeanATT != 30*time.Millisecond {
+		t.Fatalf("shard 0 = %+v", s0)
+	}
+	if s3.Count != 2 || s3.MeanALT != 40*time.Millisecond || s3.MeanATT != 50*time.Millisecond {
+		t.Fatalf("shard 3 = %+v", s3)
+	}
+	if got := s3.PRK(2); got != 100 {
+		t.Fatalf("shard 3 PRK(2) = %v", got)
+	}
+	if got := s0.PRK(1); got != 50 {
+		t.Fatalf("shard 0 PRK(1) = %v", got)
+	}
+	// Unsharded samples leave ByShard nil.
+	if s := Summarize([]Sample{{ALT: time.Millisecond}}); s.ByShard != nil {
+		t.Fatalf("unsharded ByShard = %+v", s.ByShard)
+	}
+}

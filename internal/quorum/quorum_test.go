@@ -104,11 +104,11 @@ func TestStrictSpec(t *testing.T) {
 func TestValidateRejectsBadSpecs(t *testing.T) {
 	a := Equal(ids(1, 2, 3, 4))
 	cases := []Spec{
-		{Assignment: a, R: 1, W: 2},            // 2W <= total
-		{Assignment: a, R: 0, W: 3},            // R out of range
-		{Assignment: a, R: 1, W: 5},            // W out of range
-		{Assignment: Assignment{}, R: 1, W: 1}, // empty
-		{Assignment: a, R: 5, W: 3},            // R out of range high
+		{Assignment: a, R: 1, W: 2},        // 2W <= total
+		{Assignment: a, R: 0, W: 3},        // R out of range
+		{Assignment: a, R: 1, W: 5},        // W out of range
+		{Assignment: Voting{}, R: 1, W: 1}, // empty
+		{Assignment: a, R: 5, W: 3},        // R out of range high
 	}
 	for i, s := range cases {
 		if err := s.Validate(); err == nil {

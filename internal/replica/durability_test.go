@@ -59,7 +59,7 @@ func upd(seq int, key, data string) store.Update {
 func TestRestartDoesNotReapplyCommittedUpdate(t *testing.T) {
 	d := newDurableServer(t)
 	a := aid(1, 1)
-	d.s.VisitAndLock(a, nil, nil)
+	d.s.VisitAndLock(a, nil, nil, nil)
 	ack := d.s.HandleUpdateLocal(&UpdateMsg{Txn: a, Attempt: 1, Origin: 1, Keys: []string{"k"}})
 	if !ack.OK {
 		t.Fatalf("claim nacked: %s", ack.Reason)
@@ -69,7 +69,7 @@ func TestRestartDoesNotReapplyCommittedUpdate(t *testing.T) {
 	if d.s.Store().LastSeq() != 1 {
 		t.Fatalf("LastSeq = %d", d.s.Store().LastSeq())
 	}
-	epochBefore := d.s.snapshot().Epoch
+	epochBefore := d.s.snapshot(0).Epoch
 
 	d.crashRestart(t)
 
@@ -80,7 +80,7 @@ func TestRestartDoesNotReapplyCommittedUpdate(t *testing.T) {
 	if v, ok := d.s.LocalRead("k"); !ok || v.Data != "v1" {
 		t.Fatalf("after restart read k = %+v %v", v, ok)
 	}
-	if got := d.s.snapshot().Epoch; got <= epochBefore {
+	if got := d.s.snapshot(0).Epoch; got <= epochBefore {
 		t.Fatalf("epoch %d not bumped past %d", got, epochBefore)
 	}
 	// A retransmitted COMMIT straddling the crash is idempotent.
@@ -93,7 +93,7 @@ func TestRestartDoesNotReapplyCommittedUpdate(t *testing.T) {
 func TestRestartDoesNotRegrantReleasedLock(t *testing.T) {
 	d := newDurableServer(t)
 	a := aid(1, 1)
-	d.s.VisitAndLock(a, nil, nil)
+	d.s.VisitAndLock(a, nil, nil, nil)
 	if ack := d.s.HandleUpdateLocal(&UpdateMsg{Txn: a, Attempt: 1, Origin: 1, Keys: []string{"k"}}); !ack.OK {
 		t.Fatalf("claim nacked: %s", ack.Reason)
 	}
@@ -117,7 +117,7 @@ func TestRestartDoesNotRegrantReleasedLock(t *testing.T) {
 func TestRestartRestoresUnreleasedGrant(t *testing.T) {
 	d := newDurableServer(t)
 	a, b := aid(1, 1), aid(2, 2)
-	d.s.VisitAndLock(a, nil, nil)
+	d.s.VisitAndLock(a, nil, nil, nil)
 	if ack := d.s.HandleUpdateLocal(&UpdateMsg{Txn: a, Attempt: 1, Origin: 1, Keys: []string{"k"}}); !ack.OK {
 		t.Fatalf("claim nacked: %s", ack.Reason)
 	}
@@ -129,7 +129,7 @@ func TestRestartRestoresUnreleasedGrant(t *testing.T) {
 	if got := d.s.Granted(); got != a {
 		t.Fatalf("after restart grant = %v, want %v", got, a)
 	}
-	d.s.VisitAndLock(b, nil, nil)
+	d.s.VisitAndLock(b, nil, nil, nil)
 	if ack := d.s.HandleUpdateLocal(&UpdateMsg{Txn: b, Attempt: 1, Origin: 1, Keys: []string{"k"}}); ack.OK {
 		t.Fatal("competitor claimed a restored grant")
 	}
@@ -176,7 +176,7 @@ func TestSyncReplyDuplicatedReordered(t *testing.T) {
 
 func TestGracefulCloseThenReopen(t *testing.T) {
 	d := newDurableServer(t)
-	d.s.VisitAndLock(aid(1, 1), nil, nil)
+	d.s.VisitAndLock(aid(1, 1), nil, nil, nil)
 	d.s.HandleCommitLocal(&CommitMsg{Txn: aid(1, 1), Origin: 1, Updates: []store.Update{upd(1, "k", "v")}})
 	// Graceful shutdown: Close syncs, so even unbarriered records survive.
 	if err := d.j.Close(); err != nil {

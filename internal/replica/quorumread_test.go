@@ -92,8 +92,8 @@ func TestAccessors(t *testing.T) {
 	if len(peers) != 2 || peers[0] != 1 || peers[1] != 3 {
 		t.Fatalf("Peers = %v", peers)
 	}
-	info := s.RefreshInfo()
-	if info.Local.Server != 2 || info.LastSeq != 0 {
+	info := s.RefreshInfo(nil)
+	if info.Locals[0].Server != 2 || info.LastSeq != 0 {
 		t.Fatalf("RefreshInfo = %+v", info)
 	}
 }

@@ -6,22 +6,36 @@ import (
 
 	"repro/internal/agent"
 	"repro/internal/durable"
+	"repro/internal/quorum"
 	"repro/internal/runtime"
+	"repro/internal/shard"
 	"repro/internal/store"
 	"repro/internal/trace"
 )
 
 // Config carries per-server options.
 type Config struct {
+	// Shards is the number of key-space shards (default 1). Every shard
+	// has its own Locking List, store, and exclusive grant on this
+	// server; keys map to shards by hash (internal/shard).
+	Shards int
+	// Groups lists the replica group of every shard (ascending node
+	// order). nil means every replica serves every shard — full
+	// replication, the pre-sharding behavior.
+	Groups [][]runtime.NodeID
+	// Quorums optionally overrides the read-quorum geometry per shard
+	// for consistent reads. nil keeps the legacy node-count majority
+	// over the shard's group.
+	Quorums []quorum.Assignment
 	// DisableInfoSharing turns off the paper's locking-information
 	// exchange: servers neither cache nor hand out remote LL snapshots
 	// (ablation A1 in DESIGN.md).
 	DisableInfoSharing bool
-	// GrantObserver, if non-nil, is invoked whenever the server's grant
-	// changes (installed, released, aborted, or evicted). The core
-	// package's Referee uses it to check Theorem 2 on every run; a zero
-	// txn means the grant was released.
-	GrantObserver func(server runtime.NodeID, txn agent.ID)
+	// GrantObserver, if non-nil, is invoked whenever one of the server's
+	// per-shard grants changes (installed, released, aborted, or
+	// evicted). The core package's Referee uses it to check Theorem 2 on
+	// every run; a zero txn means the grant was released.
+	GrantObserver func(server runtime.NodeID, shrd int, txn agent.ID)
 	// Intercept, if non-nil, sees every server-bound message before the
 	// Algorithm 2 handlers; returning true consumes it. The cluster layer
 	// uses it for cross-process notifications (e.g. an agent reporting its
@@ -39,8 +53,26 @@ type Config struct {
 	Restore *durable.State
 }
 
-// Server is one replicated server: data copy, Locking List, Updated List,
-// routing table, and the message handlers of the paper's Algorithm 2.
+// shardState is one shard's locking domain on this server: its slice of the
+// data, its Locking List, and its exclusive grant. Commits on one shard
+// never block, reorder with, or share volatile state with commits on
+// another (the shard-isolation invariant).
+type shardState struct {
+	st           *store.Store
+	llVersion    uint64
+	headVersion  uint64
+	ll           []agent.ID
+	cache        map[runtime.NodeID]QueueSnapshot
+	grant        agent.ID
+	grantAttempt int
+	backlog      map[uint64]store.Update
+	member       bool             // this server is in the shard's replica group
+	peers        []runtime.NodeID // other group members
+}
+
+// Server is one replicated server: data copy, per-shard Locking Lists,
+// Updated List, routing table, and the message handlers of the paper's
+// Algorithm 2.
 //
 // A Server is driven entirely from its engine's execution context (network
 // deliveries, local calls from co-located agents), so it needs no locking.
@@ -51,24 +83,20 @@ type Server struct {
 	clock    runtime.Clock
 	platform *agent.Platform
 	place    *agent.Place
-	st       *store.Store
 	cfg      Config
 	journal  *durable.Journal // nil = volatile server (the default)
 
-	// Volatile locking state. Version counters deliberately survive
+	// Per-shard locking state. Version counters deliberately survive
 	// crashes (see Crash): monotone versions make stale-evidence checks
 	// sound across recoveries without a persisted epoch.
-	epoch        uint64
-	llVersion    uint64
-	headVersion  uint64
-	ll           []agent.ID
-	gone         map[agent.ID]bool
-	goneList     []agent.ID
-	cache        map[runtime.NodeID]QueueSnapshot
-	grant        agent.ID
-	grantAttempt int
-	backlog      map[uint64]store.Update
-	down         bool
+	shards []*shardState
+
+	// Global volatile state: the epoch and the Updated List span shards
+	// (an agent is "gone" everywhere once it committed or died).
+	epoch    uint64
+	gone     map[agent.ID]bool
+	goneList []agent.ID
+	down     bool
 
 	// Pending quorum reads coordinated by this server.
 	readSeq uint64
@@ -77,20 +105,22 @@ type Server struct {
 
 // quorumRead tracks one in-flight consistent read.
 type quorumRead struct {
-	key     string
-	replies map[runtime.NodeID]ReadRep
-	needed  int
-	done    func(store.Value, bool)
+	key        string
+	replies    map[runtime.NodeID]ReadRep
+	needed     int
+	assignment quorum.Assignment // nil = node-count majority (needed)
+	done       func(store.Value, bool)
 }
 
 // New creates a server for node id over the given substrates, hosts an
 // agent place on its node, and registers itself for network delivery and
 // agent-death notices. peers must list every replica ID including id (in a
 // multi-process deployment: every replica in the system, not just the local
-// one). clock supplies timestamps for traces.
+// one). clock supplies timestamps for traces. st becomes shard 0's store
+// (nil allocates fresh stores for every shard).
 func New(clock runtime.Clock, id runtime.NodeID, peers []runtime.NodeID, net runtime.Fabric, platform *agent.Platform, st *store.Store, cfg Config) *Server {
-	if st == nil {
-		st = store.New()
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
 	}
 	others := make([]runtime.NodeID, 0, len(peers))
 	for _, p := range peers {
@@ -104,12 +134,34 @@ func New(clock runtime.Clock, id runtime.NodeID, peers []runtime.NodeID, net run
 		net:      net,
 		clock:    clock,
 		platform: platform,
-		st:       st,
 		cfg:      cfg,
+		shards:   make([]*shardState, cfg.Shards),
 		gone:     make(map[agent.ID]bool),
-		cache:    make(map[runtime.NodeID]QueueSnapshot),
-		backlog:  make(map[uint64]store.Update),
 		reads:    make(map[uint64]*quorumRead),
+	}
+	for i := range s.shards {
+		sd := &shardState{
+			st:      store.New(),
+			cache:   make(map[runtime.NodeID]QueueSnapshot),
+			backlog: make(map[uint64]store.Update),
+			member:  true,
+			peers:   others,
+		}
+		if i < len(cfg.Groups) && cfg.Groups[i] != nil {
+			sd.member = false
+			sd.peers = sd.peers[:0:0]
+			for _, n := range cfg.Groups[i] {
+				if n == id {
+					sd.member = true
+				} else {
+					sd.peers = append(sd.peers, n)
+				}
+			}
+		}
+		s.shards[i] = sd
+	}
+	if st != nil {
+		s.shards[0].st = st
 	}
 	s.place = platform.Host(id, s)
 	s.place.SetDeathListener(s)
@@ -121,54 +173,82 @@ func New(clock runtime.Clock, id runtime.NodeID, peers []runtime.NodeID, net run
 		if cfg.Restore != nil {
 			// Persist the recovery epoch bump immediately: a second crash
 			// before any other mutation must still see a fresh epoch.
-			s.logLock(true)
+			s.logLockAll(true)
 		}
 	}
 	return s
 }
 
+// shardOf routes a key to its shard.
+func (s *Server) shardOf(key string) int { return shard.Of(key, len(s.shards)) }
+
 // restore rebuilds the server's durable state from a recovered snapshot.
 // No journal is attached yet, so the rebuild itself is not re-logged.
 // Counters merge by max with whatever the server already holds (the DES
 // restart path keeps memory across Crash), then the epoch is bumped so
-// agents can tell post-recovery snapshots from pre-crash ones. The Locking
-// List and grant are restored as-is: stale entries only ever cause extra
+// agents can tell post-recovery snapshots from pre-crash ones. Locking
+// Lists and grants are restored as-is: stale entries only ever cause extra
 // nacks (safe under Theorem 2), and the gone-set propagation plus claim
 // timeouts clear them.
 func (s *Server) restore(st *durable.State) {
-	s.st = store.FromState(st.Store)
-	if st.Lock.Epoch > s.epoch {
-		s.epoch = st.Lock.Epoch
+	stores := make([]store.State, len(s.shards))
+	locks := make([]durable.LockState, len(s.shards))
+	stores[0], locks[0] = st.Store, st.Lock
+	for i := 0; i+1 < len(s.shards) && i < len(st.ExtraStores); i++ {
+		stores[i+1] = st.ExtraStores[i]
+	}
+	for i := 0; i+1 < len(s.shards) && i < len(st.ExtraLocks); i++ {
+		locks[i+1] = st.ExtraLocks[i]
+	}
+	for _, ls := range locks {
+		if ls.Epoch > s.epoch {
+			s.epoch = ls.Epoch
+		}
 	}
 	s.epoch++
-	if st.Lock.LLVersion > s.llVersion {
-		s.llVersion = st.Lock.LLVersion
-	}
-	if st.Lock.HeadVersion > s.headVersion {
-		s.headVersion = st.Lock.HeadVersion
-	}
-	s.ll = append([]agent.ID(nil), st.Lock.LL...)
 	for _, id := range st.Gone {
 		if !s.gone[id] {
 			s.gone[id] = true
 			s.goneList = append(s.goneList, id)
 		}
 	}
-	s.setGrant(st.Lock.Grant)
-	if st.Lock.GrantAttempt > s.grantAttempt {
-		s.grantAttempt = st.Lock.GrantAttempt
+	for i, sd := range s.shards {
+		sd.st = store.FromState(stores[i])
+		if locks[i].LLVersion > sd.llVersion {
+			sd.llVersion = locks[i].LLVersion
+		}
+		if locks[i].HeadVersion > sd.headVersion {
+			sd.headVersion = locks[i].HeadVersion
+		}
+		sd.ll = append([]agent.ID(nil), locks[i].LL...)
+		s.setGrant(i, locks[i].Grant)
+		if locks[i].GrantAttempt > sd.grantAttempt {
+			sd.grantAttempt = locks[i].GrantAttempt
+		}
+		s.bump(sd, true) // recovery is a fresh head state
 	}
-	s.bump(true) // recovery is a fresh head state
 }
 
-// attachJournal wires the journal into the store and registers the
-// server's contribution to compaction snapshots.
+// attachJournal wires the journal into every shard's store and registers
+// the server's contribution to compaction snapshots. The journal derives
+// each record's shard from its key at replay time, so one journal serves
+// all shards while their records stay independent.
 func (s *Server) attachJournal(j *durable.Journal) {
 	s.journal = j
-	s.st.SetJournal(j)
+	for _, sd := range s.shards {
+		sd.st.SetJournal(j)
+	}
 	j.AddSource(func(st *durable.State) {
-		st.Store = s.st.State()
-		st.Lock = s.lockState()
+		st.Store = s.shards[0].st.State()
+		st.Lock = s.lockState(0)
+		if len(s.shards) > 1 {
+			st.ExtraStores = make([]store.State, len(s.shards)-1)
+			st.ExtraLocks = make([]durable.LockState, len(s.shards)-1)
+			for i := 1; i < len(s.shards); i++ {
+				st.ExtraStores[i-1] = s.shards[i].st.State()
+				st.ExtraLocks[i-1] = s.lockState(i)
+			}
+		}
 		st.Gone = append([]agent.ID(nil), s.goneList...)
 	})
 }
@@ -178,49 +258,74 @@ func (s *Server) attachJournal(j *durable.Journal) {
 // server may still field stray callbacks that must not append to it.
 func (s *Server) DetachJournal() {
 	s.journal = nil
-	s.st.SetJournal(nil)
-}
-
-// lockState captures the serializable locking state.
-func (s *Server) lockState() durable.LockState {
-	return durable.LockState{
-		Epoch:        s.epoch,
-		LLVersion:    s.llVersion,
-		HeadVersion:  s.headVersion,
-		LL:           append([]agent.ID(nil), s.ll...),
-		Grant:        s.grant,
-		GrantAttempt: s.grantAttempt,
+	for _, sd := range s.shards {
+		sd.st.SetJournal(nil)
 	}
 }
 
-// logLock journals the full locking state after a mutation. barrier marks
-// grant and epoch transitions — the mutations whose loss could re-grant a
-// lock this server already released, or reuse an epoch.
-func (s *Server) logLock(barrier bool) {
+// lockState captures one shard's serializable locking state.
+func (s *Server) lockState(shrd int) durable.LockState {
+	sd := s.shards[shrd]
+	return durable.LockState{
+		Epoch:        s.epoch,
+		LLVersion:    sd.llVersion,
+		HeadVersion:  sd.headVersion,
+		LL:           append([]agent.ID(nil), sd.ll...),
+		Grant:        sd.grant,
+		GrantAttempt: sd.grantAttempt,
+	}
+}
+
+// logLock journals one shard's locking state after a mutation. barrier
+// marks grant and epoch transitions — the mutations whose loss could
+// re-grant a lock this server already released, or reuse an epoch.
+func (s *Server) logLock(shrd int, barrier bool) {
 	if s.journal != nil {
-		s.journal.LogLock(s.lockState(), barrier)
+		s.journal.LogLockShard(shrd, s.lockState(shrd), barrier)
+	}
+}
+
+// logLockAll journals every shard's locking state.
+func (s *Server) logLockAll(barrier bool) {
+	for i := range s.shards {
+		s.logLock(i, barrier)
 	}
 }
 
 // ID returns the server's node ID.
 func (s *Server) ID() runtime.NodeID { return s.id }
 
-// Store returns the server's data store.
-func (s *Server) Store() *store.Store { return s.st }
+// Store returns shard 0's data store (the only store when unsharded).
+func (s *Server) Store() *store.Store { return s.shards[0].st }
+
+// StoreOf returns one shard's data store.
+func (s *Server) StoreOf(shrd int) *store.Store { return s.shards[shrd].st }
+
+// Shards returns the number of shards.
+func (s *Server) Shards() int { return len(s.shards) }
+
+// Member reports whether this server is in shrd's replica group.
+func (s *Server) Member(shrd int) bool { return s.shards[shrd].member }
 
 // Place returns the agent place co-located with the server.
 func (s *Server) Place() *agent.Place { return s.place }
 
-// Queue returns a copy of the current Locking List (head first).
-func (s *Server) Queue() []agent.ID {
-	out := make([]agent.ID, len(s.ll))
-	copy(out, s.ll)
+// Queue returns a copy of shard 0's current Locking List (head first).
+func (s *Server) Queue() []agent.ID { return s.QueueOf(0) }
+
+// QueueOf returns a copy of one shard's Locking List (head first).
+func (s *Server) QueueOf(shrd int) []agent.ID {
+	out := make([]agent.ID, len(s.shards[shrd].ll))
+	copy(out, s.shards[shrd].ll)
 	return out
 }
 
-// Granted returns the transaction currently holding this server's grant
+// Granted returns the transaction currently holding shard 0's grant
 // (zero ID if none).
-func (s *Server) Granted() agent.ID { return s.grant }
+func (s *Server) Granted() agent.ID { return s.shards[0].grant }
+
+// GrantedOf returns the transaction holding one shard's grant.
+func (s *Server) GrantedOf(shrd int) agent.ID { return s.shards[shrd].grant }
 
 // Down reports whether the server is crashed.
 func (s *Server) Down() bool { return s.down }
@@ -228,44 +333,48 @@ func (s *Server) Down() bool { return s.down }
 // LocalRead serves a read from the local copy — the paper's fast read path
 // ("a read operation may be executed on an arbitrary copy").
 func (s *Server) LocalRead(key string) (store.Value, bool) {
-	return s.st.Get(key)
+	return s.shards[s.shardOf(key)].st.Get(key)
 }
 
-// snapshot captures the current LL for handing to agents.
-func (s *Server) snapshot() QueueSnapshot {
-	q := make([]agent.ID, len(s.ll))
-	copy(q, s.ll)
+// snapshot captures one shard's current LL for handing to agents.
+func (s *Server) snapshot(shrd int) QueueSnapshot {
+	sd := s.shards[shrd]
+	q := make([]agent.ID, len(sd.ll))
+	copy(q, sd.ll)
 	return QueueSnapshot{
 		Server:      s.id,
+		Shard:       shrd,
 		Epoch:       s.epoch,
-		Version:     s.llVersion,
-		HeadVersion: s.headVersion,
+		Version:     sd.llVersion,
+		HeadVersion: sd.headVersion,
 		Queue:       q,
 	}
 }
 
 // bump records an LL mutation; headChanged marks mutations that altered the
 // head (the only ones that can change any agent's priority decision).
-func (s *Server) bump(headChanged bool) {
-	s.llVersion++
+func (s *Server) bump(sd *shardState, headChanged bool) {
+	sd.llVersion++
 	if headChanged {
-		s.headVersion = s.llVersion
+		sd.headVersion = sd.llVersion
 	}
 }
 
-// setGrant changes the exclusive grant and informs the observer.
-func (s *Server) setGrant(txn agent.ID) {
-	if s.grant == txn {
+// setGrant changes one shard's exclusive grant and informs the observer.
+func (s *Server) setGrant(shrd int, txn agent.ID) {
+	sd := s.shards[shrd]
+	if sd.grant == txn {
 		return
 	}
-	s.grant = txn
+	sd.grant = txn
 	if s.cfg.GrantObserver != nil {
-		s.cfg.GrantObserver(s.id, txn)
+		s.cfg.GrantObserver(s.id, shrd, txn)
 	}
 }
 
-// markGone records that an agent finished or died, evicting its LL entry.
-// It reports whether local state changed.
+// markGone records that an agent finished or died, evicting its LL entries
+// and releasing its grants on every shard. It reports whether local state
+// changed.
 func (s *Server) markGone(id agent.ID) bool {
 	changed := false
 	if !s.gone[id] {
@@ -276,25 +385,28 @@ func (s *Server) markGone(id agent.ID) bool {
 		}
 		changed = true
 	}
-	lockChanged := false
-	for i, e := range s.ll {
-		if e == id {
-			headChanged := i == 0
-			s.ll = append(s.ll[:i], s.ll[i+1:]...)
-			s.bump(headChanged)
-			lockChanged = true
-			break
+	for shrd, sd := range s.shards {
+		lockChanged := false
+		for i, e := range sd.ll {
+			if e == id {
+				headChanged := i == 0
+				sd.ll = append(sd.ll[:i], sd.ll[i+1:]...)
+				s.bump(sd, headChanged)
+				lockChanged = true
+				break
+			}
+		}
+		released := false
+		if sd.grant == id {
+			s.setGrant(shrd, agent.ID{})
+			released = true
+		}
+		if lockChanged || released {
+			s.logLock(shrd, released)
+			changed = true
 		}
 	}
-	released := false
-	if s.grant == id {
-		s.setGrant(agent.ID{})
-		released = true
-	}
-	if lockChanged || released {
-		s.logLock(released)
-	}
-	return changed || lockChanged || released
+	return changed
 }
 
 // notify raises LLChanged to resident agents.
@@ -304,10 +416,11 @@ func (s *Server) notify() {
 
 // VisitAndLock is the local interaction of a just-arrived agent with its
 // host server (paper Algorithm 2, "upon arrival of a mobile agent"): the
-// server appends the agent to its Locking List, absorbs the locking
-// information the agent carries, and returns everything the agent needs to
-// update its own data structures.
-func (s *Server) VisitAndLock(id agent.ID, shared map[runtime.NodeID]QueueSnapshot, knownGone []agent.ID) LockInfo {
+// server appends the agent to the Locking List of every requested shard it
+// replicates, absorbs the locking information the agent carries, and
+// returns everything the agent needs to update its own data structures.
+// shards must be ascending (nil = every shard, the single-shard default).
+func (s *Server) VisitAndLock(id agent.ID, shards []int, shared []QueueSnapshot, knownGone []agent.ID) LockInfo {
 	// Absorb the agent's knowledge of finished/dead agents first, so a
 	// stale entry never blocks the queue.
 	mutated := false
@@ -317,30 +430,47 @@ func (s *Server) VisitAndLock(id agent.ID, shared map[runtime.NodeID]QueueSnapsh
 		}
 	}
 	if !s.cfg.DisableInfoSharing {
-		for node, snap := range shared {
-			if node == s.id {
+		for _, snap := range shared {
+			if snap.Server == s.id || snap.Shard < 0 || snap.Shard >= len(s.shards) {
 				continue
 			}
-			if cur, ok := s.cache[node]; !ok || snap.Newer(cur) {
-				s.cache[node] = snap.Clone()
+			cache := s.shards[snap.Shard].cache
+			if cur, ok := cache[snap.Server]; !ok || snap.Newer(cur) {
+				cache[snap.Server] = snap.Clone()
 			}
 		}
 	}
-	if !s.gone[id] && !s.contains(id) {
-		s.ll = append(s.ll, id)
-		s.bump(len(s.ll) == 1)
-		s.logLock(false)
-		mutated = len(s.ll) == 1 || mutated
-		s.cfg.Trace.Addf(int64(s.clock.Now()), int(s.id), id.String(), trace.LockRequested, "pos %d", len(s.ll))
+	if shards == nil {
+		shards = s.allShards()
+	}
+	for _, shrd := range shards {
+		sd := s.shards[shrd]
+		if !sd.member || s.gone[id] || s.contains(sd, id) {
+			continue
+		}
+		sd.ll = append(sd.ll, id)
+		s.bump(sd, len(sd.ll) == 1)
+		s.logLock(shrd, false)
+		mutated = len(sd.ll) == 1 || mutated
+		s.cfg.Trace.Addf(int64(s.clock.Now()), int(s.id), id.String(), trace.LockRequested, "pos %d", len(sd.ll))
 	}
 	if mutated {
 		s.notify()
 	}
-	return s.lockInfo()
+	return s.lockInfo(shards)
 }
 
-func (s *Server) contains(id agent.ID) bool {
-	for _, e := range s.ll {
+// allShards returns 0..Shards-1.
+func (s *Server) allShards() []int {
+	out := make([]int, len(s.shards))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func (s *Server) contains(sd *shardState, id agent.ID) bool {
+	for _, e := range sd.ll {
 		if e == id {
 			return true
 		}
@@ -348,33 +478,46 @@ func (s *Server) contains(id agent.ID) bool {
 	return false
 }
 
-// lockInfo assembles the LockInfo for a visiting or refreshing agent.
-func (s *Server) lockInfo() LockInfo {
+// lockInfo assembles the LockInfo for a visiting or refreshing agent over
+// the requested shards (nil = all).
+func (s *Server) lockInfo(shards []int) LockInfo {
+	if shards == nil {
+		shards = s.allShards()
+	}
 	gone := make([]agent.ID, len(s.goneList))
 	copy(gone, s.goneList)
 	costs := make(map[runtime.NodeID]float64, len(s.peers))
 	for _, p := range s.peers {
 		costs[p] = s.net.Cost(s.id, p)
 	}
-	var remote map[runtime.NodeID]QueueSnapshot
-	if !s.cfg.DisableInfoSharing && len(s.cache) > 0 {
-		remote = make(map[runtime.NodeID]QueueSnapshot, len(s.cache))
-		for n, snap := range s.cache {
-			remote[n] = snap.Clone()
+	info := LockInfo{Gone: gone, Costs: costs}
+	for _, shrd := range shards {
+		sd := s.shards[shrd]
+		if !sd.member {
+			continue
+		}
+		info.Locals = append(info.Locals, s.snapshot(shrd))
+		if seq := sd.st.LastSeq(); seq > info.LastSeq {
+			info.LastSeq = seq
+		}
+		if !s.cfg.DisableInfoSharing && len(sd.cache) > 0 {
+			nodes := make([]runtime.NodeID, 0, len(sd.cache))
+			for n := range sd.cache {
+				nodes = append(nodes, n)
+			}
+			sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+			for _, n := range nodes {
+				info.Remote = append(info.Remote, sd.cache[n].Clone())
+			}
 		}
 	}
-	return LockInfo{
-		Local:   s.snapshot(),
-		Gone:    gone,
-		Remote:  remote,
-		Costs:   costs,
-		LastSeq: s.st.LastSeq(),
-	}
+	return info
 }
 
-// RefreshInfo returns current LockInfo without enqueueing anybody — used by
-// parked agents recomputing their priority after a notification.
-func (s *Server) RefreshInfo() LockInfo { return s.lockInfo() }
+// RefreshInfo returns current LockInfo for the requested shards (nil = all)
+// without enqueueing anybody — used by parked agents recomputing their
+// priority after a notification.
+func (s *Server) RefreshInfo(shards []int) LockInfo { return s.lockInfo(shards) }
 
 // Deliver implements runtime.Handler for server-bound protocol messages.
 func (s *Server) Deliver(msg runtime.Message) {
@@ -397,7 +540,7 @@ func (s *Server) Deliver(msg runtime.Message) {
 	case *SyncReply:
 		s.handleSyncReply(m)
 	case *ReadReq:
-		v, ok := s.st.Get(m.Key)
+		v, ok := s.LocalRead(m.Key)
 		rep := &ReadRep{ReqID: m.ReqID, From: s.id, Found: ok, Value: v}
 		s.net.Send(runtime.Message{From: s.id, To: m.From, Payload: rep, Size: rep.WireSize()})
 	case *ReadRep:
@@ -406,29 +549,36 @@ func (s *Server) Deliver(msg runtime.Message) {
 }
 
 // QuorumRead coordinates a consistent read: it collects the committed value
-// of key from a majority of replicas (this one included) and calls done with
-// the most recent version. Because any read majority intersects any write
-// majority's COMMIT set eventually — and the global sequence number makes
-// "most recent" unambiguous — the result is never older than the last update
-// whose commit round completed.
+// of key from a read quorum of the key's replica group (this server
+// included when it is a member) and calls done with the most recent
+// version. Because any read quorum intersects any write quorum's COMMIT set
+// eventually — and the per-shard sequence number makes "most recent"
+// unambiguous — the result is never older than the last update whose commit
+// round completed.
 func (s *Server) QuorumRead(key string, done func(store.Value, bool)) {
+	shrd := s.shardOf(key)
+	sd := s.shards[shrd]
 	s.readSeq++
-	majority := (len(s.peers)+1)/2 + 1
 	qr := &quorumRead{
 		key:     key,
 		replies: make(map[runtime.NodeID]ReadRep),
-		needed:  majority,
+		needed:  (len(sd.peers)+1)/2 + 1,
 		done:    done,
 	}
+	if shrd < len(s.cfg.Quorums) && s.cfg.Quorums[shrd] != nil {
+		qr.assignment = s.cfg.Quorums[shrd]
+	}
 	s.reads[s.readSeq] = qr
-	// Local copy counts immediately.
-	v, ok := s.st.Get(key)
-	qr.replies[s.id] = ReadRep{ReqID: s.readSeq, From: s.id, Found: ok, Value: v}
-	if s.maybeFinishRead(s.readSeq) {
-		return
+	if sd.member {
+		// Local copy counts immediately.
+		v, ok := sd.st.Get(key)
+		qr.replies[s.id] = ReadRep{ReqID: s.readSeq, From: s.id, Found: ok, Value: v}
+		if s.maybeFinishRead(s.readSeq) {
+			return
+		}
 	}
 	req := &ReadReq{ReqID: s.readSeq, From: s.id, Key: key}
-	for _, p := range s.peers {
+	for _, p := range sd.peers {
 		s.net.Send(runtime.Message{From: s.id, To: p, Payload: req, Size: req.WireSize()})
 	}
 }
@@ -444,7 +594,18 @@ func (s *Server) handleReadRep(m *ReadRep) {
 
 func (s *Server) maybeFinishRead(id uint64) bool {
 	qr := s.reads[id]
-	if qr == nil || len(qr.replies) < qr.needed {
+	if qr == nil {
+		return false
+	}
+	if qr.assignment != nil {
+		nodes := make([]runtime.NodeID, 0, len(qr.replies))
+		for n := range qr.replies {
+			nodes = append(nodes, n)
+		}
+		if !qr.assignment.HasRead(nodes) {
+			return false
+		}
+	} else if len(qr.replies) < qr.needed {
 		return false
 	}
 	delete(s.reads, id)
@@ -474,54 +635,103 @@ func (s *Server) HandleCommitLocal(m *CommitMsg) { s.handleCommit(m) }
 // HandleAbortLocal applies a co-located agent's abort directly.
 func (s *Server) HandleAbortLocal(m *AbortMsg) { s.handleAbort(m) }
 
+// claimShards resolves the shards a claim names (defaulting to shard 0 for
+// an unsharded claim) restricted to the shards this server replicates.
+func (s *Server) claimShards(m *UpdateMsg) (all, relevant []int) {
+	all = m.Shards
+	if len(all) == 0 {
+		all = []int{0}
+	}
+	for _, shrd := range all {
+		if shrd >= 0 && shrd < len(s.shards) && s.shards[shrd].member {
+			relevant = append(relevant, shrd)
+		}
+	}
+	return all, relevant
+}
+
 // handleUpdate validates a permission claim (see DESIGN.md, "protocol
-// fortification"): the server ACKs only if it is not already granted to
-// another claimant AND the claimant either heads the local LL or claims via
-// the tie-break rule while enqueued here. A majority of ACKs implies a
-// unique winner regardless of how stale the claimant's view was, because
-// grants are exclusive until COMMIT or ABORT and any two majorities
-// intersect — the grants, not the evidence, are the arbiter.
+// fortification"): the server ACKs only if, on EVERY claimed shard it
+// replicates, it is not already granted to another claimant AND the
+// claimant either heads that shard's LL or claims via the tie-break rule
+// while enqueued there. The validation is all-or-nothing across the shards
+// — a multi-shard claim acquires its per-shard grants atomically here, in
+// the claim's canonical ascending shard order, so two claimants can never
+// deadlock a server against itself. A write quorum of ACKs on every shard
+// implies a unique winner regardless of how stale the claimant's view was,
+// because grants are exclusive until COMMIT or ABORT and any two write
+// quorums intersect — the grants, not the evidence, are the arbiter.
 func (s *Server) handleUpdate(m *UpdateMsg) *AckMsg {
+	all, relevant := s.claimShards(m)
 	nack := func(reason string) *AckMsg {
-		info := s.lockInfo()
+		info := s.lockInfo(relevant)
 		s.cfg.Trace.Addf(int64(s.clock.Now()), int(s.id), m.Txn.String(), trace.UpdateNacked, "%s", reason)
 		return &AckMsg{Txn: m.Txn, Attempt: m.Attempt, From: s.id, Reason: reason, Info: &info}
 	}
-	if !s.grant.IsZero() && s.grant != m.Txn {
-		return nack("busy")
+	if len(relevant) == 0 {
+		return nack("not-member")
+	}
+	for _, shrd := range relevant {
+		if g := s.shards[shrd].grant; !g.IsZero() && g != m.Txn {
+			return nack("busy")
+		}
 	}
 	if s.gone[m.Txn] {
 		return nack("gone")
 	}
-	if !s.contains(m.Txn) {
-		return nack("not-enqueued")
+	for _, shrd := range relevant {
+		if !s.contains(s.shards[shrd], m.Txn) {
+			return nack("not-enqueued")
+		}
 	}
-	isHead := len(s.ll) > 0 && s.ll[0] == m.Txn
-	if !isHead && !m.ByTie {
-		return nack("not-head")
+	for _, shrd := range relevant {
+		sd := s.shards[shrd]
+		isHead := len(sd.ll) > 0 && sd.ll[0] == m.Txn
+		if !isHead && !m.ByTie {
+			return nack("not-head")
+		}
 	}
-	s.setGrant(m.Txn)
-	s.grantAttempt = m.Attempt
-	s.logLock(true) // a lost grant record could let a restart re-grant
+	for _, shrd := range relevant {
+		s.setGrant(shrd, m.Txn)
+		s.shards[shrd].grantAttempt = m.Attempt
+		s.logLock(shrd, true) // a lost grant record could let a restart re-grant
+	}
+	seqs := make([]uint64, len(all))
 	values := make(map[string]store.Value, len(m.Keys))
+	for i, shrd := range all {
+		if shrd >= 0 && shrd < len(s.shards) && s.shards[shrd].member {
+			seqs[i] = s.shards[shrd].st.LastSeq()
+		}
+	}
 	for _, k := range m.Keys {
-		if v, ok := s.st.Get(k); ok {
+		sd := s.shards[s.shardOf(k)]
+		if !sd.member {
+			continue
+		}
+		if v, ok := sd.st.Get(k); ok {
 			values[k] = v
 		}
 	}
 	s.cfg.Trace.Addf(int64(s.clock.Now()), int(s.id), m.Txn.String(), trace.UpdateAcked, "")
-	return &AckMsg{Txn: m.Txn, Attempt: m.Attempt, From: s.id, OK: true, LastSeq: s.st.LastSeq(), Values: values}
+	return &AckMsg{Txn: m.Txn, Attempt: m.Attempt, From: s.id, OK: true, ShardSeqs: seqs, Values: values}
 }
 
-// handleCommit applies the winner's updates, releases its locks, and adds it
-// to the Updated List. A sequence gap means this replica missed earlier
-// updates (it was down); the updates are held back and a sync is requested.
+// handleCommit applies the winner's updates — each routed to its key's
+// shard, on the shards this server replicates — releases its locks, and
+// adds it to the Updated List. A per-shard sequence gap means this replica
+// missed earlier updates on that shard (it was down); the updates are held
+// back and a shard sync is requested.
 func (s *Server) handleCommit(m *CommitMsg) {
 	for _, u := range m.Updates {
-		if err := s.st.ApplyCommitted(u); err != nil {
+		shrd := s.shardOf(u.Key)
+		sd := s.shards[shrd]
+		if !sd.member {
+			continue
+		}
+		if err := sd.st.ApplyCommitted(u); err != nil {
 			if errors.Is(err, store.ErrSeqGap) {
-				s.backlog[u.Seq] = u
-				s.requestSync(m.Origin)
+				sd.backlog[u.Seq] = u
+				s.requestSyncShard(shrd, m.Origin)
 				continue
 			}
 			// Stale updates are idempotently ignored by ApplyCommitted;
@@ -531,70 +741,102 @@ func (s *Server) handleCommit(m *CommitMsg) {
 	}
 	// This commit may have filled the gap ahead of earlier out-of-order
 	// arrivals (jittered links do not preserve FIFO).
-	s.drainBacklog()
+	for shrd := range s.shards {
+		s.drainBacklog(shrd)
+	}
 	s.markGone(m.Txn)
-	s.cfg.Trace.Addf(int64(s.clock.Now()), int(s.id), m.Txn.String(), trace.Committed, "%d updates, seq now %d", len(m.Updates), s.st.LastSeq())
+	s.cfg.Trace.Addf(int64(s.clock.Now()), int(s.id), m.Txn.String(), trace.Committed, "%d updates, seq now %d", len(m.Updates), s.maxLastSeq())
 	s.notify()
 	if s.journal != nil {
 		s.journal.MaybeCompact() // post-commit is a quiescent point
 	}
 }
 
-// handleAbort withdraws a claim's grant.
+// maxLastSeq returns the highest committed horizon across shards (trace
+// diagnostics).
+func (s *Server) maxLastSeq() uint64 {
+	var max uint64
+	for _, sd := range s.shards {
+		if seq := sd.st.LastSeq(); seq > max {
+			max = seq
+		}
+	}
+	return max
+}
+
+// handleAbort withdraws a claim's grants on every shard.
 func (s *Server) handleAbort(m *AbortMsg) {
-	if s.grant == m.Txn && m.Attempt >= s.grantAttempt {
-		s.setGrant(agent.ID{})
-		s.logLock(true)
+	released := false
+	for shrd, sd := range s.shards {
+		if sd.grant == m.Txn && m.Attempt >= sd.grantAttempt {
+			s.setGrant(shrd, agent.ID{})
+			s.logLock(shrd, true)
+			released = true
+		}
+	}
+	if released {
 		s.cfg.Trace.Addf(int64(s.clock.Now()), int(s.id), m.Txn.String(), trace.ClaimAborted, "grant released")
 	}
 }
 
-// RequestSync starts an anti-entropy round with all peers: fetch the
-// committed updates after the local horizon. The cluster invokes it on every
-// live server after a partition heals, because a minority partition that
-// missed final COMMIT broadcasts has no sequence gap of its own to notice.
+// RequestSync starts an anti-entropy round with the replica group of every
+// shard this server replicates: fetch the committed updates after the local
+// horizon. The cluster invokes it on every live server after a partition
+// heals, because a minority partition that missed final COMMIT broadcasts
+// has no sequence gap of its own to notice.
 func (s *Server) RequestSync() {
 	if s.down {
 		return
 	}
-	s.requestSync(runtime.None)
+	for shrd := range s.shards {
+		s.requestSyncShard(shrd, runtime.None)
+	}
 }
 
-// requestSync asks origin (falling back to all peers if origin is the
-// server itself) for the updates after the local horizon.
-func (s *Server) requestSync(origin runtime.NodeID) {
-	req := &SyncRequest{From: s.id, Since: s.st.LastSeq()}
+// requestSyncShard asks origin (falling back to the whole replica group if
+// origin is the server itself) for one shard's updates after the local
+// horizon.
+func (s *Server) requestSyncShard(shrd int, origin runtime.NodeID) {
+	sd := s.shards[shrd]
+	if !sd.member {
+		return
+	}
+	req := &SyncRequest{From: s.id, Shard: shrd, Since: sd.st.LastSeq()}
 	if origin != s.id && origin != runtime.None {
 		s.net.Send(runtime.Message{From: s.id, To: origin, Payload: req, Size: req.WireSize()})
 		return
 	}
-	for _, p := range s.peers {
+	for _, p := range sd.peers {
 		s.net.Send(runtime.Message{From: s.id, To: p, Payload: req, Size: req.WireSize()})
 	}
 }
 
 func (s *Server) handleSyncRequest(m *SyncRequest) {
-	updates := s.st.UpdatesSince(m.Since)
+	if m.Shard < 0 || m.Shard >= len(s.shards) {
+		return
+	}
+	updates := s.shards[m.Shard].st.UpdatesSince(m.Since)
 	if len(updates) == 0 && len(s.goneList) == 0 {
 		return
 	}
 	gone := make([]agent.ID, len(s.goneList))
 	copy(gone, s.goneList)
-	reply := &SyncReply{From: s.id, Updates: updates, Gone: gone}
+	reply := &SyncReply{From: s.id, Shard: m.Shard, Updates: updates, Gone: gone}
 	s.net.Send(runtime.Message{From: s.id, To: m.From, Payload: reply, Size: reply.WireSize()})
 }
 
-// drainBacklog applies consecutive backlogged commits now that earlier
-// updates may have landed. It reports whether anything was applied.
-func (s *Server) drainBacklog() bool {
+// drainBacklog applies one shard's consecutive backlogged commits now that
+// earlier updates may have landed. It reports whether anything was applied.
+func (s *Server) drainBacklog(shrd int) bool {
+	sd := s.shards[shrd]
 	applied := false
 	for {
-		u, ok := s.backlog[s.st.LastSeq()+1]
+		u, ok := sd.backlog[sd.st.LastSeq()+1]
 		if !ok {
 			return applied
 		}
-		delete(s.backlog, u.Seq)
-		if err := s.st.ApplyCommitted(u); err != nil {
+		delete(sd.backlog, u.Seq)
+		if err := sd.st.ApplyCommitted(u); err != nil {
 			return applied
 		}
 		applied = true
@@ -602,13 +844,17 @@ func (s *Server) drainBacklog() bool {
 }
 
 func (s *Server) handleSyncReply(m *SyncReply) {
+	if m.Shard < 0 || m.Shard >= len(s.shards) {
+		return
+	}
+	sd := s.shards[m.Shard]
 	applied := false
 	for _, u := range m.Updates {
-		if err := s.st.ApplyCommitted(u); err == nil && u.Seq == s.st.LastSeq() {
+		if err := sd.st.ApplyCommitted(u); err == nil && u.Seq == sd.st.LastSeq() {
 			applied = true
 		}
 	}
-	if s.drainBacklog() {
+	if s.drainBacklog(m.Shard) {
 		applied = true
 	}
 	mutated := false
@@ -618,7 +864,7 @@ func (s *Server) handleSyncReply(m *SyncReply) {
 		}
 	}
 	if applied || mutated {
-		s.cfg.Trace.Addf(int64(s.clock.Now()), int(s.id), "", trace.ServerSynced, "seq now %d", s.st.LastSeq())
+		s.cfg.Trace.Addf(int64(s.clock.Now()), int(s.id), "", trace.ServerSynced, "seq now %d", sd.st.LastSeq())
 		s.notify()
 		if s.journal != nil {
 			s.journal.MaybeCompact()
@@ -627,7 +873,7 @@ func (s *Server) handleSyncReply(m *SyncReply) {
 }
 
 // OnAgentDeath implements agent.DeathListener: evict the dead agent's lock
-// entry and release its grant, so a crashed agent never wedges the queue.
+// entries and release its grants, so a crashed agent never wedges a queue.
 func (s *Server) OnAgentDeath(id agent.ID) {
 	if s.down {
 		return
@@ -639,7 +885,7 @@ func (s *Server) OnAgentDeath(id agent.ID) {
 }
 
 // Crash models a fail-stop failure: all volatile locking state is lost; the
-// committed store survives (stable storage). The caller is responsible for
+// committed stores survive (stable storage). The caller is responsible for
 // also marking the node down in the network and killing resident agents —
 // the cluster layer in internal/core orchestrates all three.
 func (s *Server) Crash() {
@@ -648,12 +894,16 @@ func (s *Server) Crash() {
 	// cluster layer additionally kills the journal's log handle and crashes
 	// the backing disk.
 	s.journal = nil
-	s.st.SetJournal(nil)
+	for _, sd := range s.shards {
+		sd.st.SetJournal(nil)
+	}
 	s.down = true
-	s.ll = nil
-	s.cache = make(map[runtime.NodeID]QueueSnapshot)
-	s.setGrant(agent.ID{})
-	s.backlog = make(map[uint64]store.Update)
+	for shrd, sd := range s.shards {
+		sd.ll = nil
+		sd.cache = make(map[runtime.NodeID]QueueSnapshot)
+		s.setGrant(shrd, agent.ID{})
+		sd.backlog = make(map[uint64]store.Update)
+	}
 	// gone survives: it is derived from committed state and death notices,
 	// and keeping it only ever suppresses already-finished agents.
 	s.cfg.Trace.Addf(int64(s.clock.Now()), int(s.id), "", trace.ServerCrashed, "")
@@ -661,13 +911,15 @@ func (s *Server) Crash() {
 
 // Recover brings the server back: it bumps its epoch (so agents can tell
 // post-recovery snapshots from pre-crash ones) and starts a background sync
-// with its peers to fetch the updates it missed.
+// with each shard's group to fetch the updates it missed.
 func (s *Server) Recover() {
 	s.down = false
 	s.epoch++
-	s.bump(true) // the (now empty) LL is a fresh head state
+	for _, sd := range s.shards {
+		s.bump(sd, true) // the (now empty) LL is a fresh head state
+	}
 	s.cfg.Trace.Addf(int64(s.clock.Now()), int(s.id), "", trace.ServerRecover, "epoch %d", s.epoch)
-	s.requestSync(runtime.None)
+	s.RequestSync()
 }
 
 // Restart is the durable counterpart of Recover: the server comes back
@@ -677,20 +929,24 @@ func (s *Server) Recover() {
 // committed; the peers supply what it missed while down.
 func (s *Server) Restart(j *durable.Journal, st *durable.State) {
 	s.down = false
-	s.cache = make(map[runtime.NodeID]QueueSnapshot)
-	s.backlog = make(map[uint64]store.Update)
+	for _, sd := range s.shards {
+		sd.cache = make(map[runtime.NodeID]QueueSnapshot)
+		sd.backlog = make(map[uint64]store.Update)
+	}
 	if st != nil {
 		s.restore(st)
 	} else {
 		s.epoch++
-		s.bump(true)
+		for _, sd := range s.shards {
+			s.bump(sd, true)
+		}
 	}
 	if j != nil {
 		s.attachJournal(j)
-		s.logLock(true) // make the recovery epoch durable immediately
+		s.logLockAll(true) // make the recovery epoch durable immediately
 	}
-	s.cfg.Trace.Addf(int64(s.clock.Now()), int(s.id), "", trace.ServerRecover, "epoch %d, seq %d restored", s.epoch, s.st.LastSeq())
-	s.requestSync(runtime.None)
+	s.cfg.Trace.Addf(int64(s.clock.Now()), int(s.id), "", trace.ServerRecover, "epoch %d, seq %d restored", s.epoch, s.maxLastSeq())
+	s.RequestSync()
 }
 
 // Gone returns the agents this server knows to have finished or died, in

@@ -51,18 +51,18 @@ func TestVisitAndLockEnqueues(t *testing.T) {
 	f := newFixture(t, 3, Config{})
 	s := f.servers[1]
 	a, b := aid(1, 1), aid(2, 2)
-	info := s.VisitAndLock(a, nil, nil)
-	if len(info.Local.Queue) != 1 || info.Local.Queue[0] != a {
-		t.Fatalf("queue = %v", info.Local.Queue)
+	info := s.VisitAndLock(a, nil, nil, nil)
+	if len(info.Locals[0].Queue) != 1 || info.Locals[0].Queue[0] != a {
+		t.Fatalf("queue = %v", info.Locals[0].Queue)
 	}
-	info = s.VisitAndLock(b, nil, nil)
-	if len(info.Local.Queue) != 2 || info.Local.Queue[1] != b {
-		t.Fatalf("queue = %v", info.Local.Queue)
+	info = s.VisitAndLock(b, nil, nil, nil)
+	if len(info.Locals[0].Queue) != 2 || info.Locals[0].Queue[1] != b {
+		t.Fatalf("queue = %v", info.Locals[0].Queue)
 	}
 	// Re-visiting must not duplicate the entry.
-	info = s.VisitAndLock(a, nil, nil)
-	if len(info.Local.Queue) != 2 {
-		t.Fatalf("duplicate enqueue: %v", info.Local.Queue)
+	info = s.VisitAndLock(a, nil, nil, nil)
+	if len(info.Locals[0].Queue) != 2 {
+		t.Fatalf("duplicate enqueue: %v", info.Locals[0].Queue)
 	}
 	if info.Costs[2] != 1 || info.Costs[3] != 1 {
 		t.Fatalf("costs = %v", info.Costs)
@@ -75,15 +75,24 @@ func TestVisitAndLockEnqueues(t *testing.T) {
 func TestHeadVersionOnlyOnHeadChange(t *testing.T) {
 	f := newFixture(t, 2, Config{})
 	s := f.servers[1]
-	i1 := s.VisitAndLock(aid(1, 1), nil, nil)
-	hv := i1.Local.HeadVersion
-	i2 := s.VisitAndLock(aid(2, 2), nil, nil)
-	if i2.Local.HeadVersion != hv {
+	i1 := s.VisitAndLock(aid(1, 1), nil, nil, nil)
+	hv := i1.Locals[0].HeadVersion
+	i2 := s.VisitAndLock(aid(2, 2), nil, nil, nil)
+	if i2.Locals[0].HeadVersion != hv {
 		t.Fatal("tail append changed head version")
 	}
-	if i2.Local.Version == i1.Local.Version {
+	if i2.Locals[0].Version == i1.Locals[0].Version {
 		t.Fatal("tail append did not change version")
 	}
+}
+
+func remoteOf(info LockInfo, server simnet.NodeID) (QueueSnapshot, bool) {
+	for _, r := range info.Remote {
+		if r.Server == server {
+			return r, true
+		}
+	}
+	return QueueSnapshot{}, false
 }
 
 func TestInfoSharing(t *testing.T) {
@@ -91,15 +100,15 @@ func TestInfoSharing(t *testing.T) {
 	s := f.servers[1]
 	snapOld := QueueSnapshot{Server: 2, Version: 1, Queue: []agent.ID{aid(1, 1)}}
 	snapNew := QueueSnapshot{Server: 2, Version: 5, Queue: []agent.ID{aid(2, 2)}}
-	s.VisitAndLock(aid(3, 3), map[simnet.NodeID]QueueSnapshot{2: snapNew}, nil)
-	info := s.VisitAndLock(aid(4, 4), map[simnet.NodeID]QueueSnapshot{2: snapOld}, nil)
-	got, ok := info.Remote[2]
+	s.VisitAndLock(aid(3, 3), nil, []QueueSnapshot{snapNew}, nil)
+	info := s.VisitAndLock(aid(4, 4), nil, []QueueSnapshot{snapOld}, nil)
+	got, ok := remoteOf(info, 2)
 	if !ok || got.Version != 5 {
 		t.Fatalf("cache = %+v", info.Remote)
 	}
 	// Snapshots about the server itself are ignored.
-	info = s.VisitAndLock(aid(5, 5), map[simnet.NodeID]QueueSnapshot{1: {Server: 1, Version: 99}}, nil)
-	if _, ok := info.Remote[1]; ok {
+	info = s.VisitAndLock(aid(5, 5), nil, []QueueSnapshot{{Server: 1, Version: 99}}, nil)
+	if _, ok := remoteOf(info, 1); ok {
 		t.Fatal("server cached a snapshot about itself")
 	}
 }
@@ -108,7 +117,7 @@ func TestInfoSharingDisabled(t *testing.T) {
 	f := newFixture(t, 3, Config{DisableInfoSharing: true})
 	s := f.servers[1]
 	snap := QueueSnapshot{Server: 2, Version: 5, Queue: []agent.ID{aid(2, 2)}}
-	info := s.VisitAndLock(aid(3, 3), map[simnet.NodeID]QueueSnapshot{2: snap}, nil)
+	info := s.VisitAndLock(aid(3, 3), nil, []QueueSnapshot{snap}, nil)
 	if info.Remote != nil {
 		t.Fatalf("remote info returned with sharing disabled: %+v", info.Remote)
 	}
@@ -118,15 +127,15 @@ func TestKnownGoneEvictsAndBlocksEnqueue(t *testing.T) {
 	f := newFixture(t, 2, Config{})
 	s := f.servers[1]
 	a, b := aid(1, 1), aid(2, 2)
-	s.VisitAndLock(a, nil, nil)
-	s.VisitAndLock(b, nil, nil)
-	info := s.VisitAndLock(aid(3, 3), nil, []agent.ID{a})
-	if len(info.Local.Queue) != 2 || info.Local.Queue[0] != b {
-		t.Fatalf("queue after eviction = %v", info.Local.Queue)
+	s.VisitAndLock(a, nil, nil, nil)
+	s.VisitAndLock(b, nil, nil, nil)
+	info := s.VisitAndLock(aid(3, 3), nil, nil, []agent.ID{a})
+	if len(info.Locals[0].Queue) != 2 || info.Locals[0].Queue[0] != b {
+		t.Fatalf("queue after eviction = %v", info.Locals[0].Queue)
 	}
 	// A gone agent can never re-enqueue.
-	info = s.VisitAndLock(a, nil, nil)
-	for _, e := range info.Local.Queue {
+	info = s.VisitAndLock(a, nil, nil, nil)
+	for _, e := range info.Locals[0].Queue {
 		if e == a {
 			t.Fatal("gone agent re-enqueued")
 		}
@@ -141,7 +150,7 @@ func TestHandleUpdateHeadAcks(t *testing.T) {
 	f := newFixture(t, 2, Config{})
 	s := f.servers[1]
 	a := aid(1, 1)
-	s.VisitAndLock(a, nil, nil)
+	s.VisitAndLock(a, nil, nil, nil)
 	ack := s.HandleUpdateLocal(claim(a, 1, "x"))
 	if !ack.OK {
 		t.Fatalf("head claim nacked: %+v", ack)
@@ -160,8 +169,8 @@ func TestHandleUpdateValidation(t *testing.T) {
 	if ack := s.HandleUpdateLocal(claim(a, 1, "x")); ack.OK || ack.Reason != "not-enqueued" {
 		t.Fatalf("ack = %+v", ack)
 	}
-	s.VisitAndLock(a, nil, nil)
-	s.VisitAndLock(b, nil, nil)
+	s.VisitAndLock(a, nil, nil, nil)
+	s.VisitAndLock(b, nil, nil, nil)
 
 	// Not head, no tie evidence.
 	if ack := s.HandleUpdateLocal(claim(b, 2, "x")); ack.OK || ack.Reason != "not-head" {
@@ -188,12 +197,12 @@ func TestHandleUpdateTieEvidence(t *testing.T) {
 	f := newFixture(t, 2, Config{})
 	s := f.servers[1]
 	a, b := aid(1, 1), aid(2, 2)
-	infoA := s.VisitAndLock(a, nil, nil)
-	s.VisitAndLock(b, nil, nil) // tail append: head version unchanged
+	infoA := s.VisitAndLock(a, nil, nil, nil)
+	s.VisitAndLock(b, nil, nil, nil) // tail append: head version unchanged
 
 	m := claim(b, 2, "x")
 	m.ByTie = true
-	m.Evidence = map[simnet.NodeID]uint64{1: infoA.Local.HeadVersion}
+	m.Evidence = map[simnet.NodeID]uint64{1: infoA.Locals[0].HeadVersion}
 	if ack := s.HandleUpdateLocal(m); !ack.OK {
 		t.Fatalf("valid tie claim nacked: %+v", ack)
 	}
@@ -203,7 +212,7 @@ func TestHandleUpdateTieEvidence(t *testing.T) {
 	s.OnAgentDeath(a) // head evicted -> head version bumps
 	m2 := claim(b, 2, "x")
 	m2.ByTie = true
-	m2.Evidence = map[simnet.NodeID]uint64{1: infoA.Local.HeadVersion}
+	m2.Evidence = map[simnet.NodeID]uint64{1: infoA.Locals[0].HeadVersion}
 	ack := s.HandleUpdateLocal(m2)
 	// b is now head, so it wins as head regardless of evidence.
 	if !ack.OK {
@@ -219,8 +228,8 @@ func TestTieClaimsArbitratedByGrantOrder(t *testing.T) {
 	f := newFixture(t, 2, Config{})
 	s := f.servers[1]
 	b, c := aid(2, 2), aid(3, 3)
-	s.VisitAndLock(b, nil, nil)
-	s.VisitAndLock(c, nil, nil)
+	s.VisitAndLock(b, nil, nil, nil)
+	s.VisitAndLock(c, nil, nil, nil)
 
 	mc := claim(c, 2, "x")
 	mc.ByTie = true
@@ -242,8 +251,8 @@ func TestCommitAppliesReleasesAndRecords(t *testing.T) {
 	f := newFixture(t, 2, Config{})
 	s := f.servers[1]
 	a, b := aid(1, 1), aid(2, 2)
-	s.VisitAndLock(a, nil, nil)
-	s.VisitAndLock(b, nil, nil)
+	s.VisitAndLock(a, nil, nil, nil)
+	s.VisitAndLock(b, nil, nil, nil)
 	stub := &stubAgent{}
 	f.platform.Spawn(1, stub)
 
@@ -279,7 +288,7 @@ func TestAbortReleasesGrantOnly(t *testing.T) {
 	f := newFixture(t, 2, Config{})
 	s := f.servers[1]
 	a := aid(1, 1)
-	s.VisitAndLock(a, nil, nil)
+	s.VisitAndLock(a, nil, nil, nil)
 	s.HandleUpdateLocal(claim(a, 1, "x"))
 	s.HandleAbortLocal(&AbortMsg{Txn: a})
 	if !s.Granted().IsZero() {
@@ -325,7 +334,7 @@ func TestCrashClearsVolatileKeepsStore(t *testing.T) {
 	f := newFixture(t, 3, Config{})
 	s := f.servers[1]
 	a := aid(1, 1)
-	s.VisitAndLock(a, nil, nil)
+	s.VisitAndLock(a, nil, nil, nil)
 	s.HandleUpdateLocal(claim(a, 1, "x"))
 	if err := s.Store().ApplyCommitted(store.Update{TxnID: "t", Key: "x", Data: "v", Seq: 1}); err != nil {
 		t.Fatal(err)
@@ -367,8 +376,8 @@ func TestRecoverSyncsFromPeers(t *testing.T) {
 	if s1.Store().LastSeq() != 4 {
 		t.Fatalf("recovered LastSeq = %d, want 4", s1.Store().LastSeq())
 	}
-	if s1.snapshot().Epoch != 1 {
-		t.Fatalf("epoch = %d, want 1", s1.snapshot().Epoch)
+	if s1.snapshot(0).Epoch != 1 {
+		t.Fatalf("epoch = %d, want 1", s1.snapshot(0).Epoch)
 	}
 }
 
@@ -376,8 +385,8 @@ func TestOnAgentDeathReleasesEverything(t *testing.T) {
 	f := newFixture(t, 2, Config{})
 	s := f.servers[1]
 	a, b := aid(1, 1), aid(2, 2)
-	s.VisitAndLock(a, nil, nil)
-	s.VisitAndLock(b, nil, nil)
+	s.VisitAndLock(a, nil, nil, nil)
+	s.VisitAndLock(b, nil, nil, nil)
 	s.HandleUpdateLocal(claim(a, 1, "x"))
 	stub := &stubAgent{}
 	f.platform.Spawn(1, stub)
@@ -417,14 +426,14 @@ func TestUpdateAckRoundTripOverNetwork(t *testing.T) {
 	f := newFixture(t, 2, Config{})
 	s2 := f.servers[2]
 	a := aid(1, 1)
-	s2.VisitAndLock(a, nil, nil)
+	s2.VisitAndLock(a, nil, nil, nil)
 
 	// Spawn an agent at node 1 to receive the ack.
 	var got *AckMsg
 	recv := &msgAgent{onMsg: func(payload any) { got = payload.(*AckMsg) }}
 	ctx := f.platform.Spawn(1, recv)
 	// Claims carry the real agent ID; enqueue it at server 2 first.
-	s2.VisitAndLock(ctx.ID(), nil, []agent.ID{a})
+	s2.VisitAndLock(ctx.ID(), nil, nil, []agent.ID{a})
 	m := claim(ctx.ID(), 1, "x")
 	f.net.Send(simnet.Message{From: 1, To: 2, Payload: m, Size: m.WireSize()})
 	f.sim.Run()
@@ -453,7 +462,7 @@ func TestStaleAbortCannotReleaseNewerGrant(t *testing.T) {
 	f := newFixture(t, 2, Config{})
 	s := f.servers[1]
 	a := aid(1, 1)
-	s.VisitAndLock(a, nil, nil)
+	s.VisitAndLock(a, nil, nil, nil)
 	m1 := claim(a, 1, "x")
 	m1.Attempt = 1
 	if ack := s.HandleUpdateLocal(m1); !ack.OK {

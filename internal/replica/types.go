@@ -5,6 +5,11 @@
 // visiting agents, exchanging locking information with them, validating and
 // applying updates, and performing failure recovery through background
 // information transfer.
+//
+// The key space is sharded: each server keeps one Locking List, one data
+// store, and one exclusive grant per (server, shard), so updates on
+// different shards never contend. With one shard (the default) the server
+// behaves exactly as the paper describes.
 package replica
 
 import (
@@ -25,14 +30,16 @@ func init() {
 	}
 }
 
-// QueueSnapshot is one server's Locking List as known at some moment. Agents
-// accumulate these in their Locking Table and leave them behind at the
-// servers they visit (the paper's information sharing); both directions use
-// this type. Snapshots are ordered by (Epoch, Version): Epoch increments
-// when a server recovers from a crash and its volatile locking state resets,
-// Version increments on every LL mutation within an epoch.
+// QueueSnapshot is one shard's Locking List at one server as known at some
+// moment. Agents accumulate these in their Locking Table and leave them
+// behind at the servers they visit (the paper's information sharing); both
+// directions use this type. Snapshots are ordered by (Epoch, Version):
+// Epoch increments when a server recovers from a crash and its volatile
+// locking state resets, Version increments on every LL mutation within an
+// epoch.
 type QueueSnapshot struct {
 	Server      runtime.NodeID
+	Shard       int
 	Epoch       uint64
 	Version     uint64
 	HeadVersion uint64 // version of the last mutation that changed the head
@@ -57,37 +64,42 @@ func (s QueueSnapshot) Clone() QueueSnapshot {
 }
 
 // LockInfo is everything a server hands to a visiting agent when the agent
-// requests its lock (paper §3.2–3.3): the local LL, the UL ("gone" agents),
-// the server's cached views of other servers' LLs, the routing table, and
-// the data version horizon.
+// requests its locks (paper §3.2–3.3): the local LL of every shard the
+// agent asked for, the UL ("gone" agents), the server's cached views of
+// other servers' LLs on those shards, the routing table, and the data
+// version horizon.
 type LockInfo struct {
-	Local   QueueSnapshot
-	Gone    []agent.ID // agents that finished (UL) or died — prune these everywhere
-	Remote  map[runtime.NodeID]QueueSnapshot
+	Locals  []QueueSnapshot // this server's LLs, ascending shard order
+	Gone    []agent.ID      // agents that finished (UL) or died — prune these everywhere
+	Remote  []QueueSnapshot // cached peer LLs, sorted by (shard, server)
 	Costs   map[runtime.NodeID]float64
-	LastSeq uint64
+	LastSeq uint64 // highest committed Seq across the requested shards
 }
 
 // LLChanged is the local event a server raises to its resident agents when
-// its Locking List mutates — the cue for parked agents to recompute their
-// priority (paper §3.3: "other mobile agents will then be able to change
-// their priorities in their locking tables").
+// one of its Locking Lists mutates — the cue for parked agents to recompute
+// their priority (paper §3.3: "other mobile agents will then be able to
+// change their priorities in their locking tables").
 type LLChanged struct {
 	Server runtime.NodeID
 }
 
-// Protocol messages. Sizes are modelled wire sizes for traffic accounting.
+// Protocol messages. Sizes are modelled wire sizes for traffic accounting;
+// the shard extensions add bytes only when a message spans more than one
+// shard, so single-shard runs are byte-identical to the unsharded protocol.
 
 // UpdateMsg is the winning agent's UPDATE broadcast: a permission claim plus
-// the identity of the data it wants to write. Servers validate the claim,
-// install an exclusive grant, and reply with an AckMsg carrying their
-// current copy of the requested keys so the winner can "use the most recent
-// copy" (paper §3.1).
+// the identity of the data it wants to write. Servers validate the claim on
+// every named shard they replicate — all-or-nothing — install an exclusive
+// per-shard grant, and reply with an AckMsg carrying their current copy of
+// the requested keys so the winner can "use the most recent copy" (paper
+// §3.1).
 type UpdateMsg struct {
 	Txn      agent.ID
-	Attempt  int           // claim attempt number, echoed in the AckMsg
+	Attempt  int            // claim attempt number, echoed in the AckMsg
 	Origin   runtime.NodeID // where the claiming agent currently resides
 	Keys     []string
+	Shards   []int // distinct shards of Keys, ascending (canonical lock order)
 	ByTie    bool
 	Evidence map[runtime.NodeID]uint64 // claimed head-version per server (tie claims)
 }
@@ -96,21 +108,27 @@ type UpdateMsg struct {
 func (UpdateMsg) Kind() string { return "update" }
 
 // WireSize returns the modelled size of the message.
-func (m UpdateMsg) WireSize() int { return 96 + 24*len(m.Keys) + 16*len(m.Evidence) }
+func (m UpdateMsg) WireSize() int {
+	n := 96 + 24*len(m.Keys) + 16*len(m.Evidence)
+	if len(m.Shards) > 1 {
+		n += 8 * (len(m.Shards) - 1)
+	}
+	return n
+}
 
 // AckMsg is a server's reply to an UpdateMsg. On success it carries the
-// server's committed values for the requested keys and its data horizon; on
-// refusal it carries a fresh LockInfo so the claimant can repair its Locking
-// Table before retrying.
+// server's committed values for the requested keys and its per-shard data
+// horizons (parallel to the claim's Shards); on refusal it carries a fresh
+// LockInfo so the claimant can repair its Locking Table before retrying.
 type AckMsg struct {
-	Txn     agent.ID
-	Attempt int // echo of the claim's attempt number
-	From    runtime.NodeID
-	OK      bool
-	Reason  string
-	LastSeq uint64
-	Values  map[string]store.Value
-	Info    *LockInfo // populated on NACK
+	Txn       agent.ID
+	Attempt   int // echo of the claim's attempt number
+	From      runtime.NodeID
+	OK        bool
+	Reason    string
+	ShardSeqs []uint64 // committed horizon per claimed shard (0 where not replicated here)
+	Values    map[string]store.Value
+	Info      *LockInfo // populated on NACK
 }
 
 // Kind implements runtime.Kinder.
@@ -119,8 +137,15 @@ func (AckMsg) Kind() string { return "ack" }
 // WireSize returns the modelled size of the message.
 func (m AckMsg) WireSize() int {
 	n := 96 + 48*len(m.Values)
+	if len(m.ShardSeqs) > 1 {
+		n += 8 * (len(m.ShardSeqs) - 1)
+	}
 	if m.Info != nil {
-		n += 64 + 24*len(m.Info.Local.Queue) + 24*len(m.Info.Gone) + 48*len(m.Info.Remote)
+		queued := 0
+		for _, l := range m.Info.Locals {
+			queued += len(l.Queue)
+		}
+		n += 64 + 24*queued + 24*len(m.Info.Gone) + 48*len(m.Info.Remote)
 	}
 	return n
 }
@@ -128,7 +153,8 @@ func (m AckMsg) WireSize() int {
 // CommitMsg finalizes the winner's updates at every replica and releases its
 // locks (paper §3.1: "multicasts a COMMIT message to these servers and then
 // releases the lock"; §3.3: "locks from this agent will be removed from all
-// locking lists").
+// locking lists"). Each update routes to the shard owning its key; a
+// replica applies only the shards it is a group member of.
 type CommitMsg struct {
 	Txn     agent.ID
 	Origin  runtime.NodeID
@@ -142,11 +168,11 @@ func (CommitMsg) Kind() string { return "commit" }
 func (m CommitMsg) WireSize() int { return 64 + 96*len(m.Updates) }
 
 // AbortMsg withdraws a failed claim, releasing the grants the claimant
-// collected (the agent keeps its queue positions and retries later).
-// Attempt scopes the abort: a server releases its grant only if the grant
-// was installed by an attempt not newer than this one, so a stray abort
-// provoked by a long-delayed acknowledgement of an old attempt can never
-// release the claimant's own current grant.
+// collected on every shard (the agent keeps its queue positions and retries
+// later). Attempt scopes the abort: a server releases a grant only if the
+// grant was installed by an attempt not newer than this one, so a stray
+// abort provoked by a long-delayed acknowledgement of an old attempt can
+// never release the claimant's own current grant.
 type AbortMsg struct {
 	Txn     agent.ID
 	Attempt int
@@ -191,11 +217,14 @@ func (ReadRep) Kind() string { return "read-rep" }
 // WireSize returns the modelled size of the message.
 func (ReadRep) WireSize() int { return 96 }
 
-// SyncRequest asks a peer for the committed updates after Since — the
-// paper's "background information transfer", used by replicas recovering
-// from a failure or detecting a sequence gap.
+// SyncRequest asks a peer for one shard's committed updates after Since —
+// the paper's "background information transfer", used by replicas
+// recovering from a failure or detecting a sequence gap. Shards journal and
+// sync independently (the shard-isolation invariant): a recovering replica
+// issues one request per shard it replicates.
 type SyncRequest struct {
 	From  runtime.NodeID
+	Shard int
 	Since uint64
 }
 
@@ -205,11 +234,12 @@ func (SyncRequest) Kind() string { return "sync-req" }
 // WireSize returns the modelled size of the message.
 func (SyncRequest) WireSize() int { return 32 }
 
-// SyncReply carries the missing updates, in order, plus the sender's list
-// of finished/dead agents so the recovering replica can prune stale lock
-// information too.
+// SyncReply carries one shard's missing updates, in order, plus the
+// sender's list of finished/dead agents so the recovering replica can prune
+// stale lock information too.
 type SyncReply struct {
 	From    runtime.NodeID
+	Shard   int
 	Updates []store.Update
 	Gone    []agent.ID
 }

@@ -3,6 +3,7 @@ package live_test
 import (
 	"fmt"
 	"net"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/agent"
 	"repro/internal/core"
 	"repro/internal/desengine"
+	"repro/internal/replica"
 	"repro/internal/runtime"
 	"repro/internal/runtime/live"
 	"repro/internal/store"
@@ -48,10 +50,10 @@ func newSharedReferee(n int) *sharedReferee {
 	}
 }
 
-func (s *sharedReferee) onGrant(server runtime.NodeID, txn agent.ID) {
+func (s *sharedReferee) onGrant(server runtime.NodeID, shrd int, txn agent.ID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.ref.OnGrant(server, txn)
+	s.ref.OnGrant(server, shrd, txn)
 }
 
 func (s *sharedReferee) report() (wins int, violations []string) {
@@ -97,11 +99,22 @@ func submitAt(t *testing.T, node *live.Node, home runtime.NodeID, reqs ...core.R
 	}
 }
 
-// localLog snapshots the commit log of the node's own replica.
+// fullLog concatenates every shard's commit log of one replica. With one
+// shard this is exactly the replica's single log; sharded replicas keep one
+// log per shard and equivalence checks must see all of them.
+func fullLog(srv *replica.Server) []store.Update {
+	var log []store.Update
+	for sh := 0; sh < srv.Shards(); sh++ {
+		log = append(log, srv.StoreOf(sh).Log()...)
+	}
+	return log
+}
+
+// localLog snapshots the commit log of the node's own replica (all shards).
 func localLog(t *testing.T, node *live.Node, self runtime.NodeID) []store.Update {
 	t.Helper()
 	var log []store.Update
-	if !node.Eng.Do(func() { log = node.Cluster.Server(self).Store().Log() }) {
+	if !node.Eng.Do(func() { log = fullLog(node.Cluster.Server(self)) }) {
 		t.Fatal("engine closed during log read")
 	}
 	return log
@@ -315,4 +328,121 @@ func TestCrossEngineEquivalence(t *testing.T) {
 			t.Fatalf("live: %s = %q (%v), sim has %q", w.key, lv.Data, lok, dv.Data)
 		}
 	}
+}
+
+// keyDigests reduces a commit log to one digest per key: the sorted set of
+// (txn, data) pairs committed to that key, joined into a canonical string.
+// Commit order is excluded for the same reason commitSet excludes Seq. With
+// normalize set, agent sequence numbers are stripped from the TxnIDs (see
+// normalizeTxns) so the digests compare across engines.
+func keyDigests(log []store.Update, normalize bool) map[string]string {
+	byKey := map[string][]string{}
+	for _, u := range log {
+		txn := u.TxnID
+		if normalize {
+			if i := strings.IndexByte(txn, '.'); i >= 0 {
+				txn = txn[:i]
+			}
+		}
+		byKey[u.Key] = append(byKey[u.Key], txn+"="+u.Data)
+	}
+	out := make(map[string]string, len(byKey))
+	for k, entries := range byKey {
+		sort.Strings(entries)
+		out[k] = strings.Join(entries, "|")
+	}
+	return out
+}
+
+func equalDigests(t *testing.T, label string, a, b map[string]string) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d keys vs %d keys", label, len(a), len(b))
+	}
+	for k, d := range a {
+		if b[k] != d {
+			t.Fatalf("%s: key %q digests differ:\n  %s\n  %s", label, k, d, b[k])
+		}
+	}
+}
+
+// TestCrossEngineEquivalenceSharded is the sharded, multi-key version of
+// the cross-engine check: the same contended workload — every server
+// updates every key of a small universe — runs once on the simulator and
+// once on a three-process live deployment, both with four shards. Every
+// replica of both runs must end with the same per-key commit-set digest:
+// hash routing may spread the keys across shard-local locking lists and
+// logs, but it must not lose, duplicate, or cross-wire a single commit.
+func TestCrossEngineEquivalenceSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live cluster test uses wall-clock timeouts")
+	}
+	const n, shards, keys = 3, 4, 8
+	type write struct {
+		home       runtime.NodeID
+		key, value string
+	}
+	var workload []write
+	for home := 1; home <= n; home++ {
+		for k := 0; k < keys; k++ {
+			workload = append(workload, write{
+				home:  runtime.NodeID(home),
+				key:   fmt.Sprintf("key-%d", k),
+				value: fmt.Sprintf("v%d-%d", home, k),
+			})
+		}
+	}
+	total := len(workload)
+
+	// Engine 1: the simulator, four shards.
+	des, err := desengine.New(desengine.Config{Seed: 42, Cluster: core.Config{N: n, Shards: shards}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workload {
+		if err := des.Submit(w.home, core.Set(w.key, w.value)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := des.RunUntilDone(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	des.Settle(time.Second)
+	if err := des.CheckConvergence(); err != nil {
+		t.Fatal(err)
+	}
+	desDigest := keyDigests(fullLog(des.Server(1)), false)
+	if len(desDigest) != keys {
+		t.Fatalf("sim committed to %d keys, want %d", len(desDigest), keys)
+	}
+	for id := 2; id <= n; id++ {
+		equalDigests(t, fmt.Sprintf("sim replica 1 vs %d", id),
+			desDigest, keyDigests(fullLog(des.Server(runtime.NodeID(id))), false))
+	}
+
+	// Engine 2: three live replica processes, four shards.
+	nodes, ref := startLiveCluster(t, n, core.Config{Shards: shards})
+	for _, w := range workload {
+		submitAt(t, nodes[w.home-1], w.home, core.Set(w.key, w.value))
+	}
+	for i, node := range nodes {
+		if err := node.Cluster.RunUntilDone(30 * time.Second); err != nil {
+			t.Fatalf("live node %d: %v", i+1, err)
+		}
+	}
+	waitConverged(t, nodes, total, 10*time.Second)
+	if _, violations := ref.report(); len(violations) > 0 {
+		t.Fatalf("shared referee saw violations: %s", violations[0])
+	}
+	liveDigest := keyDigests(localLog(t, nodes[0], 1), false)
+	for id := 2; id <= n; id++ {
+		equalDigests(t, fmt.Sprintf("live replica 1 vs %d", id),
+			liveDigest, keyDigests(localLog(t, nodes[id-1], runtime.NodeID(id)), false))
+	}
+
+	// Cross-engine: identical per-key commit sets modulo agent sequence
+	// numbers, which are an engine artefact (see normalizeTxns).
+	equalDigests(t, "sim vs live",
+		keyDigests(fullLog(des.Server(1)), true),
+		keyDigests(localLog(t, nodes[0], 1), true))
 }

@@ -1,0 +1,70 @@
+// Package shard maps object keys onto shards and shards onto replica
+// groups. MARP as published locks "the replicated data" as one object;
+// sharding splits the key space into independent locking domains so that
+// agents working on unrelated keys never contend. The mapping must be a
+// pure function of (key, configuration): every server and every agent
+// computes it locally and they all agree without coordination.
+//
+// Keys hash onto shards with FNV-1a; shards map onto replica groups with
+// rendezvous (highest-random-weight) hashing, so growing the cluster moves
+// only the minimal number of shards between groups.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/runtime"
+)
+
+// Of returns the shard that owns key, in [0, shards). With shards <= 1
+// every key lives on shard 0 — the unsharded protocol of the paper.
+func Of(key string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return int(h.Sum64() % uint64(shards))
+}
+
+// Group returns the replica group that stores shard s: the size nodes with
+// the highest rendezvous weight for s, in ascending node order. With
+// size <= 0 or size >= len(nodes) every node replicates every shard (full
+// replication, the pre-sharding behavior).
+func Group(s int, nodes []runtime.NodeID, size int) []runtime.NodeID {
+	out := make([]runtime.NodeID, len(nodes))
+	copy(out, nodes)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	if size <= 0 || size >= len(nodes) {
+		return out
+	}
+	type scored struct {
+		node   runtime.NodeID
+		weight uint64
+	}
+	ranked := make([]scored, len(out))
+	for i, n := range out {
+		ranked[i] = scored{node: n, weight: weight(s, n)}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].weight != ranked[j].weight {
+			return ranked[i].weight > ranked[j].weight
+		}
+		return ranked[i].node < ranked[j].node
+	})
+	group := make([]runtime.NodeID, size)
+	for i := 0; i < size; i++ {
+		group[i] = ranked[i].node
+	}
+	sort.Slice(group, func(i, j int) bool { return group[i] < group[j] })
+	return group
+}
+
+// weight is the rendezvous score of node n for shard s.
+func weight(s int, n runtime.NodeID) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "s%d|n%d", s, n)
+	return h.Sum64()
+}

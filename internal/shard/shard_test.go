@@ -1,0 +1,101 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/internal/runtime"
+)
+
+func nodes(n int) []runtime.NodeID {
+	out := make([]runtime.NodeID, n)
+	for i := range out {
+		out[i] = runtime.NodeID(i + 1)
+	}
+	return out
+}
+
+func TestOfSingleShard(t *testing.T) {
+	for _, key := range []string{"", "k0", "anything"} {
+		if Of(key, 1) != 0 || Of(key, 0) != 0 {
+			t.Fatalf("Of(%q) != 0 with <=1 shards", key)
+		}
+	}
+}
+
+func TestOfStableAndInRange(t *testing.T) {
+	for s := 2; s <= 64; s *= 2 {
+		for i := 0; i < 100; i++ {
+			key := string(rune('a'+i%26)) + string(rune('0'+i%10))
+			got := Of(key, s)
+			if got < 0 || got >= s {
+				t.Fatalf("Of(%q, %d) = %d out of range", key, s, got)
+			}
+			if got != Of(key, s) {
+				t.Fatalf("Of(%q, %d) not stable", key, s)
+			}
+		}
+	}
+}
+
+func TestOfSpreadsKeys(t *testing.T) {
+	counts := make([]int, 8)
+	for i := 0; i < 800; i++ {
+		counts[Of(string(rune('a'+i%26))+string(rune('A'+i/26%26))+string(rune('0'+i%10)), 8)]++
+	}
+	for s, c := range counts {
+		if c == 0 {
+			t.Fatalf("shard %d got no keys of 800", s)
+		}
+	}
+}
+
+func TestGroupFullReplication(t *testing.T) {
+	ns := nodes(5)
+	for _, size := range []int{0, 5, 9} {
+		g := Group(3, ns, size)
+		if len(g) != 5 {
+			t.Fatalf("size=%d: group %v, want all 5", size, g)
+		}
+		for i, n := range g {
+			if n != runtime.NodeID(i+1) {
+				t.Fatalf("group not ascending: %v", g)
+			}
+		}
+	}
+}
+
+func TestGroupSubsetDeterministicSortedDistinct(t *testing.T) {
+	ns := nodes(9)
+	for s := 0; s < 32; s++ {
+		g := Group(s, ns, 3)
+		if len(g) != 3 {
+			t.Fatalf("shard %d: group %v, want 3 nodes", s, g)
+		}
+		for i := 1; i < len(g); i++ {
+			if g[i] <= g[i-1] {
+				t.Fatalf("shard %d: group not strictly ascending: %v", s, g)
+			}
+		}
+		again := Group(s, ns, 3)
+		for i := range g {
+			if g[i] != again[i] {
+				t.Fatalf("shard %d: group not deterministic: %v vs %v", s, g, again)
+			}
+		}
+	}
+}
+
+func TestGroupBalancesShards(t *testing.T) {
+	ns := nodes(6)
+	load := make(map[runtime.NodeID]int)
+	for s := 0; s < 64; s++ {
+		for _, n := range Group(s, ns, 3) {
+			load[n]++
+		}
+	}
+	for _, n := range ns {
+		if load[n] == 0 {
+			t.Fatalf("node %d owns no shards: %v", n, load)
+		}
+	}
+}

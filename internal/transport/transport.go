@@ -35,6 +35,7 @@ import (
 
 	marp "repro"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/realtime"
 	"repro/internal/runtime"
 	"repro/internal/runtime/live"
@@ -63,16 +64,31 @@ type StatsBody struct {
 	VirtualMs   int64 `json:"virtual_ms"`
 }
 
+// ShardDigest is one shard's slice of a digest response: the shard's own
+// commit-set digest plus the per-shard ALT/ATT/PRK aggregation of the
+// outcomes recorded at the addressed process (internal/metrics.ShardSummary,
+// flattened for the wire).
+type ShardDigest struct {
+	Shard      int     `json:"shard"`
+	Digest     string  `json:"digest"`
+	Commits    int     `json:"commits"`
+	Requests   int     `json:"requests"`
+	MeanALTMs  float64 `json:"mean_alt_ms"`
+	MeanATTMs  float64 `json:"mean_att_ms"`
+	MeanVisits float64 `json:"mean_visits"`
+}
+
 // Response is one server reply.
 type Response struct {
-	OK         bool       `json:"ok"`
-	Error      string     `json:"error,omitempty"`
-	Found      bool       `json:"found,omitempty"`
-	Value      string     `json:"value,omitempty"`
-	Seq        uint64     `json:"seq,omitempty"`
-	Stats      *StatsBody `json:"stats,omitempty"`
-	Wins       int        `json:"wins,omitempty"`
-	Violations int        `json:"violations,omitempty"`
+	OK         bool          `json:"ok"`
+	Error      string        `json:"error,omitempty"`
+	Found      bool          `json:"found,omitempty"`
+	Value      string        `json:"value,omitempty"`
+	Seq        uint64        `json:"seq,omitempty"`
+	Stats      *StatsBody    `json:"stats,omitempty"`
+	Wins       int           `json:"wins,omitempty"`
+	Violations int           `json:"violations,omitempty"`
+	Shards     []ShardDigest `json:"shards,omitempty"`
 }
 
 // Server serves a MARP cluster over TCP. The same server fronts either
@@ -238,9 +254,18 @@ func (s *Server) apply(req Request) Response {
 		if srv == nil {
 			return Response{Error: fmt.Sprintf("node %d is not hosted here", req.Node)}
 		}
-		log := srv.Store().Log()
-		d, n := digestLog(log)
-		return Response{OK: true, Value: d, Seq: uint64(n)}
+		// Whole-replica digest spans every shard the node serves; digestLog
+		// is order-independent, so shard concatenation order cannot matter.
+		var all []store.Update
+		for sh := 0; sh < srv.Shards(); sh++ {
+			all = append(all, srv.StoreOf(sh).Log()...)
+		}
+		d, n := digestLog(all)
+		resp := Response{OK: true, Value: d, Seq: uint64(n)}
+		if srv.Shards() > 1 {
+			resp.Shards = s.shardDigests(srv)
+		}
+		return resp
 	case "referee":
 		ref := s.cluster.Referee()
 		return Response{OK: true, Wins: ref.Wins(), Violations: len(ref.Violations())}
@@ -268,6 +293,46 @@ func (s *Server) apply(req Request) Response {
 	default:
 		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}
+}
+
+// shardDigests builds the per-shard digest rows: each shard's commit-set
+// digest plus the shard-labelled latency aggregation of the outcomes this
+// process recorded.
+func (s *Server) shardDigests(srv interface {
+	Shards() int
+	StoreOf(int) *store.Store
+}) []ShardDigest {
+	var samples []metrics.Sample
+	for _, o := range s.cluster.Outcomes() {
+		samples = append(samples, metrics.Sample{
+			ALT:    o.LockLatency().Duration(),
+			ATT:    o.TotalLatency().Duration(),
+			Visits: o.Visits,
+			Failed: o.Failed,
+			Shards: o.Shards,
+		})
+	}
+	sum := metrics.Summarize(samples)
+	out := make([]ShardDigest, srv.Shards())
+	for sh := range out {
+		d, n := digestLog(srv.StoreOf(sh).Log())
+		row := ShardDigest{Shard: sh, Digest: d, Commits: n}
+		if ss, ok := sum.ByShard[sh]; ok {
+			row.Requests = ss.Count
+			row.MeanALTMs = float64(ss.MeanALT) / float64(time.Millisecond)
+			row.MeanATTMs = float64(ss.MeanATT) / float64(time.Millisecond)
+			visits, cnt := 0, 0
+			for k, c := range ss.VisitDist {
+				visits += k * c
+				cnt += c
+			}
+			if cnt > 0 {
+				row.MeanVisits = float64(visits) / float64(cnt)
+			}
+		}
+		out[sh] = row
+	}
+	return out
 }
 
 // Client is a TCP client for a transport.Server.
@@ -397,6 +462,16 @@ func (c *Client) Digest(node int) (digest string, commits int, err error) {
 		return "", 0, err
 	}
 	return resp.Value, int(resp.Seq), nil
+}
+
+// DigestShards fetches the whole-replica digest plus the per-shard rows
+// (empty on a single-shard deployment).
+func (c *Client) DigestShards(node int) (digest string, commits int, shards []ShardDigest, err error) {
+	resp, err := c.roundTrip(Request{Op: "digest", Node: node})
+	if err != nil {
+		return "", 0, nil, err
+	}
+	return resp.Value, int(resp.Seq), resp.Shards, nil
 }
 
 // Referee fetches the process-local referee verdict: how many update

@@ -344,7 +344,7 @@ func (l *Log) rotate() error {
 	return l.openSegment()
 }
 
-func snapName(gen uint64) string      { return fmt.Sprintf("snap-%016x.snap", gen) }
+func snapName(gen uint64) string       { return fmt.Sprintf("snap-%016x.snap", gen) }
 func segName(gen uint64, k int) string { return fmt.Sprintf("wal-%016x-%08x.seg", gen, k) }
 
 func parseSnap(name string, gen *uint64) bool {

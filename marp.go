@@ -45,6 +45,7 @@ import (
 	"repro/internal/agent"
 	"repro/internal/core"
 	"repro/internal/desengine"
+	"repro/internal/quorum"
 	"repro/internal/simnet"
 	"repro/internal/store"
 	"repro/internal/trace"
@@ -104,6 +105,17 @@ type Options struct {
 	// Votes assigns per-server vote weights (Gifford's weighted voting);
 	// nil gives every server one vote, the paper's majority scheme.
 	Votes map[NodeID]int
+	// Shards partitions the key space into independent locking domains
+	// (default 1, the paper's single-object system): each shard has its
+	// own Locking Lists, sequence space, and quorums, and agents visit
+	// only the replica group owning their keys.
+	Shards int
+	// GroupSize limits each shard's replica group to this many servers
+	// (rendezvous-hashed); 0 replicates every shard everywhere.
+	GroupSize int
+	// Geometry selects the quorum construction: "majority" (default),
+	// "grid" (O(sqrt N) write quorums), or "tree".
+	Geometry string
 	// CaptureTrace records a full protocol timeline, retrievable with
 	// Cluster.Trace.
 	CaptureTrace bool
@@ -143,12 +155,19 @@ func NewCluster(o Options) (*Cluster, error) {
 	if batchDelay == 0 && o.BatchSize > 1 {
 		batchDelay = 20 * time.Millisecond
 	}
+	geometry, err := quorum.ParseGeometry(o.Geometry)
+	if err != nil {
+		return nil, fmt.Errorf("marp: %w", err)
+	}
 	inner, err := desengine.New(desengine.Config{
 		Seed:    o.Seed,
 		Latency: model,
 		Cluster: core.Config{
 			N:                  o.Servers,
 			Votes:              o.Votes,
+			Shards:             o.Shards,
+			GroupSize:          o.GroupSize,
+			Geometry:           geometry,
 			BatchMaxRequests:   o.BatchSize,
 			BatchMaxDelay:      batchDelay,
 			DisableInfoSharing: o.DisableInfoSharing,
