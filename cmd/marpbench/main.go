@@ -21,7 +21,7 @@
 // parallelism buys wall-clock time only. Per-experiment wall-clock is
 // printed so the speedup is visible.
 //
-// Experiments: f2 f3 f4 c1 t3 a1 a2 a3 a4 a5 a6 a7 a8 (see DESIGN.md §4).
+// Experiments: f2 f3 f4 c1 t3 a1 a2 a3 a4 a5 a6 a7 a8 a9 (see DESIGN.md §4).
 // Unknown -exp names are rejected; the list above, `-exp help`, and the
 // DESIGN.md per-experiment index enumerate the same set.
 package main
@@ -30,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -39,7 +40,7 @@ import (
 	"repro/internal/metrics"
 )
 
-var experiments = []string{"f2", "f3", "f4", "c1", "t3", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8"}
+var experiments = []string{"f2", "f3", "f4", "c1", "t3", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8", "a9"}
 
 func main() {
 	var (
@@ -107,6 +108,14 @@ func run(expFlag, cpuProf, memProf string, opts harness.FigureOptions) int {
 		id   string
 		name string
 		run  func(harness.FigureOptions) ([]*metrics.Table, error)
+		// isolate re-execs the experiment in a child process when it runs
+		// as part of a multi-experiment batch. A9 measures wall-clock
+		// throughput whose gob baseline is GC-pacing-bound: the live heap
+		// the preceding experiments leave behind raises the pacer's goal
+		// and moves that one row ±15% between a fresh process and a warm
+		// one. Isolation makes the batch measure the same fresh process
+		// that `marpbench -exp a9` — the documented reproduce line — does.
+		isolate bool
 	}
 	table := func(f func(harness.FigureOptions) (*metrics.Table, []harness.RunResult, error)) func(harness.FigureOptions) ([]*metrics.Table, error) {
 		return func(o harness.FigureOptions) ([]*metrics.Table, error) {
@@ -115,25 +124,26 @@ func run(expFlag, cpuProf, memProf string, opts harness.FigureOptions) int {
 		}
 	}
 	all := []experiment{
-		{"f2", "Figure 2 (ALT)", table(harness.Figure2)},
-		{"f3", "Figure 3 (ATT)", table(harness.Figure3)},
-		{"f4", "Figure 4 (PRK)", table(harness.Figure4)},
-		{"c1", "Comparison vs message passing", table(harness.CompareProtocols)},
-		{"t3", "Theorem 3 migration bounds", table(harness.MigrationBounds)},
-		{"a1", "Ablation: information sharing", table(harness.AblationInfoSharing)},
-		{"a2", "Ablation: itinerary routing", table(harness.AblationRouting)},
-		{"a3", "Ablation: request batching", table(harness.AblationBatching)},
-		{"a4", "Ablation: failure injection", func(o harness.FigureOptions) ([]*metrics.Table, error) {
+		{id: "f2", name: "Figure 2 (ALT)", run: table(harness.Figure2)},
+		{id: "f3", name: "Figure 3 (ATT)", run: table(harness.Figure3)},
+		{id: "f4", name: "Figure 4 (PRK)", run: table(harness.Figure4)},
+		{id: "c1", name: "Comparison vs message passing", run: table(harness.CompareProtocols)},
+		{id: "t3", name: "Theorem 3 migration bounds", run: table(harness.MigrationBounds)},
+		{id: "a1", name: "Ablation: information sharing", run: table(harness.AblationInfoSharing)},
+		{id: "a2", name: "Ablation: itinerary routing", run: table(harness.AblationRouting)},
+		{id: "a3", name: "Ablation: request batching", run: table(harness.AblationBatching)},
+		{id: "a4", name: "Ablation: failure injection", run: func(o harness.FigureOptions) ([]*metrics.Table, error) {
 			t, _, err := harness.FailureInjection(o)
 			return []*metrics.Table{t}, err
 		}},
-		{"a5", "Ablation: read-to-update ratio", table(harness.ReadRatio)},
-		{"a6", "Ablation: chaos (loss x partition churn)", func(o harness.FigureOptions) ([]*metrics.Table, error) {
+		{id: "a5", name: "Ablation: read-to-update ratio", run: table(harness.ReadRatio)},
+		{id: "a6", name: "Ablation: chaos (loss x partition churn)", run: func(o harness.FigureOptions) ([]*metrics.Table, error) {
 			t, _, err := harness.Chaos(o)
 			return []*metrics.Table{t}, err
 		}},
-		{"a7", "Durability: WAL overhead and crash recovery", harness.Durability},
-		{"a8", "Ablation: keyspace sharding throughput", harness.Sharding},
+		{id: "a7", name: "Durability: WAL overhead and crash recovery", run: harness.Durability},
+		{id: "a8", name: "Ablation: keyspace sharding throughput", run: harness.Sharding},
+		{id: "a9", name: "Ablation: live-path raw speed (codec/pipelining/group commit)", run: harness.LiveSpeed, isolate: true},
 	}
 
 	// The flag, the doc comment, and the experiment table must enumerate
@@ -179,6 +189,13 @@ func run(expFlag, cpuProf, memProf string, opts harness.FigureOptions) int {
 			continue
 		}
 		ran++
+		if e.isolate && len(want) > 1 {
+			if err := reexec(e.id, opts); err == nil {
+				continue // the child printed its table and timing line
+			} else {
+				fmt.Fprintf(os.Stderr, "marpbench: isolated %s re-exec failed (%v); running in-process\n", e.id, err)
+			}
+		}
 		start := time.Now()
 		tbls, err := e.run(opts)
 		if err != nil {
@@ -203,4 +220,29 @@ func run(expFlag, cpuProf, memProf string, opts harness.FigureOptions) int {
 		fmt.Printf("[%d experiments in %.2fs total]\n", ran, time.Since(total).Seconds())
 	}
 	return 0
+}
+
+// reexec runs a single experiment in a child marpbench process (see the
+// isolate field), forwarding every option that shapes its output and
+// inheriting stdout so the table lands in sequence with the batch's.
+func reexec(id string, opts harness.FigureOptions) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	args := []string{
+		"-exp", id,
+		"-seed", fmt.Sprint(opts.Seed),
+		"-seeds", fmt.Sprint(opts.Seeds),
+		"-requests", fmt.Sprint(opts.RequestsPerServer),
+		"-latency", string(opts.Latency),
+		"-parallel", fmt.Sprint(opts.Parallelism),
+	}
+	if opts.Quick {
+		args = append(args, "-quick")
+	}
+	cmd := exec.Command(exe, args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	return cmd.Run()
 }

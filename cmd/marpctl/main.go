@@ -131,12 +131,12 @@ func main() {
 		if len(args) != 2 {
 			usage()
 		}
-		digest, commits, shards, err := cli.DigestShards(node(args[1]))
+		digest, commits, shards, drops, err := cli.DigestShards(node(args[1]))
 		if err != nil {
 			fatal(err)
 		}
 		if *asJSON {
-			out := map[string]any{"node": node(args[1]), "digest": digest, "commits": commits}
+			out := map[string]any{"node": node(args[1]), "digest": digest, "commits": commits, "queue_drops": drops}
 			if len(shards) > 0 {
 				out["shards"] = shards
 			}
@@ -144,6 +144,9 @@ func main() {
 			return
 		}
 		fmt.Printf("%s (%d commits)\n", digest, commits)
+		if drops > 0 {
+			fmt.Printf("  warning: %d fabric queue drops at this process\n", drops)
+		}
 		for _, sh := range shards {
 			fmt.Printf("  shard %-3d %s (%d commits, %d requests, alt %.2fms, att %.2fms, %.1f visits)\n",
 				sh.Shard, sh.Digest, sh.Commits, sh.Requests, sh.MeanALTMs, sh.MeanATTMs, sh.MeanVisits)

@@ -82,6 +82,9 @@ func main() {
 		fsync    = flag.String("fsync", "commit", "WAL fsync policy with -data-dir: commit, always, none")
 		shards   = flag.Int("shards", 1, "key-space shards (independent per-key locking domains)")
 		geometry = flag.String("geometry", "majority", "quorum geometry: majority, grid, tree")
+		codec    = flag.String("codec", "wire", "fabric codec (live mode): wire (zero-alloc binary) or gob (legacy)")
+		commit   = flag.Duration("commit-delay", 0, "WAL group-commit window with -data-dir, e.g. 200us; 0 = fsync per commit (live mode)")
+		ackDelay = flag.Duration("ack-delay", 0, "migration ack aggregation window, e.g. 500us; 0 = ack immediately (live mode)")
 	)
 	flag.Parse()
 
@@ -103,12 +106,18 @@ func main() {
 		if geom, err = quorum.ParseGeometry(*geometry); err == nil {
 			if addrs, err = parsePeers(*peers); err == nil {
 				srv, err = transport.ServeLive(*addr, live.NodeConfig{
-					Self:    runtime.NodeID(*node),
-					Addrs:   addrs,
-					Seed:    *seed,
-					DataDir: *dataDir,
-					Fsync:   *fsync,
-					Cluster: core.Config{Shards: *shards, Geometry: geom},
+					Self:        runtime.NodeID(*node),
+					Addrs:       addrs,
+					Seed:        *seed,
+					DataDir:     *dataDir,
+					Fsync:       *fsync,
+					Codec:       *codec,
+					CommitDelay: *commit,
+					Cluster: core.Config{
+						Shards:         *shards,
+						Geometry:       geom,
+						MigrateAckDelay: *ackDelay,
+					},
 				})
 			}
 		}

@@ -22,6 +22,7 @@ package agent
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"repro/internal/runtime"
@@ -111,6 +112,9 @@ type Stats struct {
 	MigrationsRefused   int // envelope arrived after the origin timed out
 	AgentMsgsDelivered  int
 	AgentMsgsDropped    int
+	AckBatchesSent      int // MigrateAckBatch frames flushed (ack aggregation on)
+	AcksBatched         int // individual acks carried inside those batches
+	StaleAcksIgnored    int // acks for an older hop than the pending migration
 }
 
 // Config carries platform tuning knobs.
@@ -141,6 +145,17 @@ type Config struct {
 	// copy of the agent is dead weight and any local bookkeeping for the
 	// in-flight agent can be dropped.
 	OnDeparted func(id ID)
+	// AckFlushDelay enables migration-ack aggregation over wire fabrics: a
+	// landing is acknowledged within this much time, batched with every
+	// other ack owed the same origin, instead of in its own frame. Zero
+	// (the default) acks each landing immediately — the legacy behaviour.
+	// Must be well below MigrationTimeout: a deferred ack narrows the
+	// origin's false-timeout margin by exactly the deferral.
+	AckFlushDelay time.Duration
+	// AckFlushMax bounds the in-flight ack window: a batch is flushed
+	// early once it holds this many acks (default 32). Only meaningful
+	// with AckFlushDelay.
+	AckFlushMax int
 	// Trace, if non-nil, receives platform events.
 	Trace *trace.Log
 }
@@ -151,6 +166,9 @@ func (c *Config) fill() {
 	}
 	if c.DeathNoticeDelay <= 0 {
 		c.DeathNoticeDelay = 100 * time.Millisecond
+	}
+	if c.AckFlushMax <= 0 {
+		c.AckFlushMax = 32
 	}
 }
 
@@ -170,6 +188,11 @@ type Platform struct {
 	seq       uint64
 	bornFloor int64
 	stats     Stats
+	// ackbuf holds the batched migration acks owed to each origin while
+	// ack aggregation (cfg.AckFlushDelay) is on; ackTimer flushes them.
+	ackbuf   map[runtime.NodeID][]MigrateAck
+	ackCount int
+	ackTimer runtime.Timer
 }
 
 // AdvanceBirth raises the minimum Born value for subsequently spawned
@@ -186,6 +209,7 @@ func (p *Platform) AdvanceBirth(min int64) {
 type pendingMigration struct {
 	ctx   *Context
 	dest  runtime.NodeID
+	hop   uint64 // the migration count this entry covers
 	timer runtime.Timer
 }
 
@@ -200,9 +224,13 @@ func (envelope) Kind() string { return "agent-migrate" }
 
 // WireEnvelope carries a serialized agent between places in different
 // processes. Same accounting kind as envelope: it is the same migration,
-// just physically encoded.
+// just physically encoded. Hop is the agent's migration count, carried so
+// acknowledgements are sequenced per agent (DESIGN.md invariant 13): a
+// re-ack for a stale duplicate envelope can then never clear a newer
+// pending migration at a revisited origin.
 type WireEnvelope struct {
 	ID    ID
+	Hop   uint64
 	State []byte
 }
 
@@ -211,11 +239,27 @@ func (*WireEnvelope) Kind() string { return "agent-migrate" }
 
 // MigrateAck tells a wire migration's origin that the agent landed. Over
 // the shared-memory fabric the destination clears the origin's pending
-// entry directly; across processes this message does that job.
-type MigrateAck struct{ ID ID }
+// entry directly; across processes this message does that job. The ack is
+// cumulative: it covers the named hop and every earlier one, so a batched
+// or reordered ack still clears exactly the right pending entry.
+type MigrateAck struct {
+	ID  ID
+	Hop uint64
+}
 
 // Kind implements runtime.Kinder.
 func (*MigrateAck) Kind() string { return "agent-migrate-ack" }
+
+// MigrateAckBatch aggregates the acks a destination owes one origin — the
+// pipelining half of migration: instead of one ack frame per landing, the
+// destination coalesces up to AckFlushMax acks (or AckFlushDelay of them)
+// into one frame. Each entry keeps MigrateAck's cumulative semantics.
+type MigrateAckBatch struct {
+	Acks []MigrateAck
+}
+
+// Kind implements runtime.Kinder.
+func (*MigrateAckBatch) Kind() string { return "agent-migrate-ack" }
 
 // migrateAckSize is the modelled wire size of a MigrateAck.
 const migrateAckSize = 24
@@ -232,6 +276,7 @@ func (*AgentMsg) Kind() string { return "agent-msg" }
 func init() {
 	runtime.RegisterWireType(&WireEnvelope{})
 	runtime.RegisterWireType(&MigrateAck{})
+	runtime.RegisterWireType(&MigrateAckBatch{})
 	runtime.RegisterWireType(&AgentMsg{})
 }
 
@@ -244,6 +289,7 @@ func NewPlatform(eng runtime.Engine, net runtime.Fabric, cfg Config) *Platform {
 		cfg:     cfg,
 		places:  make(map[runtime.NodeID]*Place),
 		pending: make(map[ID]*pendingMigration),
+		ackbuf:  make(map[runtime.NodeID][]MigrateAck),
 	}
 	if wf, ok := net.(runtime.WireFabric); ok {
 		p.wire = wf.WireDelivery()
@@ -270,7 +316,11 @@ func (p *Platform) Host(node runtime.NodeID, server runtime.Handler) *Place {
 		case *WireEnvelope:
 			pl.receiveWire(msg.From, payload)
 		case *MigrateAck:
-			p.migrateAcked(payload.ID)
+			p.migrateAcked(payload.ID, payload.Hop)
+		case *MigrateAckBatch:
+			for _, a := range payload.Acks {
+				p.migrateAcked(a.ID, a.Hop)
+			}
 		case *AgentMsg:
 			pl.deliverToAgent(msg.From, payload)
 		default:
@@ -302,7 +352,7 @@ func (p *Platform) Spawn(home runtime.NodeID, b Behavior) *Context {
 		id:       ID{Home: home, Born: born, Seq: p.seq},
 		node:     home,
 	}
-	pl.agents[ctx.id] = ctx
+	pl.addAgent(ctx)
 	p.stats.AgentsCreated++
 	p.cfg.Trace.Addf(int64(p.eng.Now()), int(home), ctx.id.String(), trace.AgentCreated, "")
 	b.OnArrive(ctx)
@@ -328,7 +378,7 @@ func (p *Platform) Respawn(home runtime.NodeID, b Behavior, id ID) *Context {
 		id:       id,
 		node:     home,
 	}
-	pl.agents[id] = ctx
+	pl.addAgent(ctx)
 	p.stats.AgentsRegenerated++
 	p.cfg.Trace.Addf(int64(p.eng.Now()), int(home), id.String(), trace.AgentRegen, "")
 	b.OnArrive(ctx)
@@ -379,6 +429,7 @@ func (p *Platform) TakeResidents(node runtime.NodeID) []Casualty {
 			killed[j], killed[j-1] = killed[j-1], killed[j]
 		}
 	}
+	pl.sorted = pl.sorted[:0]
 	// Agents in flight toward the crashing node will be handled by their
 	// origin's migration timeout; agents in flight *from* it already left.
 	return killed
@@ -408,7 +459,28 @@ type Place struct {
 	platform *Platform
 	node     runtime.NodeID
 	agents   map[ID]*Context
+	sorted   []*Context // residents in ascending ID order (mirrors agents)
 	deaths   DeathListener
+	scratch  []*Context // reusable NotifyResidents snapshot buffer
+}
+
+// addAgent registers a resident in both the lookup map and the ID-ordered
+// index. The caller guarantees the ID is not currently resident.
+func (pl *Place) addAgent(ctx *Context) {
+	pl.agents[ctx.id] = ctx
+	i := sort.Search(len(pl.sorted), func(i int) bool { return !pl.sorted[i].id.Less(ctx.id) })
+	pl.sorted = append(pl.sorted, nil)
+	copy(pl.sorted[i+1:], pl.sorted[i:])
+	pl.sorted[i] = ctx
+}
+
+// removeAgent unregisters a resident from both structures.
+func (pl *Place) removeAgent(id ID) {
+	delete(pl.agents, id)
+	i := sort.Search(len(pl.sorted), func(i int) bool { return !pl.sorted[i].id.Less(id) })
+	if i < len(pl.sorted) && pl.sorted[i].id == id {
+		pl.sorted = append(pl.sorted[:i], pl.sorted[i+1:]...)
+	}
 }
 
 // Node returns the place's node ID.
@@ -430,21 +502,20 @@ func (pl *Place) Residents() []ID {
 // place. The resident set is snapshotted first, so handlers may migrate or
 // dispose agents freely.
 func (pl *Place) NotifyResidents(ev any) {
-	snapshot := make([]*Context, 0, len(pl.agents))
-	for _, ctx := range pl.agents {
-		snapshot = append(snapshot, ctx)
-	}
-	// Deterministic order: by agent ID.
-	for i := 1; i < len(snapshot); i++ {
-		for j := i; j > 0 && snapshot[j].id.Less(snapshot[j-1].id); j-- {
-			snapshot[j], snapshot[j-1] = snapshot[j-1], snapshot[j]
-		}
-	}
+	// Snapshot the ID-ordered resident index (handlers may migrate or
+	// dispose agents, mutating it mid-walk). Reuse the snapshot buffer
+	// across notifications (they are frequent and single-threaded);
+	// steal it for the duration so a re-entrant notify from inside a
+	// handler allocates its own rather than clobbering ours.
+	snapshot := append(pl.scratch[:0], pl.sorted...)
+	pl.scratch = nil
 	for _, ctx := range snapshot {
 		if ctx.state == stateActive && pl.agents[ctx.id] == ctx {
 			ctx.behavior.OnLocalEvent(ctx, ev)
 		}
 	}
+	clear(snapshot)
+	pl.scratch = snapshot[:0]
 }
 
 // receiveWire lands a serialized agent from another process: reconstruct
@@ -454,9 +525,7 @@ func (pl *Place) NotifyResidents(ev any) {
 // missed the first ack.
 func (pl *Place) receiveWire(from runtime.NodeID, env *WireEnvelope) {
 	p := pl.platform
-	ack := func() {
-		p.net.Send(runtime.Message{From: pl.node, To: from, Payload: &MigrateAck{ID: env.ID}, Size: migrateAckSize})
-	}
+	ack := func() { p.ackMigration(pl.node, from, env.ID, env.Hop) }
 	if _, live := pl.agents[env.ID]; live {
 		p.stats.MigrationsRefused++
 		ack()
@@ -471,12 +540,53 @@ func (pl *Place) receiveWire(from runtime.NodeID, env *WireEnvelope) {
 		p.stats.MigrationsRefused++
 		return
 	}
-	ctx := &Context{platform: p, behavior: b, id: env.ID, node: pl.node, state: stateActive}
-	pl.agents[env.ID] = ctx
+	ctx := &Context{platform: p, behavior: b, id: env.ID, node: pl.node, hop: env.Hop, state: stateActive}
+	pl.addAgent(ctx)
 	p.stats.MigrationsCompleted++
 	p.cfg.Trace.Addf(int64(p.eng.Now()), int(pl.node), env.ID.String(), trace.AgentArrived, "")
 	ack()
 	b.OnArrive(ctx)
+}
+
+// ackMigration acknowledges a landed (or refused-duplicate) wire migration
+// to its origin: immediately in its own frame by default, or deferred into
+// a per-origin batch when ack aggregation is on. The deferral is bounded
+// by AckFlushDelay/AckFlushMax, both far inside the origin's migration
+// timeout, so a batched ack is indistinguishable from a slightly slower
+// network.
+func (p *Platform) ackMigration(at, origin runtime.NodeID, id ID, hop uint64) {
+	if p.cfg.AckFlushDelay <= 0 {
+		p.net.Send(runtime.Message{From: at, To: origin, Payload: &MigrateAck{ID: id, Hop: hop}, Size: migrateAckSize})
+		return
+	}
+	p.ackbuf[origin] = append(p.ackbuf[origin], MigrateAck{ID: id, Hop: hop})
+	p.ackCount++
+	if p.ackCount >= p.cfg.AckFlushMax {
+		p.flushAcks(at)
+		return
+	}
+	if !p.ackTimer.Active() {
+		p.ackTimer = p.eng.AfterFunc(p.cfg.AckFlushDelay, func() { p.flushAcks(at) })
+	}
+}
+
+// flushAcks sends every batched ack, one MigrateAckBatch per origin.
+func (p *Platform) flushAcks(at runtime.NodeID) {
+	p.ackTimer.Cancel()
+	p.ackCount = 0
+	for origin, acks := range p.ackbuf {
+		if len(acks) == 0 {
+			continue
+		}
+		batch := &MigrateAckBatch{Acks: acks}
+		p.stats.AckBatchesSent++
+		p.stats.AcksBatched += len(acks)
+		p.net.Send(runtime.Message{
+			From: at, To: origin, Payload: batch,
+			Size: 16 + migrateAckSize*len(acks),
+		})
+		delete(p.ackbuf, origin)
+	}
 }
 
 // migrateAcked closes out a wire migration at the origin: the destination
@@ -484,9 +594,19 @@ func (pl *Place) receiveWire(from runtime.NodeID, env *WireEnvelope) {
 // already fired (the ack was slow), the locally re-activated copy stands —
 // the documented duplicate-agent hazard of at-least-once migration, kept
 // rare by setting MigrationTimeout well above the fabric's retry horizon.
-func (p *Platform) migrateAcked(id ID) {
+//
+// Acks are cumulative per agent (invariant 13): hop covers every migration
+// up to and including it, so an ack at least as new as the pending entry
+// clears it, while a stale re-ack — the destination re-acknowledging a
+// duplicate envelope from an earlier visit — is inert instead of falsely
+// retiring a newer in-flight migration.
+func (p *Platform) migrateAcked(id ID, hop uint64) {
 	pm, ok := p.pending[id]
 	if !ok {
+		return
+	}
+	if hop < pm.hop {
+		p.stats.StaleAcksIgnored++
 		return
 	}
 	delete(p.pending, id)
@@ -512,7 +632,7 @@ func (pl *Place) receive(env *envelope) {
 	ctx := pm.ctx
 	ctx.node = pl.node
 	ctx.state = stateActive
-	pl.agents[ctx.id] = ctx
+	pl.addAgent(ctx)
 	p.stats.MigrationsCompleted++
 	p.cfg.Trace.Addf(int64(p.eng.Now()), int(pl.node), ctx.id.String(), trace.AgentArrived, "")
 	ctx.behavior.OnArrive(ctx)
@@ -546,6 +666,7 @@ type Context struct {
 	behavior Behavior
 	id       ID
 	node     runtime.NodeID
+	hop      uint64 // migrations completed so far; stamps wire envelopes
 	state    agentState
 }
 
@@ -605,11 +726,12 @@ func (c *Context) MigrateTo(dest runtime.NodeID) {
 	p := c.platform
 	origin := c.node
 	pl := p.places[origin]
-	delete(pl.agents, c.id)
+	pl.removeAgent(c.id)
 	c.state = stateInTransit
 	p.stats.MigrationsStarted++
 	p.cfg.Trace.Addf(int64(p.eng.Now()), int(origin), c.id.String(), trace.AgentMigrate, "-> S%d", dest)
 
+	c.hop++
 	timer := p.eng.AfterFunc(p.cfg.MigrationTimeout, func() {
 		pm, ok := p.pending[c.id]
 		if !ok {
@@ -632,12 +754,12 @@ func (c *Context) MigrateTo(dest runtime.NodeID) {
 		}
 		c.node = origin
 		c.state = stateActive
-		p.places[origin].agents[c.id] = c
+		p.places[origin].addAgent(c)
 		p.stats.MigrationsFailed++
 		p.cfg.Trace.Addf(int64(p.eng.Now()), int(origin), c.id.String(), trace.AgentBlocked, "dest S%d unreachable", pm.dest)
 		c.behavior.OnMigrateFailed(c, pm.dest)
 	})
-	p.pending[c.id] = &pendingMigration{ctx: c, dest: dest, timer: timer}
+	p.pending[c.id] = &pendingMigration{ctx: c, dest: dest, hop: c.hop, timer: timer}
 	payload, size := c.migrationPayload()
 	p.net.Send(runtime.Message{
 		From:    origin,
@@ -664,7 +786,7 @@ func (c *Context) migrationPayload() (any, int) {
 	if err != nil {
 		panic(fmt.Sprintf("agent %v: marshal for migration: %v", c.id, err))
 	}
-	return &WireEnvelope{ID: c.id, State: state}, len(state)
+	return &WireEnvelope{ID: c.id, Hop: c.hop, State: state}, len(state)
 }
 
 // Send transmits a payload to the server process at node to (paying network
@@ -694,7 +816,7 @@ func (c *Context) Dispose() {
 		return
 	}
 	p := c.platform
-	delete(p.places[c.node].agents, c.id)
+	p.places[c.node].removeAgent(c.id)
 	c.state = stateDisposed
 	p.stats.AgentsDisposed++
 	p.cfg.Trace.Addf(int64(p.eng.Now()), int(c.node), c.id.String(), trace.AgentDisposed, "")

@@ -446,3 +446,129 @@ func (minimalAgent) OnArrive(*Context)                       {}
 func (minimalAgent) OnMigrateFailed(*Context, simnet.NodeID) {}
 func (minimalAgent) OnMessage(*Context, simnet.NodeID, any)  {}
 func (minimalAgent) OnLocalEvent(*Context, any)              {}
+
+// --- wire migration: ack pipelining -------------------------------------
+
+// wireNet claims wire delivery over the simulated network, so these tests
+// exercise the serialized migration path (WireEnvelope, acks, batching)
+// deterministically under the DES clock.
+type wireNet struct{ *simnet.Network }
+
+func (wireNet) WireDelivery() bool { return true }
+
+// wireTestAgent is a testAgent that can cross a serializing fabric.
+type wireTestAgent struct{ testAgent }
+
+func (*wireTestAgent) MarshalWire() ([]byte, error) { return []byte("state"), nil }
+
+func wireRig(t *testing.T, n int, cfg Config) (*des.Simulator, *Platform, *[]ID) {
+	t.Helper()
+	departed := &[]ID{}
+	cfg.ThawWire = func(id ID, state []byte) (Behavior, error) {
+		if string(state) != "state" {
+			t.Fatalf("thaw state = %q", state)
+		}
+		return &wireTestAgent{}, nil
+	}
+	cfg.OnDeparted = func(id ID) { *departed = append(*departed, id) }
+	sim := des.New(21)
+	net := wireNet{simnet.New(sim, simnet.FullMesh(n), simnet.Constant(5*time.Millisecond))}
+	p := NewPlatform(sim, net, cfg)
+	for i := 1; i <= n; i++ {
+		p.Host(simnet.NodeID(i), nil)
+	}
+	return sim, p, departed
+}
+
+// TestWireAckAggregationFlushesOnTimer: several landings inside one flush
+// window share a single MigrateAckBatch frame, and every origin copy is
+// still retired.
+func TestWireAckAggregationFlushesOnTimer(t *testing.T) {
+	sim, p, departed := wireRig(t, 2, Config{AckFlushDelay: 10 * time.Millisecond})
+	for i := 0; i < 3; i++ {
+		p.Spawn(1, &wireTestAgent{}).MigrateTo(2)
+	}
+	sim.Run()
+	st := p.Stats()
+	if st.MigrationsCompleted != 3 || st.MigrationsFailed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.AckBatchesSent != 1 || st.AcksBatched != 3 {
+		t.Fatalf("batches=%d acks=%d, want one batch of three", st.AckBatchesSent, st.AcksBatched)
+	}
+	if len(*departed) != 3 {
+		t.Fatalf("departed = %v, want all three origin copies retired", *departed)
+	}
+}
+
+// TestWireAckAggregationFlushesOnMax: the in-flight ack window bound forces
+// an early flush; the leftover ack waits out the full delay. No origin
+// falsely times out.
+func TestWireAckAggregationFlushesOnMax(t *testing.T) {
+	sim, p, departed := wireRig(t, 2, Config{
+		MigrationTimeout: time.Second,
+		AckFlushDelay:    500 * time.Millisecond,
+		AckFlushMax:      2,
+	})
+	for i := 0; i < 3; i++ {
+		p.Spawn(1, &wireTestAgent{}).MigrateTo(2)
+	}
+	sim.Run()
+	st := p.Stats()
+	if st.AckBatchesSent != 2 || st.AcksBatched != 3 {
+		t.Fatalf("batches=%d acks=%d, want max-bound flush of two then a timed flush of one",
+			st.AckBatchesSent, st.AcksBatched)
+	}
+	if st.MigrationsFailed != 0 || len(*departed) != 3 {
+		t.Fatalf("failed=%d departed=%v", st.MigrationsFailed, *departed)
+	}
+}
+
+// TestStaleMigrationAckIgnored: acks are cumulative per agent (invariant
+// 13) — a re-ack of an earlier hop, arriving while a newer migration is in
+// flight, must not retire the newer one.
+func TestStaleMigrationAckIgnored(t *testing.T) {
+	sim, p, departed := wireRig(t, 2, Config{})
+	ctx := p.Spawn(1, &wireTestAgent{})
+	ctx.MigrateTo(2)
+	sim.Run()
+	id := ctx.ID()
+	ctx2 := p.Place(2).agents[id]
+	if ctx2 == nil {
+		t.Fatal("agent not resident at dest after first hop")
+	}
+	ctx2.MigrateTo(1)
+	// The destination of hop 1 re-acknowledges a duplicate envelope while
+	// hop 2 is pending.
+	p.migrateAcked(id, 1)
+	if got := p.Stats().StaleAcksIgnored; got != 1 {
+		t.Fatalf("StaleAcksIgnored = %d, want 1", got)
+	}
+	if _, ok := p.pending[id]; !ok {
+		t.Fatal("stale ack retired the in-flight migration")
+	}
+	sim.Run()
+	st := p.Stats()
+	if st.MigrationsCompleted != 2 || st.MigrationsFailed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if len(*departed) != 2 {
+		t.Fatalf("departed = %v, want both hops acked", *departed)
+	}
+}
+
+// TestAckDelayZeroAcksImmediately: with aggregation off (the default), each
+// landing is acknowledged in its own frame — the legacy stop-and-wait
+// behaviour — and no batch frames appear.
+func TestAckDelayZeroAcksImmediately(t *testing.T) {
+	sim, p, departed := wireRig(t, 2, Config{})
+	p.Spawn(1, &wireTestAgent{}).MigrateTo(2)
+	sim.Run()
+	st := p.Stats()
+	if st.AckBatchesSent != 0 || st.AcksBatched != 0 {
+		t.Fatalf("batches=%d acks=%d, want no batch frames with aggregation off", st.AckBatchesSent, st.AcksBatched)
+	}
+	if st.MigrationsCompleted != 1 || len(*departed) != 1 {
+		t.Fatalf("completed=%d departed=%v", st.MigrationsCompleted, *departed)
+	}
+}

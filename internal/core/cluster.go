@@ -82,6 +82,20 @@ type Config struct {
 	// MaxMigrateAttempts is how many failed migrations to one server an
 	// agent tolerates before declaring it unavailable. Default 3.
 	MaxMigrateAttempts int
+	// MigrateAckDelay aggregates migration acknowledgements: a destination
+	// buffers acks for up to this long (or MigrateAckMax acks, whichever
+	// first) and sends one MigrateAckBatch per origin. Zero — the default,
+	// and the only value the DES engine uses — acks every arrival
+	// immediately, byte-identical to the pre-pipelining behaviour. Must be
+	// well below MigrationTimeout.
+	MigrateAckDelay time.Duration
+	// MigrateAckMax bounds buffered acks per flush (default 32). Only
+	// meaningful with MigrateAckDelay.
+	MigrateAckMax int
+	// GobAgentState forces migrating agents to serialize their WireState
+	// with encoding/gob instead of the wire codec — the A9 codec-ablation
+	// baseline.
+	GobAgentState bool
 
 	// DisableInfoSharing turns off server-mediated locking-information
 	// exchange (ablation A1).
@@ -137,6 +151,13 @@ type DurabilityConfig struct {
 	// SegmentBytes and CompactEvery tune the journal (see durable.Options).
 	SegmentBytes int
 	CompactEvery int
+	// GroupCommitDelay enables WAL group commit: commit barriers park for
+	// up to this long so one fsync covers every barrier that accumulated,
+	// while the send gate dams the node's outbound messages until the
+	// covering fsync lands (invariant 11 is preserved wholesale). Zero —
+	// the default, and the only value the DES engine uses — keeps the
+	// synchronous fsync-per-barrier path.
+	GroupCommitDelay time.Duration
 }
 
 func (c *Config) fill() error {
@@ -184,6 +205,7 @@ type Cluster struct {
 	eng      runtime.Engine
 	base     runtime.Fabric  // the engine's raw fabric (capability surface)
 	fabric   runtime.Fabric  // what the protocol layers send on
+	gate     *sendGate       // non-nil iff group commit is enabled
 	rel      *reliable.Layer // non-nil iff cfg.Reliable
 	platform *agent.Platform
 	servers  map[runtime.NodeID]*replica.Server // locally hosted replicas
@@ -230,9 +252,17 @@ func NewCluster(eng runtime.Engine, fab runtime.Fabric, cfg Config) (*Cluster, e
 		return nil, err
 	}
 	fabric := fab
+	// Group commit defers commit-barrier fsyncs; the send gate sits under
+	// every other layer (including the reliable layer's retransmissions) so
+	// no message a parked barrier justifies escapes before its fsync.
+	var gate *sendGate
+	if cfg.Durability != nil && cfg.Durability.GroupCommitDelay > 0 {
+		gate = newSendGate(fabric)
+		fabric = gate
+	}
 	var rel *reliable.Layer
 	if cfg.Reliable {
-		rel = reliable.NewLayer(eng, fab, reliable.Config{
+		rel = reliable.NewLayer(eng, fabric, reliable.Config{
 			Base:     cfg.RetransmitBase,
 			Attempts: cfg.RetransmitAttempts,
 		})
@@ -243,6 +273,7 @@ func NewCluster(eng runtime.Engine, fab runtime.Fabric, cfg Config) (*Cluster, e
 		eng:         eng,
 		base:        fab,
 		fabric:      fabric,
+		gate:        gate,
 		rel:         rel,
 		servers:     make(map[runtime.NodeID]*replica.Server),
 		local:       make(map[runtime.NodeID]bool),
@@ -262,8 +293,10 @@ func NewCluster(eng runtime.Engine, fab runtime.Fabric, cfg Config) (*Cluster, e
 		LostHandler: func(id agent.ID, _ agent.Behavior) bool { return c.loseAgent(id) },
 		// Wire migration (multi-process fabrics): rebuild arriving agents
 		// from their frozen protocol state. Unused over in-memory fabrics.
-		ThawWire: c.thawWire,
-		Trace:    cfg.Trace,
+		ThawWire:      c.thawWire,
+		AckFlushDelay: cfg.MigrateAckDelay,
+		AckFlushMax:   cfg.MigrateAckMax,
+		Trace:         cfg.Trace,
 	})
 	for i := 1; i <= cfg.N; i++ {
 		c.nodes = append(c.nodes, runtime.NodeID(i))
@@ -333,6 +366,12 @@ func NewCluster(eng runtime.Engine, fab runtime.Fabric, cfg Config) (*Cluster, e
 			if err != nil {
 				return nil, fmt.Errorf("core: opening journal for server %d: %w", id, err)
 			}
+			if gate != nil {
+				// Hold fires synchronously on the execution context; the
+				// covering fsync lands on the flush goroutine, so Release is
+				// marshalled back through the engine before the dam opens.
+				j.OnBarrier(gate.Hold, func() { eng.AfterFunc(0, gate.Release) })
+			}
 			c.backends[id] = b
 			c.journals[id] = j
 			c.wireRelJournal(id, j, st)
@@ -357,7 +396,13 @@ func NewCluster(eng runtime.Engine, fab runtime.Fabric, cfg Config) (*Cluster, e
 
 func (c *Cluster) durableOptions() durable.Options {
 	d := c.cfg.Durability
-	return durable.Options{Policy: d.Policy, SegmentBytes: d.SegmentBytes, CompactEvery: d.CompactEvery, Shards: c.cfg.Shards}
+	return durable.Options{
+		Policy:           d.Policy,
+		SegmentBytes:     d.SegmentBytes,
+		CompactEvery:     d.CompactEvery,
+		Shards:           c.cfg.Shards,
+		GroupCommitDelay: d.GroupCommitDelay,
+	}
 }
 
 // buildShardMap derives every shard's replica group (rendezvous hashing
@@ -805,6 +850,9 @@ func (c *Cluster) Recover(id runtime.NodeID) {
 		panic(fmt.Sprintf("core: recovering server %d: %v", id, err))
 	}
 	c.journals[id] = j
+	if c.gate != nil {
+		j.OnBarrier(c.gate.Hold, func() { c.eng.AfterFunc(0, c.gate.Release) })
+	}
 	c.wireRelJournal(id, j, st)
 	c.servers[id].Restart(j, st)
 }
@@ -864,6 +912,8 @@ func (c *Cluster) JournalStats() wal.Stats {
 		total.Snapshots += s.Snapshots
 		total.Replayed += s.Replayed
 		total.TailDropped += s.TailDropped
+		total.GroupBatches += s.GroupBatches
+		total.GroupBarriers += s.GroupBarriers
 	}
 	return total
 }

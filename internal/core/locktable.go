@@ -54,6 +54,12 @@ type LockTable struct {
 	// rev counts effective mutations; a stable rev across retry rounds
 	// tells the agent the system is genuinely stuck, not just slow.
 	rev uint64
+	// Decide scratch, reused across calls: the table lives on one agent's
+	// goroutine and decides after every locking-list event, which made
+	// these transient structures the live path's hottest allocations.
+	scratchSubs   []shardDecision
+	scratchHeaded []map[agent.ID][]runtime.NodeID
+	scratchReach  []runtime.NodeID
 }
 
 type visitMark struct {
@@ -104,6 +110,12 @@ func (lt *LockTable) Rev() uint64 { return lt.rev }
 
 // MarkGone records agents known to have finished or died.
 func (lt *LockTable) MarkGone(ids ...agent.ID) {
+	if len(lt.gone) == 0 && len(ids) > 8 {
+		// First sizeable merge (a fresh or just-thawed agent absorbing a
+		// server's whole gone list): allocate the map at its final size
+		// instead of growing it through every doubling.
+		lt.gone = make(map[agent.ID]bool, len(ids))
+	}
 	for _, id := range ids {
 		if !lt.gone[id] {
 			lt.gone[id] = true
@@ -354,10 +366,17 @@ type shardDecision struct {
 // A Decision with Found == false means the agent must gather more
 // information (keep travelling, or wait for locking lists to change).
 func (lt *LockTable) Decide(self agent.ID) Decision {
-	subs := make([]shardDecision, len(lt.views))
+	if cap(lt.scratchSubs) < len(lt.views) {
+		lt.scratchSubs = make([]shardDecision, len(lt.views))
+	}
+	for len(lt.scratchHeaded) < len(lt.views) {
+		lt.scratchHeaded = append(lt.scratchHeaded, make(map[agent.ID][]runtime.NodeID))
+	}
+	subs := lt.scratchSubs[:len(lt.views)]
 	selfTops := 0
 	for i, v := range lt.views {
-		subs[i] = lt.decideShard(v, self)
+		clear(lt.scratchHeaded[i])
+		subs[i] = lt.decideShard(v, self, lt.scratchHeaded[i])
 		selfTops += v.Votes.Score(subs[i].headed[self])
 	}
 	d := Decision{SelfTops: selfTops}
@@ -406,9 +425,11 @@ func (lt *LockTable) Decide(self agent.ID) Decision {
 }
 
 // decideShard elects one shard's highest-priority agent from the heads the
-// table knows on that shard's replica group.
-func (lt *LockTable) decideShard(v ShardView, self agent.ID) shardDecision {
-	d := shardDecision{headed: make(map[agent.ID][]runtime.NodeID), votes: v.Votes}
+// table knows on that shard's replica group. headed is a caller-owned
+// (cleared) scratch map the result aliases; it is only read until the next
+// Decide call.
+func (lt *LockTable) decideShard(v ShardView, self agent.ID, headed map[agent.ID][]runtime.NodeID) shardDecision {
+	d := shardDecision{headed: headed, votes: v.Votes}
 	var unknown []runtime.NodeID
 	for _, server := range v.Group {
 		head, ok := lt.headAt(v.Shard, server)
@@ -429,7 +450,8 @@ func (lt *LockTable) decideShard(v ShardView, self agent.ID) shardDecision {
 		return d // nothing known yet
 	}
 	for _, nodes := range d.headed {
-		if v.Votes.HasWrite(append(append([]runtime.NodeID(nil), nodes...), unknown...)) {
+		lt.scratchReach = append(append(lt.scratchReach[:0], nodes...), unknown...)
+		if v.Votes.HasWrite(lt.scratchReach) {
 			return d // someone could still reach a write quorum: no decision yet
 		}
 	}

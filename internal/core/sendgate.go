@@ -1,0 +1,74 @@
+package core
+
+import "repro/internal/runtime"
+
+// sendGate sits between the protocol layers and the raw fabric to preserve
+// DESIGN.md invariant 11 under WAL group commit. When a commit barrier
+// parks awaiting its covering fsync (durable.Journal.OnBarrier → Hold),
+// the gate dams every outbound message; when the fsync lands (Release,
+// marshalled back onto the engine's execution context) the dam opens and
+// the queue drains in order. Nothing a deferred barrier justifies — an
+// acknowledgement, a grant, a migrating agent — can leave the node before
+// the barrier is durable, which is exactly the property the synchronous
+// fsync used to provide for free.
+//
+// The gate is single-threaded by construction: Hold, Release, and Send all
+// run on the engine's execution context.
+type sendGate struct {
+	net     runtime.Fabric
+	pending int
+	queue   []runtime.Message
+}
+
+var _ runtime.Fabric = (*sendGate)(nil)
+
+func newSendGate(net runtime.Fabric) *sendGate { return &sendGate{net: net} }
+
+// Hold dams outbound sends until a matching Release.
+func (g *sendGate) Hold() { g.pending++ }
+
+// Release undoes one Hold; at zero the dammed queue drains in order.
+func (g *sendGate) Release() {
+	g.pending--
+	if g.pending > 0 {
+		return
+	}
+	if g.pending < 0 {
+		panic("core: send gate released more than held")
+	}
+	q := g.queue
+	g.queue = nil
+	for _, msg := range q {
+		g.net.Send(msg)
+	}
+}
+
+// Send forwards msg, or queues it while a barrier is pending.
+func (g *sendGate) Send(msg runtime.Message) {
+	if g.pending > 0 {
+		g.queue = append(g.queue, msg)
+		return
+	}
+	g.net.Send(msg)
+}
+
+func (g *sendGate) Attach(id runtime.NodeID, h runtime.Handler) { g.net.Attach(id, h) }
+func (g *sendGate) Cost(from, to runtime.NodeID) float64        { return g.net.Cost(from, to) }
+func (g *sendGate) Down(id runtime.NodeID) bool                 { return g.net.Down(id) }
+
+// NetStats forwards the runtime.StatsSource capability.
+func (g *sendGate) NetStats() runtime.NetStats {
+	if src, ok := g.net.(runtime.StatsSource); ok {
+		return src.NetStats()
+	}
+	return runtime.NetStats{}
+}
+
+// WireDelivery forwards the runtime.WireFabric capability: gating does not
+// change whether payloads are physically serialized.
+func (g *sendGate) WireDelivery() bool {
+	if wf, ok := g.net.(runtime.WireFabric); ok {
+		return wf.WireDelivery()
+	}
+	return false
+}

@@ -53,6 +53,14 @@ type UpdateAgent struct {
 	retryArmed  bool   // a parked-retry timer is pending
 	parkedTicks int    // consecutive fruitless retry rounds while parked
 	lastRev     uint64 // lock-table revision at the previous retry round
+
+	// Gone-list refresh cursor: how much of goneNode's append-only gone
+	// list this agent has already merged, so repeat refreshes at the same
+	// server fetch only the suffix. Deliberately not serialized — a thawed
+	// agent simply re-reads the full list once. Zero values are safe: the
+	// cursor only applies when goneNode matches the current residence.
+	goneNode runtime.NodeID
+	goneSeen int
 }
 
 // newUpdateAgent builds an agent for a batch of requests originating at
@@ -154,22 +162,54 @@ func (a *UpdateAgent) OnMessage(ctx *agent.Context, from runtime.NodeID, payload
 }
 
 // OnLocalEvent reacts to the co-located server's locking-list change
-// notifications while the agent is parked.
+// notifications while the agent is parked. A shard-scoped notification
+// whose shards don't intersect this agent's is skipped outright: the
+// server guarantees nothing the agent's refresh could observe changed, so
+// the refresh would merge identical information and re-park — pure cost.
 func (a *UpdateAgent) OnLocalEvent(ctx *agent.Context, ev any) {
-	if _, ok := ev.(replica.LLChanged); !ok {
+	ch, ok := ev.(replica.LLChanged)
+	if !ok {
 		return
 	}
 	if a.phase != phaseParked {
+		return
+	}
+	if ch.Shards != nil && !intersectsSorted(ch.Shards, a.shards) {
 		return
 	}
 	a.refreshLocal(ctx)
 	a.evaluate(ctx)
 }
 
-// refreshLocal re-reads the co-located server's lock information.
+// intersectsSorted reports whether two ascending int slices share a value.
+func intersectsSorted(a, b []int) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return true
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// refreshLocal re-reads the co-located server's lock information. Repeat
+// refreshes at the same server use the gone-list cursor: only the suffix
+// of the server's append-only gone list is fetched and merged, which turns
+// the per-notification cost from O(total gone) into O(new gone).
 func (a *UpdateAgent) refreshLocal(ctx *agent.Context) {
 	srv := a.c.Server(ctx.Node())
-	a.lt.MergeInfo(srv.RefreshInfo(a.shards), false)
+	seen := 0
+	if a.goneNode == ctx.Node() {
+		seen = a.goneSeen
+	}
+	info, total := srv.RefreshInfoSince(a.shards, seen)
+	a.goneNode, a.goneSeen = ctx.Node(), total
+	a.lt.MergeInfo(info, false)
 }
 
 func (a *UpdateAgent) removeFromUSL(node runtime.NodeID) {
@@ -247,8 +287,10 @@ func (a *UpdateAgent) nextStop(ctx *agent.Context) (runtime.NodeID, bool) {
 // round of request").
 func (a *UpdateAgent) park(ctx *agent.Context) {
 	a.phase = phaseParked
-	a.c.cfg.Trace.Addf(int64(ctx.Now()), int(ctx.Node()), ctx.ID().String(), trace.AgentParked,
-		"tops=%d", a.lt.Decide(ctx.ID()).SelfTops)
+	if tr := a.c.cfg.Trace; tr.Enabled() {
+		tr.Addf(int64(ctx.Now()), int(ctx.Node()), ctx.ID().String(), trace.AgentParked,
+			"tops=%d", a.lt.Decide(ctx.ID()).SelfTops)
+	}
 	a.armRetry(ctx)
 }
 

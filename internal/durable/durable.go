@@ -22,6 +22,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/agent"
 	"repro/internal/disk"
@@ -127,6 +128,14 @@ type Options struct {
 	// store record to its key's shard, so the journal stays a single
 	// ordered log while the shards restore independently.
 	Shards int
+	// GroupCommitDelay enables WAL group commit (see wal.Options): commit
+	// barriers park for up to this long and one fsync covers all of them.
+	// Only effective once OnBarrier hooks are registered — without a way to
+	// dam the node's outbound messages, deferring the fsync would break
+	// invariant 11.
+	GroupCommitDelay time.Duration
+	// Scheduler overrides the group-commit flush scheduler (tests).
+	Scheduler func(d time.Duration, fn func())
 }
 
 func (o Options) withDefaults() Options {
@@ -154,13 +163,25 @@ type Journal struct {
 	sources   []func(*State)
 	sinceSnap int
 	relNextHi uint64 // highest send counter journaled so far
+
+	// Group-commit hooks (OnBarrier): hold runs synchronously when a commit
+	// barrier parks instead of fsyncing; release runs once the covering
+	// fsync lands (from the flush goroutine — the registrar marshals it
+	// back onto the engine's execution context).
+	hold    func()
+	release func()
 }
 
 // Open replays the journal on b and returns the recovered state, or a nil
 // state when the backend holds no history (a fresh data dir).
 func Open(b disk.Backend, opts Options) (*Journal, *State, error) {
 	opts = opts.withDefaults()
-	log, snap, records, err := wal.Open(b, wal.Options{Policy: opts.Policy, SegmentBytes: opts.SegmentBytes})
+	log, snap, records, err := wal.Open(b, wal.Options{
+		Policy:           opts.Policy,
+		SegmentBytes:     opts.SegmentBytes,
+		GroupCommitDelay: opts.GroupCommitDelay,
+		Scheduler:        opts.Scheduler,
+	})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -310,8 +331,29 @@ func (j *Journal) fail(err error) {
 	}
 }
 
+// OnBarrier registers the group-commit hooks: hold fires synchronously
+// when a commit barrier parks awaiting its covering fsync, release fires
+// once that fsync lands. The cluster wires these to its send gate, which
+// dams outbound messages between the two — so nothing a deferred barrier
+// justifies (an ack, a grant, a migration) leaves the node before the
+// barrier is durable, and invariant 11 survives group commit unchanged.
+func (j *Journal) OnBarrier(hold, release func()) {
+	j.hold, j.release = hold, release
+}
+
+// groupActive reports whether commit barriers defer through the group
+// coalescer rather than fsync inline.
+func (j *Journal) groupActive() bool {
+	return j.opts.GroupCommitDelay > 0 && j.opts.Policy == wal.PolicyCommit && j.release != nil
+}
+
 func (j *Journal) append(typ byte, data []byte, commit bool) {
-	j.fail(j.log.Append(wal.Record{Type: typ, Data: data}, commit))
+	if commit && j.groupActive() {
+		j.hold()
+		j.fail(j.log.AppendBarrier(wal.Record{Type: typ, Data: data}, commit, j.release))
+	} else {
+		j.fail(j.log.Append(wal.Record{Type: typ, Data: data}, commit))
+	}
 	j.sinceSnap++
 }
 

@@ -1,0 +1,41 @@
+package reliable
+
+import "repro/internal/wire"
+
+// Wire-codec tags for the ack/retransmit frames (DESIGN.md §11). Tags are
+// part of the wire format: never renumber.
+const (
+	tagDataMsg = 40
+	tagAckMsg  = 41
+)
+
+func init() {
+	wire.Register(tagDataMsg, dataMsg{},
+		func(b []byte, v any) []byte {
+			m := v.(dataMsg)
+			b = wire.AppendUvarint(b, m.Seq)
+			out, err := wire.AppendMessage(b, m.Payload)
+			if err != nil {
+				// Unencodable nested payloads are programming errors: the
+				// live fabric checks Registered before queueing a frame.
+				panic("reliable: " + err.Error())
+			}
+			return out
+		},
+		func(r *wire.Reader) any {
+			m := dataMsg{Seq: r.Uvarint()}
+			payload, err := wire.DecodeMessage(r)
+			if err != nil {
+				return nil // sticky error already armed on r
+			}
+			m.Payload = payload
+			return m
+		})
+	wire.Register(tagAckMsg, ackMsg{},
+		func(b []byte, v any) []byte {
+			return wire.AppendUvarint(b, v.(ackMsg).Seq)
+		},
+		func(r *wire.Reader) any {
+			return ackMsg{Seq: r.Uvarint()}
+		})
+}

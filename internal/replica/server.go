@@ -101,6 +101,17 @@ type Server struct {
 	// Pending quorum reads coordinated by this server.
 	readSeq uint64
 	reads   map[uint64]*quorumRead
+
+	// costs caches the per-peer link costs handed out in every LockInfo —
+	// topology is static, so the map is built once and shared read-only.
+	costs map[runtime.NodeID]float64
+
+	// scoped enables shard-scoped LLChanged events. Only set over a
+	// wire-delivery fabric (the live deployment): the global wakeup also let
+	// agents on unrelated shards observe silent (non-head) queue mutations,
+	// and the simulator's figures depend on that exact schedule, so the DES
+	// engine keeps raising unscoped events bit-for-bit as before.
+	scoped bool
 }
 
 // quorumRead tracks one in-flight consistent read.
@@ -138,6 +149,9 @@ func New(clock runtime.Clock, id runtime.NodeID, peers []runtime.NodeID, net run
 		shards:   make([]*shardState, cfg.Shards),
 		gone:     make(map[agent.ID]bool),
 		reads:    make(map[uint64]*quorumRead),
+	}
+	if wf, ok := net.(runtime.WireFabric); ok && wf.WireDelivery() {
+		s.scoped = true
 	}
 	for i := range s.shards {
 		sd := &shardState{
@@ -409,9 +423,22 @@ func (s *Server) markGone(id agent.ID) bool {
 	return changed
 }
 
-// notify raises LLChanged to resident agents.
+// notify raises LLChanged to resident agents: anything — including the
+// gone set — may have changed, so nobody may skip.
 func (s *Server) notify() {
 	s.place.NotifyResidents(LLChanged{Server: s.id})
+}
+
+// notifyShards raises a shard-scoped LLChanged: only the listed shards
+// (ascending) moved and the gone set is untouched, so residents of other
+// shards skip their refresh — their view of this server is unchanged.
+// Outside the live engine it degrades to the unscoped notify (see scoped).
+func (s *Server) notifyShards(shards []int) {
+	if !s.scoped {
+		s.notify()
+		return
+	}
+	s.place.NotifyResidents(LLChanged{Server: s.id, Shards: shards})
 }
 
 // VisitAndLock is the local interaction of a just-arrived agent with its
@@ -423,10 +450,10 @@ func (s *Server) notify() {
 func (s *Server) VisitAndLock(id agent.ID, shards []int, shared []QueueSnapshot, knownGone []agent.ID) LockInfo {
 	// Absorb the agent's knowledge of finished/dead agents first, so a
 	// stale entry never blocks the queue.
-	mutated := false
+	goneChanged := false
 	for _, g := range knownGone {
 		if s.markGone(g) {
-			mutated = true
+			goneChanged = true
 		}
 	}
 	if !s.cfg.DisableInfoSharing {
@@ -443,6 +470,7 @@ func (s *Server) VisitAndLock(id agent.ID, shards []int, shared []QueueSnapshot,
 	if shards == nil {
 		shards = s.allShards()
 	}
+	var headShards []int
 	for _, shrd := range shards {
 		sd := s.shards[shrd]
 		if !sd.member || s.gone[id] || s.contains(sd, id) {
@@ -451,11 +479,17 @@ func (s *Server) VisitAndLock(id agent.ID, shards []int, shared []QueueSnapshot,
 		sd.ll = append(sd.ll, id)
 		s.bump(sd, len(sd.ll) == 1)
 		s.logLock(shrd, false)
-		mutated = len(sd.ll) == 1 || mutated
-		s.cfg.Trace.Addf(int64(s.clock.Now()), int(s.id), id.String(), trace.LockRequested, "pos %d", len(sd.ll))
+		if len(sd.ll) == 1 {
+			headShards = append(headShards, shrd)
+		}
+		if s.cfg.Trace.Enabled() {
+			s.cfg.Trace.Addf(int64(s.clock.Now()), int(s.id), id.String(), trace.LockRequested, "pos %d", len(sd.ll))
+		}
 	}
-	if mutated {
+	if goneChanged {
 		s.notify()
+	} else if len(headShards) > 0 {
+		s.notifyShards(headShards)
 	}
 	return s.lockInfo(shards)
 }
@@ -479,18 +513,32 @@ func (s *Server) contains(sd *shardState, id agent.ID) bool {
 }
 
 // lockInfo assembles the LockInfo for a visiting or refreshing agent over
-// the requested shards (nil = all).
+// the requested shards (nil = all). The gone slice aliases the server's
+// list: goneList is append-only (entries below the capped length are never
+// rewritten, growth reallocates past the cap), so the alias stays valid
+// even in messages that outlive this call — and visits are frequent enough
+// that the old full copy was a top allocation site on the live path.
 func (s *Server) lockInfo(shards []int) LockInfo {
+	gone := s.goneList[:len(s.goneList):len(s.goneList)]
+	return s.lockInfoWith(shards, gone)
+}
+
+// lockInfoWith builds LockInfo around a caller-supplied gone slice — the
+// full-list path and the refresh path (a suffix the caller merges
+// synchronously) share everything else.
+func (s *Server) lockInfoWith(shards []int, gone []agent.ID) LockInfo {
 	if shards == nil {
 		shards = s.allShards()
 	}
-	gone := make([]agent.ID, len(s.goneList))
-	copy(gone, s.goneList)
-	costs := make(map[runtime.NodeID]float64, len(s.peers))
-	for _, p := range s.peers {
-		costs[p] = s.net.Cost(s.id, p)
+	if s.costs == nil {
+		// Link costs are a static property of the topology, so one shared
+		// read-only map serves every LockInfo this server ever hands out.
+		s.costs = make(map[runtime.NodeID]float64, len(s.peers))
+		for _, p := range s.peers {
+			s.costs[p] = s.net.Cost(s.id, p)
+		}
 	}
-	info := LockInfo{Gone: gone, Costs: costs}
+	info := LockInfo{Gone: gone, Costs: s.costs}
 	for _, shrd := range shards {
 		sd := s.shards[shrd]
 		if !sd.member {
@@ -518,6 +566,23 @@ func (s *Server) lockInfo(shards []int) LockInfo {
 // without enqueueing anybody — used by parked agents recomputing their
 // priority after a notification.
 func (s *Server) RefreshInfo(shards []int) LockInfo { return s.lockInfo(shards) }
+
+// RefreshInfoSince is RefreshInfo for a repeat customer: a resident agent
+// that has already merged the first seen entries of this server's gone list
+// gets only the suffix (the list is append-only for the life of the Server,
+// so a valid prefix count stays valid). The returned LockInfo aliases the
+// live goneList and must be consumed before control returns to the server —
+// parked agents merge it synchronously, which is the point: the refresh
+// storm after every commit was the live path's hottest loop, and re-marking
+// hundreds of long-gone agents per resident per notification was most of it.
+// The second result is the new prefix count to remember.
+func (s *Server) RefreshInfoSince(shards []int, seen int) (LockInfo, int) {
+	total := len(s.goneList)
+	if seen < 0 || seen > total {
+		seen = 0
+	}
+	return s.lockInfoWith(shards, s.goneList[seen:total]), total
+}
 
 // Deliver implements runtime.Handler for server-bound protocol messages.
 func (s *Server) Deliver(msg runtime.Message) {
@@ -745,11 +810,46 @@ func (s *Server) handleCommit(m *CommitMsg) {
 		s.drainBacklog(shrd)
 	}
 	s.markGone(m.Txn)
-	s.cfg.Trace.Addf(int64(s.clock.Now()), int(s.id), m.Txn.String(), trace.Committed, "%d updates, seq now %d", len(m.Updates), s.maxLastSeq())
-	s.notify()
+	if s.cfg.Trace.Enabled() {
+		s.cfg.Trace.Addf(int64(s.clock.Now()), int(s.id), m.Txn.String(), trace.Committed, "%d updates, seq now %d", len(m.Updates), s.maxLastSeq())
+	}
+	// A transaction locks the same shards at every server, so its commit —
+	// queue removal, grant release, and its own disappearance into the gone
+	// set — is invisible to agents holding no shard in common with its
+	// updates: the txn never appears in any local or cached queue of another
+	// shard, and LastSeq is computed per requested shard. Scope the wakeup
+	// to the txn's shards (live engine only; notifyShards degrades to the
+	// global notify elsewhere).
+	if txShards := s.updateShards(m.Updates); len(txShards) > 0 {
+		s.notifyShards(txShards)
+	} else {
+		s.notify()
+	}
 	if s.journal != nil {
 		s.journal.MaybeCompact() // post-commit is a quiescent point
 	}
+}
+
+// updateShards returns the distinct shards of a commit's updates, ascending
+// (the transaction's locked shard set — claims lock exactly the shards of
+// the keys they write).
+func (s *Server) updateShards(updates []store.Update) []int {
+	var out []int
+	for _, u := range updates {
+		shrd := s.shardOf(u.Key)
+		found := false
+		for _, o := range out {
+			if o == shrd {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, shrd)
+		}
+	}
+	sort.Ints(out)
+	return out
 }
 
 // maxLastSeq returns the highest committed horizon across shards (trace
@@ -865,7 +965,11 @@ func (s *Server) handleSyncReply(m *SyncReply) {
 	}
 	if applied || mutated {
 		s.cfg.Trace.Addf(int64(s.clock.Now()), int(s.id), "", trace.ServerSynced, "seq now %d", sd.st.LastSeq())
-		s.notify()
+		if mutated {
+			s.notify()
+		} else {
+			s.notifyShards([]int{m.Shard})
+		}
 		if s.journal != nil {
 			s.journal.MaybeCompact()
 		}

@@ -116,7 +116,8 @@ func (e *Engine) Sleep(d time.Duration) { time.Sleep(d) }
 // wall clock always advances, so runtime.ErrStalled is returned only when
 // the engine is closed underneath the wait.
 func (e *Engine) Wait(d time.Duration, done func() bool) error {
-	deadline := time.Now().Add(d)
+	start := time.Now()
+	deadline := start.Add(d)
 	for {
 		var ok bool
 		if !e.Do(func() { ok = done() }) {
@@ -128,7 +129,19 @@ func (e *Engine) Wait(d time.Duration, done func() bool) error {
 		if time.Now().After(deadline) {
 			return runtime.ErrDeadline
 		}
-		time.Sleep(5 * time.Millisecond)
+		// Poll finely at first and back off as the wait drags on: the
+		// interval tracks 1/64 of the elapsed wait (200µs floor, 5ms
+		// ceiling), so the overshoot past done() stays ~2% of the
+		// workload's makespan whether it runs for milliseconds or
+		// minutes. A fixed coarse tick was a measurable makespan tail
+		// for the sub-100ms A9 cells.
+		iv := time.Since(start) / 64
+		if iv < 200*time.Microsecond {
+			iv = 200 * time.Microsecond
+		} else if iv > 5*time.Millisecond {
+			iv = 5 * time.Millisecond
+		}
+		time.Sleep(iv)
 	}
 }
 

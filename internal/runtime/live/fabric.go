@@ -1,18 +1,24 @@
 package live
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
 
 	"repro/internal/runtime"
+	"repro/internal/trace"
+	"repro/internal/wire"
 )
 
 var _ runtime.Fabric = (*Fabric)(nil)
 
-// frame is the unit on the wire: one gob-encoded protocol message. From
+// frame is the unit on the wire: one encoded protocol message. From
 // identifies the sender (no separate handshake); Size carries the sender's
 // modelled payload size so traffic accounting matches across engines.
 type frame struct {
@@ -21,20 +27,38 @@ type frame struct {
 	Payload  any
 }
 
-// Fabric is a gob-over-TCP implementation of runtime.Fabric for a fixed
-// set of replica processes. Each process listens on its own address and
-// lazily dials every peer it first sends to; one outbound connection per
-// peer, written by a dedicated goroutine fed from a bounded queue.
+// FabricOptions tunes a Fabric beyond its address book.
+type FabricOptions struct {
+	// Codec selects the frame encoding: "wire" (default) is the hand-rolled
+	// zero-alloc codec from internal/wire, spoken behind a versioned
+	// connection preamble; "gob" is the legacy reflective encoding. The two
+	// are mutually unintelligible by design — a peer speaking the other one
+	// is refused loudly, never mis-decoded (DESIGN.md §11).
+	Codec string
+	// Trace, if non-nil, receives fabric-level events (currently the
+	// once-per-peer writer-queue-overflow notice).
+	Trace *trace.Log
+}
+
+// Fabric is a TCP implementation of runtime.Fabric for a fixed set of
+// replica processes. Each process listens on its own address and lazily
+// dials every peer it first sends to; one outbound connection per peer,
+// written by a dedicated goroutine fed from a bounded queue. The writer
+// drains its whole queue into one reused buffer and hands the kernel a
+// single write per drain — frames coalesce under load instead of costing a
+// syscall each.
 //
 // Send keeps the seam's fail-stop semantics: when a peer is unreachable or
 // its queue is full the message is dropped and the sender finds out by
 // protocol timeout, exactly as on the simulated network. Down always
 // reports false — a live fabric has no oracle for remote liveness.
 type Fabric struct {
-	eng   *Engine
-	self  runtime.NodeID
-	addrs map[runtime.NodeID]string
-	ln    net.Listener
+	eng    *Engine
+	self   runtime.NodeID
+	addrs  map[runtime.NodeID]string
+	ln     net.Listener
+	gobby  bool // legacy gob codec (FabricOptions.Codec == "gob")
+	tracer *trace.Log
 
 	mu       sync.Mutex
 	handlers map[runtime.NodeID]runtime.Handler
@@ -46,12 +70,25 @@ type Fabric struct {
 }
 
 type peer struct {
-	out chan frame
+	id          runtime.NodeID
+	out         chan frame
+	dropNoticed bool // the once-per-peer queue-overflow trace fired
 }
 
-// NewFabric starts listening on addrs[self] and returns the fabric.
-// Peer connections are dialed on first send.
+// NewFabric starts listening on addrs[self] and returns the fabric, using
+// the default (wire-codec) options. Peer connections are dialed on first
+// send.
 func NewFabric(eng *Engine, self runtime.NodeID, addrs map[runtime.NodeID]string) (*Fabric, error) {
+	return NewFabricOptions(eng, self, addrs, FabricOptions{})
+}
+
+// NewFabricOptions is NewFabric with explicit options.
+func NewFabricOptions(eng *Engine, self runtime.NodeID, addrs map[runtime.NodeID]string, opts FabricOptions) (*Fabric, error) {
+	switch opts.Codec {
+	case "", "wire", "gob":
+	default:
+		return nil, fmt.Errorf("live: unknown codec %q (want \"wire\" or \"gob\")", opts.Codec)
+	}
 	addr, ok := addrs[self]
 	if !ok {
 		return nil, fmt.Errorf("live: no address for self node %d", self)
@@ -65,6 +102,8 @@ func NewFabric(eng *Engine, self runtime.NodeID, addrs map[runtime.NodeID]string
 		self:     self,
 		addrs:    addrs,
 		ln:       ln,
+		gobby:    opts.Codec == "gob",
+		tracer:   opts.Trace,
 		handlers: make(map[runtime.NodeID]runtime.Handler),
 		peers:    make(map[runtime.NodeID]*peer),
 		inbound:  make(map[net.Conn]bool),
@@ -122,6 +161,12 @@ func (f *Fabric) Send(msg runtime.Message) {
 	if msg.From == runtime.None || msg.To == runtime.None {
 		panic(fmt.Sprintf("live: message with unset endpoints %+v", msg))
 	}
+	if !f.gobby && !wire.Registered(msg.Payload) {
+		// The protocol message set is closed; an unregistered payload is a
+		// programming error and must fail before it is queued, not decode
+		// as garbage on the peer.
+		panic(fmt.Sprintf("live: payload type %T has no wire codec", msg.Payload))
+	}
 	f.mu.Lock()
 	f.stats.MessagesSent++
 	f.stats.BytesSent += msg.Size
@@ -148,10 +193,18 @@ func (f *Fabric) Send(msg runtime.Message) {
 	case p.out <- frame{From: msg.From, To: msg.To, Size: msg.Size, Payload: msg.Payload}:
 	default:
 		// Queue full: drop, per fail-stop semantics. The reliable layer or
-		// the protocol's own timeouts recover.
+		// the protocol's own timeouts recover — but never silently: the
+		// drop is counted, and the first one per peer leaves a trace.
 		f.mu.Lock()
 		f.stats.MessagesDropped++
+		f.stats.QueueDrops++
+		noticed := p.dropNoticed
+		p.dropNoticed = true
 		f.mu.Unlock()
+		if !noticed {
+			f.tracer.Addf(0, int(f.self), "fabric", trace.FabricOverflow,
+				"writer queue to S%d full; dropping (counted in QueueDrops)", p.id)
+		}
 	}
 }
 
@@ -168,7 +221,7 @@ func (f *Fabric) peerLocked(id runtime.NodeID) (*peer, error) {
 	if !ok {
 		return nil, fmt.Errorf("live: unknown node %d", id)
 	}
-	p := &peer{out: make(chan frame, 256)}
+	p := &peer{id: id, out: make(chan frame, 256)}
 	f.peers[id] = p
 	f.wg.Add(1)
 	go f.writeLoop(p, addr)
@@ -179,40 +232,107 @@ func (f *Fabric) peerLocked(id runtime.NodeID) (*peer, error) {
 // and on any error drop the connection (the next frame redials). Frames
 // that cannot be sent are counted lost — the live analogue of the fault
 // model eating a message on an otherwise healthy link.
+//
+// Each wake-up drains the whole queue: every pending frame is encoded into
+// one reused buffer and flushed with a single conn.Write. Under load the
+// per-frame syscall cost amortizes across the batch; an idle fabric still
+// sends every frame immediately (a drain of one).
 func (f *Fabric) writeLoop(p *peer, addr string) {
 	defer f.wg.Done()
 	var conn net.Conn
-	var enc *gob.Encoder
-	drop := func() {
+	var enc *gob.Encoder // gob codec only
+	var gw *bufio.Writer // gob codec only: flushed once per drain
+	var buf []byte       // wire codec only: the reused drain buffer
+	batch := make([]frame, 0, 64)
+	drop := func(n int) {
 		if conn != nil {
 			conn.Close()
-			conn, enc = nil, nil
+			conn, enc, gw = nil, nil, nil
 		}
 		f.mu.Lock()
-		f.stats.MessagesLost++
+		f.stats.MessagesLost += n
 		f.mu.Unlock()
 	}
 	for fr := range p.out {
+		// Drain: take everything already queued behind fr.
+		batch = append(batch[:0], fr)
+	fill:
+		for {
+			select {
+			case more, ok := <-p.out:
+				if !ok {
+					break fill
+				}
+				batch = append(batch, more)
+			default:
+				break fill
+			}
+		}
 		if conn == nil {
 			c, err := net.DialTimeout("tcp", addr, 2*time.Second)
 			if err != nil {
-				drop()
+				drop(len(batch))
 				continue
 			}
 			conn = c
-			enc = gob.NewEncoder(conn)
+			if f.gobby {
+				gw = bufio.NewWriter(conn)
+				enc = gob.NewEncoder(gw)
+			} else {
+				if _, err := conn.Write(wire.Preamble[:]); err != nil {
+					drop(len(batch))
+					continue
+				}
+			}
 		}
-		if err := enc.Encode(&fr); err != nil {
-			drop()
+		if err := f.writeBatch(conn, enc, gw, &buf, batch); err != nil {
+			drop(len(batch))
 			continue
 		}
 		f.mu.Lock()
-		f.stats.MessagesDelivered++ // handed to the kernel; receipt is the peer's count
+		f.stats.MessagesDelivered += len(batch) // handed to the kernel; receipt is the peer's count
 		f.mu.Unlock()
 	}
 	if conn != nil {
 		conn.Close()
 	}
+}
+
+// writeBatch encodes every frame of the batch and hands the kernel one
+// write (wire codec) or one Flush (gob).
+func (f *Fabric) writeBatch(conn net.Conn, enc *gob.Encoder, gw *bufio.Writer, buf *[]byte, batch []frame) error {
+	if f.gobby {
+		for i := range batch {
+			if err := enc.Encode(&batch[i]); err != nil {
+				return err
+			}
+		}
+		return gw.Flush()
+	}
+	b := (*buf)[:0]
+	for i := range batch {
+		fr := &batch[i]
+		// Frame: u32 LE body length, then varint From, varint To, varint
+		// modelled Size, tagged message.
+		lenAt := len(b)
+		b = append(b, 0, 0, 0, 0)
+		b = wire.AppendVarint(b, int64(fr.From))
+		b = wire.AppendVarint(b, int64(fr.To))
+		b = wire.AppendVarint(b, int64(fr.Size))
+		var err error
+		if b, err = wire.AppendMessage(b, fr.Payload); err != nil {
+			// Unreachable: Send checks wire.Registered before queueing.
+			panic("live: " + err.Error())
+		}
+		body := len(b) - lenAt - 4
+		if body > wire.MaxFrame {
+			panic(fmt.Sprintf("live: frame of %d bytes exceeds wire.MaxFrame", body))
+		}
+		binary.LittleEndian.PutUint32(b[lenAt:], uint32(body))
+	}
+	*buf = b
+	_, err := conn.Write(b)
+	return err
 }
 
 func (f *Fabric) acceptLoop() {
@@ -236,7 +356,10 @@ func (f *Fabric) acceptLoop() {
 }
 
 // readLoop decodes inbound frames and injects deliveries onto the actor
-// loop, preserving the single-threaded protocol contract.
+// loop, preserving the single-threaded protocol contract. A peer speaking
+// the wrong codec or wire version is refused with a loud complaint — the
+// version byte exists so mixed deployments fail fast instead of
+// mis-decoding each other.
 func (f *Fabric) readLoop(conn net.Conn) {
 	defer f.wg.Done()
 	defer func() {
@@ -245,23 +368,81 @@ func (f *Fabric) readLoop(conn net.Conn) {
 		delete(f.inbound, conn)
 		f.mu.Unlock()
 	}()
+	if f.gobby {
+		f.readGob(conn)
+		return
+	}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	var pre [5]byte
+	if _, err := io.ReadFull(br, pre[:]); err != nil {
+		return
+	}
+	if pre != wire.Preamble {
+		detail := "not a MARP wire-codec stream (gob-codec peer?)"
+		if bytes.Equal(pre[:4], wire.Preamble[:4]) {
+			detail = fmt.Sprintf("wire version %d, want %d", pre[4], wire.Version)
+		}
+		fmt.Printf("live: S%d refusing connection from %s: %s\n", f.self, conn.RemoteAddr(), detail)
+		return
+	}
+	var body []byte
+	r := wire.NewReader(nil)
+	r.SetInterner(&wire.Interner{}) // per-connection: decoded strings are canonical
+	var lenb [4]byte
+	for {
+		if _, err := io.ReadFull(br, lenb[:]); err != nil {
+			return
+		}
+		n := binary.LittleEndian.Uint32(lenb[:])
+		if n > wire.MaxFrame {
+			fmt.Printf("live: S%d dropping connection from %s: frame of %d bytes exceeds limit\n",
+				f.self, conn.RemoteAddr(), n)
+			return
+		}
+		body = wire.Grow(body, int(n))
+		if _, err := io.ReadFull(br, body); err != nil {
+			return
+		}
+		r.Reset(body)
+		from := runtime.NodeID(r.Varint())
+		to := runtime.NodeID(r.Varint())
+		size := int(r.Varint())
+		payload, err := wire.DecodeMessage(r)
+		if err == nil {
+			err = r.Finish()
+		}
+		if err != nil {
+			fmt.Printf("live: S%d dropping connection from %s: %v\n", f.self, conn.RemoteAddr(), err)
+			return
+		}
+		f.deliver(frame{From: from, To: to, Size: size, Payload: payload})
+	}
+}
+
+// readGob is the legacy decode loop.
+func (f *Fabric) readGob(conn net.Conn) {
 	dec := gob.NewDecoder(conn)
 	for {
 		var fr frame
 		if err := dec.Decode(&fr); err != nil {
 			return
 		}
-		f.mu.Lock()
-		h, ok := f.handlers[fr.To]
-		if !ok {
-			f.stats.MessagesDropped++
-			f.mu.Unlock()
-			continue
-		}
-		f.mu.Unlock()
-		msg := runtime.Message{From: fr.From, To: fr.To, Payload: fr.Payload, Size: fr.Size}
-		f.eng.Inject(func() { h.Deliver(msg) })
+		f.deliver(fr)
 	}
+}
+
+// deliver injects one decoded frame onto the actor loop.
+func (f *Fabric) deliver(fr frame) {
+	f.mu.Lock()
+	h, ok := f.handlers[fr.To]
+	if !ok {
+		f.stats.MessagesDropped++
+		f.mu.Unlock()
+		return
+	}
+	f.mu.Unlock()
+	msg := runtime.Message{From: fr.From, To: fr.To, Payload: fr.Payload, Size: fr.Size}
+	f.eng.Inject(func() { h.Deliver(msg) })
 }
 
 // Close shuts the listener and all peer writers down and waits for the

@@ -12,10 +12,12 @@ import (
 	"repro/internal/agent"
 	"repro/internal/core"
 	"repro/internal/desengine"
+	"repro/internal/disk"
 	"repro/internal/replica"
 	"repro/internal/runtime"
 	"repro/internal/runtime/live"
 	"repro/internal/store"
+	"repro/internal/wal"
 )
 
 // freeAddrs reserves n distinct loopback addresses by briefly listening on
@@ -443,6 +445,107 @@ func TestCrossEngineEquivalenceSharded(t *testing.T) {
 	// Cross-engine: identical per-key commit sets modulo agent sequence
 	// numbers, which are an engine artefact (see normalizeTxns).
 	equalDigests(t, "sim vs live",
+		keyDigests(fullLog(des.Server(1)), true),
+		keyDigests(localLog(t, nodes[0], 1), true))
+}
+
+// TestCrossEngineEquivalencePipelined re-runs the sharded cross-engine
+// check with every live-path optimisation of the A9 fast path switched on
+// at once — the zero-alloc wire codec (the default fabric framing),
+// migration-ack aggregation, and WAL group commit at fsync=commit — against
+// the plain simulator reference. The optimisations only move bytes and
+// fsyncs around; the committed transaction set per key must be exactly the
+// one the unoptimised protocol produces.
+func TestCrossEngineEquivalencePipelined(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live cluster test uses wall-clock timeouts")
+	}
+	const n, shards, keys = 3, 4, 6
+	type write struct {
+		home       runtime.NodeID
+		key, value string
+	}
+	var workload []write
+	for home := 1; home <= n; home++ {
+		for k := 0; k < keys; k++ {
+			workload = append(workload, write{
+				home:  runtime.NodeID(home),
+				key:   fmt.Sprintf("key-%d", k),
+				value: fmt.Sprintf("v%d-%d", home, k),
+			})
+		}
+	}
+	total := len(workload)
+
+	// Reference: the simulator, no live-path knobs.
+	des, err := desengine.New(desengine.Config{Seed: 7, Cluster: core.Config{N: n, Shards: shards}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workload {
+		if err := des.Submit(w.home, core.Set(w.key, w.value)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := des.RunUntilDone(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	des.Settle(time.Second)
+	if err := des.CheckConvergence(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Live cluster with the full fast path: wire codec (default), batched
+	// migration acks, group-committed WAL.
+	nodes, ref := startLiveCluster(t, n, core.Config{
+		Shards:          shards,
+		MigrateAckDelay: 500 * time.Microsecond,
+		Durability: &core.DurabilityConfig{
+			Backend:          func(runtime.NodeID) disk.Backend { return disk.NewMem() },
+			Policy:           wal.PolicyCommit,
+			GroupCommitDelay: 200 * time.Microsecond,
+		},
+	})
+	for _, w := range workload {
+		submitAt(t, nodes[w.home-1], w.home, core.Set(w.key, w.value))
+	}
+	for i, node := range nodes {
+		if err := node.Cluster.RunUntilDone(30 * time.Second); err != nil {
+			t.Fatalf("live node %d: %v", i+1, err)
+		}
+	}
+	waitConverged(t, nodes, total, 10*time.Second)
+	if _, violations := ref.report(); len(violations) > 0 {
+		t.Fatalf("shared referee saw violations: %s", violations[0])
+	}
+
+	// The optimised run actually used its machinery.
+	var batches, acksBatched int
+	for i, node := range nodes {
+		var js wal.Stats
+		var as agent.Stats
+		if !node.Eng.Do(func() { js = node.Cluster.JournalStats(); as = node.Cluster.Platform().Stats() }) {
+			t.Fatal("engine closed during stats read")
+		}
+		batches += js.GroupBatches
+		acksBatched += as.AcksBatched
+		_ = i
+	}
+	if batches == 0 {
+		t.Fatal("group commit enabled but no batches recorded")
+	}
+	if acksBatched == 0 {
+		t.Fatal("ack aggregation enabled but no acks batched")
+	}
+
+	// Replicas agree among themselves...
+	liveDigest := keyDigests(localLog(t, nodes[0], 1), false)
+	for id := 2; id <= n; id++ {
+		equalDigests(t, fmt.Sprintf("live replica 1 vs %d", id),
+			liveDigest, keyDigests(localLog(t, nodes[id-1], runtime.NodeID(id)), false))
+	}
+	// ...and with the unoptimised simulator, modulo agent sequence numbers.
+	equalDigests(t, "sim vs pipelined live",
 		keyDigests(fullLog(des.Server(1)), true),
 		keyDigests(localLog(t, nodes[0], 1), true))
 }

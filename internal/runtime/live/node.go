@@ -2,6 +2,7 @@ package live
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/disk"
@@ -26,9 +27,19 @@ type NodeConfig struct {
 	// Fsync selects the WAL fsync policy ("commit", "always", "none"; see
 	// wal.ParsePolicy). Only meaningful with DataDir.
 	Fsync string
+	// CommitDelay enables WAL group commit with the given coalescing
+	// window (200µs is a good start; zero keeps one fsync per commit
+	// barrier). Only meaningful with DataDir and Fsync=commit.
+	CommitDelay time.Duration
+	// Codec selects the fabric frame encoding: "wire" (default) or "gob"
+	// (the legacy reflective codec, kept for the A9 ablation and for
+	// talking to pre-wire-codec peers). All processes must agree.
+	Codec string
 	// Cluster carries the engine-neutral protocol configuration. N and
-	// Local are derived from Addrs/Self and must be left unset; Durability
-	// is derived from DataDir/Fsync.
+	// Local are derived from Addrs/Self and must be left unset. Durability
+	// is derived from DataDir/Fsync; alternatively, with DataDir empty, an
+	// explicit Cluster.Durability supplies a custom backend (the A9 harness
+	// uses this to run live nodes against a modelled-latency Mem disk).
 	Cluster core.Config
 }
 
@@ -54,8 +65,8 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	if cfg.Cluster.N != 0 || cfg.Cluster.Local != nil {
 		return nil, fmt.Errorf("live: Cluster.N and Cluster.Local are derived from Addrs; leave them unset")
 	}
-	if cfg.Cluster.Durability != nil {
-		return nil, fmt.Errorf("live: Cluster.Durability is derived from DataDir; leave it unset")
+	if cfg.Cluster.Durability != nil && cfg.DataDir != "" {
+		return nil, fmt.Errorf("live: set either DataDir or an explicit Cluster.Durability, not both")
 	}
 	cfg.Cluster.N = len(cfg.Addrs)
 	cfg.Cluster.Local = []runtime.NodeID{cfg.Self}
@@ -69,12 +80,13 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 			return nil, err
 		}
 		cfg.Cluster.Durability = &core.DurabilityConfig{
-			Backend: func(runtime.NodeID) disk.Backend { return fsb },
-			Policy:  policy,
+			Backend:          func(runtime.NodeID) disk.Backend { return fsb },
+			Policy:           policy,
+			GroupCommitDelay: cfg.CommitDelay,
 		}
 	}
 	eng := NewEngine(cfg.Seed)
-	fab, err := NewFabric(eng, cfg.Self, cfg.Addrs)
+	fab, err := NewFabricOptions(eng, cfg.Self, cfg.Addrs, FabricOptions{Codec: cfg.Codec, Trace: cfg.Cluster.Trace})
 	if err != nil {
 		eng.Close()
 		return nil, err

@@ -85,6 +85,7 @@ type NetStats struct {
 	MessagesDropped    int // destination down, partitioned, or detached
 	MessagesLost       int // eaten by the fault model on a live, connected link
 	MessagesDuplicated int // delivered twice by the fault model
+	QueueDrops         int // live fabric only: a full per-peer writer queue ate it
 	BytesSent          int
 	ByKind             map[string]int
 }

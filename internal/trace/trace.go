@@ -43,6 +43,7 @@ const (
 	TieBreak       Type = "tie-break"
 	RequestArrived Type = "request-arrived"
 	RequestDone    Type = "request-done"
+	FabricOverflow Type = "fabric-queue-drop"
 )
 
 // Event is one timestamped occurrence.
@@ -90,6 +91,12 @@ type Log struct {
 // New returns an empty log. If limit > 0, only the most recent limit events
 // are retained (a ring of the tail).
 func New(limit int) *Log { return &Log{limit: limit} }
+
+// Enabled reports whether the log is collecting events. Hot paths check it
+// before building Addf arguments — Addf on a nil log is a no-op, but Go
+// still evaluates the arguments (ID formatting, diagnostic decisions), and
+// on the live fast path that evaluation is measurable.
+func (l *Log) Enabled() bool { return l != nil }
 
 // Add appends an event. Add on a nil log is a no-op.
 func (l *Log) Add(e Event) {

@@ -89,6 +89,10 @@ type Response struct {
 	Wins       int           `json:"wins,omitempty"`
 	Violations int           `json:"violations,omitempty"`
 	Shards     []ShardDigest `json:"shards,omitempty"`
+	// QueueDrops counts messages the live fabric dropped because a
+	// per-peer writer queue was full (digest responses; health signal for
+	// a digest mismatch investigation).
+	QueueDrops int `json:"queue_drops,omitempty"`
 }
 
 // Server serves a MARP cluster over TCP. The same server fronts either
@@ -261,7 +265,7 @@ func (s *Server) apply(req Request) Response {
 			all = append(all, srv.StoreOf(sh).Log()...)
 		}
 		d, n := digestLog(all)
-		resp := Response{OK: true, Value: d, Seq: uint64(n)}
+		resp := Response{OK: true, Value: d, Seq: uint64(n), QueueDrops: s.cluster.NetStats().QueueDrops}
 		if srv.Shards() > 1 {
 			resp.Shards = s.shardDigests(srv)
 		}
@@ -465,13 +469,15 @@ func (c *Client) Digest(node int) (digest string, commits int, err error) {
 }
 
 // DigestShards fetches the whole-replica digest plus the per-shard rows
-// (empty on a single-shard deployment).
-func (c *Client) DigestShards(node int) (digest string, commits int, shards []ShardDigest, err error) {
+// (empty on a single-shard deployment) and the process's fabric queue-drop
+// count — a non-zero count is the first thing to check when two replicas'
+// digests disagree.
+func (c *Client) DigestShards(node int) (digest string, commits int, shards []ShardDigest, drops int, err error) {
 	resp, err := c.roundTrip(Request{Op: "digest", Node: node})
 	if err != nil {
-		return "", 0, nil, err
+		return "", 0, nil, 0, err
 	}
-	return resp.Value, int(resp.Seq), resp.Shards, nil
+	return resp.Value, int(resp.Seq), resp.Shards, resp.QueueDrops, nil
 }
 
 // Referee fetches the process-local referee verdict: how many update

@@ -37,6 +37,8 @@ import (
 	"hash/crc32"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/disk"
 )
@@ -93,11 +95,24 @@ type Options struct {
 	// SegmentBytes rotates to a new segment once the current one reaches
 	// this size (default 1 MiB).
 	SegmentBytes int
+	// GroupCommitDelay enables group commit under PolicyCommit: an
+	// AppendBarrier parks its completion callback instead of fsyncing
+	// immediately, and after at most this delay one fsync covers every
+	// barrier that accumulated (200µs is a good starting point). Zero — the
+	// default — keeps the synchronous fsync-per-barrier path.
+	GroupCommitDelay time.Duration
+	// Scheduler runs fn after d, for the group-commit flush. Nil uses
+	// time.AfterFunc; tests inject a manual scheduler to pump flushes
+	// deterministically.
+	Scheduler func(d time.Duration, fn func())
 }
 
 func (o Options) withDefaults() Options {
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = 1 << 20
+	}
+	if o.Scheduler == nil {
+		o.Scheduler = func(d time.Duration, fn func()) { time.AfterFunc(d, fn) }
 	}
 	return o
 }
@@ -113,6 +128,11 @@ type Stats struct {
 	Replayed int
 	// TailDropped is the number of torn-tail bytes Open tolerated.
 	TailDropped int
+	// GroupBatches counts fsyncs that covered parked group-commit barriers;
+	// GroupBarriers counts the barriers covered. Their ratio is the mean
+	// coalescing factor.
+	GroupBatches  int
+	GroupBarriers int
 }
 
 // ErrCorrupt reports a damaged record before the tail — data the log once
@@ -123,9 +143,12 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 const frameHeader = 9 // 4 len + 4 crc + 1 type
 
-// Log is an open write-ahead log. Not safe for concurrent use: its owner
-// drives it from the engine's single execution context.
+// Log is an open write-ahead log. Safe for concurrent use: the owner
+// drives it from the engine's single execution context, but with group
+// commit enabled the flush also fires from a scheduler goroutine, so every
+// entry point takes the log's mutex.
 type Log struct {
+	mu      sync.Mutex
 	b       disk.Backend
 	opts    Options
 	gen     uint64
@@ -134,6 +157,14 @@ type Log struct {
 	out     disk.File
 	dirty   bool // bytes appended since the last sync
 	stats   Stats
+
+	// Group-commit state: parked completion callbacks, whether a flush is
+	// scheduled, and the sticky error that — once a covering fsync has
+	// failed — guarantees no parked caller is ever told its record is
+	// durable.
+	parked   []func()
+	armed    bool
+	groupErr error
 }
 
 // Open replays the log on b and returns the handle, the newest installed
@@ -194,46 +225,144 @@ func Open(b disk.Backend, opts Options) (*Log, []byte, []Record, error) {
 // Append frames and writes rec. commit marks a durability barrier: under
 // PolicyCommit the write (and everything before it) is fsynced.
 func (l *Log) Append(rec Record, commit bool) error {
+	l.mu.Lock()
+	cbs, err := l.appendLocked(rec, commit, nil)
+	l.mu.Unlock()
+	fire(cbs)
+	return err
+}
+
+// AppendBarrier is Append for a commit barrier whose caller can defer its
+// side effects: done fires exactly when the record is covered by an fsync
+// (given the policy — under PolicyNone "covered" is the policy's usual
+// fiction and done fires immediately). With group commit enabled, done
+// parks and one later fsync covers every parked barrier; a nil return then
+// means "accepted", not "durable". If the covering fsync fails, done never
+// fires and every subsequent append returns the sticky error — a parked
+// caller is never told a record the fsync didn't cover is safe.
+func (l *Log) AppendBarrier(rec Record, commit bool, done func()) error {
+	l.mu.Lock()
+	cbs, err := l.appendLocked(rec, commit, done)
+	l.mu.Unlock()
+	fire(cbs)
+	return err
+}
+
+// appendLocked writes one record and resolves its durability: the returned
+// callbacks (the caller's own done and/or parked barriers drained by a
+// covering sync) must be fired after the lock is released.
+func (l *Log) appendLocked(rec Record, commit bool, done func()) ([]func(), error) {
+	if l.groupErr != nil {
+		return nil, l.groupErr
+	}
 	frame := make([]byte, frameHeader+len(rec.Data))
 	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(rec.Data)))
 	frame[8] = rec.Type
 	copy(frame[frameHeader:], rec.Data)
 	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(frame[8:], castagnoli))
 	if _, err := l.out.Write(frame); err != nil {
-		return fmt.Errorf("wal: append: %w", err)
+		return nil, fmt.Errorf("wal: append: %w", err)
 	}
 	l.dirty = true
 	l.segSize += len(frame)
 	l.stats.Appends++
 	l.stats.AppendedBytes += len(frame)
-	switch {
-	case l.opts.Policy == PolicyAlways, l.opts.Policy == PolicyCommit && commit:
-		if err := l.sync(); err != nil {
-			return err
+
+	grouped := done != nil && commit &&
+		l.opts.Policy == PolicyCommit && l.opts.GroupCommitDelay > 0
+	var cbs []func()
+	if grouped {
+		l.parked = append(l.parked, done)
+		l.stats.GroupBarriers++
+		if !l.armed {
+			l.armed = true
+			l.opts.Scheduler(l.opts.GroupCommitDelay, l.flushGroup)
+		}
+	} else {
+		if l.opts.Policy == PolicyAlways || (l.opts.Policy == PolicyCommit && commit) {
+			synced, err := l.syncLocked()
+			if err != nil {
+				return nil, err
+			}
+			cbs = synced
+		}
+		if done != nil {
+			cbs = append(cbs, done)
 		}
 	}
 	if l.segSize >= l.opts.SegmentBytes {
-		return l.rotate()
+		rotated, err := l.rotateLocked()
+		if err != nil {
+			return cbs, err
+		}
+		cbs = append(cbs, rotated...)
 	}
-	return nil
+	return cbs, nil
+}
+
+// flushGroup is the scheduled group-commit fsync.
+func (l *Log) flushGroup() {
+	l.mu.Lock()
+	l.armed = false
+	if l.groupErr != nil || len(l.parked) == 0 || l.out == nil {
+		l.mu.Unlock()
+		return
+	}
+	cbs, err := l.syncLocked()
+	l.mu.Unlock()
+	if err == nil {
+		fire(cbs)
+	}
 }
 
 // Sync flushes everything appended so far to stable storage, regardless of
 // policy. A graceful shutdown calls it (via Close) so restart never replays.
 func (l *Log) Sync() error {
-	if !l.dirty {
-		return nil
-	}
-	return l.sync()
+	l.mu.Lock()
+	cbs, err := l.syncLocked()
+	l.mu.Unlock()
+	fire(cbs)
+	return err
 }
 
-func (l *Log) sync() error {
+// syncLocked fsyncs the open segment if needed and drains the parked
+// group-commit barriers it now covers; the caller fires them after
+// unlocking. On failure the sticky group error arms: the parked callbacks
+// are dropped unfired, forever.
+func (l *Log) syncLocked() ([]func(), error) {
+	if l.groupErr != nil {
+		return nil, l.groupErr
+	}
+	if !l.dirty {
+		return l.drainParked(), nil
+	}
 	if err := l.out.Sync(); err != nil {
-		return fmt.Errorf("wal: sync: %w", err)
+		err = fmt.Errorf("wal: sync: %w", err)
+		if len(l.parked) > 0 {
+			l.groupErr = err
+			l.parked = nil
+		}
+		return nil, err
 	}
 	l.dirty = false
 	l.stats.Syncs++
-	return nil
+	return l.drainParked(), nil
+}
+
+func (l *Log) drainParked() []func() {
+	if len(l.parked) == 0 {
+		return nil
+	}
+	cbs := l.parked
+	l.parked = nil
+	l.stats.GroupBatches++
+	return cbs
+}
+
+func fire(cbs []func()) {
+	for _, cb := range cbs {
+		cb()
+	}
 }
 
 // SaveSnapshot installs state as the log's new snapshot: everything logged
@@ -241,32 +370,43 @@ func (l *Log) sync() error {
 // is crash-atomic: the snapshot is written to a temporary name, fsynced,
 // and renamed into place before any segment is touched.
 func (l *Log) SaveSnapshot(state []byte) error {
-	if err := l.Sync(); err != nil { // never install a snapshot newer than the synced log
-		return err
+	l.mu.Lock()
+	cbs, err := l.saveSnapshotLocked(state)
+	l.mu.Unlock()
+	fire(cbs)
+	return err
+}
+
+func (l *Log) saveSnapshotLocked(state []byte) ([]func(), error) {
+	// Never install a snapshot newer than the synced log — and a snapshot
+	// sync covers any parked group-commit barriers along the way.
+	cbs, err := l.syncLocked()
+	if err != nil {
+		return nil, err
 	}
 	payload := make([]byte, 4+len(state))
 	binary.LittleEndian.PutUint32(payload[0:4], crc32.Checksum(state, castagnoli))
 	copy(payload[4:], state)
 	f, err := l.b.Create("snap.tmp")
 	if err != nil {
-		return fmt.Errorf("wal: snapshot: %w", err)
+		return cbs, fmt.Errorf("wal: snapshot: %w", err)
 	}
 	if _, err := f.Write(payload); err != nil {
 		f.Close()
-		return fmt.Errorf("wal: snapshot: %w", err)
+		return cbs, fmt.Errorf("wal: snapshot: %w", err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		return fmt.Errorf("wal: snapshot: %w", err)
+		return cbs, fmt.Errorf("wal: snapshot: %w", err)
 	}
 	if err := f.Close(); err != nil {
-		return fmt.Errorf("wal: snapshot: %w", err)
+		return cbs, fmt.Errorf("wal: snapshot: %w", err)
 	}
 	oldGen := l.gen
 	l.gen++
 	if err := l.b.Rename("snap.tmp", snapName(l.gen)); err != nil {
 		l.gen = oldGen
-		return fmt.Errorf("wal: installing snapshot: %w", err)
+		return cbs, fmt.Errorf("wal: installing snapshot: %w", err)
 	}
 	l.stats.Snapshots++
 	// The snapshot is installed; everything below is cleanup that a crash
@@ -276,11 +416,11 @@ func (l *Log) SaveSnapshot(state []byte) error {
 	}
 	l.seg = 0
 	if err := l.openSegment(); err != nil {
-		return err
+		return cbs, err
 	}
 	names, err := l.b.List()
 	if err != nil {
-		return fmt.Errorf("wal: snapshot cleanup: %w", err)
+		return cbs, fmt.Errorf("wal: snapshot cleanup: %w", err)
 	}
 	for _, name := range names {
 		var g uint64
@@ -289,37 +429,58 @@ func (l *Log) SaveSnapshot(state []byte) error {
 			(parseSnap(name, &g) && g != l.gen)
 		if superseded {
 			if err := l.b.Remove(name); err != nil {
-				return fmt.Errorf("wal: snapshot cleanup: %w", err)
+				return cbs, fmt.Errorf("wal: snapshot cleanup: %w", err)
 			}
 		}
 	}
-	return nil
+	return cbs, nil
 }
 
 // Close syncs the tail and closes the open segment. A log closed cleanly
-// replays instantly on the next Open — nothing is torn, nothing is lost.
+// replays instantly on the next Open — nothing is torn, nothing is lost;
+// parked group-commit barriers are covered by the final sync.
 func (l *Log) Close() error {
+	l.mu.Lock()
 	if l.out == nil {
+		l.mu.Unlock()
 		return nil
 	}
-	if err := l.Sync(); err != nil {
+	cbs, err := l.syncLocked()
+	if err != nil {
+		l.mu.Unlock()
 		return err
 	}
-	err := l.out.Close()
+	err = l.out.Close()
 	l.out = nil
+	l.mu.Unlock()
+	fire(cbs)
 	return err
 }
 
 // Kill drops the handle without syncing — the crash path. Unsynced bytes
 // are left to the backend's fate (disk.Mem discards them on Crash; a real
-// OS keeps what the page cache already flushed).
-func (l *Log) Kill() { l.out = nil }
+// OS keeps what the page cache already flushed). Parked group-commit
+// barriers die unfired: their records were never covered by an fsync.
+func (l *Log) Kill() {
+	l.mu.Lock()
+	l.out = nil
+	l.parked = nil
+	l.mu.Unlock()
+}
 
 // Stats returns a copy of the log's counters.
-func (l *Log) Stats() Stats { return l.stats }
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
 
 // Generation returns the current snapshot generation.
-func (l *Log) Generation() uint64 { return l.gen }
+func (l *Log) Generation() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.gen
+}
 
 func (l *Log) openSegment() error {
 	f, err := l.b.Append(segName(l.gen, l.seg))
@@ -332,16 +493,19 @@ func (l *Log) openSegment() error {
 	return nil
 }
 
-func (l *Log) rotate() error {
-	if err := l.Sync(); err != nil {
-		return err
+// rotateLocked closes out the full segment (its sync covers any parked
+// barriers; the returned callbacks fire after the caller unlocks).
+func (l *Log) rotateLocked() ([]func(), error) {
+	cbs, err := l.syncLocked()
+	if err != nil {
+		return nil, err
 	}
 	if err := l.out.Close(); err != nil {
-		return fmt.Errorf("wal: rotate: %w", err)
+		return cbs, fmt.Errorf("wal: rotate: %w", err)
 	}
 	l.seg++
 	l.stats.Rotations++
-	return l.openSegment()
+	return cbs, l.openSegment()
 }
 
 func snapName(gen uint64) string       { return fmt.Sprintf("snap-%016x.snap", gen) }

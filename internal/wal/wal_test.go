@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/disk"
 )
@@ -317,4 +318,165 @@ func TestStatsCount(t *testing.T) {
 		t.Fatalf("stats = %+v", st)
 	}
 	l.Close()
+}
+
+// --- group commit -------------------------------------------------------
+
+// manualSched collects scheduled flushes so tests pump them explicitly.
+type manualSched struct{ pending []func() }
+
+func (s *manualSched) schedule(d time.Duration, fn func()) { s.pending = append(s.pending, fn) }
+
+func (s *manualSched) pump() {
+	fns := s.pending
+	s.pending = nil
+	for _, fn := range fns {
+		fn()
+	}
+}
+
+// TestGroupCommitBatchesBarriers: several barriers appended before the
+// flush fires share one covering fsync, the completion callbacks fire only
+// at that fsync, and the stats record the coalescing.
+func TestGroupCommitBatchesBarriers(t *testing.T) {
+	m := disk.NewMem()
+	sched := &manualSched{}
+	l, _, _, err := Open(m, Options{Policy: PolicyCommit, GroupCommitDelay: time.Millisecond, Scheduler: sched.schedule})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	for i := 0; i < 5; i++ {
+		if err := l.AppendBarrier(rec(i), true, func() { fired++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fired != 0 {
+		t.Fatalf("%d callbacks fired before the covering fsync", fired)
+	}
+	if len(sched.pending) != 1 {
+		t.Fatalf("%d flushes scheduled, want 1 (re-arming per barrier defeats coalescing)", len(sched.pending))
+	}
+	syncsBefore := m.Stats().Syncs
+	sched.pump()
+	if fired != 5 {
+		t.Fatalf("%d callbacks fired after flush, want 5", fired)
+	}
+	if got := m.Stats().Syncs - syncsBefore; got != 1 {
+		t.Fatalf("flush used %d fsyncs, want 1", got)
+	}
+	st := l.Stats()
+	if st.GroupBatches != 1 || st.GroupBarriers != 5 {
+		t.Fatalf("stats = %d batches / %d barriers, want 1/5", st.GroupBatches, st.GroupBarriers)
+	}
+	l.Close()
+}
+
+// TestQuickGroupCommitCrashKeepsExactPrefix is the crash-point property for
+// group commit: crash at an arbitrary point mid-batch and (a) replay yields
+// exactly the records covered by completed flushes — a strict prefix, no
+// torn half-batch survives as acknowledged state — and (b) no parked
+// completion callback has fired for a record the replay does not produce
+// (the durability promise: "done" is never a lie).
+func TestQuickGroupCommitCrashKeepsExactPrefix(t *testing.T) {
+	prop := func(nAppend, flushAfter uint8) bool {
+		n := int(nAppend)%24 + 1
+		covered := int(flushAfter) % (n + 1) // barriers before the pumped flush
+		m := disk.NewMem()
+		sched := &manualSched{}
+		l, _, _, err := Open(m, Options{Policy: PolicyCommit, GroupCommitDelay: time.Millisecond, Scheduler: sched.schedule})
+		if err != nil {
+			return false
+		}
+		fired := make([]bool, n)
+		for i := 0; i < n; i++ {
+			i := i
+			if err := l.AppendBarrier(rec(i), true, func() { fired[i] = true }); err != nil {
+				return false
+			}
+			if i+1 == covered {
+				sched.pump()
+			}
+		}
+		// Power cut mid-batch: every unsynced byte vanishes, parked
+		// callbacks never fire.
+		m.Crash()
+		l.Kill()
+		for i := range fired {
+			if fired[i] != (i < covered) {
+				return false // fired for an uncovered record, or vice versa
+			}
+		}
+		_, _, recs, err := Open(m, Options{})
+		if err != nil {
+			return false
+		}
+		if len(recs) != covered {
+			return false // not exactly the covered prefix
+		}
+		for i, r := range recs {
+			w := rec(i)
+			if r.Type != w.Type || !bytes.Equal(r.Data, w.Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickGroupCommitTornTail combines group commit with a torn tail: the
+// crash may also leave a half-written record past the last covering fsync
+// (modelled by truncating the unsynced region at an arbitrary byte before
+// dropping it is NOT possible — the unsynced region is gone after Crash —
+// so instead sync everything, then tear the tail). Replay must still be a
+// prefix and reopen must stay functional for further group commits.
+func TestQuickGroupCommitTornTail(t *testing.T) {
+	prop := func(nAppend, cut uint16) bool {
+		n := int(nAppend)%24 + 1
+		m := disk.NewMem()
+		sched := &manualSched{}
+		l, _, _, err := Open(m, Options{Policy: PolicyCommit, GroupCommitDelay: time.Millisecond, Scheduler: sched.schedule})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if err := l.AppendBarrier(rec(i), true, nil); err != nil {
+				return false
+			}
+		}
+		sched.pump()
+		l.Kill()
+		seg := segName(0, 0)
+		size := m.Size(seg)
+		if err := m.Truncate(seg, int(cut)%(size+1)); err != nil {
+			return false
+		}
+		l2, _, recs, err := Open(m, Options{Policy: PolicyCommit, GroupCommitDelay: time.Millisecond, Scheduler: sched.schedule})
+		if err != nil {
+			return false
+		}
+		defer l2.Close()
+		if len(recs) > n {
+			return false
+		}
+		for i, r := range recs {
+			w := rec(i)
+			if r.Type != w.Type || !bytes.Equal(r.Data, w.Data) {
+				return false
+			}
+		}
+		// The reopened log still serves group commits.
+		ok := false
+		if err := l2.AppendBarrier(rec(n), true, func() { ok = true }); err != nil {
+			return false
+		}
+		sched.pump()
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
 }
