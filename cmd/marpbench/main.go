@@ -24,9 +24,16 @@
 // Experiments: f2 f3 f4 c1 t3 a1 a2 a3 a4 a5 a6 a7 a8 a9 (see DESIGN.md §4).
 // Unknown -exp names are rejected; the list above, `-exp help`, and the
 // DESIGN.md per-experiment index enumerate the same set.
+//
+// Separately from the figure experiments, `-exp replay -scenario <file>`
+// re-executes a recorded incident bundle on the DES engine and checks its
+// per-key commit digests (DESIGN.md §12). Exit status: 0 = digests match,
+// 1 = mismatch (a per-key diff is printed), 2 = malformed or unreadable
+// bundle — the same operator-error status an unknown -exp name gets.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -38,6 +45,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/metrics"
+	"repro/internal/scenario"
 )
 
 var experiments = []string{"f2", "f3", "f4", "c1", "t3", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8", "a9"}
@@ -53,8 +61,13 @@ func main() {
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep-point worker goroutines (1 = sequential; results are identical at any value)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		scenPath = flag.String("scenario", "", "incident bundle to replay (with -exp replay)")
 	)
 	flag.Parse()
+
+	if *expFlag == "replay" {
+		os.Exit(runReplay(*scenPath))
+	}
 
 	if *parallel <= 0 {
 		*parallel = runtime.GOMAXPROCS(0)
@@ -160,6 +173,7 @@ func run(expFlag, cpuProf, memProf string, opts harness.FigureOptions) int {
 		for _, e := range all {
 			fmt.Printf("%-3s  %s\n", e.id, e.name)
 		}
+		fmt.Printf("%-3s  %s\n", "replay", "Replay an incident bundle on the DES engine (needs -scenario <file>)")
 		return 0
 	}
 	want := map[string]bool{}
@@ -172,6 +186,10 @@ func run(expFlag, cpuProf, memProf string, opts harness.FigureOptions) int {
 			e = strings.TrimSpace(strings.ToLower(e))
 			if e == "" {
 				continue
+			}
+			if e == "replay" {
+				fmt.Fprintln(os.Stderr, "marpbench: -exp replay must be the only experiment (and needs -scenario <file>)")
+				return 2
 			}
 			if !known[e] {
 				fmt.Fprintf(os.Stderr, "marpbench: unknown experiment %q (want %s, all, or help)\n",
@@ -219,6 +237,43 @@ func run(expFlag, cpuProf, memProf string, opts harness.FigureOptions) int {
 	if ran > 1 {
 		fmt.Printf("[%d experiments in %.2fs total]\n", ran, time.Since(total).Seconds())
 	}
+	return 0
+}
+
+// runReplay deterministically re-executes one incident bundle on the DES
+// engine and checks invariant 14 (equal per-key commit digests). Exit
+// status is scripting-grade: 0 match, 1 mismatch (with a per-key diff) or
+// replay failure, 2 malformed/unreadable bundle.
+func runReplay(path string) int {
+	if path == "" {
+		fmt.Fprintln(os.Stderr, "marpbench: -exp replay needs -scenario <bundle.jsonl>")
+		return 2
+	}
+	b, err := scenario.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "marpbench: %v\n", err)
+		return 2
+	}
+	fmt.Printf("replaying %s: %d servers, %d events, %d recorded commits over %v\n",
+		b.Header.Name, b.Header.Servers, len(b.Events), b.Digest.Commits, b.Span().Round(time.Millisecond))
+	start := time.Now()
+	res, err := scenario.Replay(b)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "marpbench: %v\n", err)
+		if errors.Is(err, scenario.ErrMalformed) {
+			return 2
+		}
+		return 1
+	}
+	if !res.OK() {
+		fmt.Printf("DIGEST MISMATCH: %d divergence(s)\n", len(res.Mismatches))
+		for _, m := range res.Mismatches {
+			fmt.Printf("  %s\n", m)
+		}
+		return 1
+	}
+	fmt.Printf("ok: %d commits, %d keys, digests match the recording (%.2fs wall clock)\n",
+		res.Commits, len(res.Keys), time.Since(start).Seconds())
 	return 0
 }
 

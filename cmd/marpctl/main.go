@@ -7,6 +7,8 @@
 //	marpctl [-addr host:port] read <node> <key>
 //	marpctl [-addr host:port] crash <node>
 //	marpctl [-addr host:port] recover <node>
+//	marpctl [-addrs a,b,c] partition <groups>   (e.g. "1,2/3")
+//	marpctl [-addrs a,b,c] heal
 //	marpctl [-addr host:port] [-json] digest <node>
 //	marpctl [-addr host:port] [-json] referee
 //	marpctl [-addr host:port] stats
@@ -16,6 +18,19 @@
 // request/response exchange once connected (0 disables the deadline).
 // -json switches digest and referee output to one JSON object per line,
 // for scripts (the CI restart-smoke gate parses it).
+//
+// partition and heal fan out to every address in -addrs (default: just
+// -addr): a live cluster's fabric filters at the endpoints, so each process
+// must be told about the split. Incident recording rides along:
+//
+//	marpctl -record <dir> crash 3            # inject AND record the fault
+//	marpctl -record <dir> record-fault crash 3   # record only (kill -9 etc.)
+//	marpctl -record <dir> -addrs a,b,c snapshot-scenario -name my-incident -out my.jsonl
+//
+// snapshot-scenario queries every process, refuses unclean captures (failed
+// or outstanding requests, diverged digests — exit 1), merges the spool
+// files marpd -record and marpctl -record wrote, and writes one replayable
+// bundle (replay it with `marpbench -exp replay -scenario <file>`).
 package main
 
 import (
@@ -24,8 +39,10 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
+	"repro/internal/scenario"
 	"repro/internal/transport"
 )
 
@@ -56,17 +73,90 @@ commands:
   read <node> <key>             read the local copy at server <node>
   crash <node>                  fail-stop a server
   recover <node>                restart a crashed server
+  partition <groups>            split the network, e.g. "1,2/3" (all -addrs)
+  heal                          remove all partitions, trigger anti-entropy (all -addrs)
+  record-fault <kind> [args]    record a fault event without injecting it
+  snapshot-scenario             finalize a recorded incident into a bundle
   digest <node>                 commit-set digest of a replica's store
   referee                       grants and single-claimant violations
   stats                         service counters
-flags: -addr host:port, -timeout 5s, -json (digest/referee)`)
+flags: -addr host:port, -addrs a,b,c (partition/heal/snapshot-scenario),
+       -timeout 5s, -json (digest/referee), -record <dir> (fault spooling),
+       -name/-note/-seed/-out (snapshot-scenario)`)
 	os.Exit(2)
+}
+
+// parseGroups turns "1,2/3" into partition groups [[1 2] [3]].
+func parseGroups(spec string) ([][]int, error) {
+	var groups [][]int
+	for _, part := range strings.Split(spec, "/") {
+		var g []int
+		for _, s := range strings.Split(part, ",") {
+			s = strings.TrimSpace(s)
+			if s == "" {
+				continue
+			}
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("bad node id %q in groups %q", s, spec)
+			}
+			g = append(g, n)
+		}
+		if len(g) > 0 {
+			groups = append(groups, g)
+		}
+	}
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("empty partition groups %q", spec)
+	}
+	return groups, nil
+}
+
+// fanout applies fn to every address in turn — the partition/heal
+// injection path, where each live process must hear the same command.
+func fanout(addrs []string, timeout time.Duration, fn func(*transport.Client) error) error {
+	for _, a := range addrs {
+		cli, err := dialRetry(a, 3)
+		if err != nil {
+			return fmt.Errorf("%s: %w", a, err)
+		}
+		cli.SetRequestTimeout(timeout)
+		err = fn(cli)
+		cli.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", a, err)
+		}
+	}
+	return nil
+}
+
+// record appends one fault event to the -record spool (no-op without it).
+func record(dir string, e scenario.Event) {
+	if dir == "" {
+		return
+	}
+	rec, err := scenario.OpenRecorder(dir, "ctl")
+	if err != nil {
+		fatal(err)
+	}
+	if err := rec.Record(e); err != nil {
+		fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		fatal(err)
+	}
 }
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7707", "marpd address")
+	addrsFlag := flag.String("addrs", "", "comma-separated addresses of every cluster process (partition, heal, snapshot-scenario); default: -addr")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request deadline (0 = none)")
 	asJSON := flag.Bool("json", false, "machine-readable output (digest, referee)")
+	recordDir := flag.String("record", "", "incident spool directory: crash/recover/partition/heal/record-fault append scenario events here")
+	name := flag.String("name", "incident", "scenario name (snapshot-scenario)")
+	note := flag.String("note", "", "scenario note (snapshot-scenario)")
+	seed := flag.Int64("seed", 1, "replay seed stamped into the bundle header (snapshot-scenario)")
+	out := flag.String("out", "", "bundle output path (snapshot-scenario; default <name>.jsonl)")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -74,12 +164,18 @@ func main() {
 		usage()
 	}
 
-	cli, err := dialRetry(*addr, 3)
-	if err != nil {
-		fatal(err)
+	addrs := []string{*addr}
+	if *addrsFlag != "" {
+		addrs = addrs[:0]
+		for _, a := range strings.Split(*addrsFlag, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		if len(addrs) == 0 {
+			fatal(fmt.Errorf("empty -addrs"))
+		}
 	}
-	defer cli.Close()
-	cli.SetRequestTimeout(*timeout)
 
 	node := func(s string) int {
 		n, err := strconv.Atoi(s)
@@ -88,6 +184,59 @@ func main() {
 		}
 		return n
 	}
+
+	// Multi-process and offline commands first — they manage their own
+	// connections (or none at all).
+	switch args[0] {
+	case "partition":
+		if len(args) != 2 {
+			usage()
+		}
+		groups, err := parseGroups(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		if err := fanout(addrs, *timeout, func(cli *transport.Client) error {
+			return cli.Partition(groups)
+		}); err != nil {
+			fatal(err)
+		}
+		record(*recordDir, scenario.Event{Kind: scenario.KindPartition, Groups: groups})
+		fmt.Printf("ok: partitioned %s at %d process(es)\n", args[1], len(addrs))
+		return
+	case "heal":
+		if len(args) != 1 {
+			usage()
+		}
+		if err := fanout(addrs, *timeout, func(cli *transport.Client) error {
+			return cli.Heal()
+		}); err != nil {
+			fatal(err)
+		}
+		record(*recordDir, scenario.Event{Kind: scenario.KindHeal})
+		fmt.Printf("ok: healed %d process(es)\n", len(addrs))
+		return
+	case "record-fault":
+		if *recordDir == "" {
+			fatal(fmt.Errorf("record-fault needs -record <dir>"))
+		}
+		record(*recordDir, parseFault(args[1:], node))
+		fmt.Println("ok: fault recorded")
+		return
+	case "snapshot-scenario":
+		if len(args) != 1 {
+			usage()
+		}
+		snapshotScenario(addrs, *timeout, *recordDir, *name, *note, *seed, *out)
+		return
+	}
+
+	cli, err := dialRetry(*addr, 3)
+	if err != nil {
+		fatal(err)
+	}
+	defer cli.Close()
+	cli.SetRequestTimeout(*timeout)
 
 	switch args[0] {
 	case "submit", "append":
@@ -118,6 +267,7 @@ func main() {
 		if err := cli.Crash(node(args[1])); err != nil {
 			fatal(err)
 		}
+		record(*recordDir, scenario.Event{Kind: scenario.KindCrash, Node: node(args[1])})
 		fmt.Println("ok: server crashed")
 	case "recover":
 		if len(args) != 2 {
@@ -126,6 +276,7 @@ func main() {
 		if err := cli.Recover(node(args[1])); err != nil {
 			fatal(err)
 		}
+		record(*recordDir, scenario.Event{Kind: scenario.KindRecover, Node: node(args[1])})
 		fmt.Println("ok: server recovering")
 	case "digest":
 		if len(args) != 2 {
@@ -176,6 +327,139 @@ func main() {
 	default:
 		usage()
 	}
+}
+
+// parseFault builds the scenario event for a record-fault command:
+//
+//	record-fault crash <node> | recover <node> | partition <groups> |
+//	             heal | lossy <probability> | fsyncstall <duration>
+//
+// record-fault writes the spool without touching the cluster — for faults
+// injected outside marpctl, like a kill -9 of a replica process or a real
+// disk stall.
+func parseFault(args []string, node func(string) int) scenario.Event {
+	bad := func() scenario.Event {
+		fatal(fmt.Errorf("bad record-fault %q (want crash/recover <node>, partition <groups>, heal, lossy <p>, fsyncstall <duration>)", strings.Join(args, " ")))
+		panic("unreachable")
+	}
+	if len(args) == 0 {
+		return bad()
+	}
+	switch args[0] {
+	case "crash", "recover":
+		if len(args) != 2 {
+			return bad()
+		}
+		kind := scenario.KindCrash
+		if args[0] == "recover" {
+			kind = scenario.KindRecover
+		}
+		return scenario.Event{Kind: kind, Node: node(args[1])}
+	case "partition":
+		if len(args) != 2 {
+			return bad()
+		}
+		groups, err := parseGroups(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		return scenario.Event{Kind: scenario.KindPartition, Groups: groups}
+	case "heal":
+		if len(args) != 1 {
+			return bad()
+		}
+		return scenario.Event{Kind: scenario.KindHeal}
+	case "lossy":
+		if len(args) != 2 {
+			return bad()
+		}
+		p, err := strconv.ParseFloat(args[1], 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad loss probability %q", args[1]))
+		}
+		return scenario.Event{Kind: scenario.KindLossy, Loss: p}
+	case "fsyncstall":
+		if len(args) != 2 {
+			return bad()
+		}
+		d, err := time.ParseDuration(args[1])
+		if err != nil {
+			fatal(fmt.Errorf("bad fsync stall %q", args[1]))
+		}
+		return scenario.Event{Kind: scenario.KindFsyncStall, StallUS: d.Microseconds()}
+	}
+	return bad()
+}
+
+// snapshotScenario finalizes a recorded incident: it queries every process
+// for its scenario snapshot, refuses unclean captures, merges the spool
+// directory, and writes one bundle. The cleanliness rules exist because a
+// replay arms agent regeneration under a validated fault plane, so every
+// recorded submit WILL commit — a capture with failed or still-outstanding
+// requests could never digest-match its own replay.
+func snapshotScenario(addrs []string, timeout time.Duration, dir, name, note string, seed int64, out string) {
+	if dir == "" {
+		fatal(fmt.Errorf("snapshot-scenario needs -record <dir>"))
+	}
+	var ref *transport.ScenarioBody
+	var refAddr string
+	commits, failed, outstanding := 0, 0, 0
+	for _, a := range addrs {
+		cli, err := dialRetry(a, 3)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", a, err))
+		}
+		cli.SetRequestTimeout(timeout)
+		body, err := cli.Scenario()
+		cli.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", a, err))
+		}
+		commits += body.Commits
+		failed += body.Failed
+		outstanding += body.Outstanding
+		if ref == nil {
+			ref, refAddr = body, a
+			continue
+		}
+		if body.Servers != ref.Servers || body.Shards != ref.Shards ||
+			body.Geometry != ref.Geometry || body.Fsync != ref.Fsync {
+			fatal(fmt.Errorf("%s and %s disagree on the cluster shape", refAddr, a))
+		}
+		if diffs := scenario.DiffDigests(ref.Keys, body.Keys); len(diffs) > 0 {
+			fatal(fmt.Errorf("%s and %s have not converged (%s); heal/recover and retry", refAddr, a, diffs[0]))
+		}
+	}
+	if failed > 0 {
+		fatal(fmt.Errorf("unclean capture: %d failed request(s); a replay cannot reproduce lost submissions", failed))
+	}
+	if outstanding > 0 {
+		fatal(fmt.Errorf("capture still settling: %d outstanding request(s); retry when drained", outstanding))
+	}
+	hdr := scenario.Header{
+		Name:          name,
+		Servers:       ref.Servers,
+		Seed:          seed,
+		Shards:        ref.Shards,
+		Geometry:      ref.Geometry,
+		Fsync:         ref.Fsync,
+		CommitDelayUS: ref.CommitDelayUS,
+		Created:       time.Now().UTC().Format(time.RFC3339),
+		Note:          note,
+	}
+	dig := scenario.Digest{Commits: commits, Keys: ref.Keys}
+	b, err := scenario.Finalize(dir, hdr, dig)
+	if err != nil {
+		fatal(err)
+	}
+	if out == "" {
+		out = name + ".jsonl"
+	}
+	if err := b.WriteFile(out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: %d servers, %d events, %d commits, %d keys\n",
+		out, hdr.Servers, len(b.Events), commits, len(b.Digest.Keys))
 }
 
 // printJSON writes one sorted-key JSON object per line to stdout.

@@ -23,6 +23,12 @@
 // and closes the log, and restarting with the same -data-dir replays it
 // before rejoining (README.md walks through a kill-and-restart).
 //
+// Add -record <dir> (one shared directory for the whole cluster) to spool
+// every accepted submit as an incident-scenario event. Faults are recorded
+// by the injector (`marpctl -record <dir> crash ...` and friends), and
+// `marpctl snapshot-scenario` merges the spools into a replayable bundle
+// (see internal/scenario and `marpbench -exp replay`).
+//
 // Then drive it with marpctl:
 //
 //	marpctl -addr :7707 submit 1 mykey myvalue
@@ -46,6 +52,7 @@ import (
 	"repro/internal/quorum"
 	"repro/internal/runtime"
 	"repro/internal/runtime/live"
+	"repro/internal/scenario"
 	"repro/internal/transport"
 )
 
@@ -85,6 +92,7 @@ func main() {
 		codec    = flag.String("codec", "wire", "fabric codec (live mode): wire (zero-alloc binary) or gob (legacy)")
 		commit   = flag.Duration("commit-delay", 0, "WAL group-commit window with -data-dir, e.g. 200us; 0 = fsync per commit (live mode)")
 		ackDelay = flag.Duration("ack-delay", 0, "migration ack aggregation window, e.g. 500us; 0 = ack immediately (live mode)")
+		record   = flag.String("record", "", "incident-recording spool directory: accepted submits are appended as scenario events (share one dir across the cluster; see marpctl snapshot-scenario)")
 	)
 	flag.Parse()
 
@@ -128,6 +136,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "marpd: %v\n", err)
 		os.Exit(1)
 	}
+	var rec *scenario.Recorder
+	if *record != "" {
+		name := "sim"
+		if *mode == "live" {
+			name = fmt.Sprintf("node-%d", *node)
+		}
+		rec, err = scenario.OpenRecorder(*record, name)
+		if err != nil {
+			srv.Close()
+			fmt.Fprintf(os.Stderr, "marpd: %v\n", err)
+			os.Exit(1)
+		}
+		srv.SetRecorder(rec)
+	}
 	if *mode == "live" {
 		fmt.Printf("marpd: live replica %d of %d, listening on %s\n",
 			*node, strings.Count(*peers, "="), srv.Addr())
@@ -141,4 +163,7 @@ func main() {
 	<-sig
 	fmt.Println("\nmarpd: shutting down")
 	srv.Close()
+	if rec != nil {
+		rec.Close()
+	}
 }

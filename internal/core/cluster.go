@@ -596,6 +596,34 @@ func (c *Cluster) Nodes() []runtime.NodeID {
 	return out
 }
 
+// Shape is the engine-neutral summary of a cluster's configuration — the
+// facts a scenario-bundle header must carry for a replay to rebuild an
+// equivalent cluster on the other engine.
+type Shape struct {
+	N        int
+	Shards   int
+	Geometry quorum.Geometry
+	// Fsync is the durability policy name, empty when the cluster runs
+	// volatile.
+	Fsync string
+	// GroupCommitDelay is the WAL group-commit window (zero = synchronous
+	// fsync per barrier).
+	GroupCommitDelay time.Duration
+}
+
+// Describe reports the cluster's shape.
+func (c *Cluster) Describe() Shape {
+	s := Shape{N: c.cfg.N, Shards: c.cfg.Shards, Geometry: c.cfg.Geometry}
+	if s.Geometry == "" {
+		s.Geometry = quorum.GeomMajority
+	}
+	if d := c.cfg.Durability; d != nil {
+		s.Fsync = d.Policy.String()
+		s.GroupCommitDelay = d.GroupCommitDelay
+	}
+	return s
+}
+
 // Referee returns the Theorem 2 oracle.
 func (c *Cluster) Referee() *Referee { return c.referee }
 
@@ -859,7 +887,9 @@ func (c *Cluster) Recover(id runtime.NodeID) {
 
 // PartitionNet splits the network into the given groups; nodes in different
 // groups cannot exchange messages (failure.Partition events). A no-op when
-// the fabric cannot partition (the live TCP fabric).
+// the fabric cannot partition. On a live deployment each process must be
+// told separately (its fabric filters its own endpoints); the transport
+// layer's partition op exists for exactly that fan-out.
 func (c *Cluster) PartitionNet(groups ...[]runtime.NodeID) {
 	if p, ok := c.base.(runtime.Partitioner); ok {
 		p.Partition(groups...)

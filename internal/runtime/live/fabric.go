@@ -16,7 +16,10 @@ import (
 	"repro/internal/wire"
 )
 
-var _ runtime.Fabric = (*Fabric)(nil)
+var (
+	_ runtime.Fabric      = (*Fabric)(nil)
+	_ runtime.Partitioner = (*Fabric)(nil)
+)
 
 // frame is the unit on the wire: one encoded protocol message. From
 // identifies the sender (no separate handshake); Size carries the sender's
@@ -64,6 +67,7 @@ type Fabric struct {
 	handlers map[runtime.NodeID]runtime.Handler
 	peers    map[runtime.NodeID]*peer
 	inbound  map[net.Conn]bool
+	group    map[runtime.NodeID]int // partition group per node; nil = healed
 	stats    runtime.NetStats
 	closed   bool
 	wg       sync.WaitGroup
@@ -141,6 +145,39 @@ func (f *Fabric) Cost(from, to runtime.NodeID) float64 {
 // liveness; failures surface as protocol timeouts.
 func (f *Fabric) Down(runtime.NodeID) bool { return false }
 
+// Partition implements runtime.Partitioner by filtering at the endpoints:
+// frames whose sender and receiver sit in different groups are dropped at
+// the sending fabric, and — because each process only learns of a
+// partition when the operator's injection reaches it — once more on
+// receipt, so a frame from a peer that has not applied the split yet still
+// cannot cross it. Nodes not named in any group fall in group 0. Drops are
+// counted like any other loss; the reliable layer and protocol timeouts
+// see exactly what a switch-level split would produce.
+func (f *Fabric) Partition(groups ...[]runtime.NodeID) {
+	g := make(map[runtime.NodeID]int)
+	for gi, nodes := range groups {
+		for _, id := range nodes {
+			g[id] = gi + 1
+		}
+	}
+	f.mu.Lock()
+	f.group = g
+	f.mu.Unlock()
+}
+
+// Heal implements runtime.Partitioner: all groups rejoin.
+func (f *Fabric) Heal() {
+	f.mu.Lock()
+	f.group = nil
+	f.mu.Unlock()
+}
+
+// cutLocked reports whether the current partition separates a and b.
+// Caller holds f.mu.
+func (f *Fabric) cutLocked(a, b runtime.NodeID) bool {
+	return f.group != nil && f.group[a] != f.group[b]
+}
+
 // NetStats implements runtime.StatsSource.
 func (f *Fabric) NetStats() runtime.NetStats {
 	f.mu.Lock()
@@ -175,6 +212,11 @@ func (f *Fabric) Send(msg runtime.Message) {
 			f.stats.ByKind = make(map[string]int)
 		}
 		f.stats.ByKind[k.Kind()]++
+	}
+	if f.cutLocked(msg.From, msg.To) {
+		f.stats.MessagesDropped++
+		f.mu.Unlock()
+		return
 	}
 	if h, ok := f.handlers[msg.To]; ok {
 		f.stats.MessagesDelivered++
@@ -435,7 +477,7 @@ func (f *Fabric) readGob(conn net.Conn) {
 func (f *Fabric) deliver(fr frame) {
 	f.mu.Lock()
 	h, ok := f.handlers[fr.To]
-	if !ok {
+	if !ok || f.cutLocked(fr.From, fr.To) {
 		f.stats.MessagesDropped++
 		f.mu.Unlock()
 		return

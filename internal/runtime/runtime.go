@@ -171,8 +171,8 @@ type Engine interface {
 
 // Capability interfaces: fault-injection surfaces an engine's fabric MAY
 // support. Protocol code asserts for them and degrades to a no-op when the
-// fabric does not cooperate — the live TCP fabric, for instance, cannot
-// partition a real network.
+// fabric does not cooperate — the live TCP fabric, for instance, has no
+// loss dial, though it does partition (by filtering at the endpoints).
 
 // StatsSource is a fabric that keeps traffic counters.
 type StatsSource interface {

@@ -1,0 +1,52 @@
+package scenario_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestScenarioCorpus replays every checked-in incident bundle under
+// scenarios/ — the named-scenario gate the CI workflow also runs through
+// marpbench. Each bundle was captured from a real live-cluster run
+// (cmd/marpd's TestGenerateScenarioCorpus), so a failure here means the
+// protocol no longer reproduces a previously-recorded incident's commit
+// digests: invariant 14 regressed.
+func TestScenarioCorpus(t *testing.T) {
+	dir := filepath.Join("..", "..", "scenarios")
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("scenario corpus missing: %v", err)
+	}
+	bundles := 0
+	for _, ent := range ents {
+		if !strings.HasSuffix(ent.Name(), ".jsonl") {
+			continue
+		}
+		bundles++
+		name := strings.TrimSuffix(ent.Name(), ".jsonl")
+		t.Run(name, func(t *testing.T) {
+			b, err := scenario.ReadFile(filepath.Join(dir, ent.Name()))
+			if err != nil {
+				t.Fatalf("read: %v", err)
+			}
+			res, err := scenario.Replay(b)
+			if err != nil {
+				t.Fatalf("replay: %v", err)
+			}
+			if !res.OK() {
+				for _, m := range res.Mismatches {
+					t.Error(m)
+				}
+				t.Fatalf("replay diverged from the recorded digests (%d mismatches)", len(res.Mismatches))
+			}
+			t.Logf("%d events, %d commits, %d keys", len(b.Events), res.Commits, len(res.Keys))
+		})
+	}
+	if bundles < 4 {
+		t.Fatalf("corpus holds %d bundles, want >= 4 named scenarios", bundles)
+	}
+}

@@ -1,0 +1,78 @@
+package scenario
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"repro/internal/store"
+)
+
+// NormalizeTxn strips the engine-dependent part of a transaction ID. Both
+// engines name agents "A<home>.<seq>", but <seq> is assigned in engine
+// scheduling order; the stable cross-engine identity is the home server, so
+// "A2.17" normalizes to "A2". With that normalization the per-key commit
+// SET is engine-independent (PR 4's equivalence invariant), which is what
+// the digest must cover.
+func NormalizeTxn(txn string) string {
+	if i := strings.IndexByte(txn, '.'); i >= 0 {
+		return txn[:i]
+	}
+	return txn
+}
+
+// KeyDigests reduces a committed-update log to one hex digest per key:
+// FNV-64a over the key's sorted "<normalized-txn>=<data>" entries. Commit
+// ORDER and sequence numbers are deliberately excluded — they are engine
+// scheduling, not protocol outcome — so a live capture and its DES replay
+// digest equal iff they committed the same values from the same homes for
+// each key.
+func KeyDigests(log []store.Update) map[string]string {
+	entries := make(map[string][]string)
+	for _, u := range log {
+		entries[u.Key] = append(entries[u.Key], NormalizeTxn(u.TxnID)+"="+u.Data)
+	}
+	out := make(map[string]string, len(entries))
+	for k, es := range entries {
+		sort.Strings(es)
+		h := fnv.New64a()
+		for _, e := range es {
+			h.Write([]byte(e))
+			h.Write([]byte{0})
+		}
+		out[k] = fmt.Sprintf("%016x", h.Sum64())
+	}
+	return out
+}
+
+// DiffDigests describes, one line per key, how got diverges from want:
+// missing keys, unexpected keys, and differing digests. Empty means equal.
+func DiffDigests(want, got map[string]string) []string {
+	keys := make(map[string]bool, len(want)+len(got))
+	for k := range want {
+		keys[k] = true
+	}
+	for k := range got {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	var diffs []string
+	for _, k := range sorted {
+		w, okW := want[k]
+		g, okG := got[k]
+		switch {
+		case !okW:
+			diffs = append(diffs, fmt.Sprintf("key %q: unexpected (got %s, recorded nothing)", k, g))
+		case !okG:
+			diffs = append(diffs, fmt.Sprintf("key %q: missing (recorded %s, got nothing)", k, w))
+		case w != g:
+			diffs = append(diffs, fmt.Sprintf("key %q: recorded %s, got %s", k, w, g))
+		}
+	}
+	return diffs
+}

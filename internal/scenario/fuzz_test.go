@@ -1,0 +1,129 @@
+package scenario
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// corpusDir is the checked-in fuzz seed corpus: one serialized bundle (or
+// deliberately broken near-bundle) per file, mirroring internal/wire's
+// seed-corpus pattern. Regenerate the well-formed seeds with
+// UPDATE_SCENARIO_CORPUS=1 go test ./internal/scenario.
+const corpusDir = "testdata"
+
+// corpusBundles returns the well-formed seed bundles.
+func corpusBundles() []*Bundle {
+	full := sampleBundle()
+	minimal := &Bundle{
+		Header: Header{V: Version, Name: "minimal", Servers: 1, Seed: 1},
+		Events: []Event{{At: 0, Kind: KindSubmit, Home: 1, Key: "k", Value: "v"}},
+		Digest: Digest{Kind: "digest", Commits: 1, Keys: map[string]string{"k": "0"}},
+	}
+	empty := &Bundle{
+		Header: Header{V: Version, Name: "empty", Servers: 3, Seed: 2},
+		Digest: Digest{Kind: "digest", Keys: map[string]string{}},
+	}
+	return []*Bundle{full, minimal, empty}
+}
+
+// brokenSeeds are hostile inputs checked in alongside the well-formed
+// corpus so the fuzzer starts from both sides of the validity boundary.
+func brokenSeeds(t testing.TB) []string {
+	base := lines(t, sampleBundle())
+	return []string{
+		"",
+		"{}",
+		base[0],
+		strings.Join(base[:len(base)-1], "\n"),
+		base[0] + "\n" + `{"at":1,"kind":"wormhole"}` + "\n" + base[len(base)-1],
+		`{"v":1,"servers":-3}` + "\n" + base[len(base)-1],
+		strings.Repeat(`{"kind":"digest"}`+"\n", 3),
+	}
+}
+
+func TestSeedCorpusReads(t *testing.T) {
+	if os.Getenv("UPDATE_SCENARIO_CORPUS") != "" {
+		if err := os.MkdirAll(corpusDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, b := range corpusBundles() {
+			var buf bytes.Buffer
+			if err := b.Write(&buf); err != nil {
+				t.Fatal(err)
+			}
+			name := filepath.Join(corpusDir, fmt.Sprintf("bundle-%02d.jsonl", i))
+			if err := os.WriteFile(name, buf.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ents, err := os.ReadDir(corpusDir)
+	if err != nil {
+		t.Fatalf("no seed corpus (run with UPDATE_SCENARIO_CORPUS=1 to create): %v", err)
+	}
+	seeds := 0
+	for _, ent := range ents {
+		if !strings.HasPrefix(ent.Name(), "bundle-") {
+			continue
+		}
+		seeds++
+		data, err := os.ReadFile(filepath.Join(corpusDir, ent.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Read(bytes.NewReader(data)); err != nil {
+			t.Errorf("%s: checked-in seed no longer parses: %v", ent.Name(), err)
+		}
+	}
+	if want := len(corpusBundles()); seeds != want {
+		t.Fatalf("corpus has %d seeds, want %d (regenerate with UPDATE_SCENARIO_CORPUS=1)", seeds, want)
+	}
+}
+
+// FuzzRead hammers the bundle parser with mutated JSONL. The invariant is
+// the parser's whole contract: never panic, and either return a valid
+// bundle (which must survive Validate and a write/read round-trip) or an
+// error wrapping ErrMalformed.
+func FuzzRead(f *testing.F) {
+	for _, b := range corpusBundles() {
+		var buf bytes.Buffer
+		if err := b.Write(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	for _, s := range brokenSeeds(f) {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := Read(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrMalformed) {
+				t.Fatalf("parse error %v does not wrap ErrMalformed", err)
+			}
+			return
+		}
+		if err := b.Validate(); err != nil {
+			t.Fatalf("Read accepted a bundle Validate rejects: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := b.Write(&buf); err != nil {
+			t.Fatalf("rewrite: %v", err)
+		}
+		// Re-marshalling can lengthen lines (JSON escaping), so only
+		// assert the round-trip when the rewrite stays under the line cap.
+		for _, ln := range bytes.Split(buf.Bytes(), []byte("\n")) {
+			if len(ln) > MaxLine {
+				return
+			}
+		}
+		if _, err := Read(&buf); err != nil {
+			t.Fatalf("accepted bundle does not re-read: %v", err)
+		}
+	})
+}

@@ -1,0 +1,157 @@
+package scenario
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Lead is the virtual-time offset Finalize gives the earliest recorded
+// event, so the replayed cluster is fully wired before the first submit
+// or fault lands.
+const Lead = 10 * time.Millisecond
+
+// A Recorder appends events to one spool file in a recording directory.
+// Each recording participant — every marpd process plus the fault
+// injector (marpctl) — owns its own spool, so no cross-process locking is
+// needed; spool events carry absolute wall-clock UnixNano timestamps and
+// Finalize later merges the spools into one bundle on a shared rebased
+// clock. Recorder is safe for concurrent use within one process.
+type Recorder struct {
+	mu sync.Mutex
+	f  *os.File
+	w  *bufio.Writer
+}
+
+// OpenRecorder opens (creating the directory if needed) the spool file
+// `events-<name>.jsonl` in dir for appending. Names must be unique per
+// recording participant ("node-1".."node-N", "ctl").
+func OpenRecorder(dir, name string) (*Recorder, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, "events-"+name+".jsonl"),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Recorder{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// Record appends one event, stamping At with the current wall clock if the
+// caller left it zero. Each event is flushed through to the OS immediately:
+// a recording exists to survive the very crashes it captures.
+func (r *Recorder) Record(e Event) error {
+	if e.At == 0 {
+		e.At = time.Now().UnixNano()
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.f == nil {
+		return fmt.Errorf("scenario: recorder closed")
+	}
+	if _, err := r.w.Write(data); err != nil {
+		return err
+	}
+	if err := r.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	return r.w.Flush()
+}
+
+// Close flushes and closes the spool.
+func (r *Recorder) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.f == nil {
+		return nil
+	}
+	err := r.w.Flush()
+	if cerr := r.f.Close(); err == nil {
+		err = cerr
+	}
+	r.f = nil
+	return err
+}
+
+// Finalize merges every spool file in dir into one bundle: events from all
+// participants are combined, ordered canonically (time, then kind rank,
+// then node/home/key so equal-instant merges are deterministic), and
+// rebased from absolute wall-clock nanoseconds to offsets starting at
+// Lead. The caller supplies the header (cluster shape + replay seed) and
+// the digest footer captured from the converged cluster.
+func Finalize(dir string, hdr Header, dig Digest) (*Bundle, error) {
+	spools, err := filepath.Glob(filepath.Join(dir, "events-*.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	if len(spools) == 0 {
+		return nil, fmt.Errorf("scenario: no spool files in %s", dir)
+	}
+	sort.Strings(spools)
+	var events []Event
+	for _, path := range spools {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 4096), MaxLine)
+		line := 0
+		for sc.Scan() {
+			line++
+			if len(sc.Bytes()) == 0 {
+				continue
+			}
+			var e Event
+			if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+				f.Close()
+				return nil, malformed("%s line %d: %v", path, line, err)
+			}
+			events = append(events, e)
+		}
+		err = sc.Err()
+		f.Close()
+		if err != nil {
+			return nil, malformed("%s: %v", path, err)
+		}
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("scenario: spool files in %s hold no events", dir)
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].At != events[j].At {
+			return events[i].At < events[j].At
+		}
+		if r1, r2 := events[i].Kind.rank(), events[j].Kind.rank(); r1 != r2 {
+			return r1 < r2
+		}
+		if events[i].Node != events[j].Node {
+			return events[i].Node < events[j].Node
+		}
+		if events[i].Home != events[j].Home {
+			return events[i].Home < events[j].Home
+		}
+		return events[i].Key < events[j].Key
+	})
+	base := events[0].At - int64(Lead)
+	for i := range events {
+		events[i].At -= base
+	}
+	hdr.V = Version
+	dig.Kind = "digest"
+	b := &Bundle{Header: hdr, Events: events, Digest: dig}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}

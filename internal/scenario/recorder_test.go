@@ -1,0 +1,122 @@
+package scenario
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestRecorderFinalize(t *testing.T) {
+	dir := t.TempDir()
+	// Three participants, absolute wall-clock stamps, deliberately
+	// interleaved across spools.
+	base := time.Now().UnixNano()
+	spool := func(name string, events ...Event) {
+		r, err := OpenRecorder(dir, name)
+		if err != nil {
+			t.Fatalf("open %s: %v", name, err)
+		}
+		for _, e := range events {
+			if err := r.Record(e); err != nil {
+				t.Fatalf("record: %v", err)
+			}
+		}
+		if err := r.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	}
+	spool("node-1",
+		Event{At: base + 10, Kind: KindSubmit, Home: 1, Key: "a", Value: "1"},
+		Event{At: base + 400, Kind: KindSubmit, Home: 1, Key: "a", Value: "2"},
+	)
+	spool("node-2",
+		Event{At: base + 200, Kind: KindSubmit, Home: 2, Key: "b", Value: "3"},
+	)
+	spool("ctl",
+		Event{At: base + 300, Kind: KindPartition, Groups: [][]int{{1, 2}, {3}}},
+		Event{At: base + 500, Kind: KindHeal},
+		// Same instant as a submit: the fault (heal) must sort first.
+		Event{At: base + 400, Kind: KindHeal},
+	)
+	hdr := Header{Name: "merge", Servers: 3, Seed: 1}
+	dig := Digest{Commits: 3, Keys: map[string]string{"a": "00", "b": "11"}}
+	b, err := Finalize(dir, hdr, dig)
+	if err != nil {
+		t.Fatalf("finalize: %v", err)
+	}
+	if len(b.Events) != 6 {
+		t.Fatalf("got %d events, want 6", len(b.Events))
+	}
+	if b.Events[0].At != int64(Lead) {
+		t.Errorf("first event rebased to %d, want %d", b.Events[0].At, int64(Lead))
+	}
+	order := make([]EventKind, len(b.Events))
+	for i, e := range b.Events {
+		order[i] = e.Kind
+	}
+	want := []EventKind{KindSubmit, KindSubmit, KindPartition, KindHeal, KindSubmit, KindHeal}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("merged order %v, want %v", order, want)
+		}
+	}
+	// The same-instant heal+submit pair: heal (rank 1) before submit (rank 6).
+	if b.Events[3].At != b.Events[4].At {
+		t.Errorf("same-instant pair split: %d vs %d", b.Events[3].At, b.Events[4].At)
+	}
+	// A finalized bundle must be writable and re-readable.
+	path := filepath.Join(dir, "out.jsonl")
+	if err := b.WriteFile(path); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := ReadFile(path); err != nil {
+		t.Fatalf("reread: %v", err)
+	}
+}
+
+func TestFinalizeRejectsGarbageSpool(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "events-bad.jsonl"), []byte("{nope\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Finalize(dir, Header{Name: "x", Servers: 3, Seed: 1}, Digest{})
+	if err == nil {
+		t.Fatal("garbage spool accepted")
+	}
+	if !errors.Is(err, ErrMalformed) {
+		t.Fatalf("error %v does not wrap ErrMalformed", err)
+	}
+}
+
+func TestFinalizeEmptyDir(t *testing.T) {
+	if _, err := Finalize(t.TempDir(), Header{Servers: 1}, Digest{}); err == nil {
+		t.Fatal("empty spool dir accepted")
+	}
+}
+
+func TestRecorderStampsZeroAt(t *testing.T) {
+	dir := t.TempDir()
+	r, err := OpenRecorder(dir, "stamp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Record(Event{Kind: KindHeal}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Record(Event{Kind: KindHeal}); err == nil {
+		t.Fatal("record after close succeeded")
+	}
+	b, err := Finalize(dir, Header{Name: "s", Servers: 1, Seed: 1}, Digest{Keys: map[string]string{}})
+	if err != nil {
+		t.Fatalf("finalize: %v", err)
+	}
+	// One event, stamped with the wall clock and rebased to exactly Lead.
+	if len(b.Events) != 1 || b.Events[0].At != int64(Lead) {
+		t.Fatalf("events = %+v, want one at %d", b.Events, int64(Lead))
+	}
+}

@@ -1,0 +1,188 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/desengine"
+	"repro/internal/disk"
+	"repro/internal/quorum"
+	"repro/internal/runtime"
+	"repro/internal/simnet"
+	"repro/internal/store"
+	"repro/internal/wal"
+)
+
+// ReplayResult is the outcome of one deterministic replay.
+type ReplayResult struct {
+	// Commits and Failed count replayed client requests by outcome.
+	Commits int
+	Failed  int
+	// Keys holds the replayed cluster's per-key commit digests.
+	Keys map[string]string
+	// Mismatches lists every divergence from the recorded footer — count
+	// disagreements and per-key digest diffs, one line each, prefixed with
+	// the replica that diverged. Empty means the replay reproduced the
+	// recorded outcome exactly.
+	Mismatches []string
+}
+
+// OK reports whether the replay matched the recording.
+func (r *ReplayResult) OK() bool { return len(r.Mismatches) == 0 }
+
+// Replay re-executes a bundle on the DES engine and checks invariant 14:
+// the recorded live run and its deterministic replay produce equal per-key
+// commit digests on every replica.
+//
+// Time mapping is 1:1 — a submit recorded t wall-clock nanoseconds into
+// the incident is injected t virtual nanoseconds into the simulation, so
+// the replay preserves the recorded interleaving of submits and faults at
+// the timescale the DES latency model already speaks (LAN microseconds to
+// WAN milliseconds under nanosecond virtual time). Message interleavings
+// below that timescale are the engine's own; the digest deliberately
+// covers only what is engine-independent.
+//
+// The replay arms the full recovery stack (agent regeneration, and —
+// whenever the bundle carries fault events — reliable delivery with the
+// chaos experiment's aggressive timeouts): the bundle's fault plane was
+// validated to never take down a majority, so every recorded submit must
+// commit and any digest gap is a protocol divergence, not injected bad
+// luck. A header fsync policy re-creates durability on deterministic
+// in-memory disks; fsyncstall events retarget their modelled sync latency
+// mid-run. The recorded group-commit window is provenance only: the DES
+// engine always runs the synchronous fsync-per-barrier path, and the
+// commit-set digest is independent of that choice.
+//
+// Returned errors wrap ErrMalformed when the bundle itself is at fault
+// (bad geometry or fsync names, a fault plane that kills a majority);
+// other errors mean the replay could not complete. A completed replay
+// reports divergence through ReplayResult.Mismatches, not an error.
+func Replay(b *Bundle) (*ReplayResult, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	n := b.Header.Servers
+	geom, err := quorum.ParseGeometry(b.Header.Geometry)
+	if err != nil {
+		return nil, malformed("header: %v", err)
+	}
+	sched, err := ToSchedule(b.Events)
+	if err != nil {
+		return nil, err
+	}
+	if err := sched.Validate(n, (n-1)/2); err != nil {
+		return nil, malformed("fault plane: %v", err)
+	}
+
+	cc := core.Config{
+		N:                n,
+		Shards:           b.Header.Shards,
+		Geometry:         geom,
+		RegenerateAgents: true,
+	}
+	if b.HasFaults() {
+		cc.Reliable = true
+		cc.RetransmitBase = 10 * time.Millisecond
+		cc.RetransmitAttempts = 12
+		cc.MigrationTimeout = 60 * time.Millisecond
+		cc.ClaimTimeout = 250 * time.Millisecond
+		cc.RetryInterval = 120 * time.Millisecond
+	}
+
+	// stall is the current modelled fsync latency; fsyncstall events move
+	// it. The DES engine is single-threaded, so a plain variable shared by
+	// every backend's SyncDelay closure is race-free.
+	var stall time.Duration
+	if b.Header.Fsync != "" {
+		policy, err := wal.ParsePolicy(b.Header.Fsync)
+		if err != nil {
+			return nil, malformed("header: %v", err)
+		}
+		cc.Durability = &core.DurabilityConfig{
+			Policy: policy,
+			Backend: func(runtime.NodeID) disk.Backend {
+				m := disk.NewMem()
+				m.SyncDelay = func() time.Duration { return stall }
+				return m
+			},
+		}
+	}
+
+	dcfg := desengine.Config{Seed: b.Header.Seed, Cluster: cc}
+	for _, e := range b.Events {
+		if e.Kind == KindLossy {
+			// Loss windows need the fault model armed from the start; its
+			// level is 0 until the first lossy event fires.
+			dcfg.Faults = simnet.NewFaultModel(b.Header.Seed+5000, 0, 0)
+			break
+		}
+	}
+	cl, err := desengine.New(dcfg)
+	if err != nil {
+		return nil, err
+	}
+
+	for _, e := range b.Events {
+		e := e
+		switch e.Kind {
+		case KindSubmit:
+			cl.Sim().After(time.Duration(e.At), func() {
+				req := core.Set(e.Key, e.Value)
+				if e.Append {
+					req = core.Append(e.Key, e.Value)
+				}
+				_ = cl.Submit(runtime.NodeID(e.Home), req)
+			})
+		case KindFsyncStall:
+			cl.Sim().After(time.Duration(e.At), func() {
+				stall = time.Duration(e.StallUS) * time.Microsecond
+			})
+		}
+	}
+	sched.Apply(func(d time.Duration, fn func()) { cl.Sim().After(d, fn) }, cl)
+
+	cl.Sim().RunFor(b.Span() + time.Millisecond)
+	if err := cl.RunUntilDone(30 * time.Minute); err != nil {
+		return nil, err
+	}
+	cl.Settle(10 * time.Second)
+	if err := cl.Referee().Err(); err != nil {
+		return nil, fmt.Errorf("scenario: replay broke the single-claimant oracle: %w", err)
+	}
+	if err := cl.CheckConvergence(); err != nil {
+		return nil, fmt.Errorf("scenario: replay replicas diverged: %w", err)
+	}
+
+	res := &ReplayResult{}
+	for _, o := range cl.Outcomes() {
+		if o.Failed {
+			res.Failed += o.Requests
+		} else {
+			res.Commits += o.Requests
+		}
+	}
+	if res.Commits != b.Digest.Commits {
+		res.Mismatches = append(res.Mismatches,
+			fmt.Sprintf("commits: recorded %d, replayed %d", b.Digest.Commits, res.Commits))
+	}
+	if res.Failed != b.Digest.Failed {
+		res.Mismatches = append(res.Mismatches,
+			fmt.Sprintf("failed: recorded %d, replayed %d", b.Digest.Failed, res.Failed))
+	}
+	for _, id := range cl.Nodes() {
+		s := cl.Server(id)
+		var log []store.Update
+		for sh := 0; sh < s.Shards(); sh++ {
+			log = append(log, s.StoreOf(sh).Log()...)
+		}
+		got := KeyDigests(log)
+		if res.Keys == nil {
+			res.Keys = got
+		}
+		for _, d := range DiffDigests(b.Digest.Keys, got) {
+			res.Mismatches = append(res.Mismatches, fmt.Sprintf("replica %d: %s", id, d))
+		}
+	}
+	return res, nil
+}

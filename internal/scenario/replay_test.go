@@ -1,0 +1,152 @@
+package scenario
+
+import (
+	"errors"
+	"testing"
+)
+
+// replayBundle is a faulty incident small enough for a unit test: five
+// servers, a minority partition and a crash mid-stream, Set-only writes.
+func replayBundle() *Bundle {
+	ms := func(n int64) int64 { return n * 1e6 }
+	return &Bundle{
+		Header: Header{
+			V: Version, Name: "unit", Servers: 5, Seed: 42,
+			Shards: 2, Fsync: "commit",
+		},
+		Events: []Event{
+			{At: ms(1), Kind: KindSubmit, Home: 1, Key: "alpha", Value: "1"},
+			{At: ms(2), Kind: KindSubmit, Home: 2, Key: "beta", Value: "2"},
+			{At: ms(5), Kind: KindPartition, Groups: [][]int{{1, 2, 3}, {4, 5}}},
+			{At: ms(8), Kind: KindSubmit, Home: 1, Key: "alpha", Value: "3"},
+			{At: ms(10), Kind: KindFsyncStall, StallUS: 200},
+			{At: ms(40), Kind: KindHeal},
+			{At: ms(45), Kind: KindSubmit, Home: 3, Key: "gamma", Value: "4"},
+			{At: ms(60), Kind: KindCrash, Node: 5},
+			{At: ms(65), Kind: KindSubmit, Home: 2, Key: "beta", Value: "5"},
+			{At: ms(120), Kind: KindRecover, Node: 5},
+		},
+		Digest: Digest{Kind: "digest", Keys: map[string]string{}},
+	}
+}
+
+// TestReplayDeterminism is the replayer's core contract: replaying the same
+// bundle twice produces byte-identical per-key digests and counts, so a
+// footer captured from one replay (or, in production, from the recorded
+// live run) is a stable fixture.
+func TestReplayDeterminism(t *testing.T) {
+	b := replayBundle()
+	first, err := Replay(b)
+	if err != nil {
+		t.Fatalf("first replay: %v", err)
+	}
+	if first.Commits != 5 || first.Failed != 0 {
+		t.Fatalf("replay committed %d / failed %d, want 5/0 (fault plane keeps a majority)",
+			first.Commits, first.Failed)
+	}
+	if len(first.Keys) != 3 {
+		t.Fatalf("replay digested %d keys, want 3: %v", len(first.Keys), first.Keys)
+	}
+
+	// Install the first replay's outcome as the recorded footer: a second
+	// replay must match it exactly.
+	b.Digest = Digest{Kind: "digest", Commits: first.Commits, Failed: first.Failed, Keys: first.Keys}
+	second, err := Replay(b)
+	if err != nil {
+		t.Fatalf("second replay: %v", err)
+	}
+	if !second.OK() {
+		t.Fatalf("replay is not deterministic: %v", second.Mismatches)
+	}
+}
+
+// TestReplayDetectsTampering flips one recorded digest and one count and
+// expects per-key mismatch lines, not an error.
+func TestReplayDetectsTampering(t *testing.T) {
+	b := replayBundle()
+	base, err := Replay(b)
+	if err != nil {
+		t.Fatalf("baseline replay: %v", err)
+	}
+	keys := make(map[string]string, len(base.Keys))
+	for k, v := range base.Keys {
+		keys[k] = v
+	}
+	keys["alpha"] = "deadbeefdeadbeef"
+	b.Digest = Digest{Kind: "digest", Commits: base.Commits + 1, Failed: 0, Keys: keys}
+	res, err := Replay(b)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if res.OK() {
+		t.Fatal("tampered footer matched")
+	}
+	var sawCommits, sawKey bool
+	for _, m := range res.Mismatches {
+		t.Log(m)
+		if m == "commits: recorded 6, replayed 5" {
+			sawCommits = true
+		}
+		if len(m) > 0 && m[0] == 'r' { // "replica N: key alpha ..."
+			sawKey = true
+		}
+	}
+	if !sawCommits || !sawKey {
+		t.Fatalf("mismatch lines missing a class: %v", res.Mismatches)
+	}
+}
+
+// TestReplayRejectsBadHeaders maps bundle-level faults to ErrMalformed.
+func TestReplayRejectsBadHeaders(t *testing.T) {
+	b := replayBundle()
+	b.Header.Geometry = "pentagon"
+	if _, err := Replay(b); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("bad geometry: err = %v, want ErrMalformed", err)
+	}
+
+	b = replayBundle()
+	b.Header.Fsync = "sometimes"
+	if _, err := Replay(b); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("bad fsync: err = %v, want ErrMalformed", err)
+	}
+
+	// A fault plane that kills a majority is recorder corruption, not a
+	// replayable incident.
+	b = replayBundle()
+	b.Events = []Event{
+		{At: 0, Kind: KindCrash, Node: 1},
+		{At: 1, Kind: KindCrash, Node: 2},
+		{At: 2, Kind: KindCrash, Node: 3},
+	}
+	if _, err := Replay(b); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("majority-killing fault plane: err = %v, want ErrMalformed", err)
+	}
+}
+
+// TestReplayFaultless exercises the no-fault fast path (default timeouts,
+// no fault model, no durability).
+func TestReplayFaultless(t *testing.T) {
+	b := &Bundle{
+		Header: Header{V: Version, Name: "calm", Servers: 3, Seed: 9},
+		Events: []Event{
+			{At: 1e6, Kind: KindSubmit, Home: 1, Key: "k", Value: "a"},
+			{At: 2e6, Kind: KindSubmit, Home: 2, Key: "k", Value: "b"},
+		},
+		Digest: Digest{Kind: "digest", Keys: map[string]string{}},
+	}
+	res, err := Replay(b)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if res.Commits != 2 || len(res.Keys) != 1 {
+		t.Fatalf("commits=%d keys=%v, want 2 commits on one key", res.Commits, res.Keys)
+	}
+	b.Digest = Digest{Kind: "digest", Commits: res.Commits, Keys: res.Keys}
+	again, err := Replay(b)
+	if err != nil {
+		t.Fatalf("second replay: %v", err)
+	}
+	if !again.OK() {
+		t.Fatalf("faultless replay not deterministic: %v", again.Mismatches)
+	}
+}

@@ -1,0 +1,365 @@
+// Package scenario captures live-cluster incidents as replayable bundles.
+//
+// A bundle is a versioned JSONL file: one header line (cluster shape —
+// servers, shards, quorum geometry, fsync policy — plus the replay seed),
+// then timestamped events (client submits and injected faults: partitions,
+// heals, loss windows, crashes, recoveries, fsync stalls), then one digest
+// footer recording the converged cluster's per-key commit digests. The
+// format is the durable action/event log the Sutra–Shapiro line of work
+// argues for: a replayable schedule of submits and faults, not a packet
+// dump — everything engine-dependent (message interleavings, agent IDs,
+// commit order) is deliberately excluded.
+//
+// Bundles are produced by recording a live marpd run (`marpd -record`,
+// `marpctl -record`, `marpctl snapshot-scenario`) and consumed by the
+// deterministic replayer (`marpbench -exp replay -scenario <file>`), which
+// re-executes the schedule on the DES engine and asserts per-replica,
+// per-key commit-digest equivalence against the recorded footer
+// (DESIGN.md §12, invariant 14). The checked-in corpus under scenarios/ is
+// replayed as a CI regression gate.
+package scenario
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// Version is the bundle format version this package reads and writes.
+const Version = 1
+
+// MaxLine bounds one JSONL line; a longer line is malformed, not a reason
+// to allocate without limit.
+const MaxLine = 1 << 20
+
+// ErrMalformed tags every bundle-format error: syntactically broken JSONL,
+// a missing or duplicated header or footer, an unknown event kind,
+// out-of-order timestamps, or kind-specific field violations. Tools map it
+// to exit status 2 (operator error), distinct from a digest mismatch
+// (exit 1 — the replay ran and disagreed).
+var ErrMalformed = errors.New("scenario: malformed bundle")
+
+func malformed(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrMalformed, fmt.Sprintf(format, args...))
+}
+
+// Header is the bundle's first line: everything the replayer needs to
+// rebuild an equivalent cluster on the DES engine.
+type Header struct {
+	V       int    `json:"v"`
+	Name    string `json:"name"`
+	Servers int    `json:"servers"`
+	// Seed feeds the replay simulation. Any fixed value keeps the replay
+	// deterministic; the commit-digest assertion must hold for every seed
+	// (the digest covers the commit set, not an interleaving).
+	Seed   int64 `json:"seed"`
+	Shards int   `json:"shards,omitempty"`
+	// Geometry is the quorum geometry ("majority" when empty).
+	Geometry string `json:"geometry,omitempty"`
+	// Fsync is the WAL fsync policy of the recorded deployment; empty
+	// means the replicas ran volatile and the replay does too.
+	Fsync string `json:"fsync,omitempty"`
+	// CommitDelayUS is the WAL group-commit window in microseconds.
+	CommitDelayUS int64 `json:"commit_delay_us,omitempty"`
+	// Created and Note are informational only.
+	Created string `json:"created,omitempty"`
+	Note    string `json:"note,omitempty"`
+}
+
+// EventKind classifies one bundle event.
+type EventKind string
+
+// The event kinds. KindSubmit is the data plane; the rest are the fault
+// plane (the failure package's vocabulary plus the disk-level stall).
+const (
+	KindSubmit     EventKind = "submit"
+	KindCrash      EventKind = "crash"
+	KindRecover    EventKind = "recover"
+	KindPartition  EventKind = "partition"
+	KindHeal       EventKind = "heal"
+	KindLossy      EventKind = "lossy"
+	KindFsyncStall EventKind = "fsyncstall"
+)
+
+// rank is the canonical same-instant ordering, extending the failure
+// package's repairs-before-damage rule: recover, heal, lossy, partition,
+// crash, then the disk stall, then client submits.
+func (k EventKind) rank() int {
+	switch k {
+	case KindRecover:
+		return 0
+	case KindHeal:
+		return 1
+	case KindLossy:
+		return 2
+	case KindPartition:
+		return 3
+	case KindCrash:
+		return 4
+	case KindFsyncStall:
+		return 5
+	case KindSubmit:
+		return 6
+	default:
+		return 7
+	}
+}
+
+// Event is one timestamped occurrence. In a finalized bundle At is the
+// offset in nanoseconds from the bundle's epoch; in a recorder spool file
+// it is an absolute wall-clock time.Time.UnixNano (Finalize rebases).
+type Event struct {
+	At   int64     `json:"at"`
+	Kind EventKind `json:"kind"`
+	// Submit fields.
+	Home   int    `json:"home,omitempty"`
+	Key    string `json:"key,omitempty"`
+	Value  string `json:"value,omitempty"`
+	Append bool   `json:"append,omitempty"`
+	// Crash/Recover target.
+	Node int `json:"node,omitempty"`
+	// Partition groups (nodes not named fall in group 0).
+	Groups [][]int `json:"groups,omitempty"`
+	// Lossy level (0 restores clean links).
+	Loss float64 `json:"loss,omitempty"`
+	// FsyncStall: modelled per-fsync latency in microseconds (0 clears).
+	StallUS int64 `json:"stall_us,omitempty"`
+}
+
+// validate checks kind-specific fields against a cluster of n servers.
+func (e Event) validate(i, n int) error {
+	if e.At < 0 {
+		return malformed("event %d at negative time %d", i, e.At)
+	}
+	switch e.Kind {
+	case KindSubmit:
+		if e.Home < 1 || e.Home > n {
+			return malformed("event %d: submit home %d outside 1..%d", i, e.Home, n)
+		}
+		if e.Key == "" {
+			return malformed("event %d: submit with empty key", i)
+		}
+	case KindCrash, KindRecover:
+		if e.Node < 1 || e.Node > n {
+			return malformed("event %d: %s names unknown node %d", i, e.Kind, e.Node)
+		}
+	case KindPartition:
+		seen := make(map[int]bool)
+		for _, g := range e.Groups {
+			for _, id := range g {
+				if id < 1 || id > n {
+					return malformed("event %d: partition names unknown node %d", i, id)
+				}
+				if seen[id] {
+					return malformed("event %d: partition names node %d twice", i, id)
+				}
+				seen[id] = true
+			}
+		}
+	case KindHeal:
+		// No fields.
+	case KindLossy:
+		if e.Loss < 0 || e.Loss > 1 {
+			return malformed("event %d: loss level %v outside [0, 1]", i, e.Loss)
+		}
+	case KindFsyncStall:
+		if e.StallUS < 0 {
+			return malformed("event %d: negative fsync stall %dus", i, e.StallUS)
+		}
+	default:
+		return malformed("event %d: unknown kind %q", i, string(e.Kind))
+	}
+	return nil
+}
+
+// Digest is the bundle's last line: the converged cluster's per-key commit
+// digests (see KeyDigests) plus the commit and failure counts at snapshot
+// time. A clean capture has Failed == 0; the replayer reproduces the exact
+// per-key digests or reports a mismatch.
+type Digest struct {
+	Kind    string            `json:"kind"` // always "digest"
+	Commits int               `json:"commits"`
+	Failed  int               `json:"failed,omitempty"`
+	Keys    map[string]string `json:"keys"`
+}
+
+// Bundle is one parsed incident bundle.
+type Bundle struct {
+	Header Header
+	Events []Event
+	Digest Digest
+}
+
+// Span returns the offset of the last event (0 for an empty schedule).
+func (b *Bundle) Span() time.Duration {
+	if len(b.Events) == 0 {
+		return 0
+	}
+	return time.Duration(b.Events[len(b.Events)-1].At)
+}
+
+// HasFaults reports whether any fault-plane event is present (the replayer
+// then arms the reliable-delivery and regeneration stack).
+func (b *Bundle) HasFaults() bool {
+	for _, e := range b.Events {
+		if e.Kind != KindSubmit {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks the whole bundle: header sanity, every event against the
+// header's cluster size, non-decreasing timestamps, and a well-formed
+// digest footer.
+func (b *Bundle) Validate() error {
+	if b.Header.V != Version {
+		return malformed("unsupported version %d (want %d)", b.Header.V, Version)
+	}
+	if b.Header.Servers < 1 {
+		return malformed("header needs servers >= 1, got %d", b.Header.Servers)
+	}
+	if b.Header.Shards < 0 {
+		return malformed("header has negative shards %d", b.Header.Shards)
+	}
+	prev := int64(0)
+	for i, e := range b.Events {
+		if err := e.validate(i, b.Header.Servers); err != nil {
+			return err
+		}
+		if e.At < prev {
+			return malformed("event %d at %d before predecessor at %d (out of order)", i, e.At, prev)
+		}
+		prev = e.At
+	}
+	if b.Digest.Kind != "digest" {
+		return malformed("missing digest footer")
+	}
+	if b.Digest.Commits < 0 || b.Digest.Failed < 0 {
+		return malformed("digest counts negative (%d commits, %d failed)", b.Digest.Commits, b.Digest.Failed)
+	}
+	return nil
+}
+
+// Write serializes the bundle as JSONL: header, events, digest footer.
+func (b *Bundle) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	write := func(v any) error {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(data); err != nil {
+			return err
+		}
+		return bw.WriteByte('\n')
+	}
+	if err := write(b.Header); err != nil {
+		return err
+	}
+	for _, e := range b.Events {
+		if err := write(e); err != nil {
+			return err
+		}
+	}
+	d := b.Digest
+	d.Kind = "digest"
+	if err := write(d); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes the bundle to path.
+func (b *Bundle) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := b.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// kindProbe sniffs a line's discriminator before full decoding.
+type kindProbe struct {
+	Kind string `json:"kind"`
+}
+
+// Read parses and validates a bundle. Every format error — bad JSON, a
+// truncated tail, an unknown event kind, out-of-order timestamps, a
+// missing footer, trailing lines after it — wraps ErrMalformed; Read never
+// panics on hostile input.
+func Read(r io.Reader) (*Bundle, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4096), MaxLine)
+	var b Bundle
+	line := 0
+	haveHeader, haveDigest := false, false
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		if haveDigest {
+			return nil, malformed("line %d: content after the digest footer", line)
+		}
+		if !haveHeader {
+			if err := json.Unmarshal(raw, &b.Header); err != nil {
+				return nil, malformed("line %d: header: %v", line, err)
+			}
+			haveHeader = true
+			continue
+		}
+		var probe kindProbe
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			return nil, malformed("line %d: %v", line, err)
+		}
+		if probe.Kind == "digest" {
+			if err := json.Unmarshal(raw, &b.Digest); err != nil {
+				return nil, malformed("line %d: digest: %v", line, err)
+			}
+			haveDigest = true
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, malformed("line %d: event: %v", line, err)
+		}
+		b.Events = append(b.Events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, malformed("%v", err)
+	}
+	if !haveHeader {
+		return nil, malformed("empty bundle (missing header)")
+	}
+	if !haveDigest {
+		return nil, malformed("truncated bundle (missing digest footer)")
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}
+
+// ReadFile parses and validates the bundle at path.
+func ReadFile(path string) (*Bundle, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	b, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}

@@ -1,0 +1,174 @@
+package scenario
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+// sampleBundle is a well-formed bundle exercising every event kind.
+func sampleBundle() *Bundle {
+	return &Bundle{
+		Header: Header{
+			V: Version, Name: "sample", Servers: 5, Seed: 7,
+			Shards: 4, Geometry: "majority", Fsync: "commit",
+			CommitDelayUS: 200, Created: "2026-08-07T00:00:00Z", Note: "test",
+		},
+		Events: []Event{
+			{At: 0, Kind: KindSubmit, Home: 1, Key: "a", Value: "v1"},
+			{At: 1e6, Kind: KindLossy, Loss: 0.2},
+			{At: 2e6, Kind: KindPartition, Groups: [][]int{{1, 2, 3}, {4, 5}}},
+			{At: 3e6, Kind: KindSubmit, Home: 2, Key: "b", Value: "v2", Append: true},
+			{At: 4e6, Kind: KindFsyncStall, StallUS: 1500},
+			{At: 5e6, Kind: KindHeal},
+			{At: 5e6, Kind: KindLossy, Loss: 0},
+			{At: 6e6, Kind: KindCrash, Node: 5},
+			{At: 7e6, Kind: KindRecover, Node: 5},
+		},
+		Digest: Digest{Kind: "digest", Commits: 2, Keys: map[string]string{
+			"a": "0123456789abcdef", "b": "fedcba9876543210",
+		}},
+	}
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	b := sampleBundle()
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got.Header != b.Header {
+		t.Errorf("header round-trip: got %+v, want %+v", got.Header, b.Header)
+	}
+	if len(got.Events) != len(b.Events) {
+		t.Fatalf("got %d events, want %d", len(got.Events), len(b.Events))
+	}
+	for i := range b.Events {
+		w, g := b.Events[i], got.Events[i]
+		// Groups is a slice; compare the rest by value and groups by shape.
+		if w.At != g.At || w.Kind != g.Kind || w.Home != g.Home || w.Key != g.Key ||
+			w.Value != g.Value || w.Append != g.Append || w.Node != g.Node ||
+			w.Loss != g.Loss || w.StallUS != g.StallUS || len(w.Groups) != len(g.Groups) {
+			t.Errorf("event %d round-trip: got %+v, want %+v", i, g, w)
+		}
+	}
+	if got.Digest.Commits != 2 || got.Digest.Keys["a"] != "0123456789abcdef" {
+		t.Errorf("digest round-trip: got %+v", got.Digest)
+	}
+	if got.Span() != 7*time.Millisecond {
+		t.Errorf("span = %v, want 7ms", got.Span())
+	}
+	if !got.HasFaults() {
+		t.Error("HasFaults = false for a bundle full of faults")
+	}
+}
+
+// lines renders a bundle and applies a mutation to its JSONL lines.
+func lines(t testing.TB, b *Bundle) []string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	return strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+}
+
+func TestReadRejectsCorruptInput(t *testing.T) {
+	base := lines(t, sampleBundle())
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"header only", base[0]},
+		{"truncated tail", strings.Join(base[:len(base)-1], "\n")}, // digest footer gone
+		{"half a line", strings.Join(base[:len(base)-1], "\n") + "\n" + base[len(base)-1][:20]},
+		{"bad json header", "{not json\n" + strings.Join(base[1:], "\n")},
+		{"bad json event", base[0] + "\n{not json\n" + strings.Join(base[1:], "\n")},
+		{"unknown kind", base[0] + "\n" + `{"at":1,"kind":"meteor-strike"}` + "\n" + strings.Join(base[1:], "\n")},
+		{"out of order", base[0] + "\n" + `{"at":99999999999,"kind":"heal"}` + "\n" + strings.Join(base[1:], "\n")},
+		{"negative time", base[0] + "\n" + `{"at":-5,"kind":"heal"}` + "\n" + strings.Join(base[1:], "\n")},
+		{"content after footer", strings.Join(base, "\n") + "\n" + `{"at":1,"kind":"heal"}`},
+		{"double digest", strings.Join(base, "\n") + "\n" + base[len(base)-1]},
+		{"wrong version", strings.Replace(strings.Join(base, "\n"), `"v":1`, `"v":99`, 1)},
+		{"zero servers", strings.Replace(strings.Join(base, "\n"), `"servers":5`, `"servers":0`, 1)},
+		{"submit unknown home", base[0] + "\n" + `{"at":0,"kind":"submit","home":9,"key":"k"}` + "\n" + strings.Join(base[1:], "\n")},
+		{"submit empty key", base[0] + "\n" + `{"at":0,"kind":"submit","home":1}` + "\n" + strings.Join(base[1:], "\n")},
+		{"crash unknown node", base[0] + "\n" + `{"at":0,"kind":"crash","node":0}` + "\n" + strings.Join(base[1:], "\n")},
+		{"partition unknown node", base[0] + "\n" + `{"at":0,"kind":"partition","groups":[[1,99]]}` + "\n" + strings.Join(base[1:], "\n")},
+		{"partition duplicate node", base[0] + "\n" + `{"at":0,"kind":"partition","groups":[[1],[1]]}` + "\n" + strings.Join(base[1:], "\n")},
+		{"loss out of range", base[0] + "\n" + `{"at":0,"kind":"lossy","loss":1.5}` + "\n" + strings.Join(base[1:], "\n")},
+		{"negative stall", base[0] + "\n" + `{"at":0,"kind":"fsyncstall","stall_us":-1}` + "\n" + strings.Join(base[1:], "\n")},
+		{"oversized line", base[0] + "\n" + `{"at":0,"kind":"submit","home":1,"key":"` + strings.Repeat("x", MaxLine) + `"}` + "\n" + strings.Join(base[1:], "\n")},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Read(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatal("corrupt bundle accepted")
+			}
+			if !errors.Is(err, ErrMalformed) {
+				t.Fatalf("error %v does not wrap ErrMalformed", err)
+			}
+		})
+	}
+}
+
+func TestNormalizeTxn(t *testing.T) {
+	for in, want := range map[string]string{"A2.17": "A2", "A13.0": "A13", "A4": "A4", "": ""} {
+		if got := NormalizeTxn(in); got != want {
+			t.Errorf("NormalizeTxn(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestKeyDigestsEngineInvariance(t *testing.T) {
+	// The same commit set with engine-dependent spin — different agent
+	// sequence numbers, different commit order, different Seq/Stamp —
+	// must digest identically.
+	live := []store.Update{
+		{TxnID: "A1.5", Key: "a", Data: "x", Seq: 1, Stamp: 100},
+		{TxnID: "A2.9", Key: "a", Data: "y", Seq: 2, Stamp: 200},
+		{TxnID: "A3.2", Key: "b", Data: "z", Seq: 3, Stamp: 300},
+	}
+	des := []store.Update{
+		{TxnID: "A3.0", Key: "b", Data: "z", Seq: 1, Stamp: 7},
+		{TxnID: "A2.1", Key: "a", Data: "y", Seq: 2, Stamp: 8},
+		{TxnID: "A1.2", Key: "a", Data: "x", Seq: 3, Stamp: 9},
+	}
+	dl, dd := KeyDigests(live), KeyDigests(des)
+	if diff := DiffDigests(dl, dd); len(diff) != 0 {
+		t.Fatalf("equivalent logs digest differently: %v", diff)
+	}
+	if len(dl) != 2 {
+		t.Fatalf("got %d keys, want 2", len(dl))
+	}
+	// A genuinely different commit set must not collide.
+	other := KeyDigests(append([]store.Update{}, live[1:]...))
+	if diff := DiffDigests(dl, other); len(diff) == 0 {
+		t.Fatal("dropping a commit left the digests equal")
+	}
+}
+
+func TestDiffDigests(t *testing.T) {
+	want := map[string]string{"a": "1", "b": "2"}
+	got := map[string]string{"b": "3", "c": "4"}
+	diffs := DiffDigests(want, got)
+	if len(diffs) != 3 {
+		t.Fatalf("got %d diffs, want 3: %v", len(diffs), diffs)
+	}
+	for _, d := range diffs {
+		t.Log(d)
+	}
+	if diffs := DiffDigests(want, map[string]string{"a": "1", "b": "2"}); len(diffs) != 0 {
+		t.Fatalf("equal maps diffed: %v", diffs)
+	}
+}

@@ -1,0 +1,84 @@
+package scenario
+
+import (
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/simnet"
+)
+
+// FromSchedule converts a fault schedule into bundle events (canonical
+// order). Submit and fsync-stall events have no failure.Schedule
+// counterpart; everything a Schedule can express round-trips through
+// ToSchedule unchanged.
+func FromSchedule(s failure.Schedule) []Event {
+	events := make([]Event, 0, len(s))
+	for _, e := range s.Sorted() {
+		ev := Event{At: int64(e.At)}
+		switch e.Kind {
+		case failure.Crash:
+			ev.Kind = KindCrash
+			ev.Node = int(e.Node)
+		case failure.Recover:
+			ev.Kind = KindRecover
+			ev.Node = int(e.Node)
+		case failure.Partition:
+			ev.Kind = KindPartition
+			for _, g := range e.Groups {
+				ids := make([]int, len(g))
+				for i, id := range g {
+					ids[i] = int(id)
+				}
+				ev.Groups = append(ev.Groups, ids)
+			}
+		case failure.Heal:
+			ev.Kind = KindHeal
+		case failure.Lossy:
+			ev.Kind = KindLossy
+			ev.Loss = e.Loss
+		default:
+			continue
+		}
+		events = append(events, ev)
+	}
+	return events
+}
+
+// ToSchedule extracts the fault plane of a bundle's events as a
+// failure.Schedule, ready for Validate and Apply. Submit and fsync-stall
+// events are skipped (the replayer drives those itself); an unknown kind
+// is malformed.
+func ToSchedule(events []Event) (failure.Schedule, error) {
+	var s failure.Schedule
+	for i, ev := range events {
+		fe := failure.Event{At: time.Duration(ev.At)}
+		switch ev.Kind {
+		case KindSubmit, KindFsyncStall:
+			continue
+		case KindCrash:
+			fe.Kind = failure.Crash
+			fe.Node = simnet.NodeID(ev.Node)
+		case KindRecover:
+			fe.Kind = failure.Recover
+			fe.Node = simnet.NodeID(ev.Node)
+		case KindPartition:
+			fe.Kind = failure.Partition
+			for _, g := range ev.Groups {
+				ids := make([]simnet.NodeID, len(g))
+				for j, id := range g {
+					ids[j] = simnet.NodeID(id)
+				}
+				fe.Groups = append(fe.Groups, ids)
+			}
+		case KindHeal:
+			fe.Kind = failure.Heal
+		case KindLossy:
+			fe.Kind = failure.Lossy
+			fe.Loss = ev.Loss
+		default:
+			return nil, malformed("event %d: kind %q is not a fault", i, string(ev.Kind))
+		}
+		s = append(s, fe)
+	}
+	return s, nil
+}

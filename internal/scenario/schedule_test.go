@@ -1,0 +1,103 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/simnet"
+)
+
+// TestScheduleRoundTrip drives every failure event kind through the bundle
+// format and back: serialize a Schedule to bundle events, re-extract it,
+// and require the identical canonical (Sorted) ordering — so a fault
+// recorded from one run re-injects with the same same-instant semantics
+// (repairs before damage) in the replay.
+func TestScheduleRoundTrip(t *testing.T) {
+	// Deliberately constructed out of order, with same-instant collisions
+	// across every kind.
+	sched := failure.Schedule{
+		{At: 40 * time.Millisecond, Kind: failure.Crash, Node: 5},
+		{At: 40 * time.Millisecond, Kind: failure.Recover, Node: 4},
+		{At: 40 * time.Millisecond, Kind: failure.Partition,
+			Groups: [][]simnet.NodeID{{1, 2, 3}, {4, 5}}},
+		{At: 40 * time.Millisecond, Kind: failure.Heal},
+		{At: 40 * time.Millisecond, Kind: failure.Lossy, Loss: 0.25},
+		{At: 10 * time.Millisecond, Kind: failure.Crash, Node: 4},
+		{At: 70 * time.Millisecond, Kind: failure.Recover, Node: 5},
+		{At: 70 * time.Millisecond, Kind: failure.Lossy, Loss: 0},
+		{At: 70 * time.Millisecond, Kind: failure.Heal},
+	}
+	events := FromSchedule(sched)
+	if len(events) != len(sched) {
+		t.Fatalf("serialized %d events, want %d", len(events), len(sched))
+	}
+	back, err := ToSchedule(events)
+	if err != nil {
+		t.Fatalf("to schedule: %v", err)
+	}
+	want, got := sched.Sorted(), back.Sorted()
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("canonical ordering changed across the round-trip:\nwant %+v\ngot  %+v", want, got)
+	}
+	// The round-tripped schedule must still validate like the original.
+	if err := want.Validate(5, 2); err != nil {
+		t.Fatalf("original schedule invalid: %v", err)
+	}
+	if err := got.Validate(5, 2); err != nil {
+		t.Fatalf("round-tripped schedule invalid: %v", err)
+	}
+}
+
+// TestScheduleRoundTripViaBundle goes the long way: the schedule is
+// embedded in a written bundle, read back from bytes, and re-extracted.
+func TestScheduleRoundTripViaBundle(t *testing.T) {
+	sched := failure.Schedule{
+		{At: 5 * time.Millisecond, Kind: failure.Partition,
+			Groups: [][]simnet.NodeID{{1, 2}, {3}}},
+		{At: 15 * time.Millisecond, Kind: failure.Heal},
+		{At: 20 * time.Millisecond, Kind: failure.Crash, Node: 3},
+		{At: 30 * time.Millisecond, Kind: failure.Recover, Node: 3},
+		{At: 35 * time.Millisecond, Kind: failure.Lossy, Loss: 0.1},
+	}
+	b := &Bundle{
+		Header: Header{V: Version, Name: "faults", Servers: 3, Seed: 1},
+		Events: FromSchedule(sched),
+		Digest: Digest{Kind: "digest", Keys: map[string]string{}},
+	}
+	base := lines(t, b)
+	reread, err := Read(strings.NewReader(strings.Join(base, "\n") + "\n"))
+	if err != nil {
+		t.Fatalf("reread: %v", err)
+	}
+	back, err := ToSchedule(reread.Events)
+	if err != nil {
+		t.Fatalf("to schedule: %v", err)
+	}
+	if !reflect.DeepEqual(sched.Sorted(), back.Sorted()) {
+		t.Fatalf("schedule changed across bundle serialization:\nwant %+v\ngot  %+v",
+			sched.Sorted(), back.Sorted())
+	}
+}
+
+// TestToScheduleSkipsNonFaults checks the replayer-owned kinds are
+// filtered, not errors.
+func TestToScheduleSkipsNonFaults(t *testing.T) {
+	events := []Event{
+		{At: 0, Kind: KindSubmit, Home: 1, Key: "k", Value: "v"},
+		{At: 1, Kind: KindFsyncStall, StallUS: 100},
+		{At: 2, Kind: KindCrash, Node: 1},
+	}
+	s, err := ToSchedule(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 1 || s[0].Kind != failure.Crash {
+		t.Fatalf("got %+v, want one crash", s)
+	}
+	if _, err := ToSchedule([]Event{{Kind: "gremlin"}}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}

@@ -21,6 +21,15 @@
 //	<- {"ok":true,"stats":{...}}
 //	-> {"op":"crash","node":3} / {"op":"recover","node":3}
 //	<- {"ok":true}
+//	-> {"op":"partition","groups":[[1,2],[3]]} / {"op":"heal"}
+//	<- {"ok":true}
+//	-> {"op":"scenario"}
+//	<- {"ok":true,"scenario":{...}}
+//
+// partition/heal drive the process's own fabric only — a live cluster is
+// split by sending the same partition to every process (marpctl fans out).
+// scenario reports the cluster shape plus the per-key commit digests that
+// seed an incident bundle's footer (marpctl snapshot-scenario).
 package transport
 
 import (
@@ -39,6 +48,7 @@ import (
 	"repro/internal/realtime"
 	"repro/internal/runtime"
 	"repro/internal/runtime/live"
+	"repro/internal/scenario"
 	"repro/internal/store"
 )
 
@@ -50,6 +60,9 @@ type Request struct {
 	Key    string `json:"key,omitempty"`
 	Value  string `json:"value,omitempty"`
 	Append bool   `json:"append,omitempty"`
+	// Groups carries a partition op's node groups (unlisted nodes form
+	// group 0).
+	Groups [][]int `json:"groups,omitempty"`
 }
 
 // StatsBody is the payload of a stats response.
@@ -78,6 +91,24 @@ type ShardDigest struct {
 	MeanVisits float64 `json:"mean_visits"`
 }
 
+// ScenarioBody is the payload of a scenario response: the cluster shape a
+// bundle header records, plus the snapshot state a bundle footer records —
+// per-key commit digests (scenario.KeyDigests) and request counts. Commits
+// and Failed count client requests (not agents), summed over the outcomes
+// the addressed process recorded, so the numbers add across processes and
+// are batching-independent.
+type ScenarioBody struct {
+	Servers       int               `json:"servers"`
+	Shards        int               `json:"shards"`
+	Geometry      string            `json:"geometry"`
+	Fsync         string            `json:"fsync,omitempty"`
+	CommitDelayUS int64             `json:"commit_delay_us,omitempty"`
+	Outstanding   int               `json:"outstanding"`
+	Commits       int               `json:"commits"`
+	Failed        int               `json:"failed"`
+	Keys          map[string]string `json:"keys"`
+}
+
 // Response is one server reply.
 type Response struct {
 	OK         bool          `json:"ok"`
@@ -92,7 +123,8 @@ type Response struct {
 	// QueueDrops counts messages the live fabric dropped because a
 	// per-peer writer queue was full (digest responses; health signal for
 	// a digest mismatch investigation).
-	QueueDrops int `json:"queue_drops,omitempty"`
+	QueueDrops int           `json:"queue_drops,omitempty"`
+	Scenario   *ScenarioBody `json:"scenario,omitempty"`
 }
 
 // Server serves a MARP cluster over TCP. The same server fronts either
@@ -107,7 +139,25 @@ type Server struct {
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
+	rec   *scenario.Recorder
 	done  chan struct{}
+}
+
+// SetRecorder attaches an incident recorder: every accepted submit is
+// appended to it as a scenario event (`marpd -record`). Faults are NOT
+// recorded here — the injector records them (marpctl -record), exactly
+// once for the whole cluster, which also covers faults no process could
+// log for itself (kill -9).
+func (s *Server) SetRecorder(rec *scenario.Recorder) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rec = rec
+}
+
+func (s *Server) recorder() *scenario.Recorder {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rec
 }
 
 // Serve starts a simulated cluster service on addr (e.g. "127.0.0.1:7707";
@@ -243,6 +293,12 @@ func (s *Server) apply(req Request) Response {
 		if err := s.cluster.Submit(runtime.NodeID(req.Home), r); err != nil {
 			return Response{Error: err.Error()}
 		}
+		if rec := s.recorder(); rec != nil {
+			_ = rec.Record(scenario.Event{
+				Kind: scenario.KindSubmit, Home: req.Home,
+				Key: req.Key, Value: req.Value, Append: req.Append,
+			})
+		}
 		return Response{OK: true}
 	case "read":
 		v, ok := s.cluster.Read(runtime.NodeID(req.Node), req.Key)
@@ -253,6 +309,21 @@ func (s *Server) apply(req Request) Response {
 	case "recover":
 		s.cluster.Recover(runtime.NodeID(req.Node))
 		return Response{OK: true}
+	case "partition":
+		groups := make([][]runtime.NodeID, len(req.Groups))
+		for i, g := range req.Groups {
+			groups[i] = make([]runtime.NodeID, len(g))
+			for j, id := range g {
+				groups[i][j] = runtime.NodeID(id)
+			}
+		}
+		s.cluster.PartitionNet(groups...)
+		return Response{OK: true}
+	case "heal":
+		s.cluster.HealNet()
+		return Response{OK: true}
+	case "scenario":
+		return s.scenarioBody()
 	case "digest":
 		srv := s.cluster.Server(runtime.NodeID(req.Node))
 		if srv == nil {
@@ -297,6 +368,56 @@ func (s *Server) apply(req Request) Response {
 	default:
 		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}
+}
+
+// scenarioBody snapshots what an incident bundle needs from this process:
+// the cluster shape for the header, and the per-key commit digests plus
+// request counts for the footer. Every live replica this process hosts
+// must already agree on the digests (in sim mode that is all N replicas;
+// live mode hosts one) — disagreement means the cluster has not converged
+// and the snapshot is refused.
+func (s *Server) scenarioBody() Response {
+	shape := s.cluster.Describe()
+	body := &ScenarioBody{
+		Servers:       shape.N,
+		Shards:        shape.Shards,
+		Geometry:      string(shape.Geometry),
+		Fsync:         shape.Fsync,
+		CommitDelayUS: shape.GroupCommitDelay.Microseconds(),
+		Outstanding:   s.cluster.Outstanding(),
+	}
+	for _, o := range s.cluster.Outcomes() {
+		if o.Failed {
+			body.Failed += o.Requests
+		} else {
+			body.Commits += o.Requests
+		}
+	}
+	var refNode runtime.NodeID
+	for _, id := range s.cluster.Nodes() {
+		srv := s.cluster.Server(id)
+		if srv == nil || srv.Down() {
+			continue
+		}
+		var all []store.Update
+		for sh := 0; sh < srv.Shards(); sh++ {
+			all = append(all, srv.StoreOf(sh).Log()...)
+		}
+		keys := scenario.KeyDigests(all)
+		if body.Keys == nil {
+			body.Keys, refNode = keys, id
+			continue
+		}
+		if diffs := scenario.DiffDigests(body.Keys, keys); len(diffs) > 0 {
+			return Response{Error: fmt.Sprintf(
+				"replicas %d and %d disagree (%s); not converged, snapshot refused",
+				refNode, id, diffs[0])}
+		}
+	}
+	if body.Keys == nil {
+		return Response{Error: "no live replica hosted here"}
+	}
+	return Response{OK: true, Scenario: body}
 }
 
 // shardDigests builds the per-shard digest rows: each shard's commit-set
@@ -423,6 +544,34 @@ func (c *Client) Crash(node int) error {
 func (c *Client) Recover(node int) error {
 	_, err := c.roundTrip(Request{Op: "recover", Node: node})
 	return err
+}
+
+// Partition splits the addressed process's fabric into the given node
+// groups. Live clusters need the same call at every process; the sim
+// server's one simulated network is split by this single call.
+func (c *Client) Partition(groups [][]int) error {
+	_, err := c.roundTrip(Request{Op: "partition", Groups: groups})
+	return err
+}
+
+// Heal removes all partitions at the addressed process and triggers an
+// anti-entropy round on its local replicas.
+func (c *Client) Heal() error {
+	_, err := c.roundTrip(Request{Op: "heal"})
+	return err
+}
+
+// Scenario fetches the process's incident-bundle snapshot: cluster shape,
+// per-key commit digests, and request counts.
+func (c *Client) Scenario() (*ScenarioBody, error) {
+	resp, err := c.roundTrip(Request{Op: "scenario"})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Scenario == nil {
+		return nil, fmt.Errorf("transport: empty scenario body")
+	}
+	return resp.Scenario, nil
 }
 
 // Stats fetches service counters.
