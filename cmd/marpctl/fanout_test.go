@@ -1,0 +1,58 @@
+package main
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	marp "repro"
+	"repro/internal/transport"
+)
+
+// TestFanoutDeadEndpoint pins the partial-failure contract: the sweep
+// still reaches the live processes, and the returned error names exactly
+// the addresses that failed (marpctl exits non-zero on it).
+func TestFanoutDeadEndpoint(t *testing.T) {
+	srv, err := transport.Serve("127.0.0.1:0", marp.Options{Servers: 3}, 1)
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer srv.Close()
+
+	// A port that was listening a moment ago and no longer is: the
+	// canonical dead cluster process.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+
+	visited := 0
+	err = fanout([]string{srv.Addr(), deadAddr}, time.Second, func(cli *transport.Client) error {
+		visited++
+		return cli.Heal()
+	})
+	if err == nil {
+		t.Fatal("fanout with a dead endpoint returned nil error")
+	}
+	if visited != 1 {
+		t.Errorf("fn ran %d time(s), want 1 (live endpoint only)", visited)
+	}
+	if !strings.Contains(err.Error(), deadAddr) {
+		t.Errorf("error does not name the dead endpoint %s: %v", deadAddr, err)
+	}
+	if strings.Contains(err.Error(), srv.Addr()) {
+		t.Errorf("error blames the live endpoint %s: %v", srv.Addr(), err)
+	}
+
+	// All endpoints alive: no error, every process visited.
+	visited = 0
+	if err := fanout([]string{srv.Addr()}, time.Second, func(cli *transport.Client) error {
+		visited++
+		return cli.Heal()
+	}); err != nil || visited != 1 {
+		t.Errorf("healthy fanout: err = %v, visited = %d", err, visited)
+	}
+}

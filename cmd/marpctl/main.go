@@ -12,6 +12,7 @@
 //	marpctl [-addr host:port] [-json] digest <node>
 //	marpctl [-addr host:port] [-json] referee
 //	marpctl [-addr host:port] stats
+//	marpctl spec expand <cluster.toml|cluster.json>
 //
 // Connecting retries up to three times with exponential backoff (covers the
 // common race of starting marpd and marpctl together); -timeout bounds each
@@ -21,7 +22,9 @@
 //
 // partition and heal fan out to every address in -addrs (default: just
 // -addr): a live cluster's fabric filters at the endpoints, so each process
-// must be told about the split. Incident recording rides along:
+// must be told about the split. The sweep visits every address even when
+// one is down, then exits non-zero naming each process that missed the
+// command. Incident recording rides along:
 //
 //	marpctl -record <dir> crash 3            # inject AND record the fault
 //	marpctl -record <dir> record-fault crash 3   # record only (kill -9 etc.)
@@ -35,6 +38,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -42,6 +46,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/clusterspec"
 	"repro/internal/scenario"
 	"repro/internal/transport"
 )
@@ -80,6 +85,7 @@ commands:
   digest <node>                 commit-set digest of a replica's store
   referee                       grants and single-claimant violations
   stats                         service counters
+  spec expand <file>            print the per-node marpd flag sets a cluster spec derives
 flags: -addr host:port, -addrs a,b,c (partition/heal/snapshot-scenario),
        -timeout 5s, -json (digest/referee), -record <dir> (fault spooling),
        -name/-note/-seed/-out (snapshot-scenario)`)
@@ -112,22 +118,28 @@ func parseGroups(spec string) ([][]int, error) {
 	return groups, nil
 }
 
-// fanout applies fn to every address in turn — the partition/heal
-// injection path, where each live process must hear the same command.
+// fanout applies fn to every address — the partition/heal injection path,
+// where each live process must hear the same command. A failing address
+// does not stop the sweep: the remaining processes are still told, and
+// the returned error names every address that failed so the operator
+// knows exactly which processes missed the command.
 func fanout(addrs []string, timeout time.Duration, fn func(*transport.Client) error) error {
+	var errs []error
 	for _, a := range addrs {
-		cli, err := dialRetry(a, 3)
+		err := func() error {
+			cli, err := dialRetry(a, 3)
+			if err != nil {
+				return err
+			}
+			defer cli.Close()
+			cli.SetRequestTimeout(timeout)
+			return fn(cli)
+		}()
 		if err != nil {
-			return fmt.Errorf("%s: %w", a, err)
-		}
-		cli.SetRequestTimeout(timeout)
-		err = fn(cli)
-		cli.Close()
-		if err != nil {
-			return fmt.Errorf("%s: %w", a, err)
+			errs = append(errs, fmt.Errorf("%s: %w", a, err))
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // record appends one fault event to the -record spool (no-op without it).
@@ -188,6 +200,21 @@ func main() {
 	// Multi-process and offline commands first — they manage their own
 	// connections (or none at all).
 	switch args[0] {
+	case "spec":
+		if len(args) != 3 || args[1] != "expand" {
+			usage()
+		}
+		s, err := clusterspec.Load(args[2])
+		if err != nil {
+			fatal(err)
+		}
+		if s.Name != "" {
+			fmt.Printf("# cluster %q: %d node(s)\n", s.Name, len(s.Nodes))
+		}
+		for _, id := range s.IDs() {
+			fmt.Printf("marpd %s\n", strings.Join(s.Flags(id), " "))
+		}
+		return
 	case "partition":
 		if len(args) != 2 {
 			usage()

@@ -18,6 +18,21 @@
 //	marpd -mode live -node 2 -peers 1=127.0.0.1:7801,2=127.0.0.1:7802,3=127.0.0.1:7803 -addr :7708
 //	marpd -mode live -node 3 -peers 1=127.0.0.1:7801,2=127.0.0.1:7802,3=127.0.0.1:7803 -addr :7709
 //
+// Or declaratively, with every address and cluster-level setting in one
+// spec file (internal/clusterspec; `marpctl spec expand` shows the
+// derived flags):
+//
+//	marpd -spec cluster.toml -mode live -node 1
+//	marpd -spec cluster.toml -mode live -node 2
+//	marpd -spec cluster.toml -mode live -node 3
+//
+// A malformed -peers string or spec (duplicate IDs, missing self entry,
+// unparseable address) makes marpd exit 2 before anything listens.
+//
+// Add -ops host:port (or an `ops` address per node in the spec) to serve
+// the ops endpoints: Prometheus-text /metrics and JSON /healthz, the
+// latter reporting per-shard write-quorum reachability.
+//
 // Add -data-dir <dir> (one directory per replica) to make a live replica
 // durable: its write-ahead log and snapshots land there, SIGTERM flushes
 // and closes the log, and restarting with the same -data-dir replays it
@@ -43,36 +58,13 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
 	"syscall"
 
 	marp "repro"
-	"repro/internal/core"
-	"repro/internal/quorum"
-	"repro/internal/runtime"
-	"repro/internal/runtime/live"
+	"repro/internal/ops"
 	"repro/internal/scenario"
 	"repro/internal/transport"
 )
-
-// parsePeers turns "1=host:port,2=host:port,..." into the address map every
-// live replica process must agree on.
-func parsePeers(spec string) (map[runtime.NodeID]string, error) {
-	addrs := make(map[runtime.NodeID]string)
-	for _, part := range strings.Split(spec, ",") {
-		id, addr, ok := strings.Cut(strings.TrimSpace(part), "=")
-		if !ok {
-			return nil, fmt.Errorf("bad peer %q (want id=host:port)", part)
-		}
-		n, err := strconv.Atoi(id)
-		if err != nil || n < 1 {
-			return nil, fmt.Errorf("bad peer id %q", id)
-		}
-		addrs[runtime.NodeID(n)] = addr
-	}
-	return addrs, nil
-}
 
 func main() {
 	var (
@@ -85,6 +77,8 @@ func main() {
 		mode     = flag.String("mode", "sim", "sim (whole cluster, simulated network) or live (one replica per process)")
 		node     = flag.Int("node", 0, "this process's replica ID (live mode)")
 		peers    = flag.String("peers", "", "replica fabric addresses, id=host:port comma-separated (live mode)")
+		spec     = flag.String("spec", "", "cluster spec file (.toml or .json); replaces -peers and cluster-level flags (live mode)")
+		opsAddr  = flag.String("ops", "", "ops HTTP listen address serving /metrics and /healthz (empty = no ops listener)")
 		dataDir  = flag.String("data-dir", "", "durability directory: WAL + snapshots; restart with the same dir to recover (live mode)")
 		fsync    = flag.String("fsync", "commit", "WAL fsync policy with -data-dir: commit, always, none")
 		shards   = flag.Int("shards", 1, "key-space shards (independent per-key locking domains)")
@@ -98,9 +92,11 @@ func main() {
 
 	var srv *transport.Server
 	var err error
+	peerCount := 0
+	clientAddr, opsListen := *addr, *opsAddr
 	switch *mode {
 	case "sim":
-		srv, err = transport.Serve(*addr, marp.Options{
+		srv, err = transport.Serve(clientAddr, marp.Options{
 			Servers:   *servers,
 			Seed:      *seed,
 			Latency:   marp.Latency(*latency),
@@ -109,32 +105,41 @@ func main() {
 			Geometry:  *geometry,
 		}, *speed)
 	case "live":
-		var geom quorum.Geometry
-		var addrs map[runtime.NodeID]string
-		if geom, err = quorum.ParseGeometry(*geometry); err == nil {
-			if addrs, err = parsePeers(*peers); err == nil {
-				srv, err = transport.ServeLive(*addr, live.NodeConfig{
-					Self:        runtime.NodeID(*node),
-					Addrs:       addrs,
-					Seed:        *seed,
-					DataDir:     *dataDir,
-					Fsync:       *fsync,
-					Codec:       *codec,
-					CommitDelay: *commit,
-					Cluster: core.Config{
-						Shards:         *shards,
-						Geometry:       geom,
-						MigrateAckDelay: *ackDelay,
-					},
-				})
-			}
+		cfg, cAddr, oAddr, rerr := resolveLive(liveFlags{
+			Spec: *spec, Node: *node, Peers: *peers,
+			Addr: *addr, Ops: *opsAddr,
+			Seed: *seed, DataDir: *dataDir, Fsync: *fsync,
+			Shards: *shards, Geometry: *geometry, Codec: *codec,
+			CommitDelay: *commit, AckDelay: *ackDelay,
+		})
+		if rerr != nil {
+			// Operator mistake in -peers/-spec: exit 2, distinct from the
+			// runtime failures below.
+			fmt.Fprintf(os.Stderr, "marpd: %v\n", rerr)
+			os.Exit(2)
 		}
+		clientAddr, opsListen = cAddr, oAddr
+		peerCount = len(cfg.Addrs)
+		srv, err = transport.ServeLive(clientAddr, cfg)
 	default:
 		err = fmt.Errorf("unknown mode %q", *mode)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "marpd: %v\n", err)
 		os.Exit(1)
+	}
+	var opsSrv *ops.Server
+	if opsListen != "" {
+		opsSrv, err = ops.Serve(opsListen, ops.Config{
+			Gather: srv.GatherMetrics,
+			Health: srv.Health,
+		})
+		if err != nil {
+			srv.Close()
+			fmt.Fprintf(os.Stderr, "marpd: ops listener: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("marpd: ops listener on http://%s (/metrics, /healthz)\n", opsSrv.Addr())
 	}
 	var rec *scenario.Recorder
 	if *record != "" {
@@ -152,7 +157,7 @@ func main() {
 	}
 	if *mode == "live" {
 		fmt.Printf("marpd: live replica %d of %d, listening on %s\n",
-			*node, strings.Count(*peers, "="), srv.Addr())
+			*node, peerCount, srv.Addr())
 	} else {
 		fmt.Printf("marpd: %d replicated servers, %s latency, %gx time, listening on %s\n",
 			*servers, *latency, *speed, srv.Addr())
@@ -162,6 +167,9 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("\nmarpd: shutting down")
+	if opsSrv != nil {
+		opsSrv.Close()
+	}
 	srv.Close()
 	if rec != nil {
 		rec.Close()

@@ -1,0 +1,233 @@
+package clusterspec
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/runtime"
+)
+
+const sampleTOML = `
+# Three durable replicas on localhost.
+name = "demo"
+shards = 4
+geometry = "grid"
+fsync = "commit"
+commit_delay = "200us"
+seed = 7
+data_root = "/tmp/marp-demo"
+
+[[node]]
+id = 1
+fabric = "127.0.0.1:7801"
+client = "127.0.0.1:7707"
+ops = "127.0.0.1:9101"
+
+[[node]]
+id = 2
+fabric = "127.0.0.1:7802"   # trailing comment
+client = "127.0.0.1:7708"
+ops = "127.0.0.1:9102"
+
+[[node]]
+id = 3
+fabric = "127.0.0.1:7803"
+client = "127.0.0.1:7709"
+ops = "127.0.0.1:9103"
+data_dir = "/tmp/elsewhere"
+`
+
+func TestParseTOML(t *testing.T) {
+	s, err := ParseTOML([]byte(sampleTOML))
+	if err != nil {
+		t.Fatalf("ParseTOML: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if s.Name != "demo" || s.Shards != 4 || s.Geometry != "grid" ||
+		s.CommitDelay != "200us" || s.Seed != 7 {
+		t.Errorf("top-level fields wrong: %+v", s)
+	}
+	if len(s.Nodes) != 3 {
+		t.Fatalf("got %d nodes, want 3", len(s.Nodes))
+	}
+	if s.Nodes[1].Fabric != "127.0.0.1:7802" {
+		t.Errorf("node 2 fabric = %q (comment stripping broken?)", s.Nodes[1].Fabric)
+	}
+	if got := s.PeerString(); got != "1=127.0.0.1:7801,2=127.0.0.1:7802,3=127.0.0.1:7803" {
+		t.Errorf("PeerString = %q", got)
+	}
+	if got := s.DataDirOf(1); got != filepath.Join("/tmp/marp-demo", "node-1") {
+		t.Errorf("DataDirOf(1) = %q", got)
+	}
+	if got := s.DataDirOf(3); got != "/tmp/elsewhere" {
+		t.Errorf("DataDirOf(3) = %q (explicit data_dir should win)", got)
+	}
+}
+
+func TestParseTOMLErrors(t *testing.T) {
+	cases := []struct{ name, in, wantErr string }{
+		{"bad table", "[cluster]\n", "unsupported table"},
+		{"no equals", "shards\n", "key = value"},
+		{"unknown key", `color = "red"`, "unknown key"},
+		{"unknown node key", "[[node]]\nport = 7\n", "unknown [[node]] key"},
+		{"bare string", "name = demo\n", "bad value"},
+		{"string for int", `shards = "4"`, "want an integer"},
+		{"int for string", "name = 3\n", "want a quoted string"},
+		{"missing value", "name =\n", "missing value"},
+	}
+	for _, c := range cases {
+		if _, err := ParseTOML([]byte(c.in)); err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func validSpec() *Spec {
+	return &Spec{
+		Shards:   2,
+		Geometry: "majority",
+		Nodes: []Node{
+			{ID: 1, Fabric: "127.0.0.1:7801", Client: "127.0.0.1:7707", Ops: "127.0.0.1:9101"},
+			{ID: 2, Fabric: "127.0.0.1:7802"},
+			{ID: 3, Fabric: "127.0.0.1:7803"},
+		},
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Spec)
+		wantErr string
+	}{
+		{"no nodes", func(s *Spec) { s.Nodes = nil }, "no nodes"},
+		{"duplicate id", func(s *Spec) { s.Nodes[1].ID = 1 }, "duplicate node id"},
+		{"zero id", func(s *Spec) { s.Nodes[0].ID = 0 }, "want >= 1"},
+		{"missing fabric", func(s *Spec) { s.Nodes[2].Fabric = "" }, "missing address"},
+		{"unparseable fabric", func(s *Spec) { s.Nodes[0].Fabric = "localhost" }, "bad address"},
+		{"hostless fabric", func(s *Spec) { s.Nodes[0].Fabric = ":7801" }, "no host"},
+		{"duplicate address", func(s *Spec) { s.Nodes[1].Fabric = "127.0.0.1:7801" }, "already used"},
+		{"bad client", func(s *Spec) { s.Nodes[0].Client = "nope" }, "bad address"},
+		{"bad geometry", func(s *Spec) { s.Geometry = "ring" }, "geometry"},
+		{"bad fsync", func(s *Spec) { s.Fsync = "sometimes" }, "fsync"},
+		{"bad codec", func(s *Spec) { s.Codec = "xml" }, "codec"},
+		{"bad delay", func(s *Spec) { s.CommitDelay = "fast" }, "commit_delay"},
+		{"negative delay", func(s *Spec) { s.AckDelay = "-1ms" }, "negative"},
+	}
+	for _, c := range cases {
+		s := validSpec()
+		c.mutate(s)
+		if err := s.Validate(); err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.wantErr)
+		}
+	}
+	if err := validSpec().Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+func TestLoadJSONAndTOML(t *testing.T) {
+	dir := t.TempDir()
+	tomlPath := filepath.Join(dir, "c.toml")
+	if err := os.WriteFile(tomlPath, []byte(sampleTOML), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fromTOML, err := Load(tomlPath)
+	if err != nil {
+		t.Fatalf("Load toml: %v", err)
+	}
+	jsonPath := filepath.Join(dir, "c.json")
+	if err := os.WriteFile(jsonPath, []byte(`{
+		"name": "demo", "shards": 4, "geometry": "grid", "fsync": "commit",
+		"commit_delay": "200us", "seed": 7, "data_root": "/tmp/marp-demo",
+		"nodes": [
+			{"id": 1, "fabric": "127.0.0.1:7801", "client": "127.0.0.1:7707", "ops": "127.0.0.1:9101"},
+			{"id": 2, "fabric": "127.0.0.1:7802", "client": "127.0.0.1:7708", "ops": "127.0.0.1:9102"},
+			{"id": 3, "fabric": "127.0.0.1:7803", "client": "127.0.0.1:7709", "ops": "127.0.0.1:9103", "data_dir": "/tmp/elsewhere"}
+		]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := Load(jsonPath)
+	if err != nil {
+		t.Fatalf("Load json: %v", err)
+	}
+	if !reflect.DeepEqual(fromTOML, fromJSON) {
+		t.Errorf("TOML and JSON forms disagree:\ntoml: %+v\njson: %+v", fromTOML, fromJSON)
+	}
+	if _, err := Load(filepath.Join(dir, "missing.toml")); err == nil {
+		t.Error("Load of missing file succeeded")
+	}
+	badPath := filepath.Join(dir, "c.yaml")
+	os.WriteFile(badPath, []byte("x"), 0o644)
+	if _, err := Load(badPath); err == nil || !strings.Contains(err.Error(), "unknown spec format") {
+		t.Errorf("Load .yaml err = %v", err)
+	}
+}
+
+func TestFlags(t *testing.T) {
+	s, err := ParseTOML([]byte(sampleTOML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.Flags(2)
+	want := []string{
+		"-mode", "live", "-node", "2",
+		"-peers", "1=127.0.0.1:7801,2=127.0.0.1:7802,3=127.0.0.1:7803",
+		"-addr", "127.0.0.1:7708",
+		"-ops", "127.0.0.1:9102",
+		"-data-dir", filepath.Join("/tmp/marp-demo", "node-2"),
+		"-fsync", "commit",
+		"-shards", "4",
+		"-geometry", "grid",
+		"-seed", "7",
+		"-commit-delay", "200us",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Flags(2) =\n%v\nwant\n%v", got, want)
+	}
+	if s.Flags(9) != nil {
+		t.Error("Flags of unknown node should be nil")
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	addrs, err := ParsePeers("1=127.0.0.1:7801, 2=127.0.0.1:7802")
+	if err != nil {
+		t.Fatalf("ParsePeers: %v", err)
+	}
+	if len(addrs) != 2 || addrs[1] != "127.0.0.1:7801" {
+		t.Errorf("addrs = %v", addrs)
+	}
+	for _, bad := range []struct{ in, wantErr string }{
+		{"1=a:1,1=b:2", "duplicate peer id"},
+		{"one=a:1", "bad peer id"},
+		{"0=a:1", "bad peer id"},
+		{"justanaddr", "want id=host:port"},
+	} {
+		if _, err := ParsePeers(bad.in); err == nil || !strings.Contains(err.Error(), bad.wantErr) {
+			t.Errorf("ParsePeers(%q) err = %v, want %q", bad.in, err, bad.wantErr)
+		}
+	}
+}
+
+func TestValidatePeers(t *testing.T) {
+	addrs := map[runtime.NodeID]string{1: "127.0.0.1:7801", 2: "127.0.0.1:7802"}
+	if err := ValidatePeers(1, addrs); err != nil {
+		t.Errorf("ValidatePeers(self present): %v", err)
+	}
+	if err := ValidatePeers(3, addrs); err == nil || !strings.Contains(err.Error(), "no entry for this process") {
+		t.Errorf("missing self err = %v", err)
+	}
+	if err := ValidatePeers(0, addrs); err == nil {
+		t.Error("ValidatePeers accepted node 0")
+	}
+	bad := map[runtime.NodeID]string{1: "notanaddr"}
+	if err := ValidatePeers(1, bad); err == nil || !strings.Contains(err.Error(), "bad address") {
+		t.Errorf("bad addr err = %v", err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/agent"
 	"repro/internal/disk"
 	"repro/internal/durable"
+	"repro/internal/metrics"
 	"repro/internal/quorum"
 	"repro/internal/reliable"
 	"repro/internal/replica"
@@ -226,6 +227,11 @@ type Cluster struct {
 	done        map[agent.ID]int // agent -> index into outcomes, for dedup
 	outstanding int
 	regenerated int
+
+	// Ops plane (ops.go): the metric registry every subsystem reports
+	// into, plus the typed instruments hot paths observe directly.
+	metrics   *metrics.Registry
+	mWalFsync *metrics.Histogram
 }
 
 type batch struct {
@@ -284,6 +290,7 @@ func NewCluster(eng runtime.Engine, fab runtime.Fabric, cfg Config) (*Cluster, e
 		backends:    make(map[runtime.NodeID]disk.Backend),
 		journals:    make(map[runtime.NodeID]*durable.Journal),
 	}
+	c.initMetrics()
 	c.platform = agent.NewPlatform(eng, fabric, agent.Config{
 		MigrationTimeout: cfg.MigrationTimeout,
 		DeathNoticeDelay: cfg.DeathNoticeDelay,
@@ -391,6 +398,7 @@ func NewCluster(eng runtime.Engine, fab runtime.Fabric, cfg Config) (*Cluster, e
 			eng.AfterFunc(0, srv.RequestSync)
 		}
 	}
+	c.registerMetrics()
 	return c, nil
 }
 
@@ -402,6 +410,7 @@ func (c *Cluster) durableOptions() durable.Options {
 		CompactEvery:     d.CompactEvery,
 		Shards:           c.cfg.Shards,
 		GroupCommitDelay: d.GroupCommitDelay,
+		OnSync:           func(d time.Duration) { c.mWalFsync.Observe(d.Seconds()) },
 	}
 }
 

@@ -64,6 +64,15 @@ func (g *sendGate) NetStats() runtime.NetStats {
 	return runtime.NetStats{}
 }
 
+// Reachable forwards the runtime.ReachabilitySource capability; a fabric
+// with no reachability knowledge reports everything reachable.
+func (g *sendGate) Reachable(from, to runtime.NodeID) bool {
+	if src, ok := g.net.(runtime.ReachabilitySource); ok {
+		return src.Reachable(from, to)
+	}
+	return true
+}
+
 // WireDelivery forwards the runtime.WireFabric capability: gating does not
 // change whether payloads are physically serialized.
 func (g *sendGate) WireDelivery() bool {

@@ -136,6 +136,9 @@ type Options struct {
 	GroupCommitDelay time.Duration
 	// Scheduler overrides the group-commit flush scheduler (tests).
 	Scheduler func(d time.Duration, fn func())
+	// OnSync forwards to wal.Options.OnSync: it observes each successful
+	// segment fsync's wall-clock duration for the ops plane.
+	OnSync func(d time.Duration)
 }
 
 func (o Options) withDefaults() Options {
@@ -181,6 +184,7 @@ func Open(b disk.Backend, opts Options) (*Journal, *State, error) {
 		SegmentBytes:     opts.SegmentBytes,
 		GroupCommitDelay: opts.GroupCommitDelay,
 		Scheduler:        opts.Scheduler,
+		OnSync:           opts.OnSync,
 	})
 	if err != nil {
 		return nil, nil, err

@@ -252,14 +252,10 @@ func liveSpeedCell(seed int64, k a9Knobs, reqs int) (a9Cell, error) {
 	var attSum time.Duration
 	for _, node := range nodes {
 		var outs []core.Outcome
-		var js wal.Stats
-		var ds disk.Stats
-		var ns runtime.NetStats
+		var snap metrics.Snapshot
 		if !node.Eng.Do(func() {
 			outs = node.Cluster.Outcomes()
-			js = node.Cluster.JournalStats()
-			ds = node.Cluster.DiskStats()
-			ns = node.Cluster.NetStats()
+			snap = node.Cluster.Metrics().Gather()
 		}) {
 			return a9Cell{}, fmt.Errorf("engine closed during outcome read")
 		}
@@ -270,9 +266,9 @@ func liveSpeedCell(seed int64, k a9Knobs, reqs int) (a9Cell, error) {
 			cell.commits++
 			attSum += o.TotalLatency().Duration()
 		}
-		cell.fsyncs += uint64(ds.Syncs)
-		cell.batches += js.GroupBatches
-		cell.bytes += ns.BytesSent
+		cell.fsyncs += uint64(snap.Value("marp.disk.syncs"))
+		cell.batches += int(snap.Value("marp.wal.group_batches"))
+		cell.bytes += int(snap.Value("marp.fabric.bytes_sent"))
 	}
 	if cell.commits == 0 {
 		return a9Cell{}, fmt.Errorf("no updates committed")

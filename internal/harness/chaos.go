@@ -168,19 +168,27 @@ func runChaos(o FigureOptions, point int, p ChaosPoint) (ChaosResult, error) {
 			Failed: out.Failed,
 		})
 	}
-	ns := cl.Network().Stats()
+	// The chaos table's counters read through the registry's stable names
+	// (what a live /metrics scrape exports); the full Net/Agents structs
+	// keep feeding the generic RunResult summaries.
+	snap := cl.Metrics().Gather()
 	return ChaosResult{
 		RunResult: RunResult{
 			Config:  RunConfig{Protocol: MARP, N: n, Seed: o.Seed},
 			Summary: metrics.Summarize(samples),
-			Net:     ns,
+			Net:     cl.Network().Stats(),
 			Agents:  cl.Platform().Stats(),
 		},
-		Point:       p,
-		Reliable:    cl.ReliableStats(),
-		Regenerated: cl.Regenerated(),
-		Lost:        ns.MessagesLost,
-		Duplicated:  ns.MessagesDuplicated,
+		Point: p,
+		Reliable: reliable.Stats{
+			Retransmissions:      int(snap.Value("marp.reliable.retransmissions")),
+			DuplicatesSuppressed: int(snap.Value("marp.reliable.duplicates_suppressed")),
+			AcksSent:             int(snap.Value("marp.reliable.acks_sent")),
+			GaveUp:               int(snap.Value("marp.reliable.gave_up")),
+		},
+		Regenerated: int(snap.Value("marp.replica.regenerated")),
+		Lost:        int(snap.Value("marp.fabric.messages_lost")),
+		Duplicated:  int(snap.Value("marp.fabric.messages_duplicated")),
 		Converged:   converged,
 	}, nil
 }

@@ -129,8 +129,12 @@ func runOverheadCell(o FigureOptions, p a7Point) ([]string, error) {
 		return nil, err
 	}
 	committed := int(cl.Server(1).Store().LastSeq())
-	js := cl.JournalStats()
-	ds := cl.DiskStats()
+	// The table reads through the registry's stable names — the same
+	// numbers an ops /metrics scrape of this cluster would export.
+	snap := cl.Metrics().Gather()
+	appends := int(snap.Value("marp.wal.appends"))
+	syncs := int(snap.Value("marp.disk.syncs"))
+	syncSeconds := snap.Value("marp.disk.sync_seconds_total")
 	perCommit := func(v float64) string {
 		if committed == 0 {
 			return "-"
@@ -141,13 +145,13 @@ func runOverheadCell(o FigureOptions, p a7Point) ([]string, error) {
 		p.policy,
 		fmt.Sprint(p.mean),
 		fmt.Sprint(committed),
-		fmt.Sprint(js.Appends),
-		fmt.Sprint(ds.Syncs),
-		perCommit(float64(ds.Syncs)),
-		fmt.Sprintf("%.1f", float64(ds.BytesWritten)/1024),
-		fmt.Sprintf("%.2f", time.Duration(ds.SyncTime).Seconds()*1000),
-		perCommit(time.Duration(ds.SyncTime).Seconds() * 1e6),
-		fmt.Sprintf("%.1f", (time.Duration(ds.Syncs)*a7SyncHDD).Seconds()*1000),
+		fmt.Sprint(appends),
+		fmt.Sprint(syncs),
+		perCommit(float64(syncs)),
+		fmt.Sprintf("%.1f", snap.Value("marp.disk.bytes_written")/1024),
+		fmt.Sprintf("%.2f", syncSeconds*1000),
+		perCommit(syncSeconds * 1e6),
+		fmt.Sprintf("%.1f", (time.Duration(syncs)*a7SyncHDD).Seconds()*1000),
 	}, nil
 }
 
@@ -233,7 +237,7 @@ func runRecoveryCell(o FigureOptions, base, missed int) (a7Recovery, error) {
 	if err := submit(missed, n-1, "down"); err != nil {
 		return a7Recovery{}, err
 	}
-	replayedBefore := cl.JournalStats().Replayed
+	replayedBefore := int(cl.Metrics().Value("marp.wal.replayed"))
 	start := cl.Now()
 	cl.Recover(3)
 	walCommits := cl.Server(3).Store().LastSeq() // synchronous: no events ran yet
@@ -247,7 +251,7 @@ func runRecoveryCell(o FigureOptions, base, missed int) (a7Recovery, error) {
 	return a7Recovery{
 		missed:     missed,
 		walCommits: walCommits,
-		replayed:   cl.JournalStats().Replayed - replayedBefore,
+		replayed:   int(cl.Metrics().Value("marp.wal.replayed")) - replayedBefore,
 		catchup:    time.Duration(cl.Now() - start),
 	}, nil
 }

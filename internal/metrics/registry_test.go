@@ -1,0 +1,191 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryTypedInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test.counter", "a counter")
+	g := r.Gauge("test.gauge", "a gauge")
+	h := r.Histogram("test.hist", "a histogram", []float64{1, 10})
+	c.Inc()
+	c.Add(4)
+	g.Set(2.5)
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+	snap := r.Gather()
+	if v := snap.Value("test.counter"); v != 5 {
+		t.Fatalf("counter = %v, want 5", v)
+	}
+	if v := snap.Value("test.gauge"); v != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", v)
+	}
+	var hp *Point
+	for i := range snap {
+		if snap[i].Name == "test.hist" {
+			hp = &snap[i]
+		}
+	}
+	if hp == nil {
+		t.Fatal("histogram point missing")
+	}
+	if hp.Count != 3 || hp.Value != 55.5 {
+		t.Fatalf("hist count/sum = %d/%v, want 3/55.5", hp.Count, hp.Value)
+	}
+	if hp.Buckets[0].N != 1 || hp.Buckets[1].N != 2 {
+		t.Fatalf("cumulative buckets = %+v, want 1,2", hp.Buckets)
+	}
+}
+
+func TestRegistryReadThroughCollectors(t *testing.T) {
+	r := NewRegistry()
+	n := 7.0
+	r.CounterFunc("sub.reads", "reads so far", func() float64 { return n })
+	r.GaugeVecFunc("sub.depth", "per-shard depth", "shard", func() map[string]float64 {
+		return map[string]float64{"0": 1, "2": 3, "10": 5}
+	})
+	snap := r.Gather()
+	if v := snap.Value("sub.reads"); v != 7 {
+		t.Fatalf("collector value = %v, want 7", v)
+	}
+	n = 9
+	if v := r.Gather().Value("sub.reads"); v != 9 {
+		t.Fatalf("collector resample = %v, want 9", v)
+	}
+	if v := snap.Labeled("sub.depth", "2"); v != 3 {
+		t.Fatalf("labeled value = %v, want 3", v)
+	}
+	// Labels sort numerically: 0, 2, 10 — not 0, 10, 2.
+	var order []string
+	for _, p := range snap {
+		if p.Name == "sub.depth" {
+			order = append(order, p.LabelValue)
+		}
+	}
+	if strings.Join(order, ",") != "0,2,10" {
+		t.Fatalf("label order = %v, want 0,2,10", order)
+	}
+}
+
+func TestRegistryNameValidation(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "nodots", "Upper.case", "trailing.", "sp ace.x"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q: want panic", bad)
+				}
+			}()
+			r.Counter(bad, "")
+		}()
+	}
+	r.Counter("ok.name", "")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate registration: want panic")
+			}
+		}()
+		r.Counter("ok.name", "")
+	}()
+}
+
+func TestRegistrySingleValueRead(t *testing.T) {
+	r := NewRegistry()
+	calls := 0
+	r.CounterFunc("a.one", "", func() float64 { calls++; return 1 })
+	r.CounterFunc("a.two", "", func() float64 { t.Fatal("a.two collected"); return 0 })
+	if v := r.Value("a.one"); v != 1 || calls != 1 {
+		t.Fatalf("Value = %v (calls %d), want 1 (1)", v, calls)
+	}
+	if v := r.Value("a.absent"); v != 0 {
+		t.Fatalf("absent Value = %v, want 0", v)
+	}
+}
+
+func TestPrometheusRendering(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("marp.wal.syncs", "WAL fsyncs")
+	c.Add(3)
+	r.GaugeVecFunc("marp.shard.ll_depth", "locking-list depth", "shard", func() map[string]float64 {
+		return map[string]float64{"0": 2}
+	})
+	h := r.Histogram("marp.wal.fsync_seconds", "fsync latency", []float64{0.001})
+	h.Observe(0.0005)
+	var sb strings.Builder
+	if err := r.Gather().WritePrometheus(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP marp_wal_syncs WAL fsyncs",
+		"# TYPE marp_wal_syncs counter",
+		"marp_wal_syncs 3",
+		`marp_shard_ll_depth{shard="0"} 2`,
+		`marp_wal_fsync_seconds_bucket{le="0.001"} 1`,
+		`marp_wal_fsync_seconds_bucket{le="+Inf"} 1`,
+		"marp_wal_fsync_seconds_sum 0.0005",
+		"marp_wal_fsync_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRegistryConcurrentScrape hammers typed instruments from many
+// goroutines while gathering concurrently, and asserts every counter is
+// monotonic across snapshots — the registry-level half of the ops-plane
+// concurrency guarantee (the endpoint-level half scrapes a live cluster;
+// see transport's TestMetricsScrapeUnderLoad).
+func TestRegistryConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("load.ops", "")
+	h := r.Histogram("load.lat", "", []float64{1, 2, 4})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Inc()
+					h.Observe(3)
+				}
+			}
+		}()
+	}
+	var lastOps, lastCount, lastBucket uint64
+	for i := 0; i < 200; i++ {
+		snap := r.Gather()
+		ops := uint64(snap.Value("load.ops"))
+		if ops < lastOps {
+			t.Fatalf("counter went backwards: %d -> %d", lastOps, ops)
+		}
+		lastOps = ops
+		for _, p := range snap {
+			if p.Name != "load.lat" {
+				continue
+			}
+			if p.Count < lastCount {
+				t.Fatalf("histogram count went backwards: %d -> %d", lastCount, p.Count)
+			}
+			lastCount = p.Count
+			if n := p.Buckets[len(p.Buckets)-1].N; n < lastBucket {
+				t.Fatalf("bucket count went backwards: %d -> %d", lastBucket, n)
+			} else {
+				lastBucket = n
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,94 @@
+// Package ops serves the operational HTTP endpoints of a marpd process:
+// Prometheus-text /metrics and JSON /healthz. It is deliberately thin —
+// both handlers delegate to callbacks the embedding process wires to its
+// engine's execution context (transport.Server.GatherMetrics / Health),
+// so the package knows nothing about engines, clusters, or locking.
+//
+// The listener is separate from the client/fabric listeners on purpose:
+// scrapes and health probes must keep answering while the protocol ports
+// are saturated, and firewalling the ops port differently from the data
+// ports is the common deployment shape.
+package ops
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// Config wires the endpoints to the process's cluster.
+type Config struct {
+	// Gather samples the metric registry on the engine's execution
+	// context and returns the snapshot to render plus the registry it
+	// came from (for HELP/TYPE text). Required.
+	Gather func() (metrics.Snapshot, *metrics.Registry, error)
+	// Health computes the quorum-reachability summary. Required.
+	Health func() (core.Health, error)
+}
+
+// Server is a running ops listener.
+type Server struct {
+	ln   net.Listener
+	http *http.Server
+	done chan struct{}
+}
+
+// Serve starts the ops listener on addr (host:port; port 0 picks a free
+// one) and serves until Close.
+func Serve(addr string, cfg Config) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap, reg, err := cfg.Gather()
+		if err != nil {
+			http.Error(w, "gather: "+err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		snap.WritePrometheus(w, reg)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		h, err := cfg.Health()
+		if err != nil {
+			http.Error(w, "health: "+err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if !h.QuorumOK {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(h)
+	})
+	s := &Server{
+		ln: ln,
+		http: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		s.http.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the address the listener is bound to.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and waits for the serve loop to exit.
+func (s *Server) Close() error {
+	err := s.http.Close()
+	<-s.done
+	return err
+}

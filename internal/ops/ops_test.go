@@ -1,0 +1,96 @@
+package ops
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/runtime"
+)
+
+func testConfig(healthy *bool) Config {
+	r := metrics.NewRegistry()
+	c := r.Counter("marp.test.hits", "Scrapes served.")
+	return Config{
+		Gather: func() (metrics.Snapshot, *metrics.Registry, error) {
+			c.Inc()
+			return r.Gather(), r, nil
+		},
+		Health: func() (core.Health, error) {
+			return core.Health{
+				Vantage:  1,
+				QuorumOK: *healthy,
+				Shards: []core.ShardHealth{{
+					Shard: 0, Group: []runtime.NodeID{1, 2, 3},
+					Reachable: 3, MinWrite: 2, QuorumOK: *healthy,
+				}},
+			}, nil
+		},
+	}
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestMetricsAndHealthz(t *testing.T) {
+	healthy := true
+	s, err := Serve("127.0.0.1:0", testConfig(&healthy))
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d, want 200", code)
+	}
+	for _, want := range []string{
+		"# HELP marp_test_hits Scrapes served.",
+		"# TYPE marp_test_hits counter",
+		"marp_test_hits 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics body missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, base+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz status = %d, want 200; body %s", code, body)
+	}
+	var h core.Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("/healthz not JSON: %v\n%s", err, body)
+	}
+	if !h.QuorumOK || h.Vantage != 1 || len(h.Shards) != 1 {
+		t.Errorf("healthz = %+v, want quorum ok from vantage 1 with 1 shard", h)
+	}
+
+	healthy = false
+	code, body = get(t, base+"/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded /healthz status = %d, want 503; body %s", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("degraded /healthz not JSON: %v\n%s", err, body)
+	}
+	if h.QuorumOK {
+		t.Errorf("degraded healthz still reports quorum ok: %s", body)
+	}
+}

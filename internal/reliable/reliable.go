@@ -208,6 +208,15 @@ func (l *Layer) NetStats() runtime.NetStats {
 	return runtime.NetStats{}
 }
 
+// Reachable forwards the runtime.ReachabilitySource capability; retries do
+// not change what the underlying fabric can reach right now.
+func (l *Layer) Reachable(from, to runtime.NodeID) bool {
+	if src, ok := l.net.(runtime.ReachabilitySource); ok {
+		return src.Reachable(from, to)
+	}
+	return true
+}
+
 // WireDelivery forwards the runtime.WireFabric capability: framing does not
 // change whether payloads are physically serialized underneath.
 func (l *Layer) WireDelivery() bool {

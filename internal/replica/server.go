@@ -334,6 +334,10 @@ func (s *Server) QueueOf(shrd int) []agent.ID {
 	return out
 }
 
+// QueueLen returns one shard's Locking List depth without copying — the
+// ops plane samples it on every scrape.
+func (s *Server) QueueLen(shrd int) int { return len(s.shards[shrd].ll) }
+
 // Granted returns the transaction currently holding shard 0's grant
 // (zero ID if none).
 func (s *Server) Granted() agent.ID { return s.shards[0].grant }

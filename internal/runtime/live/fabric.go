@@ -17,8 +17,9 @@ import (
 )
 
 var (
-	_ runtime.Fabric      = (*Fabric)(nil)
-	_ runtime.Partitioner = (*Fabric)(nil)
+	_ runtime.Fabric             = (*Fabric)(nil)
+	_ runtime.Partitioner        = (*Fabric)(nil)
+	_ runtime.ReachabilitySource = (*Fabric)(nil)
 )
 
 // frame is the unit on the wire: one encoded protocol message. From
@@ -176,6 +177,16 @@ func (f *Fabric) Heal() {
 // Caller holds f.mu.
 func (f *Fabric) cutLocked(a, b runtime.NodeID) bool {
 	return f.group != nil && f.group[a] != f.group[b]
+}
+
+// Reachable implements runtime.ReachabilitySource: delivery is attempted
+// unless an injected partition separates the endpoints. Remote liveness is
+// unobservable on a live fabric (Down always reports false), so this is
+// exactly the send-side filter Send applies — the state /healthz reads.
+func (f *Fabric) Reachable(from, to runtime.NodeID) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return !f.cutLocked(from, to)
 }
 
 // NetStats implements runtime.StatsSource.

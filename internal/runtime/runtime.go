@@ -190,6 +190,16 @@ type Partitioner interface {
 	Heal()
 }
 
+// ReachabilitySource is a fabric that can report whether it would
+// currently attempt delivery from one node to another — the state the
+// /healthz quorum computation reads. The answer reflects only what the
+// fabric itself knows: the simulated network knows crashes and partitions;
+// the live TCP fabric knows the partitions it was told about (remote
+// liveness is unobservable there, exactly as for the protocol).
+type ReachabilitySource interface {
+	Reachable(from, to NodeID) bool
+}
+
 // LossController is a fabric whose transient message-loss level can be set
 // at run time (zero restores clean links).
 type LossController interface {

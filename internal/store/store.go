@@ -251,6 +251,10 @@ func (s *Store) UpdatesSince(seq uint64) []Update {
 // Log returns a copy of the full committed update log.
 func (s *Store) Log() []Update { return s.UpdatesSince(0) }
 
+// LogLen returns the committed update count without copying the log — the
+// ops plane samples it on every scrape.
+func (s *Store) LogLen() int { return len(s.log) }
+
 // Keys returns the committed keys in sorted order.
 func (s *Store) Keys() []string {
 	keys := make([]string, 0, len(s.committed))

@@ -52,6 +52,28 @@ import (
 	"repro/internal/store"
 )
 
+// GatherMetrics samples the cluster's metric registry on the engine's
+// execution context — the scrape path behind the ops listener's /metrics.
+// The registry's read-through collectors touch engine-owned state, so the
+// marshalling here is what makes concurrent scrapes race-free.
+func (s *Server) GatherMetrics() (metrics.Snapshot, *metrics.Registry, error) {
+	var snap metrics.Snapshot
+	reg := s.cluster.Metrics()
+	err := s.exec(func() { snap = reg.Gather() })
+	if err != nil {
+		return nil, nil, err
+	}
+	return snap, reg, nil
+}
+
+// Health computes the cluster's quorum-reachability summary on the
+// engine's execution context — the /healthz body.
+func (s *Server) Health() (core.Health, error) {
+	var h core.Health
+	err := s.exec(func() { h = s.cluster.Health() })
+	return h, err
+}
+
 // Request is one client command.
 type Request struct {
 	Op     string `json:"op"`
@@ -336,7 +358,10 @@ func (s *Server) apply(req Request) Response {
 			all = append(all, srv.StoreOf(sh).Log()...)
 		}
 		d, n := digestLog(all)
-		resp := Response{OK: true, Value: d, Seq: uint64(n), QueueDrops: s.cluster.NetStats().QueueDrops}
+		// The queue-drop count reads through the registry's stable name —
+		// the same number a /metrics scrape exports.
+		drops := int(s.cluster.Metrics().Value("marp.fabric.queue_drops"))
+		resp := Response{OK: true, Value: d, Seq: uint64(n), QueueDrops: drops}
 		if srv.Shards() > 1 {
 			resp.Shards = s.shardDigests(srv)
 		}
@@ -345,8 +370,11 @@ func (s *Server) apply(req Request) Response {
 		ref := s.cluster.Referee()
 		return Response{OK: true, Wins: ref.Wins(), Violations: len(ref.Violations())}
 	case "stats":
-		ns := s.cluster.NetStats()
-		as := s.cluster.Platform().Stats()
+		// Counters read through the metric registry's stable names (the
+		// same values /metrics exports); committed/failed keep their
+		// historical per-agent granularity rather than the registry's
+		// per-request one.
+		snap := s.cluster.Metrics().Gather()
 		committed, failed := 0, 0
 		for _, o := range s.cluster.Outcomes() {
 			if o.Failed {
@@ -357,12 +385,12 @@ func (s *Server) apply(req Request) Response {
 		}
 		return Response{OK: true, Stats: &StatsBody{
 			Servers:     len(s.cluster.Nodes()),
-			Outstanding: s.cluster.Outstanding(),
+			Outstanding: int(snap.Value("marp.replica.outstanding")),
 			Committed:   committed,
 			Failed:      failed,
-			Messages:    ns.MessagesSent,
-			Bytes:       ns.BytesSent,
-			Migrations:  as.MigrationsCompleted,
+			Messages:    int(snap.Value("marp.fabric.messages_sent")),
+			Bytes:       int(snap.Value("marp.fabric.bytes_sent")),
+			Migrations:  int(snap.Value("marp.agent.migrations_completed")),
 			VirtualMs:   s.cluster.Now().Duration().Milliseconds(),
 		}}
 	default:

@@ -105,6 +105,11 @@ type Options struct {
 	// time.AfterFunc; tests inject a manual scheduler to pump flushes
 	// deterministically.
 	Scheduler func(d time.Duration, fn func())
+	// OnSync, if non-nil, observes the wall-clock duration of every
+	// successful segment fsync (the ops plane feeds these into the
+	// marp.wal.fsync_seconds histogram). Called with the log's lock held;
+	// the observer must not call back into the log.
+	OnSync func(d time.Duration)
 }
 
 func (o Options) withDefaults() Options {
@@ -336,6 +341,10 @@ func (l *Log) syncLocked() ([]func(), error) {
 	if !l.dirty {
 		return l.drainParked(), nil
 	}
+	start := time.Time{}
+	if l.opts.OnSync != nil {
+		start = time.Now()
+	}
 	if err := l.out.Sync(); err != nil {
 		err = fmt.Errorf("wal: sync: %w", err)
 		if len(l.parked) > 0 {
@@ -343,6 +352,9 @@ func (l *Log) syncLocked() ([]func(), error) {
 			l.parked = nil
 		}
 		return nil, err
+	}
+	if l.opts.OnSync != nil {
+		l.opts.OnSync(time.Since(start))
 	}
 	l.dirty = false
 	l.stats.Syncs++
