@@ -21,7 +21,7 @@
 // parallelism buys wall-clock time only. Per-experiment wall-clock is
 // printed so the speedup is visible.
 //
-// Experiments: f2 f3 f4 c1 t3 a1 a2 a3 a4 a5 a6 a7 a8 a9 (see DESIGN.md §4).
+// Experiments: f2 f3 f4 c1 t3 a1 a2 a3 a4 a5 a6 a7 a8 a9 a10 (see DESIGN.md §4).
 // Unknown -exp names are rejected; the list above, `-exp help`, and the
 // DESIGN.md per-experiment index enumerate the same set.
 //
@@ -48,7 +48,7 @@ import (
 	"repro/internal/scenario"
 )
 
-var experiments = []string{"f2", "f3", "f4", "c1", "t3", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8", "a9"}
+var experiments = []string{"f2", "f3", "f4", "c1", "t3", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8", "a9", "a10"}
 
 func main() {
 	var (
@@ -152,11 +152,18 @@ func run(expFlag, cpuProf, memProf string, opts harness.FigureOptions) int {
 		{id: "a5", name: "Ablation: read-to-update ratio", run: table(harness.ReadRatio)},
 		{id: "a6", name: "Ablation: chaos (loss x partition churn)", run: func(o harness.FigureOptions) ([]*metrics.Table, error) {
 			t, _, err := harness.Chaos(o)
-			return []*metrics.Table{t}, err
+			if err != nil {
+				return nil, err
+			}
+			// The optimistic protocol rides the same grid: no reliable-
+			// delivery machinery, one digest-verified stable prefix required.
+			opt, _, err := harness.ChaosOptimistic(o)
+			return []*metrics.Table{t, opt}, err
 		}},
 		{id: "a7", name: "Durability: WAL overhead and crash recovery", run: harness.Durability},
 		{id: "a8", name: "Ablation: keyspace sharding throughput", run: harness.Sharding},
 		{id: "a9", name: "Ablation: live-path raw speed (codec/pipelining/group commit)", run: harness.LiveSpeed, isolate: true},
+		{id: "a10", name: "Ablation: optimistic asynchronous commitment (WAN showdown)", run: harness.Optimistic},
 	}
 
 	// The flag, the doc comment, and the experiment table must enumerate

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	marpctl [-addr host:port] [-timeout 5s] submit <home> <key> <value>
+//	marpctl [-addr host:port] [-timeout 5s] [-guard expected] submit <home> <key> <value>
 //	marpctl [-addr host:port] append <home> <key> <value>
 //	marpctl [-addr host:port] read <node> <key>
 //	marpctl [-addr host:port] crash <node>
@@ -73,7 +73,7 @@ func dialRetry(addr string, attempts int) (*transport.Client, error) {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: marpctl [-addr host:port] <command> [args]
 commands:
-  submit <home> <key> <value>   update key via a mobile agent from server <home>
+  submit <home> <key> <value>   update key from server <home> (-guard <expected> for optimistic CAS)
   append <home> <key> <value>   read-modify-write append
   read <node> <key>             read the local copy at server <node>
   crash <node>                  fail-stop a server
@@ -82,8 +82,8 @@ commands:
   heal                          remove all partitions, trigger anti-entropy (all -addrs)
   record-fault <kind> [args]    record a fault event without injecting it
   snapshot-scenario             finalize a recorded incident into a bundle
-  digest <node>                 commit-set digest of a replica's store
-  referee                       grants and single-claimant violations
+  digest <node>                 kind-tagged digest of a replica's store (optimistic: stable + tentative tiers)
+  referee                       kind-tagged verdict: lock grants/violations, or stable-prefix agreement
   stats                         service counters
   spec expand <file>            print the per-node marpd flag sets a cluster spec derives
 flags: -addr host:port, -addrs a,b,c (partition/heal/snapshot-scenario),
@@ -164,6 +164,7 @@ func main() {
 	addrsFlag := flag.String("addrs", "", "comma-separated addresses of every cluster process (partition, heal, snapshot-scenario); default: -addr")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request deadline (0 = none)")
 	asJSON := flag.Bool("json", false, "machine-readable output (digest, referee)")
+	guard := flag.String("guard", "", "CAS guard for submit against an optimistic service: the expected last stable value, or !unwritten (empty = unconditional; MARP services reject guards)")
 	recordDir := flag.String("record", "", "incident spool directory: crash/recover/partition/heal/record-fault append scenario events here")
 	name := flag.String("name", "incident", "scenario name (snapshot-scenario)")
 	note := flag.String("note", "", "scenario note (snapshot-scenario)")
@@ -270,10 +271,27 @@ func main() {
 		if len(args) != 4 {
 			usage()
 		}
-		if err := cli.Submit(node(args[1]), args[2], args[3], args[0] == "append"); err != nil {
+		if args[0] == "append" {
+			if *guard != "" {
+				fatal(fmt.Errorf("-guard applies to submit only (optimistic read-modify-write is submit -guard <expected>)"))
+			}
+			if err := cli.Submit(node(args[1]), args[2], args[3], true); err != nil {
+				fatal(err)
+			}
+			fmt.Println("ok: agent dispatched")
+			return
+		}
+		txn, err := cli.SubmitCAS(node(args[1]), args[2], args[3], *guard)
+		if err != nil {
 			fatal(err)
 		}
-		fmt.Println("ok: agent dispatched")
+		if txn != "" {
+			// An optimistic service names the transaction it tentatively
+			// committed; a MARP service dispatched an agent.
+			fmt.Printf("ok: %s tentatively committed\n", txn)
+		} else {
+			fmt.Println("ok: agent dispatched")
+		}
 	case "read":
 		if len(args) != 3 {
 			usage()
@@ -309,36 +327,65 @@ func main() {
 		if len(args) != 2 {
 			usage()
 		}
-		digest, commits, shards, drops, err := cli.DigestShards(node(args[1]))
+		resp, err := cli.DigestReport(node(args[1]))
 		if err != nil {
 			fatal(err)
 		}
+		kind := resp.Kind
+		if kind == "" {
+			kind = transport.DigestKindCommitSet // pre-kind server
+		}
 		if *asJSON {
-			out := map[string]any{"node": node(args[1]), "digest": digest, "commits": commits, "queue_drops": drops}
-			if len(shards) > 0 {
-				out["shards"] = shards
+			out := map[string]any{
+				"node": node(args[1]), "kind": kind,
+				"digest": resp.Value, "commits": int(resp.Seq),
+				"queue_drops": resp.QueueDrops,
+			}
+			// Optimistic services report both tiers, per-key digests
+			// included; "digest"/"commits" above alias the stable tier.
+			if resp.Stable != nil {
+				out["stable"] = resp.Stable
+			}
+			if resp.Tentative != nil {
+				out["tentative"] = resp.Tentative
+			}
+			if len(resp.Shards) > 0 {
+				out["shards"] = resp.Shards
 			}
 			printJSON(out)
 			return
 		}
-		fmt.Printf("%s (%d commits)\n", digest, commits)
-		if drops > 0 {
-			fmt.Printf("  warning: %d fabric queue drops at this process\n", drops)
+		if kind == transport.DigestKindStablePrefix && resp.Stable != nil && resp.Tentative != nil {
+			fmt.Printf("stable    %s (%d entries, %d keys)\n", resp.Stable.Digest, resp.Stable.Entries, len(resp.Stable.Keys))
+			fmt.Printf("tentative %s (%d entries, %d keys)\n", resp.Tentative.Digest, resp.Tentative.Entries, len(resp.Tentative.Keys))
+		} else {
+			fmt.Printf("%s (%d commits)\n", resp.Value, resp.Seq)
 		}
-		for _, sh := range shards {
+		if resp.QueueDrops > 0 {
+			fmt.Printf("  warning: %d fabric queue drops at this process\n", resp.QueueDrops)
+		}
+		for _, sh := range resp.Shards {
 			fmt.Printf("  shard %-3d %s (%d commits, %d requests, alt %.2fms, att %.2fms, %.1f visits)\n",
 				sh.Shard, sh.Digest, sh.Commits, sh.Requests, sh.MeanALTMs, sh.MeanATTMs, sh.MeanVisits)
 		}
 	case "referee":
-		wins, violations, err := cli.Referee()
+		resp, err := cli.RefereeReport()
 		if err != nil {
 			fatal(err)
 		}
+		kind := resp.Kind
+		if kind == "" {
+			kind = transport.RefereeKindGrants // pre-kind server
+		}
 		if *asJSON {
-			printJSON(map[string]any{"wins": wins, "violations": violations})
+			printJSON(map[string]any{"kind": kind, "wins": resp.Wins, "violations": resp.Violations})
 			return
 		}
-		fmt.Printf("wins %d, violations %d\n", wins, violations)
+		if kind == transport.DigestKindStablePrefix {
+			fmt.Printf("stable-prefix elections %d, divergences %d\n", resp.Wins, resp.Violations)
+		} else {
+			fmt.Printf("wins %d, violations %d\n", resp.Wins, resp.Violations)
+		}
 	case "stats":
 		st, err := cli.Stats()
 		if err != nil {
@@ -431,6 +478,16 @@ func snapshotScenario(addrs []string, timeout time.Duration, dir, name, note str
 	var ref *transport.ScenarioBody
 	var refAddr string
 	commits, failed, outstanding := 0, 0, 0
+	// Digests of different kinds (a MARP commit-set vs an optimistic stable
+	// prefix) are incomparable by construction: name the mismatch instead of
+	// diffing the key maps as if they meant the same thing. Empty means a
+	// pre-kind server — commit-set.
+	kindOf := func(b *transport.ScenarioBody) string {
+		if b.DigestKind == "" {
+			return transport.DigestKindCommitSet
+		}
+		return b.DigestKind
+	}
 	for _, a := range addrs {
 		cli, err := dialRetry(a, 3)
 		if err != nil {
@@ -453,9 +510,16 @@ func snapshotScenario(addrs []string, timeout time.Duration, dir, name, note str
 			body.Geometry != ref.Geometry || body.Fsync != ref.Fsync {
 			fatal(fmt.Errorf("%s and %s disagree on the cluster shape", refAddr, a))
 		}
+		if kindOf(body) != kindOf(ref) {
+			fatal(fmt.Errorf("%s reports %s digests but %s reports %s; refusing to compare mixed digest kinds",
+				refAddr, kindOf(ref), a, kindOf(body)))
+		}
 		if diffs := scenario.DiffDigests(ref.Keys, body.Keys); len(diffs) > 0 {
 			fatal(fmt.Errorf("%s and %s have not converged (%s); heal/recover and retry", refAddr, a, diffs[0]))
 		}
+	}
+	if kindOf(ref) != transport.DigestKindCommitSet {
+		fatal(fmt.Errorf("capture digests are %q: replay bundles verify commit-set digests, and the replayer drives the MARP protocol only", kindOf(ref)))
 	}
 	if failed > 0 {
 		fatal(fmt.Errorf("unclean capture: %d failed request(s); a replay cannot reproduce lost submissions", failed))

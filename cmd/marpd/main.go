@@ -8,6 +8,12 @@
 //   - live: each replica is its own OS process on the wall clock, and
 //     mobile agents migrate between processes over TCP as serialized state.
 //
+// Both modes can instead run the optimistic commitment protocol
+// (-protocol optimistic): submits commit tentatively at local latency and
+// reconciliation agents merge the replicas in the background
+// (internal/optimistic). `marpctl digest` then reports the stable and
+// tentative tiers separately. An unknown -protocol exits 2.
+//
 // Usage (sim):
 //
 //	marpd -addr :7707 -servers 5 -latency lan -speed 1
@@ -61,10 +67,28 @@ import (
 	"syscall"
 
 	marp "repro"
+	"repro/internal/desengine"
 	"repro/internal/ops"
+	"repro/internal/optimistic"
+	"repro/internal/runtime/live"
 	"repro/internal/scenario"
+	"repro/internal/simnet"
 	"repro/internal/transport"
 )
+
+// latencyModel maps the -latency preset names to simnet models for the
+// protocols assembled here directly (the MARP path maps inside marp.Options).
+func latencyModel(name string) (simnet.LatencyModel, error) {
+	switch name {
+	case "lan":
+		return simnet.LAN(), nil
+	case "prototype":
+		return simnet.Prototype(), nil
+	case "wan":
+		return simnet.WAN(), nil
+	}
+	return nil, fmt.Errorf("unknown latency %q", name)
+}
 
 func main() {
 	var (
@@ -87,15 +111,35 @@ func main() {
 		commit   = flag.Duration("commit-delay", 0, "WAL group-commit window with -data-dir, e.g. 200us; 0 = fsync per commit (live mode)")
 		ackDelay = flag.Duration("ack-delay", 0, "migration ack aggregation window, e.g. 500us; 0 = ack immediately (live mode)")
 		record   = flag.String("record", "", "incident-recording spool directory: accepted submits are appended as scenario events (share one dir across the cluster; see marpctl snapshot-scenario)")
+		protocol = flag.String("protocol", "marp", "replication protocol: marp (pessimistic locking agents) or optimistic (tentative commits + reconciliation agents)")
 	)
 	flag.Parse()
 
+	if *protocol != "marp" && *protocol != "optimistic" {
+		// Operator mistake, like a malformed -peers: exit 2 before anything
+		// listens.
+		fmt.Fprintf(os.Stderr, "marpd: unknown protocol %q (marp or optimistic)\n", *protocol)
+		os.Exit(2)
+	}
 	var srv *transport.Server
 	var err error
 	peerCount := 0
 	clientAddr, opsListen := *addr, *opsAddr
 	switch *mode {
 	case "sim":
+		if *protocol == "optimistic" {
+			model, merr := latencyModel(*latency)
+			if merr != nil {
+				fmt.Fprintf(os.Stderr, "marpd: %v\n", merr)
+				os.Exit(2)
+			}
+			srv, err = transport.ServeOptimistic(clientAddr, desengine.OptConfig{
+				Seed:    *seed,
+				Latency: model,
+				Cluster: optimistic.Config{N: *servers, Shards: *shards},
+			}, *speed)
+			break
+		}
 		srv, err = transport.Serve(clientAddr, marp.Options{
 			Servers:   *servers,
 			Seed:      *seed,
@@ -120,6 +164,16 @@ func main() {
 		}
 		clientAddr, opsListen = cAddr, oAddr
 		peerCount = len(cfg.Addrs)
+		if *protocol == "optimistic" {
+			// The spec/flag resolution is shared; the optimistic node takes
+			// the subset that applies (no quorum geometry, no migration acks).
+			srv, err = transport.ServeLiveOptimistic(clientAddr, live.OptNodeConfig{
+				Self: cfg.Self, Addrs: cfg.Addrs, Seed: cfg.Seed,
+				DataDir: cfg.DataDir, Fsync: cfg.Fsync, Codec: cfg.Codec,
+				Shards: cfg.Cluster.Shards,
+			})
+			break
+		}
 		srv, err = transport.ServeLive(clientAddr, cfg)
 	default:
 		err = fmt.Errorf("unknown mode %q", *mode)

@@ -1,0 +1,160 @@
+package durable
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/store"
+)
+
+func optRec(txn, key, data string, stamp int64, guard string, deps ...string) OptRecord {
+	return OptRecord{
+		U:     store.Update{TxnID: txn, Key: key, Data: data, Stamp: stamp},
+		Guard: guard,
+		Deps:  deps,
+	}
+}
+
+func openOpt(t *testing.T, b disk.Backend, opts OptOptions) (*OptJournal, *OptState) {
+	t.Helper()
+	j, st, err := OpenOpt(b, opts)
+	if err != nil {
+		t.Fatalf("OpenOpt: %v", err)
+	}
+	return j, st
+}
+
+func TestOptJournalReplayLifecycle(t *testing.T) {
+	b := disk.NewMem()
+	j, st := openOpt(t, b, OptOptions{})
+	if st != nil {
+		t.Fatalf("fresh backend replayed state %+v", st)
+	}
+	own := optRec("o001-s000-000000001", "k", "a", 1, "")
+	foreign := optRec("o002-s000-000000001", "k", "b", 1, GuardStringForTest, "o001-s000-000000001")
+	loser := optRec("o003-s000-000000001", "k", "c", 2, "")
+	j.Tentative(own, true)
+	j.Tentative(foreign, false)
+	j.Tentative(loser, false)
+	stable := own
+	stable.U.Seq = 1
+	j.Stable(stable)
+	j.Abort(loser.U.TxnID)
+	j.Clock(100)
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	_, st = openOpt(t, b, OptOptions{})
+	if st == nil {
+		t.Fatal("no state replayed")
+	}
+	if len(st.Stable) != 1 || st.Stable[0].U != stable.U {
+		t.Fatalf("Stable = %+v, want the promoted record", st.Stable)
+	}
+	if len(st.Overlay) != 1 || st.Overlay[0].U.TxnID != foreign.U.TxnID {
+		t.Fatalf("Overlay = %+v, want only the undecided foreign record", st.Overlay)
+	}
+	if g, d := st.Overlay[0].Guard, st.Overlay[0].Deps; g != foreign.Guard || len(d) != 1 || d[0] != foreign.Deps[0] {
+		t.Fatalf("constraint metadata lost: %+v", st.Overlay[0])
+	}
+	if len(st.Aborted) != 1 || st.Aborted[0].U != loser.U {
+		t.Fatalf("Aborted = %+v, want the full loser record", st.Aborted)
+	}
+	// Clock(100) journals the next stride boundary above 100.
+	if st.ClockHi != 128 {
+		t.Fatalf("ClockHi = %d, want 128", st.ClockHi)
+	}
+}
+
+// GuardStringForTest exercises a non-empty guard through the codec.
+const GuardStringForTest = "o009-s000-000000009"
+
+// TestOptJournalCrashKeepsBarriers: a power cut past the last fsync loses
+// non-barrier foreign tentatives but never an own tentative, a stable
+// record, or an advertised clock.
+func TestOptJournalCrashKeepsBarriers(t *testing.T) {
+	b := disk.NewMem()
+	j, _ := openOpt(t, b, OptOptions{})
+	own := optRec("o001-s000-000000001", "k", "a", 1, "")
+	j.Tentative(own, true) // barrier: fsynced
+	j.Clock(1)             // barrier: fsynced
+	foreign := optRec("o002-s000-000000001", "k", "b", 5, "")
+	j.Tentative(foreign, false) // no barrier: at the crash's mercy
+	j.Kill()
+	b.Crash()
+
+	_, st := openOpt(t, b, OptOptions{})
+	if st == nil {
+		t.Fatal("no state replayed")
+	}
+	found := false
+	for _, rec := range st.Overlay {
+		switch rec.U.TxnID {
+		case own.U.TxnID:
+			found = true
+		case foreign.U.TxnID:
+			t.Fatal("un-fsynced foreign tentative survived a power cut (Mem backend should truncate)")
+		}
+	}
+	if !found {
+		t.Fatal("own (barrier'd) tentative lost in crash")
+	}
+	if st.ClockHi < 1 {
+		t.Fatalf("ClockHi = %d, want >= the advertised clock", st.ClockHi)
+	}
+}
+
+// TestOptJournalCompaction: the snapshot round-trips the full state and
+// replaces the record tail.
+func TestOptJournalCompaction(t *testing.T) {
+	b := disk.NewMem()
+	j, _ := openOpt(t, b, OptOptions{CompactEvery: 8})
+	var stable []OptRecord
+	var overlay []OptRecord
+	j.SetSource(func() *OptState {
+		return &OptState{
+			Stable:  append([]OptRecord(nil), stable...),
+			Overlay: append([]OptRecord(nil), overlay...),
+		}
+	})
+	// The source must reflect a record BEFORE it is journaled — the
+	// journal may compact inside the append, and the snapshot then
+	// replaces everything before it. The replica upholds this by applying
+	// to its store first (accept, tryPromote); the test mirrors it.
+	for i := 0; i < 20; i++ {
+		rec := optRec(fmt.Sprintf("o001-s000-%09d", i+1), fmt.Sprintf("k%d", i), "v", int64(i+1), "")
+		overlay = []OptRecord{rec}
+		j.Tentative(rec, true)
+		rec.U.Seq = uint64(i + 1)
+		stable = append(stable, rec)
+		overlay = nil
+		j.Stable(rec)
+	}
+	last := optRec("o002-s000-000000001", "pending", "p", 99, "")
+	overlay = append(overlay, last)
+	j.Tentative(last, false)
+	if j.Stats().Snapshots == 0 {
+		t.Fatal("no snapshot installed")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, st := openOpt(t, b, OptOptions{})
+	if st == nil {
+		t.Fatal("no state replayed")
+	}
+	if len(st.Stable) != 20 {
+		t.Fatalf("replayed %d stable records, want 20", len(st.Stable))
+	}
+	for i, rec := range st.Stable {
+		if rec.U.Seq != uint64(i+1) {
+			t.Fatalf("stable[%d].Seq = %d", i, rec.U.Seq)
+		}
+	}
+	if len(st.Overlay) != 1 || st.Overlay[0].U.TxnID != last.U.TxnID {
+		t.Fatalf("Overlay = %+v, want the pending record", st.Overlay)
+	}
+}

@@ -1,0 +1,235 @@
+// Package optimistic implements the third replication protocol behind the
+// runtime seam: optimistic asynchronous commitment in the style of
+// Sutra–Shapiro's decentralised commitment for optimistic semantic
+// replication (PAPERS.md), answering the source paper's §6 speculation
+// about WAN deployment with a protocol that never pays wide-area latency
+// on the submit path.
+//
+// Where MARP is pessimistic — an agent must head a majority of Locking
+// Lists before any replica applies an update — the optimistic protocol
+// commits every submit TENTATIVELY at the local replica immediately, at
+// local-disk latency. A mobile reconciliation agent then carries the
+// action and its constraints (the Lamport stamp that orders it, the
+// notAfter dependency edges onto the same-key tentative updates its origin
+// observed, and an optional CAS guard) along a background ring itinerary.
+// Replicas exchange constraint knowledge epidemically through these
+// agents, and a quorum-LESS, fully decentralised election promotes
+// tentative updates into an immutable stable prefix — every replica
+// computes the same election locally, from evidence alone, and no replica
+// ever waits for a vote.
+//
+// # The candidate order and the election
+//
+// Every action is stamped from its origin's Lamport clock and identified
+// by (origin, shard, oseq) — oseq a per-origin, per-shard contiguous
+// counter. The global candidate order per shard is (Stamp, TxnID), a total
+// order every replica computes identically; Lamport stamping makes it
+// causality-consistent, so an action's notAfter dependencies always sort
+// strictly before it and the order provably extends the constraint graph
+// the agents carry (accept asserts this).
+//
+// A replica may promote the order's prefix up to a stability bound B once
+// it can prove it holds EVERY action any origin stamped at or below B.
+// The proof is evidence-based: each agent carries Know entries — origin o
+// reported clock C having issued k actions on the shard — and the receiver
+// credits the entry only once its own contiguous-delivery counter for o
+// reaches k. The bound is the minimum credited clock across all origins.
+// Because every candidate at or below the bound is present and the order
+// is deterministic, election needs no quorum and no messages: replicas
+// promote identical prefixes independently, possibly at different times.
+// Losers — candidates whose CAS guard no longer matches the stable state —
+// abort deterministically everywhere.
+//
+// # What the optimism costs
+//
+// A tentative update that arrives with a stamp ordering it before
+// already-staged tentative updates displaces them: their tentative
+// executions roll back and re-execute against the new order (the
+// `marp.opt.rollbacks` instrument). And stability lags the tentative
+// commit by the gossip round-trip needed to collect evidence from every
+// origin (`marp.opt.stability_lag`): a partitioned or crashed origin
+// freezes the bound — tentative commits continue everywhere, but nothing
+// promotes until it returns. That is the protocol's availability trade,
+// measured against MARP in experiment A10.
+//
+// # Recovery
+//
+// Optimistic replicas survive crashes only with a journal (volatile MARP
+// replicas can rebuild from a majority; a volatile optimistic replica
+// could re-mint an oseq peers already hold, which is unrecoverable).
+// Three barrier rules keep recovery sound — own tentatives fsync before
+// the gossip layer may advertise them, stable promotions fsync before
+// anything else leaves the node, and the Lamport clock journals a strided
+// high-water mark before being advertised — so a restart never reuses an
+// action identity, never regresses an advertised clock, and never drops or
+// reorders the stable prefix (DESIGN.md invariant 15).
+package optimistic
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/runtime"
+	"repro/internal/store"
+	"repro/internal/wal"
+)
+
+// GuardUnwritten is the CAS guard expecting the key to have no stable
+// version yet. The empty guard means unconditional (last-writer-wins).
+const GuardUnwritten = "!unwritten"
+
+// Action is one tentative update plus the constraints the reconciliation
+// agents carry for it.
+type Action struct {
+	Origin runtime.NodeID
+	OSeq   uint64 // per-(origin, shard) contiguous counter, 1-based
+	Shard  int
+	Stamp  int64 // origin's Lamport clock at submit
+	Key    string
+	Data   string
+	// Guard is the optional CAS constraint: the TxnID the key's last
+	// stable writer must carry at election time (GuardUnwritten for "no
+	// stable writer yet"; empty for unconditional).
+	Guard string
+	// Deps are the notAfter constraint edges: the TxnIDs of the same-key
+	// tentative updates the origin had staged when this action was
+	// submitted. The candidate order provably schedules every dep first;
+	// accept asserts it.
+	Deps []string
+}
+
+// TxnID returns the action's globally unique transaction ID. The encoding
+// is zero-padded so that the string order of IDs equals the numeric
+// (origin, oseq) order within a shard — the election's tie-break relies on
+// it (store.StagedLess).
+func (a Action) TxnID() string { return OptTxnID(a.Origin, a.Shard, a.OSeq) }
+
+// OptTxnID builds the canonical optimistic transaction ID.
+func OptTxnID(origin runtime.NodeID, shrd int, oseq uint64) string {
+	return fmt.Sprintf("o%03d-s%03d-%09d", origin, shrd, oseq)
+}
+
+// ParseTxnID decodes a canonical optimistic transaction ID.
+func ParseTxnID(txn string) (origin runtime.NodeID, shrd int, oseq uint64, err error) {
+	var o, s int
+	if _, err = fmt.Sscanf(txn, "o%03d-s%03d-%09d", &o, &s, &oseq); err != nil {
+		return 0, 0, 0, fmt.Errorf("optimistic: bad txn id %q: %w", txn, err)
+	}
+	return runtime.NodeID(o), s, oseq, nil
+}
+
+// Update converts the action to its store representation (Seq is assigned
+// at promotion).
+func (a Action) Update() store.Update {
+	return store.Update{TxnID: a.TxnID(), Key: a.Key, Data: a.Data, Stamp: a.Stamp}
+}
+
+// KnowEntry is one origin's self-report as carried by the agents: "my
+// Lamport clock read Clock; by then I had issued Counts[s] actions on
+// shard s and had contiguously delivered Have[s][o-1] actions from origin
+// o". Receivers credit the clock toward their stability frontier only once
+// their own delivery counters reach Counts — relayed knowledge alone never
+// advances a frontier. Entries are immutable once built (hosts on an
+// itinerary share them); replacement is newest-clock-wins, which lets the
+// Have vector DECREASE after the origin recovers from a crash — that is
+// what tells peers to resend the deliveries the crash erased. The clock
+// high-water barrier makes newest-clock-wins sound: a recovered origin's
+// first fresh report always outranks anything it advertised before the
+// crash.
+type KnowEntry struct {
+	Node   runtime.NodeID
+	Clock  int64
+	Counts []uint64
+	Have   [][]uint64
+}
+
+// Recon is the reconciliation agent: the package's mobile agent, migrating
+// host to host along its itinerary. At each hop it delivers the actions it
+// carries, merges its knowledge table with the host's, and is re-packed by
+// the host with whatever the NEXT hop is missing according to the merged
+// estimates. Estimates are evidence-based and may be stale; over-delivery
+// is dropped idempotently and under-delivery is healed by the next round,
+// so a lost agent only delays convergence.
+type Recon struct {
+	From  runtime.NodeID   // launching replica
+	Seq   uint64           // launch counter at From (diagnostics)
+	Hops  []runtime.NodeID // itinerary, visited in order
+	Hop   int              // index of the hop this migration targets
+	Know  []KnowEntry
+	Carry []Action
+}
+
+// Kind implements runtime.Kinder for per-kind traffic accounting.
+func (*Recon) Kind() string { return "opt-recon" }
+
+// WireSize implements the fabric's size accounting with the real encoded
+// size (deterministic, so DES byte-identity holds).
+func (m *Recon) WireSize() int { return len(appendRecon(nil, m)) }
+
+// ring returns the itinerary for an agent launched at from: every other
+// node once, ascending from from+1 with wraparound — the deterministic
+// ring that staggers against other launchers' rings.
+func ring(from runtime.NodeID, n int) []runtime.NodeID {
+	out := make([]runtime.NodeID, 0, n-1)
+	for i := 1; i < n; i++ {
+		id := runtime.NodeID((int(from)-1+i)%n + 1)
+		out = append(out, id)
+	}
+	return out
+}
+
+// DurabilityConfig arms optimistic replicas with stable storage, the
+// precondition for Crash/Recover (see the package comment on recovery).
+type DurabilityConfig struct {
+	// Backend returns node id's stable-storage backend (disk.NewFS for a
+	// live data dir, disk.NewMem for deterministic simulation). Called
+	// once per local node at construction.
+	Backend func(id runtime.NodeID) disk.Backend
+	// Policy is the fsync policy (default wal.PolicyCommit).
+	Policy wal.Policy
+	// SegmentBytes and CompactEvery tune the journal (see durable).
+	SegmentBytes int
+	CompactEvery int
+}
+
+// Config assembles an optimistic cluster. Quorum geometry does not apply —
+// the election is quorum-less by construction and every replica holds
+// every shard — so unlike core.Config there are no GroupSize/Geometry
+// knobs; shard routing itself (shard.Of) is shared with the pessimistic
+// path, which keeps `marpctl digest` shard rows comparable.
+type Config struct {
+	// N is the cluster size.
+	N int
+	// Local lists the node IDs this process hosts (nil = all N, the
+	// simulation layout; a live process hosts exactly one).
+	Local []runtime.NodeID
+	// Shards is the keyspace shard count (default 1). Each shard has its
+	// own candidate order and stability frontier.
+	Shards int
+	// GossipInterval is the reconciliation-agent launch period at each
+	// replica (default 50ms). Launches are staggered across replicas.
+	GossipInterval time.Duration
+	// MaxCarry caps the actions packed per hop (default 512); the next
+	// round carries the remainder.
+	MaxCarry int
+	// Durability, when non-nil, journals every replica and enables
+	// Crash/Recover.
+	Durability *DurabilityConfig
+}
+
+func (c *Config) fill() error {
+	if c.N < 1 {
+		return fmt.Errorf("optimistic: config needs N >= 1, got %d", c.N)
+	}
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
+	if c.GossipInterval <= 0 {
+		c.GossipInterval = 50 * time.Millisecond
+	}
+	if c.MaxCarry <= 0 {
+		c.MaxCarry = 512
+	}
+	return nil
+}

@@ -1,0 +1,335 @@
+package optimistic_test
+
+// Protocol tests run the optimistic cluster under the deterministic
+// simulation engine (via desengine, the same assembly the harness uses):
+// convergence to one stable prefix, rollback/abort accounting, and the
+// crash-recovery safety property behind DESIGN.md invariant 15.
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/desengine"
+	"repro/internal/disk"
+	"repro/internal/optimistic"
+	"repro/internal/runtime"
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+func newSimCluster(t *testing.T, seed int64, n, shards int, durable bool) *desengine.OptCluster {
+	t.Helper()
+	cfg := optimistic.Config{N: n, Shards: shards, GossipInterval: 20 * time.Millisecond}
+	if durable {
+		cfg.Durability = &optimistic.DurabilityConfig{
+			Backend: func(runtime.NodeID) disk.Backend { return disk.NewMem() },
+		}
+	}
+	cl, err := desengine.NewOptimistic(desengine.OptConfig{Seed: seed, Cluster: cfg})
+	if err != nil {
+		t.Fatalf("NewOptimistic: %v", err)
+	}
+	return cl
+}
+
+func drain(t *testing.T, cl *desengine.OptCluster) {
+	t.Helper()
+	if err := cl.RunUntilDone(10 * time.Minute); err != nil {
+		t.Fatalf("RunUntilDone: %v", err)
+	}
+	if err := cl.CheckConvergence(); err != nil {
+		t.Fatalf("CheckConvergence: %v", err)
+	}
+}
+
+// TestConvergesToOneStablePrefix: concurrent submits from every node end
+// as one identical, digest-verified stable prefix everywhere.
+func TestConvergesToOneStablePrefix(t *testing.T) {
+	const n = 5
+	cl := newSimCluster(t, 1, n, 2, false)
+	for i := 0; i < 20; i++ {
+		home := runtime.NodeID(i%n + 1)
+		if _, err := cl.Submit(home, fmt.Sprintf("key-%d", i%7), fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	drain(t, cl)
+	ref, refN, err := cl.StableDigest(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refN != 20 {
+		t.Fatalf("stable length %d, want 20", refN)
+	}
+	for id := runtime.NodeID(2); id <= n; id++ {
+		d, dn, err := cl.StableDigest(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != ref || dn != refN {
+			t.Fatalf("node %d digest %s/%d, node 1 has %s/%d", id, d, dn, ref, refN)
+		}
+	}
+	// Every outcome stabilized, none aborted, and stability follows the
+	// tentative commit.
+	for _, o := range cl.Outcomes() {
+		if o.Aborted || o.StableAt == 0 {
+			t.Fatalf("outcome %+v not stable", o)
+		}
+		if o.StableAt < o.TentativeAt {
+			t.Fatalf("outcome %s stable before tentative", o.Txn)
+		}
+	}
+}
+
+// TestTentativeReadThenStable: a submit is readable tentatively at its
+// origin immediately, and becomes the stable value after reconciliation.
+func TestTentativeReadThenStable(t *testing.T) {
+	cl := newSimCluster(t, 2, 3, 1, false)
+	if _, err := cl.Submit(1, "x", "hello"); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := cl.Read(1, "x", true); !ok || v.Data != "hello" {
+		t.Fatalf("tentative read = %+v %v, want hello", v, ok)
+	}
+	if _, ok, _ := cl.Read(1, "x", false); ok {
+		t.Fatal("stable read visible before election")
+	}
+	drain(t, cl)
+	for id := runtime.NodeID(1); id <= 3; id++ {
+		if v, ok, _ := cl.Read(id, "x", false); !ok || v.Data != "hello" {
+			t.Fatalf("node %d stable read = %+v %v, want hello", id, v, ok)
+		}
+	}
+}
+
+// TestRollbacksCounted: same-key concurrent submits at different origins
+// force at least one replica to re-order its overlay, and the instrument
+// sees it.
+func TestRollbacksCounted(t *testing.T) {
+	cl := newSimCluster(t, 3, 3, 1, false)
+	if _, err := cl.Submit(1, "k", "from-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Submit(2, "k", "from-2"); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, cl)
+	// Both stamped 1; the tie-break orders node 1's first, so node 2 (and
+	// anyone who heard node 2 first) rolled back.
+	if got := cl.Metrics().Value("marp.opt.rollbacks"); got < 1 {
+		t.Fatalf("marp.opt.rollbacks = %v, want >= 1", got)
+	}
+	for id := runtime.NodeID(1); id <= 3; id++ {
+		if v, ok, _ := cl.Read(id, "k", false); !ok || v.Data != "from-2" {
+			t.Fatalf("node %d stable k = %+v %v, want last-writer from-2", id, v, ok)
+		}
+	}
+}
+
+// TestCASGuardElectsOneWinner: two replicas racing GuardUnwritten on one
+// key elect the same single winner everywhere; the loser aborts.
+func TestCASGuardElectsOneWinner(t *testing.T) {
+	cl := newSimCluster(t, 4, 3, 1, false)
+	t1, err := cl.SubmitCAS(1, "lock", "owner-1", optimistic.GuardUnwritten)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := cl.SubmitCAS(2, "lock", "owner-2", optimistic.GuardUnwritten)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(t, cl)
+	var winner, loser optimistic.Outcome
+	for _, o := range cl.Outcomes() {
+		switch {
+		case o.Aborted:
+			loser = o
+		case o.StableAt != 0:
+			winner = o
+		}
+	}
+	if winner.Txn != t1 || loser.Txn != t2 {
+		t.Fatalf("winner %s loser %s, want %s / %s (tie-break by origin)", winner.Txn, loser.Txn, t1, t2)
+	}
+	if got := cl.Metrics().Value("marp.opt.aborts"); got != 3 {
+		t.Fatalf("marp.opt.aborts = %v, want 3 (one loser, elected at each of 3 replicas)", got)
+	}
+	for id := runtime.NodeID(1); id <= 3; id++ {
+		if v, ok, _ := cl.Read(id, "lock", false); !ok || v.Data != "owner-1" {
+			t.Fatalf("node %d lock = %+v %v, want owner-1", id, v, ok)
+		}
+	}
+}
+
+// TestCrashWithoutDurabilityRefused: a volatile optimistic replica holds
+// the only copy of its own actions; Crash must refuse rather than lose it.
+func TestCrashWithoutDurabilityRefused(t *testing.T) {
+	cl := newSimCluster(t, 5, 3, 1, false)
+	if err := cl.Crash(2); err == nil {
+		t.Fatal("Crash succeeded without durability")
+	}
+}
+
+// stableLogs snapshots every shard's stable prefix at one node.
+func stableLogs(t *testing.T, cl *desengine.OptCluster, id runtime.NodeID, shards int) [][]store.Update {
+	t.Helper()
+	out := make([][]store.Update, shards)
+	for s := 0; s < shards; s++ {
+		log, err := cl.StableLog(id, s)
+		if err != nil {
+			t.Fatalf("StableLog(%d, %d): %v", id, s, err)
+		}
+		out[s] = log
+	}
+	return out
+}
+
+// TestQuickStablePrefixSurvivesCrash is the testing/quick property behind
+// invariant 15: kill -9 a replica mid-run (power cut past the last fsync),
+// recover it, keep submitting — the stable prefix it had promoted before
+// the crash is a prefix of every final stable log, nothing reordered or
+// dropped, and the cluster still converges.
+func TestQuickStablePrefixSurvivesCrash(t *testing.T) {
+	const (
+		n      = 3
+		shards = 2
+		victim = runtime.NodeID(2)
+	)
+	prop := func(seed int64) bool {
+		seed &= 0xffff // keep scenario space small and reproducible
+		cl := newSimCluster(t, seed, n, shards, true)
+		submit := func(i int) {
+			home := runtime.NodeID(i%n + 1)
+			if cl.Down(home) {
+				home = runtime.NodeID(int(home)%n + 1) // next node up
+			}
+			key := fmt.Sprintf("k%d", i%5)
+			if _, err := cl.Submit(home, key, fmt.Sprintf("s%d-i%d", seed, i)); err != nil {
+				t.Errorf("seed %d: Submit: %v", seed, err)
+			}
+		}
+		// Phase 1: load, then let elections run mid-stream.
+		for i := 0; i < 8; i++ {
+			submit(i)
+		}
+		cl.Settle(time.Duration(50+seed%200) * time.Millisecond)
+		// Power-cut the victim mid-election and snapshot what it had
+		// promoted; barrier'd stable records must all survive.
+		preCrash := stableLogs(t, cl, victim, shards)
+		if err := cl.Crash(victim); err != nil {
+			t.Errorf("seed %d: Crash: %v", seed, err)
+			return false
+		}
+		// Phase 2: the survivors keep committing around the crash.
+		for i := 8; i < 14; i++ {
+			submit(i)
+		}
+		cl.Settle(time.Duration(30+seed%100) * time.Millisecond)
+		if err := cl.Recover(victim); err != nil {
+			t.Errorf("seed %d: Recover: %v", seed, err)
+			return false
+		}
+		// The recovered replica must come back with its stable prefix
+		// intact before any new reconciliation touches it.
+		postRecover := stableLogs(t, cl, victim, shards)
+		for s := 0; s < shards; s++ {
+			if len(postRecover[s]) < len(preCrash[s]) {
+				t.Errorf("seed %d: shard %d: recovery dropped stable entries (%d -> %d)", seed, s, len(preCrash[s]), len(postRecover[s]))
+				return false
+			}
+			for i, u := range preCrash[s] {
+				if postRecover[s][i] != u {
+					t.Errorf("seed %d: shard %d: stable[%d] changed across crash: %+v -> %+v", seed, s, i, u, postRecover[s][i])
+					return false
+				}
+			}
+		}
+		// Phase 3: more load after recovery, then full drain.
+		for i := 14; i < 18; i++ {
+			submit(i)
+		}
+		if err := cl.RunUntilDone(10 * time.Minute); err != nil {
+			t.Errorf("seed %d: RunUntilDone: %v", seed, err)
+			return false
+		}
+		if err := cl.CheckConvergence(); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+			return false
+		}
+		// Invariant 15 end to end: the pre-crash prefix is a prefix of the
+		// converged final log at every node.
+		for _, id := range cl.LocalNodes() {
+			final := stableLogs(t, cl, id, shards)
+			for s := 0; s < shards; s++ {
+				if len(final[s]) < len(preCrash[s]) {
+					t.Errorf("seed %d: node %d shard %d: final stable shorter than pre-crash prefix", seed, id, s)
+					return false
+				}
+				for i, u := range preCrash[s] {
+					if final[s][i] != u {
+						t.Errorf("seed %d: node %d shard %d: stable[%d] reordered: %+v -> %+v", seed, id, s, i, u, final[s][i])
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 12}
+	if testing.Short() {
+		cfg.MaxCount = 4
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func roundTrip(t *testing.T, ag *optimistic.Recon) *optimistic.Recon {
+	t.Helper()
+	buf, err := wire.AppendMessage(nil, ag)
+	if err != nil {
+		t.Fatalf("AppendMessage: %v", err)
+	}
+	r := wire.NewReader(buf)
+	v, err := wire.DecodeMessage(r)
+	if err != nil {
+		t.Fatalf("DecodeMessage: %v", err)
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatalf("trailing bytes: %v", err)
+	}
+	got, ok := v.(*optimistic.Recon)
+	if !ok {
+		t.Fatalf("decoded %T, want *optimistic.Recon", v)
+	}
+	return got
+}
+
+// TestReconWireRoundTrip: the reconciliation agent survives its wire codec
+// byte-exactly (the live fabric migrates it as encoded state).
+func TestReconWireRoundTrip(t *testing.T) {
+	// Covered via the cluster path too, but the codec deserves a direct
+	// check with every field populated.
+	ag := &optimistic.Recon{
+		From: 2, Seq: 7,
+		Hops: []runtime.NodeID{3, 1}, Hop: 1,
+		Know: []optimistic.KnowEntry{
+			{Node: 2, Clock: 42, Counts: []uint64{3, 0}, Have: [][]uint64{{1, 2, 3}, {0, 0, 1}}},
+			{Node: 1, Clock: 40, Counts: []uint64{1, 1}, Have: [][]uint64{{1, 0, 0}, {1, 0, 0}}},
+		},
+		Carry: []optimistic.Action{
+			{Origin: 2, OSeq: 3, Shard: 0, Stamp: 41, Key: "k", Data: "v", Guard: optimistic.GuardUnwritten, Deps: []string{"o001-s000-000000001"}},
+			{Origin: 1, OSeq: 1, Shard: 1, Stamp: 2, Key: "q", Data: ""},
+		},
+	}
+	if ag.WireSize() <= 0 {
+		t.Fatal("WireSize not positive")
+	}
+	got := roundTrip(t, ag)
+	if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", ag) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, ag)
+	}
+}

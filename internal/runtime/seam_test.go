@@ -19,7 +19,7 @@ import (
 // Test files are exempt: they legitimately use the DES engine as a
 // deterministic oracle for protocol behaviour.
 func TestProtocolPackagesStayEngineNeutral(t *testing.T) {
-	protocol := []string{"agent", "replica", "core", "reliable"}
+	protocol := []string{"agent", "replica", "core", "reliable", "optimistic"}
 	forbidden := []string{"repro/internal/des", "repro/internal/simnet", "repro/internal/runtime/live", "repro/internal/desengine"}
 
 	fset := token.NewFileSet()

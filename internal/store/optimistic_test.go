@@ -1,0 +1,165 @@
+package store
+
+import (
+	"errors"
+	"testing"
+)
+
+func stagedUpdate(txn, key, data string, stamp int64) Update {
+	return Update{TxnID: txn, Key: key, Data: data, Stamp: stamp}
+}
+
+func TestStagedCandidateOrder(t *testing.T) {
+	s := NewStaged()
+	// Arrivals out of candidate order; the overlay must sort by
+	// (Stamp, TxnID) regardless.
+	ins := []Update{
+		stagedUpdate("o002-s000-000000001", "k", "b", 3),
+		stagedUpdate("o001-s000-000000001", "k", "a", 1),
+		stagedUpdate("o001-s000-000000002", "k", "c", 3),
+	}
+	displaced := make([]int, len(ins))
+	for i, u := range ins {
+		var err error
+		if displaced[i], err = s.Stage(u); err != nil {
+			t.Fatalf("Stage(%s): %v", u.TxnID, err)
+		}
+	}
+	// First insert displaces nothing; the stamp-1 arrival displaces one;
+	// stamp-3 with smaller TxnID displaces the stamp-3 tail entry.
+	if displaced[0] != 0 || displaced[1] != 1 || displaced[2] != 1 {
+		t.Fatalf("displaced = %v, want [0 1 1]", displaced)
+	}
+	if got := s.Rollbacks(); got != 2 {
+		t.Fatalf("Rollbacks = %d, want 2", got)
+	}
+	ov := s.Overlay()
+	want := []string{"o001-s000-000000001", "o001-s000-000000002", "o002-s000-000000001"}
+	for i, txn := range want {
+		if ov[i].TxnID != txn {
+			t.Fatalf("overlay[%d] = %s, want %s", i, ov[i].TxnID, txn)
+		}
+	}
+	// Tentative read sees the overlay's last writer; stable read nothing.
+	if v, ok := s.TentativeGet("k"); !ok || v.Data != "b" {
+		t.Fatalf("TentativeGet = %+v %v, want last-writer b", v, ok)
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("stable Get visible before promotion")
+	}
+}
+
+func TestStagedDuplicateRejected(t *testing.T) {
+	s := NewStaged()
+	u := stagedUpdate("o001-s000-000000001", "k", "a", 1)
+	if _, err := s.Stage(u); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Stage(u); !errors.Is(err, ErrTxnCollision) {
+		t.Fatalf("restaging = %v, want ErrTxnCollision", err)
+	}
+	if _, _ = s.PromoteUpTo(10, nil); !s.InStable(u.TxnID) {
+		t.Fatal("not promoted")
+	}
+	if _, err := s.Stage(u); !errors.Is(err, ErrTxnCollision) {
+		t.Fatalf("restaging after promotion = %v, want ErrTxnCollision", err)
+	}
+}
+
+func TestStagedPromoteGuardAndSeq(t *testing.T) {
+	s := NewStaged()
+	for _, u := range []Update{
+		stagedUpdate("o001-s000-000000001", "k", "a", 1),
+		stagedUpdate("o002-s000-000000001", "k", "b", 1),
+		stagedUpdate("o003-s000-000000001", "q", "z", 5),
+	} {
+		if _, err := s.Stage(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Election up to stamp 1: both k-writers are candidates; the guard
+	// admits only the first writer of each key (a CAS race).
+	promoted, aborted := s.PromoteUpTo(1, func(u Update) bool { return s.StableWriter(u.Key) == "" })
+	if len(promoted) != 1 || promoted[0].TxnID != "o001-s000-000000001" || promoted[0].Seq != 1 {
+		t.Fatalf("promoted = %+v, want o001 at seq 1", promoted)
+	}
+	if len(aborted) != 1 || aborted[0].TxnID != "o002-s000-000000001" {
+		t.Fatalf("aborted = %+v, want o002", aborted)
+	}
+	if s.OverlayLen() != 1 {
+		t.Fatalf("overlay len %d, want the stamp-5 entry left", s.OverlayLen())
+	}
+	// The stamp-5 entry promotes in a later batch with the next Seq.
+	promoted, aborted = s.PromoteUpTo(5, nil)
+	if len(aborted) != 0 || len(promoted) != 1 || promoted[0].Seq != 2 {
+		t.Fatalf("second batch = %+v / %+v, want one promotion at seq 2", promoted, aborted)
+	}
+	if v, ok := s.Get("k"); !ok || v.Data != "a" {
+		t.Fatalf("stable k = %+v %v, want a", v, ok)
+	}
+	if got := s.StableWriter("k"); got != "o001-s000-000000001" {
+		t.Fatalf("StableWriter(k) = %s", got)
+	}
+}
+
+func TestStagedRestoreMatchesPromotion(t *testing.T) {
+	a := NewStaged()
+	for _, u := range []Update{
+		stagedUpdate("o001-s000-000000001", "k", "a", 1),
+		stagedUpdate("o002-s000-000000001", "k", "b", 2),
+	} {
+		if _, err := a.Stage(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.PromoteUpTo(10, nil)
+
+	b := NewStaged()
+	for _, u := range a.StableLog() {
+		if err := b.RestoreStable(u); err != nil {
+			t.Fatalf("RestoreStable: %v", err)
+		}
+	}
+	da, na := a.StableDigest()
+	db, nb := b.StableDigest()
+	if da != db || na != nb {
+		t.Fatalf("restored digest %s/%d, want %s/%d", db, nb, da, na)
+	}
+	if va, _ := a.Get("k"); va != mustGet(t, b, "k") {
+		t.Fatal("restored value mismatch")
+	}
+	// A gap in the restore sequence is corruption.
+	c := NewStaged()
+	if err := c.RestoreStable(a.StableLog()[1]); !errors.Is(err, ErrSeqGap) {
+		t.Fatalf("gap restore = %v, want ErrSeqGap", err)
+	}
+}
+
+func mustGet(t *testing.T, s *Staged, key string) Value {
+	t.Helper()
+	v, ok := s.Get(key)
+	if !ok {
+		t.Fatalf("missing stable %q", key)
+	}
+	return v
+}
+
+func TestStagedDigestIsOrderDependent(t *testing.T) {
+	mk := func(first, second Update) string {
+		s := NewStaged()
+		first.Seq, second.Seq = 1, 2
+		if err := s.RestoreStable(first); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.RestoreStable(second); err != nil {
+			t.Fatal(err)
+		}
+		d, _ := s.StableDigest()
+		return d
+	}
+	u1 := stagedUpdate("o001-s000-000000001", "k", "a", 1)
+	u2 := stagedUpdate("o002-s000-000000001", "k", "b", 2)
+	if mk(u1, u2) == mk(u2, u1) {
+		t.Fatal("digest ignores stable order")
+	}
+}

@@ -45,6 +45,7 @@ import (
 	marp "repro"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/optimistic"
 	"repro/internal/realtime"
 	"repro/internal/runtime"
 	"repro/internal/runtime/live"
@@ -58,7 +59,7 @@ import (
 // marshalling here is what makes concurrent scrapes race-free.
 func (s *Server) GatherMetrics() (metrics.Snapshot, *metrics.Registry, error) {
 	var snap metrics.Snapshot
-	reg := s.cluster.Metrics()
+	reg := s.registry()
 	err := s.exec(func() { snap = reg.Gather() })
 	if err != nil {
 		return nil, nil, err
@@ -66,11 +67,26 @@ func (s *Server) GatherMetrics() (metrics.Snapshot, *metrics.Registry, error) {
 	return snap, reg, nil
 }
 
+func (s *Server) registry() *metrics.Registry {
+	if s.opt != nil {
+		return s.opt.Metrics()
+	}
+	return s.cluster.Metrics()
+}
+
 // Health computes the cluster's quorum-reachability summary on the
-// engine's execution context — the /healthz body.
+// engine's execution context — the /healthz body. An optimistic cluster
+// has no quorums to lose: it is healthy exactly when a locally hosted
+// replica is up (tentative commits need only the local node).
 func (s *Server) Health() (core.Health, error) {
 	var h core.Health
-	err := s.exec(func() { h = s.cluster.Health() })
+	err := s.exec(func() {
+		if s.opt != nil {
+			h = s.optHealth()
+			return
+		}
+		h = s.cluster.Health()
+	})
 	return h, err
 }
 
@@ -85,6 +101,12 @@ type Request struct {
 	// Groups carries a partition op's node groups (unlisted nodes form
 	// group 0).
 	Groups [][]int `json:"groups,omitempty"`
+	// Tentative asks an optimistic read for the overlay's last writer
+	// instead of the stable value.
+	Tentative bool `json:"tentative,omitempty"`
+	// Guard attaches a CAS guard to an optimistic submit (see
+	// optimistic.SubmitCAS).
+	Guard string `json:"guard,omitempty"`
 }
 
 // StatsBody is the payload of a stats response.
@@ -120,15 +142,38 @@ type ShardDigest struct {
 // the addressed process recorded, so the numbers add across processes and
 // are batching-independent.
 type ScenarioBody struct {
-	Servers       int               `json:"servers"`
-	Shards        int               `json:"shards"`
-	Geometry      string            `json:"geometry"`
-	Fsync         string            `json:"fsync,omitempty"`
-	CommitDelayUS int64             `json:"commit_delay_us,omitempty"`
-	Outstanding   int               `json:"outstanding"`
-	Commits       int               `json:"commits"`
-	Failed        int               `json:"failed"`
-	Keys          map[string]string `json:"keys"`
+	Servers       int    `json:"servers"`
+	Shards        int    `json:"shards"`
+	Geometry      string `json:"geometry"`
+	Fsync         string `json:"fsync,omitempty"`
+	CommitDelayUS int64  `json:"commit_delay_us,omitempty"`
+	Outstanding   int    `json:"outstanding"`
+	Commits       int    `json:"commits"`
+	Failed        int    `json:"failed"`
+	// DigestKind names what Keys digests: DigestKindCommitSet (MARP; also
+	// every body that omits the field, from before the optimistic protocol
+	// existed) or DigestKindStablePrefix (optimistic; tentative state is
+	// deliberately excluded — it legitimately diverges). Consumers that
+	// compare Keys across processes must compare kinds first.
+	DigestKind string            `json:"digest_kind,omitempty"`
+	Keys       map[string]string `json:"keys"`
+}
+
+// Digest kinds. A digest is only comparable to another of the same kind:
+// a MARP commit-set digest and an optimistic stable-prefix digest of the
+// same workload differ by construction.
+const (
+	DigestKindCommitSet    = "commit-set"
+	DigestKindStablePrefix = "stable-prefix"
+)
+
+// TierDigest is one tier of an optimistic replica's state in a digest
+// response: the tier's whole digest, its entry count, and the per-key
+// digests (scenario.KeyDigests).
+type TierDigest struct {
+	Digest  string            `json:"digest"`
+	Entries int               `json:"entries"`
+	Keys    map[string]string `json:"keys,omitempty"`
 }
 
 // Response is one server reply.
@@ -147,6 +192,17 @@ type Response struct {
 	// a digest mismatch investigation).
 	QueueDrops int           `json:"queue_drops,omitempty"`
 	Scenario   *ScenarioBody `json:"scenario,omitempty"`
+	// Txn is an optimistic submit's assigned transaction ID.
+	Txn string `json:"txn,omitempty"`
+	// Kind labels what a digest or referee response reports — see the
+	// DigestKind constants. Empty means DigestKindCommitSet (pre-optimistic
+	// servers never set it).
+	Kind string `json:"kind,omitempty"`
+	// Stable and Tentative are an optimistic digest response's two tiers.
+	// The legacy Value/Seq fields alias the stable tier so kind-unaware
+	// tooling keeps reading the tier that actually converges.
+	Stable    *TierDigest `json:"stable,omitempty"`
+	Tentative *TierDigest `json:"tentative,omitempty"`
 }
 
 // Server serves a MARP cluster over TCP. The same server fronts either
@@ -154,8 +210,9 @@ type Response struct {
 // wall clock; in live mode it fronts this process's single replica, with
 // the rest of the cluster in sibling processes.
 type Server struct {
-	cluster  *core.Cluster
-	exec     func(func()) error // runs fn on the engine's execution context
+	cluster  *core.Cluster       // MARP deployments; nil when opt is set
+	opt      *optimistic.Cluster // optimistic deployments; nil when cluster is set
+	exec     func(func()) error  // runs fn on the engine's execution context
 	teardown func()
 	listener net.Listener
 
@@ -306,8 +363,16 @@ func (s *Server) handle(req Request) Response {
 }
 
 func (s *Server) apply(req Request) Response {
+	if s.opt != nil {
+		return s.applyOpt(req)
+	}
 	switch req.Op {
 	case "submit":
+		if req.Guard != "" {
+			// Refused rather than ignored: a silently dropped guard would
+			// turn an intended CAS into an unconditional overwrite.
+			return Response{Error: "guard requires an optimistic service (marpd -protocol optimistic); MARP has no CAS submit"}
+		}
 		r := core.Set(req.Key, req.Value)
 		if req.Append {
 			r = core.Append(req.Key, req.Value)
@@ -361,14 +426,14 @@ func (s *Server) apply(req Request) Response {
 		// The queue-drop count reads through the registry's stable name —
 		// the same number a /metrics scrape exports.
 		drops := int(s.cluster.Metrics().Value("marp.fabric.queue_drops"))
-		resp := Response{OK: true, Value: d, Seq: uint64(n), QueueDrops: drops}
+		resp := Response{OK: true, Kind: DigestKindCommitSet, Value: d, Seq: uint64(n), QueueDrops: drops}
 		if srv.Shards() > 1 {
 			resp.Shards = s.shardDigests(srv)
 		}
 		return resp
 	case "referee":
 		ref := s.cluster.Referee()
-		return Response{OK: true, Wins: ref.Wins(), Violations: len(ref.Violations())}
+		return Response{OK: true, Kind: RefereeKindGrants, Wins: ref.Wins(), Violations: len(ref.Violations())}
 	case "stats":
 		// Counters read through the metric registry's stable names (the
 		// same values /metrics exports); committed/failed keep their
@@ -413,6 +478,7 @@ func (s *Server) scenarioBody() Response {
 		Fsync:         shape.Fsync,
 		CommitDelayUS: shape.GroupCommitDelay.Microseconds(),
 		Outstanding:   s.cluster.Outstanding(),
+		DigestKind:    DigestKindCommitSet,
 	}
 	for _, o := range s.cluster.Outcomes() {
 		if o.Failed {
